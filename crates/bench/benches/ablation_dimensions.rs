@@ -1,0 +1,18 @@
+//! Criterion bench for the execution-model ablation study.
+
+use bench::experiments::{self, Settings};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn run(c: &mut Criterion) {
+    let settings = Settings::tiny();
+    c.bench_function("ablation_dimensions", |b| {
+        b.iter(|| experiments::ablation(&settings, stats_workloads::BenchmarkId::BodyTrack))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = run
+}
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion bench regenerating Figure 2 of the STATS evaluation.
+
+use bench::experiments::{self, Settings};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn run(c: &mut Criterion) {
+    let settings = Settings::tiny();
+    c.bench_function("fig02_variability", |b| b.iter(|| experiments::fig02(&settings)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = run
+}
+criterion_main!(benches);

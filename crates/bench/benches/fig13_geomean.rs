@@ -1,0 +1,16 @@
+//! Criterion bench regenerating Figure 13 of the STATS evaluation.
+
+use bench::experiments::{self, Settings};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn run(c: &mut Criterion) {
+    let settings = Settings::tiny();
+    c.bench_function("fig13_geomean", |b| b.iter(|| { let c: Vec<_> = stats_workloads::BenchmarkId::all().into_iter().map(|id| experiments::fig12(&settings, id)).collect(); experiments::fig13(&c) }));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = run
+}
+criterion_main!(benches);

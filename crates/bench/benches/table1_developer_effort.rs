@@ -1,0 +1,16 @@
+//! Criterion bench regenerating Table 1 of the STATS evaluation.
+
+use bench::experiments::{self, Settings};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn run(c: &mut Criterion) {
+    let settings = Settings::tiny();
+    c.bench_function("table1_developer_effort", |b| b.iter(|| experiments::table1(&settings)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = run
+}
+criterion_main!(benches);

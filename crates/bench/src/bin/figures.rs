@@ -1,0 +1,176 @@
+//! Regenerate the tables and figures of the STATS evaluation (§4).
+//!
+//! ```text
+//! cargo run --release -p bench --bin figures -- all
+//! cargo run --release -p bench --bin figures -- fig12 fig13
+//! cargo run --release -p bench --bin figures -- --quick table1
+//! ```
+//!
+//! Available targets: `fig2 fig3 table1 fig12 fig13 fig14 fig15 fig16
+//! fig17 fig18 fig19 fig20 all`.
+
+use std::path::PathBuf;
+
+use bench::experiments::{self, Settings};
+use bench::{render, tsv};
+use stats_workloads::BenchmarkId;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    // `--out DIR` additionally writes one TSV per figure into DIR.
+    let out: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let mut targets: Vec<&str> = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--out" {
+            skip_next = true;
+        } else if !a.starts_with("--") {
+            targets.push(a.as_str());
+        }
+    }
+    let targets: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
+        vec![
+            "fig2", "fig3", "table1", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+            "fig18", "fig19", "fig20", "ablation", "multisocket", "summary",
+        ]
+    } else {
+        targets
+    };
+
+    let settings = if quick {
+        Settings::quick()
+    } else {
+        Settings::full()
+    };
+
+    let wants = |t: &str| targets.contains(&t);
+    let mut curves = Vec::new();
+
+    let dump = |r: std::io::Result<()>| {
+        if let Err(e) = r {
+            eprintln!("--out: {e}");
+        }
+    };
+    if wants("fig2") {
+        let rows = experiments::fig02(&settings);
+        print!("{}", render::fig02_text(&rows));
+        if let Some(dir) = &out {
+            dump(tsv::fig02(dir, &rows));
+        }
+    }
+    if wants("fig3") {
+        let (rows, geo) = experiments::fig03(&settings);
+        print!("{}", render::fig03_text(&rows, geo));
+        if let Some(dir) = &out {
+            dump(tsv::fig03(dir, &rows, geo));
+        }
+    }
+    if wants("table1") {
+        let rows = experiments::table1(&settings);
+        print!("{}", render::table1_text(&rows));
+        if let Some(dir) = &out {
+            dump(tsv::table1(dir, &rows));
+        }
+    }
+    if wants("fig12") || wants("fig13") {
+        for bench in BenchmarkId::all() {
+            let c = experiments::fig12(&settings, bench);
+            if wants("fig12") {
+                print!("{}", render::fig12_text(&c));
+                if let Some(dir) = &out {
+                    dump(tsv::fig12(dir, &c));
+                }
+            }
+            curves.push(c);
+        }
+    }
+    if wants("fig13") {
+        let (threads, original, par) = experiments::fig13(&curves);
+        print!("{}", render::fig13_text(&threads, &original, &par));
+        if let Some(dir) = &out {
+            dump(tsv::fig13(dir, &threads, &original, &par));
+        }
+    }
+    if wants("fig14") {
+        let rows = experiments::fig14(&settings);
+        print!("{}", render::fig14_text(&rows));
+        if let Some(dir) = &out {
+            dump(tsv::fig14(dir, &rows));
+        }
+    }
+    if wants("fig15") {
+        let rows = experiments::fig15(&settings);
+        print!("{}", render::fig15_text(&rows));
+        if let Some(dir) = &out {
+            dump(tsv::fig15(dir, &rows));
+        }
+    }
+    if wants("fig16") {
+        let rows = experiments::fig16(&settings);
+        print!("{}", render::fig16_text(&rows));
+        if let Some(dir) = &out {
+            dump(tsv::fig16(dir, &rows));
+        }
+    }
+    if wants("fig17") {
+        let rows = experiments::fig17(&settings);
+        print!("{}", render::fig17_text(&rows));
+        if let Some(dir) = &out {
+            dump(tsv::fig17(dir, &rows));
+        }
+    }
+    if wants("fig18") {
+        let curve = experiments::fig18(&settings);
+        print!("{}", render::fig18_text(&curve));
+        if let Some(dir) = &out {
+            dump(tsv::fig18(dir, &curve));
+        }
+    }
+    if wants("fig19") {
+        let rows = experiments::fig19(&settings);
+        print!("{}", render::fig19_text(&rows));
+        if let Some(dir) = &out {
+            dump(tsv::fig19(dir, &rows));
+        }
+    }
+    if wants("ablation") {
+        for bench in [BenchmarkId::BodyTrack, BenchmarkId::FluidAnimate] {
+            let a = experiments::ablation(&settings, bench);
+            print!("{}", render::ablation_text(&a));
+            if let Some(dir) = &out {
+                dump(tsv::ablation(dir, &a));
+            }
+        }
+    }
+    if wants("summary") {
+        let sum = experiments::summary(&settings);
+        print!("{}", render::summary_text(&sum));
+        if let Some(dir) = &out {
+            dump(tsv::summary(dir, &sum));
+        }
+    }
+    if wants("multisocket") {
+        let rows = experiments::multisocket(&settings);
+        print!("{}", render::multisocket_text(&rows));
+        if let Some(dir) = &out {
+            dump(tsv::multisocket(dir, &rows));
+        }
+    }
+    if wants("fig20") {
+        let reps = if quick { 2 } else { 4 };
+        let (curve, convergence) = experiments::fig20(&settings, reps);
+        print!("{}", render::fig20_text(&curve, convergence));
+        if let Some(dir) = &out {
+            dump(tsv::fig20(dir, &curve, convergence));
+        }
+    }
+}

@@ -1,0 +1,455 @@
+//! Plain-text rendering of experiment results (the `figures` binary's
+//! output format: one table/series per figure, paper-style).
+
+use crate::experiments::*;
+use stats_workloads::NondetSource;
+
+fn hr(title: &str) -> String {
+    format!("\n==== {title} {}\n", "=".repeat(66_usize.saturating_sub(title.len())))
+}
+
+/// Render Figure 2.
+pub fn fig02_text(rows: &[VariabilityRow]) -> String {
+    let mut out = hr("Figure 2: output variability (domain metric, log scale)");
+    for r in rows {
+        let src = match r.source {
+            NondetSource::RandomGenerator => "random generators",
+            NondetSource::RaceCondition => "race conditions",
+        };
+        out.push_str(&format!(
+            "{:<18} {:>12.4e}   ({src})\n",
+            r.bench.name(),
+            r.variability
+        ));
+    }
+    out
+}
+
+/// Render Figure 3.
+pub fn fig03_text(rows: &[MaxSpeedupRow], geomean: f64) -> String {
+    let mut out = hr("Figure 3: highest speedup of the original benchmarks (28 cores)");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:>6.2}x   {}\n",
+            r.bench.name(),
+            r.max_speedup,
+            bar(r.max_speedup, 28.0)
+        ));
+    }
+    out.push_str(&format!("{:<18} {geomean:>6.2}x\n", "geo. mean"));
+    out.push_str("(ideal = 28x; the gap is the TLP STATS scavenges)\n");
+    out
+}
+
+/// Render one benchmark's Figure 12 curves.
+pub fn fig12_text(c: &ScalabilityCurves) -> String {
+    let mut out = hr(&format!(
+        "Figure 12: speedup vs hardware threads — {}",
+        c.bench.name()
+    ));
+    out.push_str(&format!(
+        "{:>8} {:>10} {:>11} {:>11}\n",
+        "threads", "Original", "Seq. STATS", "Par. STATS"
+    ));
+    for (i, &t) in c.threads.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>8} {:>9.2}x {:>10.2}x {:>10.2}x\n",
+            t, c.original[i], c.seq_stats[i], c.par_stats[i]
+        ));
+    }
+    let (o, s, p) = c.maxima();
+    out.push_str(&format!(
+        "max      {o:>9.2}x {s:>10.2}x {p:>10.2}x\n"
+    ));
+    out
+}
+
+/// Render Figure 13.
+pub fn fig13_text(threads: &[usize], original: &[f64], par: &[f64]) -> String {
+    let mut out = hr("Figure 13: geometric mean of the Figure 12 speedups");
+    out.push_str(&format!("{:>8} {:>10} {:>11}\n", "threads", "Original", "Par. STATS"));
+    for (i, &t) in threads.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>8} {:>9.2}x {:>10.2}x\n",
+            t, original[i], par[i]
+        ));
+    }
+    out
+}
+
+/// Render Figure 14.
+pub fn fig14_text(rows: &[HyperThreadingRow]) -> String {
+    let mut out = hr("Figure 14: single socket, Hyper-Threading study");
+    out.push_str(&format!(
+        "{:<18} {:>9} {:>12} {:>11} {:>14}\n",
+        "benchmark", "Original", "Original+HT", "Par. STATS", "Par. STATS+HT"
+    ));
+    let mut orig = Vec::new();
+    let mut orig_ht = Vec::new();
+    let mut par = Vec::new();
+    let mut par_ht = Vec::new();
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:>8.2}x {:>11.2}x {:>10.2}x {:>13.2}x\n",
+            r.bench.name(),
+            r.original,
+            r.original_ht,
+            r.par_stats,
+            r.par_stats_ht
+        ));
+        orig.push(r.original);
+        orig_ht.push(r.original_ht);
+        par.push(r.par_stats);
+        par_ht.push(r.par_stats_ht);
+    }
+    let g = stats_workloads::metrics::geometric_mean;
+    let (go, goh, gp, gph) = (g(&orig), g(&orig_ht), g(&par), g(&par_ht));
+    out.push_str(&format!(
+        "{:<18} {go:>8.2}x {goh:>11.2}x {gp:>10.2}x {gph:>13.2}x\n",
+        "geo. mean"
+    ));
+    out.push_str(&format!(
+        "HT gain: Original {:+.0}%, Par. STATS {:+.0}% (paper: +13% / +32%)\n",
+        (goh / go - 1.0) * 100.0,
+        (gph / gp - 1.0) * 100.0
+    ));
+    out
+}
+
+/// Render Figure 15.
+pub fn fig15_text(rows: &[EnergyRow]) -> String {
+    let mut out = hr("Figure 15: system-wide energy relative to the original (lower = better)");
+    out.push_str(&format!(
+        "{:<18} {:>16} {:>16}\n",
+        "benchmark", "perf mode", "energy mode"
+    ));
+    let mut perf = Vec::new();
+    let mut energy = Vec::new();
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:>15.1}% {:>15.1}%\n",
+            r.bench.name(),
+            r.perf_mode * 100.0,
+            r.energy_mode * 100.0
+        ));
+        perf.push(r.perf_mode);
+        energy.push(r.energy_mode);
+    }
+    let g = stats_workloads::metrics::geometric_mean;
+    out.push_str(&format!(
+        "{:<18} {:>15.1}% {:>15.1}%   (paper: 38.0% / 28.7%)\n",
+        "geo. mean",
+        g(&perf) * 100.0,
+        g(&energy) * 100.0
+    ));
+    out
+}
+
+/// Render Figure 16.
+pub fn fig16_text(rows: &[QualityRow]) -> String {
+    let mut out = hr("Figure 16: output-quality improvement at iso-time");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:>7.2}x\n",
+            r.bench.name(),
+            r.improvement
+        ));
+    }
+    out.push_str("(paper: three benchmarks improve, 6.84x-33.27x; the rest ~1x)\n");
+    out
+}
+
+/// Render Figure 17.
+pub fn fig17_text(rows: &[RelatedWorkRow]) -> String {
+    let mut out = hr("Figure 17: STATS vs related approaches (speedups)");
+    for r in rows {
+        out.push_str(&format!("{}\n", r.bench.name()));
+        for (name, seq, par) in &r.approaches {
+            out.push_str(&format!(
+                "  {:<16} seq {:>6.2}x   par {:>6.2}x\n",
+                name, seq, par
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<16} seq {:>6.2}x   par {:>6.2}x\n",
+            "STATS", r.seq_stats, r.par_stats
+        ));
+    }
+    out
+}
+
+/// Render Figure 18.
+pub fn fig18_text(curve: &[f64]) -> String {
+    let mut out = hr("Figure 18: relative speedup vs number of tradeoffs encoded");
+    for (k, v) in curve.iter().enumerate() {
+        out.push_str(&format!("{k:>3} tradeoffs: {v:>6.1}%  {}\n", bar(*v, 100.0)));
+    }
+    out.push_str("(paper: 1 tradeoff ~55%, 2 tradeoffs ~95% of the full speedup)\n");
+    out
+}
+
+/// Render Figure 19.
+pub fn fig19_text(rows: &[TrainingRow]) -> String {
+    let mut out = hr("Figure 19: non-representative training inputs");
+    out.push_str(&format!(
+        "{:<18} {:>9} {:>11} {:>22}\n",
+        "benchmark", "Original", "Par. STATS", "Par. STATS bad train"
+    ));
+    let mut good = Vec::new();
+    let mut bad = Vec::new();
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:>8.2}x {:>10.2}x {:>21.2}x\n",
+            r.bench.name(),
+            r.original,
+            r.par_stats,
+            r.par_stats_bad_training
+        ));
+        good.push(r.par_stats);
+        bad.push(r.par_stats_bad_training);
+    }
+    let g = stats_workloads::metrics::geometric_mean;
+    out.push_str(&format!(
+        "badly-trained binaries keep {:.0}% of the tuned speedup (geo. mean)\n",
+        g(&bad) / g(&good) * 100.0
+    ));
+    out
+}
+
+/// Render Figure 20.
+pub fn fig20_text(curve: &[f64], convergence: f64) -> String {
+    let mut out = hr("Figure 20: autotuner convergence");
+    for (i, v) in curve.iter().enumerate() {
+        if i % (curve.len() / 12).max(1) == 0 || i + 1 == curve.len() {
+            out.push_str(&format!(
+                "after {:>4} configurations: {:>6.1}% of best  {}\n",
+                i + 1,
+                v,
+                bar(*v, 100.0)
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "best configuration found after ~{convergence:.0} evaluations on average \
+         (paper: 88 of ~1.3M points suffice)\n"
+    ));
+    out
+}
+
+/// Render Table 1.
+pub fn table1_text(rows: &[Table1Row]) -> String {
+    let mut out = hr("Table 1: developer effort vs generated code");
+    out.push_str(&format!(
+        "{:<18} {:>8} {:>6} {:>10} {:>10} {:>10} {:>10} {:>12}\n",
+        "benchmark", "LOC", "deps", "tradeoffs", "cmp LOC", "gen LOC", "size +%", "extra work %"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:>8} {:>6} {:>10} {:>10} {:>10} {:>9.0}% {:>11.1}%\n",
+            r.bench.name(),
+            r.original_loc,
+            r.state_dependences,
+            r.tradeoffs,
+            r.state_comparison_loc,
+            r.generated_loc,
+            r.binary_size_increase * 100.0,
+            r.extra_committed * 100.0
+        ));
+    }
+    out
+}
+
+fn bar(value: f64, max: f64) -> String {
+    let width = 30.0;
+    let n = ((value / max) * width).round().clamp(0.0, width) as usize;
+    "#".repeat(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stats_workloads::BenchmarkId;
+
+    #[test]
+    fn render_smoke() {
+        let rows = vec![VariabilityRow {
+            bench: BenchmarkId::Swaptions,
+            variability: 0.01,
+            source: NondetSource::RandomGenerator,
+        }];
+        let text = fig02_text(&rows);
+        assert!(text.contains("swaptions"));
+        assert!(text.contains("random generators"));
+    }
+
+    #[test]
+    fn bar_clamps() {
+        assert_eq!(bar(0.0, 10.0), "");
+        assert_eq!(bar(20.0, 10.0).len(), 30);
+    }
+
+    #[test]
+    fn fig12_renders_all_series() {
+        let c = ScalabilityCurves {
+            bench: BenchmarkId::Swaptions,
+            threads: vec![2, 4],
+            original: vec![1.5, 2.5],
+            seq_stats: vec![1.8, 3.0],
+            par_stats: vec![2.0, 3.5],
+        };
+        let text = fig12_text(&c);
+        assert!(text.contains("swaptions"));
+        assert!(text.contains("3.50x"));
+        assert!(text.contains("max"));
+        let (o, s, p) = c.maxima();
+        assert_eq!((o, s, p), (2.5, 3.0, 3.5));
+    }
+
+    #[test]
+    fn fig15_reports_geomean() {
+        let rows = vec![
+            EnergyRow {
+                bench: BenchmarkId::Swaptions,
+                perf_mode: 0.5,
+                energy_mode: 0.4,
+            },
+            EnergyRow {
+                bench: BenchmarkId::BodyTrack,
+                perf_mode: 0.5,
+                energy_mode: 0.4,
+            },
+        ];
+        let text = fig15_text(&rows);
+        assert!(text.contains("50.0%"));
+        assert!(text.contains("40.0%"));
+        assert!(text.contains("geo. mean"));
+    }
+
+    #[test]
+    fn fig17_lists_every_approach_and_stats() {
+        let rows = vec![RelatedWorkRow {
+            bench: BenchmarkId::BodyTrack,
+            approaches: vec![("ALTER like", 1.0, 3.5), ("Fast Track", 0.9, 3.2)],
+            seq_stats: 17.0,
+            par_stats: 20.0,
+        }];
+        let text = fig17_text(&rows);
+        assert!(text.contains("ALTER like"));
+        assert!(text.contains("Fast Track"));
+        assert!(text.contains("STATS"));
+        assert!(text.contains("20.00x"));
+    }
+
+    #[test]
+    fn summary_shows_paper_reference_points() {
+        let s = Summary {
+            original_geomean: 5.6,
+            par_stats_geomean: 18.4,
+            improvement_pct: 228.8,
+            energy_relative: 0.467,
+            benchmarks_speculating: 5,
+        };
+        let text = summary_text(&s);
+        assert!(text.contains("paper: 7.75x"));
+        assert!(text.contains("+228.8%"));
+        assert!(text.contains("5/6"));
+    }
+
+    #[test]
+    fn ablation_sections_render() {
+        let point = |v: usize, sp: f64, cr: f64| AblationPoint {
+            value: v,
+            speedup: sp,
+            commit_rate: cr,
+            reexec_rate: 0.0,
+        };
+        let a = Ablation {
+            bench: BenchmarkId::BodyTrack,
+            window: vec![point(0, 3.0, 0.0), point(3, 7.0, 1.0)],
+            reexec: vec![point(0, 6.0, 0.8)],
+            group: vec![point(4, 7.0, 1.0)],
+        };
+        let text = ablation_text(&a);
+        assert!(text.contains("auxiliary window W"));
+        assert!(text.contains("re-execution budget R"));
+        assert!(text.contains("group cardinality G"));
+        assert!(text.contains("100%"));
+    }
+}
+
+/// Render an ablation study.
+pub fn ablation_text(a: &Ablation) -> String {
+    let mut out = hr(&format!(
+        "Ablation: execution-model dimensions — {}",
+        a.bench.name()
+    ));
+    let section = |title: &str, points: &[AblationPoint]| -> String {
+        let mut s = format!(
+            "{title:<28} {:>8} {:>12} {:>12}\n",
+            "speedup", "commit rate", "reexec/group"
+        );
+        for p in points {
+            s.push_str(&format!(
+                "  {:<26} {:>7.2}x {:>11.0}% {:>12.2}\n",
+                p.value,
+                p.speedup,
+                p.commit_rate * 100.0,
+                p.reexec_rate
+            ));
+        }
+        s
+    };
+    out.push_str(&section("auxiliary window W", &a.window));
+    out.push_str(&section("re-execution budget R", &a.reexec));
+    out.push_str(&section("group cardinality G", &a.group));
+    out
+}
+
+/// Render the multi-socket study.
+pub fn multisocket_text(rows: &[MultiSocketRow]) -> String {
+    let mut out = hr("Multi-socket effect (§4.3): NUMA limits cross-socket scaling");
+    out.push_str(&format!(
+        "{:<18} {:>10} {:>11} {:>17}\n",
+        "benchmark", "1 socket", "2 sockets", "2 sockets no-NUMA"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:>9.2}x {:>10.2}x {:>16.2}x\n",
+            r.bench.name(),
+            r.one_socket,
+            r.two_sockets,
+            r.two_sockets_no_numa
+        ));
+    }
+    out.push_str(
+        "(paper: near-linear within a socket, sub-linear across two; \
+         VTune attributes the gap to NUMA)\n",
+    );
+    out
+}
+
+/// Render the headline summary.
+pub fn summary_text(s: &Summary) -> String {
+    let mut out = hr("Headline: the abstract's claims, recomputed");
+    out.push_str(&format!(
+        "original geomean speedup:   {:>6.2}x   (paper: 7.75x)\n",
+        s.original_geomean
+    ));
+    out.push_str(&format!(
+        "Par. STATS geomean speedup: {:>6.2}x   (paper: 20.01x)\n",
+        s.par_stats_geomean
+    ));
+    out.push_str(&format!(
+        "performance improvement:    {:>+6.1}%  (paper: +158.2%)\n",
+        s.improvement_pct
+    ));
+    out.push_str(&format!(
+        "STATS energy vs original:   {:>6.1}%  (paper perf mode: 38.0%)\n",
+        s.energy_relative * 100.0
+    ));
+    out.push_str(&format!(
+        "benchmarks speculating:     {:>6}/6 (fluidanimate aborts by design)\n",
+        s.benchmarks_speculating
+    ));
+    out
+}

@@ -1,0 +1,255 @@
+//! Tab-separated exports of experiment results (for plotting).
+
+use std::io;
+use std::path::Path;
+
+use crate::experiments::*;
+
+fn write(dir: &Path, name: &str, content: String) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(name), content)
+}
+
+/// Write Figure 2 rows.
+pub fn fig02(dir: &Path, rows: &[VariabilityRow]) -> io::Result<()> {
+    let mut s = String::from("benchmark\tvariability\tsource\n");
+    for r in rows {
+        s.push_str(&format!(
+            "{}\t{:e}\t{:?}\n",
+            r.bench.name(),
+            r.variability,
+            r.source
+        ));
+    }
+    write(dir, "fig02.tsv", s)
+}
+
+/// Write Figure 3 rows.
+pub fn fig03(dir: &Path, rows: &[MaxSpeedupRow], geomean: f64) -> io::Result<()> {
+    let mut s = String::from("benchmark\tmax_speedup\n");
+    for r in rows {
+        s.push_str(&format!("{}\t{:.4}\n", r.bench.name(), r.max_speedup));
+    }
+    s.push_str(&format!("geomean\t{geomean:.4}\n"));
+    write(dir, "fig03.tsv", s)
+}
+
+/// Write one benchmark's Figure 12 curves.
+pub fn fig12(dir: &Path, c: &ScalabilityCurves) -> io::Result<()> {
+    let mut s = String::from("threads\toriginal\tseq_stats\tpar_stats\n");
+    for (i, &t) in c.threads.iter().enumerate() {
+        s.push_str(&format!(
+            "{t}\t{:.4}\t{:.4}\t{:.4}\n",
+            c.original[i], c.seq_stats[i], c.par_stats[i]
+        ));
+    }
+    write(dir, &format!("fig12_{}.tsv", c.bench.name()), s)
+}
+
+/// Write Figure 13.
+pub fn fig13(dir: &Path, threads: &[usize], original: &[f64], par: &[f64]) -> io::Result<()> {
+    let mut s = String::from("threads\toriginal_geomean\tpar_stats_geomean\n");
+    for (i, &t) in threads.iter().enumerate() {
+        s.push_str(&format!("{t}\t{:.4}\t{:.4}\n", original[i], par[i]));
+    }
+    write(dir, "fig13.tsv", s)
+}
+
+/// Write Figure 14.
+pub fn fig14(dir: &Path, rows: &[HyperThreadingRow]) -> io::Result<()> {
+    let mut s =
+        String::from("benchmark\toriginal\toriginal_ht\tpar_stats\tpar_stats_ht\n");
+    for r in rows {
+        s.push_str(&format!(
+            "{}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\n",
+            r.bench.name(),
+            r.original,
+            r.original_ht,
+            r.par_stats,
+            r.par_stats_ht
+        ));
+    }
+    write(dir, "fig14.tsv", s)
+}
+
+/// Write Figure 15.
+pub fn fig15(dir: &Path, rows: &[EnergyRow]) -> io::Result<()> {
+    let mut s = String::from("benchmark\tperf_mode\tenergy_mode\n");
+    for r in rows {
+        s.push_str(&format!(
+            "{}\t{:.4}\t{:.4}\n",
+            r.bench.name(),
+            r.perf_mode,
+            r.energy_mode
+        ));
+    }
+    write(dir, "fig15.tsv", s)
+}
+
+/// Write Figure 16.
+pub fn fig16(dir: &Path, rows: &[QualityRow]) -> io::Result<()> {
+    let mut s = String::from("benchmark\timprovement\n");
+    for r in rows {
+        s.push_str(&format!("{}\t{:.4}\n", r.bench.name(), r.improvement));
+    }
+    write(dir, "fig16.tsv", s)
+}
+
+/// Write Figure 17.
+pub fn fig17(dir: &Path, rows: &[RelatedWorkRow]) -> io::Result<()> {
+    let mut s = String::from("benchmark\tapproach\tseq_speedup\tpar_speedup\n");
+    for r in rows {
+        for (name, seq, par) in &r.approaches {
+            s.push_str(&format!(
+                "{}\t{}\t{:.4}\t{:.4}\n",
+                r.bench.name(),
+                name,
+                seq,
+                par
+            ));
+        }
+        s.push_str(&format!(
+            "{}\tSTATS\t{:.4}\t{:.4}\n",
+            r.bench.name(),
+            r.seq_stats,
+            r.par_stats
+        ));
+    }
+    write(dir, "fig17.tsv", s)
+}
+
+/// Write Figure 18.
+pub fn fig18(dir: &Path, curve: &[f64]) -> io::Result<()> {
+    let mut s = String::from("tradeoffs\trelative_speedup_pct\n");
+    for (k, v) in curve.iter().enumerate() {
+        s.push_str(&format!("{k}\t{v:.2}\n"));
+    }
+    write(dir, "fig18.tsv", s)
+}
+
+/// Write Figure 19.
+pub fn fig19(dir: &Path, rows: &[TrainingRow]) -> io::Result<()> {
+    let mut s = String::from("benchmark\toriginal\tpar_stats\tpar_stats_bad_training\n");
+    for r in rows {
+        s.push_str(&format!(
+            "{}\t{:.4}\t{:.4}\t{:.4}\n",
+            r.bench.name(),
+            r.original,
+            r.par_stats,
+            r.par_stats_bad_training
+        ));
+    }
+    write(dir, "fig19.tsv", s)
+}
+
+/// Write Figure 20.
+pub fn fig20(dir: &Path, curve: &[f64], convergence: f64) -> io::Result<()> {
+    let mut s = String::from("configurations\trelative_speedup_pct\n");
+    for (i, v) in curve.iter().enumerate() {
+        s.push_str(&format!("{}\t{v:.2}\n", i + 1));
+    }
+    s.push_str(&format!("# convergence_point\t{convergence:.1}\n"));
+    write(dir, "fig20.tsv", s)
+}
+
+/// Write Table 1.
+pub fn table1(dir: &Path, rows: &[Table1Row]) -> io::Result<()> {
+    let mut s = String::from(
+        "benchmark\tloc\tstate_deps\ttradeoffs\tcmp_loc\tgen_loc\tsize_increase\textra_committed\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{:.4}\t{:.4}\n",
+            r.bench.name(),
+            r.original_loc,
+            r.state_dependences,
+            r.tradeoffs,
+            r.state_comparison_loc,
+            r.generated_loc,
+            r.binary_size_increase,
+            r.extra_committed
+        ));
+    }
+    write(dir, "table1.tsv", s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stats_workloads::{BenchmarkId, NondetSource};
+
+    #[test]
+    fn writes_parseable_tsv() {
+        let dir = std::env::temp_dir().join("stats_tsv_test");
+        let rows = vec![VariabilityRow {
+            bench: BenchmarkId::Swaptions,
+            variability: 0.25,
+            source: NondetSource::RandomGenerator,
+        }];
+        fig02(&dir, &rows).unwrap();
+        let text = std::fs::read_to_string(dir.join("fig02.tsv")).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next().unwrap().split('\t').count(), 3);
+        let row = lines.next().unwrap();
+        let cols: Vec<&str> = row.split('\t').collect();
+        assert_eq!(cols[0], "swaptions");
+        assert!(cols[1].parse::<f64>().is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fig18_round_trips() {
+        let dir = std::env::temp_dir().join("stats_tsv_test_fig18");
+        fig18(&dir, &[30.0, 95.0, 100.0]).unwrap();
+        let text = std::fs::read_to_string(dir.join("fig18.tsv")).unwrap();
+        assert_eq!(text.lines().count(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Write an ablation study (three sweeps in one file).
+pub fn ablation(dir: &Path, a: &Ablation) -> io::Result<()> {
+    let mut s = String::from("sweep\tvalue\tspeedup\tcommit_rate\treexec_per_group\n");
+    for (name, points) in [
+        ("window", &a.window),
+        ("reexec", &a.reexec),
+        ("group", &a.group),
+    ] {
+        for p in points {
+            s.push_str(&format!(
+                "{name}\t{}\t{:.4}\t{:.4}\t{:.4}\n",
+                p.value, p.speedup, p.commit_rate, p.reexec_rate
+            ));
+        }
+    }
+    write(dir, &format!("ablation_{}.tsv", a.bench.name()), s)
+}
+
+/// Write the multi-socket study.
+pub fn multisocket(dir: &Path, rows: &[MultiSocketRow]) -> io::Result<()> {
+    let mut s = String::from("benchmark\tone_socket\ttwo_sockets\ttwo_sockets_no_numa\n");
+    for r in rows {
+        s.push_str(&format!(
+            "{}\t{:.4}\t{:.4}\t{:.4}\n",
+            r.bench.name(),
+            r.one_socket,
+            r.two_sockets,
+            r.two_sockets_no_numa
+        ));
+    }
+    write(dir, "multisocket.tsv", s)
+}
+
+/// Write the headline summary.
+pub fn summary(dir: &Path, s: &Summary) -> io::Result<()> {
+    let text = format!(
+        "metric\tvalue\noriginal_geomean\t{:.4}\npar_stats_geomean\t{:.4}\n\
+         improvement_pct\t{:.2}\nenergy_relative\t{:.4}\nbenchmarks_speculating\t{}\n",
+        s.original_geomean,
+        s.par_stats_geomean,
+        s.improvement_pct,
+        s.energy_relative,
+        s.benchmarks_speculating
+    );
+    write(dir, "summary.tsv", text)
+}

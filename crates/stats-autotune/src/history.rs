@@ -1,0 +1,181 @@
+//! Trial history and the reusable results database.
+
+use std::collections::HashMap;
+
+use crate::param::Configuration;
+
+/// One measured trial: a configuration and its profile.
+///
+/// The profiler measures both time and energy on every run; the tuner
+/// optimizes one of them, and the other is stored so the exploration can be
+/// reused when the optimization objective changes (paper §3.2: the autotuner
+/// "stores the results of its exploration … which allows them to be reused
+/// should the specific optimization objective change").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Simulated execution time, seconds.
+    pub time_s: f64,
+    /// Simulated system energy, joules.
+    pub energy_j: f64,
+}
+
+/// The record of a tuning run, in trial order.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    trials: Vec<(Configuration, Measurement, f64)>,
+}
+
+impl History {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a trial with its objective value.
+    pub fn record(&mut self, cfg: Configuration, m: Measurement, objective: f64) {
+        self.trials.push((cfg, m, objective));
+    }
+
+    /// Number of trials recorded.
+    pub fn len(&self) -> usize {
+        self.trials.len()
+    }
+
+    /// Whether no trials were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.trials.is_empty()
+    }
+
+    /// All trials in order.
+    pub fn trials(&self) -> impl Iterator<Item = (&Configuration, &Measurement, f64)> {
+        self.trials.iter().map(|(c, m, o)| (c, m, *o))
+    }
+
+    /// The trial with the smallest objective value so far.
+    pub fn best(&self) -> Option<(&Configuration, &Measurement, f64)> {
+        self.trials
+            .iter()
+            .min_by(|a, b| a.2.total_cmp(&b.2))
+            .map(|(c, m, o)| (c, m, *o))
+    }
+
+    /// Best-so-far objective after each trial (the convergence curve of the
+    /// paper's Figure 20).
+    pub fn best_so_far_curve(&self) -> Vec<f64> {
+        let mut best = f64::INFINITY;
+        self.trials
+            .iter()
+            .map(|(_, _, o)| {
+                best = best.min(*o);
+                best
+            })
+            .collect()
+    }
+
+    /// Number of trials after which the final best value was first reached
+    /// (within `tol` relative tolerance). `None` for an empty history.
+    pub fn convergence_point(&self, tol: f64) -> Option<usize> {
+        let (_, _, final_best) = self.best()?;
+        let threshold = final_best * (1.0 + tol);
+        self.best_so_far_curve()
+            .iter()
+            .position(|&b| b <= threshold)
+            .map(|i| i + 1)
+    }
+}
+
+/// Exploration results keyed by configuration, reusable across objectives.
+#[derive(Debug, Clone, Default)]
+pub struct ResultsDatabase {
+    by_config: HashMap<Configuration, Measurement>,
+}
+
+impl ResultsDatabase {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or overwrite) the measurement for a configuration.
+    pub fn insert(&mut self, cfg: Configuration, m: Measurement) {
+        self.by_config.insert(cfg, m);
+    }
+
+    /// Look up a previously measured configuration — the cache consulted
+    /// before paying for a profile run.
+    pub fn get(&self, cfg: &Configuration) -> Option<&Measurement> {
+        self.by_config.get(cfg)
+    }
+
+    /// Number of distinct configurations measured.
+    pub fn len(&self) -> usize {
+        self.by_config.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_config.is_empty()
+    }
+
+    /// Re-rank the stored configurations under a new objective without any
+    /// new profile runs (the objective-change reuse of §3.2).
+    pub fn best_under(
+        &self,
+        mut objective: impl FnMut(&Measurement) -> f64,
+    ) -> Option<(&Configuration, &Measurement)> {
+        self.by_config
+            .iter()
+            .min_by(|a, b| objective(a.1).total_cmp(&objective(b.1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(t: f64, e: f64) -> Measurement {
+        Measurement {
+            time_s: t,
+            energy_j: e,
+        }
+    }
+
+    #[test]
+    fn best_and_curve() {
+        let mut h = History::new();
+        h.record(vec![0], m(5.0, 50.0), 5.0);
+        h.record(vec![1], m(3.0, 60.0), 3.0);
+        h.record(vec![2], m(4.0, 40.0), 4.0);
+        assert_eq!(h.best().unwrap().2, 3.0);
+        assert_eq!(h.best_so_far_curve(), vec![5.0, 3.0, 3.0]);
+        assert_eq!(h.convergence_point(0.0), Some(2));
+    }
+
+    #[test]
+    fn empty_history() {
+        let h = History::new();
+        assert!(h.best().is_none());
+        assert!(h.convergence_point(0.0).is_none());
+        assert!(h.best_so_far_curve().is_empty());
+    }
+
+    #[test]
+    fn database_reuse_across_objectives() {
+        let mut db = ResultsDatabase::new();
+        db.insert(vec![0], m(5.0, 10.0));
+        db.insert(vec![1], m(1.0, 100.0));
+        let (fast, _) = db.best_under(|m| m.time_s).unwrap();
+        let (frugal, _) = db.best_under(|m| m.energy_j).unwrap();
+        assert_eq!(fast, &vec![1]);
+        assert_eq!(frugal, &vec![0]);
+    }
+
+    #[test]
+    fn database_is_a_cache() {
+        let mut db = ResultsDatabase::new();
+        assert!(db.get(&vec![7]).is_none());
+        db.insert(vec![7], m(1.0, 2.0));
+        assert_eq!(db.get(&vec![7]).unwrap().time_s, 1.0);
+        assert_eq!(db.len(), 1);
+    }
+}

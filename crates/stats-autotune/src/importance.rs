@@ -1,0 +1,145 @@
+//! Parameter-importance analysis over an exploration history.
+//!
+//! After a search, developers want to know *which* state-space dimensions
+//! mattered (the paper's Figure 18 asks the same question for tradeoffs,
+//! by ablation). This module answers it from data already collected: for
+//! each dimension, the fraction of the objective's variance explained by
+//! grouping the trials on that dimension's value (the correlation ratio
+//! η², a standard one-way ANOVA effect size).
+
+use std::collections::HashMap;
+
+use crate::history::History;
+
+/// Importance of one dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimensionImportance {
+    /// Dimension index in configuration order.
+    pub dim: usize,
+    /// Fraction of objective variance explained by this dimension's value
+    /// (0 = irrelevant, 1 = fully determines the objective).
+    pub eta_squared: f64,
+    /// Distinct values observed.
+    pub distinct_values: usize,
+}
+
+/// Compute per-dimension importances from a trial history.
+///
+/// Returns one entry per dimension, sorted most-important first. Histories
+/// with fewer than 2 trials (or zero objective variance) report zero
+/// importance everywhere.
+pub fn parameter_importance(history: &History) -> Vec<DimensionImportance> {
+    let trials: Vec<(&Vec<i64>, f64)> = history.trials().map(|(c, _, o)| (c, o)).collect();
+    let n = trials.len();
+    let dims = trials.first().map(|(c, _)| c.len()).unwrap_or(0);
+    let mean = trials.iter().map(|(_, o)| o).sum::<f64>() / n.max(1) as f64;
+    let total_ss: f64 = trials.iter().map(|(_, o)| (o - mean).powi(2)).sum();
+
+    let mut out = Vec::with_capacity(dims);
+    for dim in 0..dims {
+        let mut groups: HashMap<i64, (f64, usize)> = HashMap::new();
+        for (cfg, o) in &trials {
+            let e = groups.entry(cfg[dim]).or_insert((0.0, 0));
+            e.0 += o;
+            e.1 += 1;
+        }
+        let between_ss: f64 = groups
+            .values()
+            .map(|(sum, count)| {
+                let gm = sum / *count as f64;
+                *count as f64 * (gm - mean).powi(2)
+            })
+            .sum();
+        let eta_squared = if total_ss > 1e-12 && n >= 2 {
+            (between_ss / total_ss).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        out.push(DimensionImportance {
+            dim,
+            eta_squared,
+            distinct_values: groups.len(),
+        });
+    }
+    out.sort_by(|a, b| b.eta_squared.total_cmp(&a.eta_squared));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::Measurement;
+
+    fn record(h: &mut History, cfg: Vec<i64>, o: f64) {
+        h.record(
+            cfg,
+            Measurement {
+                time_s: o,
+                energy_j: 0.0,
+            },
+            o,
+        );
+    }
+
+    #[test]
+    fn decisive_dimension_ranks_first() {
+        // Objective depends entirely on dim 0; dim 1 is irrelevant filler.
+        let mut h = History::new();
+        for x in 0..10 {
+            for y in 0..3 {
+                record(&mut h, vec![x, y], (x * x) as f64);
+            }
+        }
+        let imp = parameter_importance(&h);
+        assert_eq!(imp[0].dim, 0);
+        assert!(imp[0].eta_squared > 0.99, "{imp:?}");
+        let dim1 = imp.iter().find(|i| i.dim == 1).unwrap();
+        assert!(dim1.eta_squared < 0.01, "{imp:?}");
+    }
+
+    #[test]
+    fn shared_influence_splits_importance() {
+        let mut h = History::new();
+        for x in 0..6 {
+            for y in 0..6 {
+                record(&mut h, vec![x, y], (x + y) as f64);
+            }
+        }
+        let imp = parameter_importance(&h);
+        // Symmetric roles: comparable eta^2, each well below 1.
+        assert!((imp[0].eta_squared - imp[1].eta_squared).abs() < 0.05);
+        assert!(imp[0].eta_squared > 0.3 && imp[0].eta_squared < 0.7);
+    }
+
+    #[test]
+    fn degenerate_histories_are_zero() {
+        let h = History::new();
+        assert!(parameter_importance(&h).is_empty());
+
+        let mut one = History::new();
+        record(&mut one, vec![1, 2], 5.0);
+        for d in parameter_importance(&one) {
+            assert_eq!(d.eta_squared, 0.0);
+        }
+
+        // Constant objective: nothing to explain.
+        let mut flat = History::new();
+        for x in 0..5 {
+            record(&mut flat, vec![x], 3.0);
+        }
+        assert_eq!(parameter_importance(&flat)[0].eta_squared, 0.0);
+    }
+
+    #[test]
+    fn distinct_value_counts() {
+        let mut h = History::new();
+        record(&mut h, vec![1, 9], 1.0);
+        record(&mut h, vec![1, 8], 2.0);
+        record(&mut h, vec![2, 9], 3.0);
+        let imp = parameter_importance(&h);
+        let d0 = imp.iter().find(|i| i.dim == 0).unwrap();
+        let d1 = imp.iter().find(|i| i.dim == 1).unwrap();
+        assert_eq!(d0.distinct_values, 2);
+        assert_eq!(d1.distinct_values, 2);
+    }
+}

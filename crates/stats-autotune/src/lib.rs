@@ -1,0 +1,41 @@
+//! OpenTuner-style autotuner for the STATS state space (paper §3.5).
+//!
+//! The paper's state space has ~1.3 million points per benchmark on average,
+//! making exhaustive exploration impossible; STATS delegates the search to
+//! OpenTuner 0.7, describing every tradeoff as an enumerable integer
+//! parameter. This crate is the OpenTuner substitute:
+//!
+//! - [`IntegerParameter`] / [`SearchSpace`] describe enumerable dimensions
+//!   (tradeoff indices, group size, window, re-execution budget, thread
+//!   split — everything §3.3 lists as a state-space dimension);
+//! - [`Technique`] implementations mirror OpenTuner's portfolio: pure random
+//!   sampling, greedy hill-climbing mutation, a genetic algorithm, and
+//!   differential evolution;
+//! - [`AucBandit`] is OpenTuner's signature meta-technique: a multi-armed
+//!   bandit with sliding-window area-under-curve credit assignment that
+//!   adaptively allocates trials to whichever technique is currently
+//!   producing improvements;
+//! - [`Tuner`] drives the loop and records a [`History`] (best-so-far curve,
+//!   used by the paper's Figure 20) and a [`ResultsDatabase`] keyed by
+//!   configuration, which can be re-queried under a different objective
+//!   (the paper reuses the exploration when switching from performance to
+//!   energy).
+
+#![deny(missing_docs)]
+
+mod bandit;
+mod history;
+pub mod importance;
+mod param;
+mod technique;
+mod tuner;
+
+pub use bandit::AucBandit;
+pub use importance::{parameter_importance, DimensionImportance};
+pub use history::{History, Measurement, ResultsDatabase};
+pub use param::{Configuration, IntegerParameter, SearchSpace};
+pub use technique::{
+    DifferentialEvolution, GeneticAlgorithm, GreedyMutation, PatternSearch, RandomSearch,
+    Technique,
+};
+pub use tuner::{Objective, Tuner, TuningOutcome};

@@ -1,0 +1,176 @@
+//! Enumerable parameters and the search space they span.
+//!
+//! The paper describes every state-space dimension with OpenTuner's
+//! `IntegerParameter` ("the values of a tradeoff can always be enumerated");
+//! we keep the same shape.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// One enumerable dimension: an inclusive integer range `lo..=hi`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntegerParameter {
+    /// Dimension name (e.g. `"group_size"` or a tradeoff's name).
+    pub name: String,
+    /// Smallest legal value.
+    pub lo: i64,
+    /// Largest legal value.
+    pub hi: i64,
+}
+
+impl IntegerParameter {
+    /// Create a parameter over `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(name: impl Into<String>, lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "empty parameter range");
+        IntegerParameter {
+            name: name.into(),
+            lo,
+            hi,
+        }
+    }
+
+    /// Number of legal values.
+    pub fn cardinality(&self) -> u64 {
+        (self.hi - self.lo) as u64 + 1
+    }
+
+    /// Clamp `v` into the legal range.
+    pub fn clamp(&self, v: i64) -> i64 {
+        v.clamp(self.lo, self.hi)
+    }
+
+    /// Draw a uniform legal value.
+    pub fn sample(&self, rng: &mut SmallRng) -> i64 {
+        rng.random_range(self.lo..=self.hi)
+    }
+}
+
+/// A point in the search space: one value per parameter, in parameter order.
+pub type Configuration = Vec<i64>;
+
+/// The full state space: an ordered list of parameters.
+#[derive(Debug, Clone, Default)]
+pub struct SearchSpace {
+    params: Vec<IntegerParameter>,
+}
+
+impl SearchSpace {
+    /// An empty space (its only configuration is the empty vector).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a parameter (builder style).
+    pub fn with(mut self, param: IntegerParameter) -> Self {
+        self.params.push(param);
+        self
+    }
+
+    /// Append a parameter.
+    pub fn push(&mut self, param: IntegerParameter) {
+        self.params.push(param);
+    }
+
+    /// The parameters, in configuration order.
+    pub fn params(&self) -> &[IntegerParameter] {
+        &self.params
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Total number of points (saturating).
+    pub fn cardinality(&self) -> u64 {
+        self.params
+            .iter()
+            .map(IntegerParameter::cardinality)
+            .fold(1u64, |acc, c| acc.saturating_mul(c))
+    }
+
+    /// Whether `cfg` is a legal point of this space.
+    pub fn contains(&self, cfg: &Configuration) -> bool {
+        cfg.len() == self.params.len()
+            && cfg
+                .iter()
+                .zip(&self.params)
+                .all(|(&v, p)| (p.lo..=p.hi).contains(&v))
+    }
+
+    /// Clamp every coordinate of `cfg` into its legal range, truncating or
+    /// extending (with each parameter's `lo`) to the right dimensionality.
+    pub fn repair(&self, cfg: &Configuration) -> Configuration {
+        self.params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.clamp(cfg.get(i).copied().unwrap_or(p.lo)))
+            .collect()
+    }
+
+    /// Draw a uniform random point.
+    pub fn sample(&self, rng: &mut SmallRng) -> Configuration {
+        self.params.iter().map(|p| p.sample(rng)).collect()
+    }
+
+    /// The configuration with every parameter at its lower bound.
+    pub fn origin(&self) -> Configuration {
+        self.params.iter().map(|p| p.lo).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn space() -> SearchSpace {
+        SearchSpace::new()
+            .with(IntegerParameter::new("a", 0, 9))
+            .with(IntegerParameter::new("b", -3, 3))
+    }
+
+    #[test]
+    fn cardinality() {
+        assert_eq!(space().cardinality(), 70);
+        assert_eq!(SearchSpace::new().cardinality(), 1);
+    }
+
+    #[test]
+    fn contains_and_repair() {
+        let s = space();
+        assert!(s.contains(&vec![0, 0]));
+        assert!(!s.contains(&vec![10, 0]));
+        assert!(!s.contains(&vec![0]));
+        assert_eq!(s.repair(&vec![100, -100]), vec![9, -3]);
+        assert_eq!(s.repair(&vec![5]), vec![5, -3]);
+    }
+
+    #[test]
+    fn samples_are_legal() {
+        let s = space();
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..200 {
+            assert!(s.contains(&s.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty parameter range")]
+    fn inverted_range_rejected() {
+        IntegerParameter::new("x", 2, 1);
+    }
+
+    #[test]
+    fn saturating_cardinality() {
+        let mut s = SearchSpace::new();
+        for i in 0..10 {
+            s.push(IntegerParameter::new(format!("p{i}"), i64::MIN / 2, i64::MAX / 2));
+        }
+        assert_eq!(s.cardinality(), u64::MAX);
+    }
+}

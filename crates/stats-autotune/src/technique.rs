@@ -1,0 +1,393 @@
+//! Search techniques: the OpenTuner portfolio members.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::param::{Configuration, SearchSpace};
+
+/// A search technique proposes configurations and learns from results.
+///
+/// Mirrors OpenTuner's `SearchTechnique`: `propose` suggests the next point;
+/// `report` feeds back the measured objective (smaller is better).
+pub trait Technique: Send {
+    /// Technique name (for bandit bookkeeping and logs).
+    fn name(&self) -> &str;
+
+    /// Propose the next configuration to measure.
+    fn propose(&mut self, space: &SearchSpace, rng: &mut SmallRng) -> Configuration;
+
+    /// Learn from a measured trial.
+    fn report(&mut self, cfg: &Configuration, objective: f64);
+}
+
+/// Uniform random sampling.
+#[derive(Debug, Default)]
+pub struct RandomSearch;
+
+impl Technique for RandomSearch {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn propose(&mut self, space: &SearchSpace, rng: &mut SmallRng) -> Configuration {
+        space.sample(rng)
+    }
+
+    fn report(&mut self, _cfg: &Configuration, _objective: f64) {}
+}
+
+/// Greedy hill climbing: mutate one coordinate of the best point seen.
+#[derive(Debug, Default)]
+pub struct GreedyMutation {
+    best: Option<(Configuration, f64)>,
+}
+
+impl Technique for GreedyMutation {
+    fn name(&self) -> &str {
+        "greedy-mutation"
+    }
+
+    fn propose(&mut self, space: &SearchSpace, rng: &mut SmallRng) -> Configuration {
+        match &self.best {
+            None => space.sample(rng),
+            Some((best, _)) => {
+                let mut cfg = best.clone();
+                if !cfg.is_empty() {
+                    let dim = rng.random_range(0..cfg.len());
+                    let p = &space.params()[dim];
+                    // Step +-1 or resample the coordinate.
+                    cfg[dim] = match rng.random_range(0..3u8) {
+                        0 => p.clamp(cfg[dim] + 1),
+                        1 => p.clamp(cfg[dim] - 1),
+                        _ => p.sample(rng),
+                    };
+                }
+                cfg
+            }
+        }
+    }
+
+    fn report(&mut self, cfg: &Configuration, objective: f64) {
+        if self.best.as_ref().is_none_or(|(_, b)| objective < *b) {
+            self.best = Some((cfg.clone(), objective));
+        }
+    }
+}
+
+/// A small steady-state genetic algorithm: tournament selection, uniform
+/// crossover of two parents, per-coordinate mutation.
+#[derive(Debug)]
+pub struct GeneticAlgorithm {
+    population: Vec<(Configuration, f64)>,
+    capacity: usize,
+    mutation_rate: f64,
+}
+
+impl Default for GeneticAlgorithm {
+    fn default() -> Self {
+        GeneticAlgorithm {
+            population: Vec::new(),
+            capacity: 16,
+            mutation_rate: 0.15,
+        }
+    }
+}
+
+impl GeneticAlgorithm {
+    fn tournament<'a>(&'a self, rng: &mut SmallRng) -> &'a Configuration {
+        let a = rng.random_range(0..self.population.len());
+        let b = rng.random_range(0..self.population.len());
+        let (ca, oa) = &self.population[a];
+        let (cb, ob) = &self.population[b];
+        if oa <= ob {
+            ca
+        } else {
+            cb
+        }
+    }
+}
+
+impl Technique for GeneticAlgorithm {
+    fn name(&self) -> &str {
+        "genetic"
+    }
+
+    fn propose(&mut self, space: &SearchSpace, rng: &mut SmallRng) -> Configuration {
+        if self.population.len() < 2 {
+            return space.sample(rng);
+        }
+        let p1 = self.tournament(rng).clone();
+        let p2 = self.tournament(rng).clone();
+        let mut child: Configuration = p1
+            .iter()
+            .zip(&p2)
+            .map(|(&a, &b)| if rng.random_bool(0.5) { a } else { b })
+            .collect();
+        for (dim, v) in child.iter_mut().enumerate() {
+            if rng.random_bool(self.mutation_rate) {
+                *v = space.params()[dim].sample(rng);
+            }
+        }
+        space.repair(&child)
+    }
+
+    fn report(&mut self, cfg: &Configuration, objective: f64) {
+        self.population.push((cfg.clone(), objective));
+        if self.population.len() > self.capacity {
+            // Drop the worst.
+            let worst = self
+                .population
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+                .map(|(i, _)| i)
+                .expect("nonempty");
+            self.population.swap_remove(worst);
+        }
+    }
+}
+
+/// Differential evolution on the integer lattice: `child = a + F*(b - c)`
+/// with crossover against the best point.
+#[derive(Debug)]
+pub struct DifferentialEvolution {
+    population: Vec<(Configuration, f64)>,
+    capacity: usize,
+    scale: f64,
+    crossover: f64,
+}
+
+impl Default for DifferentialEvolution {
+    fn default() -> Self {
+        DifferentialEvolution {
+            population: Vec::new(),
+            capacity: 20,
+            scale: 0.7,
+            crossover: 0.6,
+        }
+    }
+}
+
+impl Technique for DifferentialEvolution {
+    fn name(&self) -> &str {
+        "differential-evolution"
+    }
+
+    fn propose(&mut self, space: &SearchSpace, rng: &mut SmallRng) -> Configuration {
+        if self.population.len() < 4 {
+            return space.sample(rng);
+        }
+        let n = self.population.len();
+        let pick = |rng: &mut SmallRng| rng.random_range(0..n);
+        let (a, b, c) = (pick(rng), pick(rng), pick(rng));
+        let base = &self.population[a].0;
+        let xb = &self.population[b].0;
+        let xc = &self.population[c].0;
+        let best = self
+            .population
+            .iter()
+            .min_by(|x, y| x.1.total_cmp(&y.1))
+            .expect("nonempty");
+        let child: Configuration = (0..base.len())
+            .map(|d| {
+                let mutant =
+                    (base[d] as f64 + self.scale * (xb[d] as f64 - xc[d] as f64)).round() as i64;
+                if rng.random_bool(self.crossover) {
+                    mutant
+                } else {
+                    best.0[d]
+                }
+            })
+            .collect();
+        space.repair(&child)
+    }
+
+    fn report(&mut self, cfg: &Configuration, objective: f64) {
+        self.population.push((cfg.clone(), objective));
+        if self.population.len() > self.capacity {
+            let worst = self
+                .population
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+                .map(|(i, _)| i)
+                .expect("nonempty");
+            self.population.swap_remove(worst);
+        }
+    }
+}
+
+
+/// Coordinate pattern search (Hooke–Jeeves on the integer lattice): probe
+/// ±step along one dimension of the best point at a time, halving the step
+/// when a full sweep brings no improvement. OpenTuner ships the same idea
+/// as `PatternSearch`.
+#[derive(Debug)]
+pub struct PatternSearch {
+    best: Option<(Configuration, f64)>,
+    dim: usize,
+    positive: bool,
+    step: i64,
+    improved_this_sweep: bool,
+    last_proposal: Option<Configuration>,
+}
+
+impl Default for PatternSearch {
+    fn default() -> Self {
+        PatternSearch {
+            best: None,
+            dim: 0,
+            positive: true,
+            step: 4,
+            improved_this_sweep: false,
+            last_proposal: None,
+        }
+    }
+}
+
+impl Technique for PatternSearch {
+    fn name(&self) -> &str {
+        "pattern-search"
+    }
+
+    fn propose(&mut self, space: &SearchSpace, rng: &mut SmallRng) -> Configuration {
+        let Some((best, _)) = &self.best else {
+            let cfg = space.sample(rng);
+            self.last_proposal = Some(cfg.clone());
+            return cfg;
+        };
+        if space.dims() == 0 {
+            return best.clone();
+        }
+        let mut cfg = best.clone();
+        let delta = if self.positive { self.step } else { -self.step };
+        cfg[self.dim] = space.params()[self.dim].clamp(cfg[self.dim] + delta);
+
+        // Advance the probe cursor.
+        if self.positive {
+            self.positive = false;
+        } else {
+            self.positive = true;
+            self.dim += 1;
+            if self.dim >= space.dims() {
+                self.dim = 0;
+                if !self.improved_this_sweep {
+                    self.step = (self.step / 2).max(1);
+                }
+                self.improved_this_sweep = false;
+            }
+        }
+        let repaired = space.repair(&cfg);
+        self.last_proposal = Some(repaired.clone());
+        repaired
+    }
+
+    fn report(&mut self, cfg: &Configuration, objective: f64) {
+        let improved = self.best.as_ref().is_none_or(|(_, b)| objective < *b);
+        if improved {
+            self.best = Some((cfg.clone(), objective));
+            if self.last_proposal.as_ref() == Some(cfg) {
+                self.improved_this_sweep = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::IntegerParameter;
+    use rand::SeedableRng;
+
+    fn space() -> SearchSpace {
+        SearchSpace::new()
+            .with(IntegerParameter::new("x", 0, 50))
+            .with(IntegerParameter::new("y", 0, 50))
+    }
+
+    /// Convex objective with minimum at (17, 31).
+    fn objective(cfg: &Configuration) -> f64 {
+        ((cfg[0] - 17).pow(2) + (cfg[1] - 31).pow(2)) as f64
+    }
+
+    fn drive(technique: &mut dyn Technique, trials: usize, seed: u64) -> f64 {
+        let s = space();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut best = f64::INFINITY;
+        for _ in 0..trials {
+            let cfg = technique.propose(&s, &mut rng);
+            assert!(s.contains(&cfg), "{} proposed illegal {cfg:?}", technique.name());
+            let o = objective(&cfg);
+            technique.report(&cfg, o);
+            best = best.min(o);
+        }
+        best
+    }
+
+    #[test]
+    fn all_techniques_propose_legal_points_and_improve() {
+        let mut techniques: Vec<Box<dyn Technique>> = vec![
+            Box::new(RandomSearch),
+            Box::new(GreedyMutation::default()),
+            Box::new(GeneticAlgorithm::default()),
+            Box::new(DifferentialEvolution::default()),
+        ];
+        for t in techniques.iter_mut() {
+            let best = drive(t.as_mut(), 300, 11);
+            assert!(best < 200.0, "{} best {best}", t.name());
+        }
+    }
+
+    #[test]
+    fn greedy_mutation_exploits_best() {
+        let mut g = GreedyMutation::default();
+        g.report(&vec![17, 31], 0.0);
+        let s = space();
+        let mut rng = SmallRng::seed_from_u64(5);
+        // Proposals stay near the reported best most of the time.
+        let mut near = 0;
+        for _ in 0..100 {
+            let cfg = g.propose(&s, &mut rng);
+            if (cfg[0] - 17).abs() <= 1 && (cfg[1] - 31).abs() <= 1 {
+                near += 1;
+            }
+        }
+        assert!(near > 40, "only {near} proposals near the best");
+    }
+
+    #[test]
+    fn pattern_search_converges_on_convex_objective() {
+        let best = drive(&mut PatternSearch::default(), 200, 21);
+        assert!(best < 50.0, "pattern search best {best}");
+    }
+
+    #[test]
+    fn pattern_search_halves_step_without_progress() {
+        let mut p = PatternSearch::default();
+        let s = space();
+        let mut rng = SmallRng::seed_from_u64(1);
+        p.report(&vec![17, 31], 0.0); // optimum already known
+        let initial_step = 4;
+        // Two full sweeps with no improvement must shrink the step.
+        for _ in 0..(2 * 2 * s.dims()) {
+            let cfg = p.propose(&s, &mut rng);
+            p.report(&cfg, objective(&cfg));
+        }
+        assert!(p.step < initial_step, "step {} never shrank", p.step);
+    }
+
+    #[test]
+    fn hill_climber_beats_random_on_convex_objective() {
+        let mut totals = [0.0f64; 2];
+        for seed in 0..10 {
+            totals[0] += drive(&mut GreedyMutation::default(), 120, seed);
+            totals[1] += drive(&mut RandomSearch, 120, seed);
+        }
+        assert!(
+            totals[0] < totals[1],
+            "greedy {} vs random {}",
+            totals[0],
+            totals[1]
+        );
+    }
+}

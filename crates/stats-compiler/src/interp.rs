@@ -1,0 +1,527 @@
+//! IR interpreter — the stand-in for LLVM's dynamic compiler.
+//!
+//! The paper generates machine code for a tradeoff's `getValue()` function
+//! at configuration time and invokes it; we interpret the same IR. The
+//! interpreter also executes whole instantiated modules, which the test
+//! suite uses to verify back-end substitutions end-to-end.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ir::{BinOp, Function, Inst, Module, Operand, Reg, Ty, TyRef};
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// Floating point (width is a property of casts, not storage).
+    Float(f64),
+}
+
+impl Value {
+    /// Integer payload, if integral.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(v),
+            Value::Float(_) => None,
+        }
+    }
+
+    /// Numeric payload, widening integers.
+    pub fn as_float(self) -> f64 {
+        match self {
+            Value::Int(v) => v as f64,
+            Value::Float(v) => v,
+        }
+    }
+
+    fn truthy(self) -> bool {
+        match self {
+            Value::Int(v) => v != 0,
+            Value::Float(v) => v != 0.0,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+/// An execution error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Call to a function the module does not define.
+    UnknownFunction(String),
+    /// An unsubstituted tradeoff placeholder was reached — the back-end
+    /// must instantiate the module before execution.
+    UnresolvedTradeoff(String),
+    /// Wrong number of call arguments.
+    ArityMismatch {
+        /// Callee name.
+        function: String,
+        /// Expected parameter count.
+        expected: usize,
+        /// Provided argument count.
+        got: usize,
+    },
+    /// The step budget was exhausted (runaway loop or recursion).
+    OutOfFuel,
+    /// Division or remainder by zero.
+    DivisionByZero,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            ExecError::UnresolvedTradeoff(n) => {
+                write!(f, "unresolved tradeoff placeholder `{n}` (run the back-end first)")
+            }
+            ExecError::ArityMismatch {
+                function,
+                expected,
+                got,
+            } => write!(f, "`{function}` takes {expected} arguments, got {got}"),
+            ExecError::OutOfFuel => write!(f, "execution exceeded the step budget"),
+            ExecError::DivisionByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Interpreter over a module, with a fuel budget shared across calls.
+pub struct Interp<'m> {
+    module: &'m Module,
+    fuel: u64,
+    /// Host intrinsics callable from IR (e.g. `sqrt` variants used by
+    /// function tradeoffs in tests and workload descriptors).
+    intrinsics: HashMap<String, fn(&[Value]) -> Value>,
+}
+
+impl<'m> Interp<'m> {
+    /// Create an interpreter with the default fuel budget (1M steps).
+    pub fn new(module: &'m Module) -> Self {
+        let mut intrinsics: HashMap<String, fn(&[Value]) -> Value> = HashMap::new();
+        intrinsics.insert("sqrt".into(), |args| {
+            Value::Float(args.first().map(|v| v.as_float()).unwrap_or(0.0).sqrt())
+        });
+        intrinsics.insert("abs".into(), |args| match args.first() {
+            Some(Value::Int(v)) => Value::Int(v.wrapping_abs()),
+            Some(Value::Float(v)) => Value::Float(v.abs()),
+            None => Value::Int(0),
+        });
+        intrinsics.insert("min".into(), |args| {
+            let a = args.first().map(|v| v.as_float()).unwrap_or(0.0);
+            let b = args.get(1).map(|v| v.as_float()).unwrap_or(0.0);
+            Value::Float(a.min(b))
+        });
+        intrinsics.insert("max".into(), |args| {
+            let a = args.first().map(|v| v.as_float()).unwrap_or(0.0);
+            let b = args.get(1).map(|v| v.as_float()).unwrap_or(0.0);
+            Value::Float(a.max(b))
+        });
+        intrinsics.insert("exp".into(), |args| {
+            Value::Float(args.first().map(|v| v.as_float()).unwrap_or(0.0).exp())
+        });
+        intrinsics.insert("ln".into(), |args| {
+            Value::Float(args.first().map(|v| v.as_float()).unwrap_or(0.0).max(f64::MIN_POSITIVE).ln())
+        });
+        intrinsics.insert("pow".into(), |args| {
+            let a = args.first().map(|v| v.as_float()).unwrap_or(0.0);
+            let b = args.get(1).map(|v| v.as_float()).unwrap_or(0.0);
+            Value::Float(a.powf(b))
+        });
+        intrinsics.insert("floor".into(), |args| {
+            Value::Int(args.first().map(|v| v.as_float()).unwrap_or(0.0).floor() as i64)
+        });
+        Interp {
+            module,
+            fuel: 1_000_000,
+            intrinsics,
+        }
+    }
+
+    /// Replace the fuel budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Register a host intrinsic callable from IR.
+    pub fn register_intrinsic(&mut self, name: impl Into<String>, f: fn(&[Value]) -> Value) {
+        self.intrinsics.insert(name.into(), f);
+    }
+
+    /// Call `name` with `args`; returns the function's returned value.
+    pub fn call(&mut self, name: &str, args: &[Value]) -> Result<Option<Value>, ExecError> {
+        let f = self
+            .module
+            .function(name)
+            .ok_or_else(|| ExecError::UnknownFunction(name.to_string()))?;
+        if f.params.len() != args.len() {
+            return Err(ExecError::ArityMismatch {
+                function: name.to_string(),
+                expected: f.params.len(),
+                got: args.len(),
+            });
+        }
+        self.exec(f, args)
+    }
+
+    fn exec(&mut self, f: &Function, args: &[Value]) -> Result<Option<Value>, ExecError> {
+        let mut regs: HashMap<Reg, Value> = HashMap::new();
+        for (&p, &a) in f.params.iter().zip(args) {
+            regs.insert(p, a);
+        }
+        let mut block = 0usize;
+        let mut pc = 0usize;
+        loop {
+            if self.fuel == 0 {
+                return Err(ExecError::OutOfFuel);
+            }
+            self.fuel -= 1;
+            let inst = &f.blocks[block].insts[pc];
+            pc += 1;
+            match inst {
+                Inst::Const { dst, value } => {
+                    let v = read(&regs, *value);
+                    regs.insert(*dst, v);
+                }
+                Inst::Bin { op, dst, lhs, rhs } => {
+                    let a = read(&regs, *lhs);
+                    let b = read(&regs, *rhs);
+                    regs.insert(*dst, binop(*op, a, b)?);
+                }
+                Inst::Cast { dst, src, to } => {
+                    let v = read(&regs, *src);
+                    let ty = match to {
+                        TyRef::Concrete(t) => *t,
+                        TyRef::Tradeoff(name) => {
+                            return Err(ExecError::UnresolvedTradeoff(name.clone()))
+                        }
+                    };
+                    regs.insert(*dst, cast(v, ty));
+                }
+                Inst::TradeoffRef { tradeoff, .. } => {
+                    return Err(ExecError::UnresolvedTradeoff(tradeoff.clone()))
+                }
+                Inst::CallTradeoff { tradeoff, .. } => {
+                    return Err(ExecError::UnresolvedTradeoff(tradeoff.clone()))
+                }
+                Inst::Call { dst, callee, args } => {
+                    let vals: Vec<Value> = args.iter().map(|&a| read(&regs, a)).collect();
+                    let result = if let Some(intrinsic) = self.intrinsics.get(callee) {
+                        Some(intrinsic(&vals))
+                    } else {
+                        self.call(callee, &vals)?
+                    };
+                    if let Some(dst) = dst {
+                        regs.insert(*dst, result.unwrap_or(Value::Int(0)));
+                    }
+                }
+                Inst::Jmp { target } => {
+                    block = target.0;
+                    pc = 0;
+                }
+                Inst::Br {
+                    cond,
+                    then_b,
+                    else_b,
+                } => {
+                    let c = read(&regs, *cond);
+                    block = if c.truthy() { then_b.0 } else { else_b.0 };
+                    pc = 0;
+                }
+                Inst::Ret { value } => {
+                    return Ok(value.map(|v| read(&regs, v)));
+                }
+            }
+        }
+    }
+}
+
+fn read(regs: &HashMap<Reg, Value>, op: Operand) -> Value {
+    match op {
+        Operand::Reg(r) => *regs.get(&r).unwrap_or(&Value::Int(0)),
+        Operand::ImmInt(v) => Value::Int(v),
+        Operand::ImmFloat(v) => Value::Float(v),
+    }
+}
+
+fn cast(v: Value, ty: Ty) -> Value {
+    match ty {
+        Ty::I64 => Value::Int(match v {
+            Value::Int(i) => i,
+            Value::Float(f) => f as i64,
+        }),
+        Ty::F32 => Value::Float(v.as_float() as f32 as f64),
+        Ty::F64 => Value::Float(v.as_float()),
+    }
+}
+
+fn binop(op: BinOp, a: Value, b: Value) -> Result<Value, ExecError> {
+    use BinOp::*;
+    // Integer op if both sides are integers; float otherwise.
+    if let (Value::Int(x), Value::Int(y)) = (a, b) {
+        let v = match op {
+            Add => x.wrapping_add(y),
+            Sub => x.wrapping_sub(y),
+            Mul => x.wrapping_mul(y),
+            Div => {
+                if y == 0 {
+                    return Err(ExecError::DivisionByZero);
+                }
+                x.wrapping_div(y)
+            }
+            Rem => {
+                if y == 0 {
+                    return Err(ExecError::DivisionByZero);
+                }
+                x.wrapping_rem(y)
+            }
+            Lt => (x < y) as i64,
+            Le => (x <= y) as i64,
+            Gt => (x > y) as i64,
+            Ge => (x >= y) as i64,
+            Eq => (x == y) as i64,
+            Ne => (x != y) as i64,
+        };
+        return Ok(Value::Int(v));
+    }
+    let x = a.as_float();
+    let y = b.as_float();
+    Ok(match op {
+        Add => Value::Float(x + y),
+        Sub => Value::Float(x - y),
+        Mul => Value::Float(x * y),
+        Div => Value::Float(x / y),
+        Rem => Value::Float(x % y),
+        Lt => Value::Int((x < y) as i64),
+        Le => Value::Int((x <= y) as i64),
+        Gt => Value::Int((x > y) as i64),
+        Ge => Value::Int((x >= y) as i64),
+        Eq => Value::Int((x == y) as i64),
+        Ne => Value::Int((x != y) as i64),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower_fn, validate};
+    use crate::parser::parse;
+
+    fn module_of(src: &str) -> Module {
+        let p = parse(src).unwrap();
+        let mut m = Module::new();
+        for f in &p.functions {
+            let lowered = lower_fn(f).unwrap();
+            validate(&lowered).unwrap();
+            m.add_function(lowered);
+        }
+        m
+    }
+
+    fn run(src: &str, f: &str, args: &[Value]) -> Value {
+        let m = module_of(src);
+        Interp::new(&m).call(f, args).unwrap().unwrap()
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(
+            run("fn f(a, b) { return a * b + 2; }", "f", &[3.into(), 4.into()]),
+            Value::Int(14)
+        );
+    }
+
+    #[test]
+    fn float_arithmetic() {
+        assert_eq!(
+            run("fn f(a) { return a / 2.0; }", "f", &[7.into()]),
+            Value::Float(3.5)
+        );
+    }
+
+    #[test]
+    fn loops_terminate() {
+        assert_eq!(
+            run(
+                "fn sum(n) { let s = 0; let i = 1; while (i <= n) { s = s + i; i = i + 1; } return s; }",
+                "sum",
+                &[100.into()],
+            ),
+            Value::Int(5050)
+        );
+    }
+
+    #[test]
+    fn conditionals() {
+        let src = "fn sign(x) { if (x > 0) { return 1; } else if (x < 0) { return 0 - 1; } else { return 0; } }";
+        assert_eq!(run(src, "sign", &[5.into()]), Value::Int(1));
+        assert_eq!(run(src, "sign", &[(-5).into()]), Value::Int(-1));
+        assert_eq!(run(src, "sign", &[0.into()]), Value::Int(0));
+    }
+
+    #[test]
+    fn calls_between_functions() {
+        let src = "fn sq(x) { return x * x; } fn f(a) { return sq(a) + sq(a + 1); }";
+        assert_eq!(run(src, "f", &[3.into()]), Value::Int(25));
+    }
+
+    #[test]
+    fn recursion() {
+        let src = "fn fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); }";
+        assert_eq!(run(src, "fact", &[10.into()]), Value::Int(3628800));
+    }
+
+    #[test]
+    fn intrinsic_sqrt() {
+        assert_eq!(
+            run("fn f(x) { return sqrt(x); }", "f", &[9.0.into()]),
+            Value::Float(3.0)
+        );
+    }
+
+    #[test]
+    fn for_loops() {
+        assert_eq!(
+            run(
+                "fn sum(n) { let s = 0; for i in 0..n { s = s + i; } return s; }",
+                "sum",
+                &[10.into()],
+            ),
+            Value::Int(45)
+        );
+        // The bound is evaluated once; mutating it in the body has no
+        // effect on trip count.
+        assert_eq!(
+            run(
+                "fn f() { let n = 3; let c = 0; for i in 0..n { n = 100; c = c + 1; } return c; }",
+                "f",
+                &[],
+            ),
+            Value::Int(3)
+        );
+        // Empty and reversed ranges run zero iterations.
+        assert_eq!(
+            run("fn f() { let c = 0; for i in 5..5 { c = c + 1; } return c; }", "f", &[]),
+            Value::Int(0)
+        );
+        assert_eq!(
+            run("fn f() { let c = 0; for i in 7..2 { c = c + 1; } return c; }", "f", &[]),
+            Value::Int(0)
+        );
+    }
+
+    #[test]
+    fn nested_for_loops() {
+        assert_eq!(
+            run(
+                "fn f(n) { let s = 0; for i in 0..n { for j in 0..i { s = s + 1; } } return s; }",
+                "f",
+                &[5.into()],
+            ),
+            Value::Int(10)
+        );
+    }
+
+    #[test]
+    fn math_intrinsics() {
+        assert_eq!(
+            run("fn f(x) { return exp(ln(x)); }", "f", &[5.0.into()]).as_float().round(),
+            5.0
+        );
+        assert_eq!(
+            run("fn f(a, b) { return pow(a, b); }", "f", &[2.0.into(), 10.0.into()]),
+            Value::Float(1024.0)
+        );
+        assert_eq!(
+            run("fn f(x) { return floor(x); }", "f", &[3.9.into()]),
+            Value::Int(3)
+        );
+    }
+
+    #[test]
+    fn fuel_limits_runaway_loops() {
+        let m = module_of("fn spin() { let i = 0; while (i < 100) { i = i; } return i; }");
+        let err = Interp::new(&m).with_fuel(1000).call("spin", &[]).unwrap_err();
+        assert_eq!(err, ExecError::OutOfFuel);
+    }
+
+    #[test]
+    fn unresolved_tradeoff_is_an_error() {
+        let m = module_of("fn f() { return tradeoff k; }");
+        let err = Interp::new(&m).call("f", &[]).unwrap_err();
+        assert_eq!(err, ExecError::UnresolvedTradeoff("k".into()));
+    }
+
+    #[test]
+    fn division_by_zero() {
+        let m = module_of("fn f(a) { return a / 0; }");
+        let err = Interp::new(&m).call("f", &[1.into()]).unwrap_err();
+        assert_eq!(err, ExecError::DivisionByZero);
+    }
+
+    #[test]
+    fn unknown_function() {
+        let m = module_of("fn f() { return g(); }");
+        let err = Interp::new(&m).call("f", &[]).unwrap_err();
+        assert_eq!(err, ExecError::UnknownFunction("g".into()));
+    }
+
+    #[test]
+    fn arity_mismatch() {
+        let m = module_of("fn f(a, b) { return a + b; }");
+        let err = Interp::new(&m).call("f", &[1.into()]).unwrap_err();
+        assert!(matches!(err, ExecError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn logical_operators() {
+        let src = "fn f(a, b) { if (a > 0 && b > 0) { return 1; } return 0; }";
+        assert_eq!(run(src, "f", &[1.into(), 1.into()]), Value::Int(1));
+        assert_eq!(run(src, "f", &[1.into(), 0.into()]), Value::Int(0));
+        let src2 = "fn f(a, b) { if (a > 0 || b > 0) { return 1; } return 0; }";
+        assert_eq!(run(src2, "f", &[0.into(), 1.into()]), Value::Int(1));
+        assert_eq!(run(src2, "f", &[0.into(), 0.into()]), Value::Int(0));
+    }
+
+    #[test]
+    fn f32_cast_quantizes() {
+        use crate::ir::{BlockId, Inst, TyRef};
+        let mut f = crate::ir::Function::new("q", 1);
+        let p = f.params[0];
+        let dst = f.fresh_reg();
+        f.push(
+            BlockId(0),
+            Inst::Cast {
+                dst,
+                src: p.into(),
+                to: TyRef::Concrete(Ty::F32),
+            },
+        );
+        f.push(
+            BlockId(0),
+            Inst::Ret {
+                value: Some(dst.into()),
+            },
+        );
+        let mut m = Module::new();
+        m.add_function(f);
+        let x = 0.1_f64 + 1e-12;
+        let out = Interp::new(&m).call("q", &[x.into()]).unwrap().unwrap();
+        assert_ne!(out.as_float(), x);
+        assert_eq!(out.as_float(), x as f32 as f64);
+    }
+}

@@ -1,0 +1,431 @@
+//! The STATS intermediate representation.
+//!
+//! A compact, block-based register IR. Two properties matter for the STATS
+//! pipeline and are explicit in the instruction set:
+//!
+//! - **tradeoff references are first-class instructions**
+//!   ([`Inst::TradeoffRef`], [`Inst::CallTradeoff`], and the
+//!   [`TyRef::Tradeoff`] type placeholder), so compiler passes can find,
+//!   clone, and substitute them mechanically;
+//! - **metadata rides with the module** ([`crate::metadata`]), mirroring the
+//!   paper's CIL-inspired design: state dependences and tradeoffs are rows
+//!   in module-level tables that link to IR functions.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A scalar IR type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 64-bit integer.
+    I64,
+    /// 32-bit float.
+    F32,
+    /// 64-bit float.
+    F64,
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::I64 => write!(f, "i64"),
+            Ty::F32 => write!(f, "f32"),
+            Ty::F64 => write!(f, "f64"),
+        }
+    }
+}
+
+/// A type reference: concrete, or a placeholder resolved by a type tradeoff.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TyRef {
+    /// A concrete type.
+    Concrete(Ty),
+    /// The type selected by the named tradeoff (back-end substitutes).
+    Tradeoff(String),
+}
+
+/// A virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u32);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    /// A register.
+    Reg(Reg),
+    /// An integer immediate.
+    ImmInt(i64),
+    /// A float immediate.
+    ImmFloat(f64),
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+/// A binary ALU/compare operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (integer division on `i64` values).
+    Div,
+    /// Remainder.
+    Rem,
+    /// Less-than (produces 0/1).
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+}
+
+/// A basic-block id within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockId(pub usize);
+
+/// An IR instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// `dst = imm`
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// The immediate.
+        value: Operand,
+    },
+    /// `dst = op lhs, rhs`
+    Bin {
+        /// The operation.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `dst = cast src to ty` — for a [`TyRef::Tradeoff`], the back-end
+    /// substitutes the configured type before execution; quantization to
+    /// `f32` models the precision loss of a narrower variable type.
+    Cast {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Operand,
+        /// Target type (possibly a tradeoff placeholder).
+        to: TyRef,
+    },
+    /// `dst = call callee(args)` — direct call.
+    Call {
+        /// Destination register (None for calls used for effect).
+        dst: Option<Reg>,
+        /// Callee function name.
+        callee: String,
+        /// Arguments.
+        args: Vec<Operand>,
+    },
+    /// `dst = call <tradeoff>(args)` — the callee is chosen by a function
+    /// tradeoff; the back-end replaces this with a direct [`Inst::Call`].
+    CallTradeoff {
+        /// Destination register.
+        dst: Option<Reg>,
+        /// The function tradeoff's name.
+        tradeoff: String,
+        /// Arguments.
+        args: Vec<Operand>,
+    },
+    /// `dst = tradeoff <name>` — a constant-tradeoff placeholder (the
+    /// `T_42(42)` call of paper Figure 11); the back-end replaces it with
+    /// [`Inst::Const`].
+    TradeoffRef {
+        /// Destination register.
+        dst: Reg,
+        /// The tradeoff's name.
+        tradeoff: String,
+    },
+    /// Unconditional jump.
+    Jmp {
+        /// Target block.
+        target: BlockId,
+    },
+    /// Conditional branch (`cond != 0` takes `then_b`).
+    Br {
+        /// Condition operand.
+        cond: Operand,
+        /// Block on true.
+        then_b: BlockId,
+        /// Block on false.
+        else_b: BlockId,
+    },
+    /// Return.
+    Ret {
+        /// Returned operand, if any.
+        value: Option<Operand>,
+    },
+}
+
+/// A basic block: straight-line instructions ending in a terminator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Block {
+    /// Instructions, the last of which must be `Jmp`/`Br`/`Ret`.
+    pub insts: Vec<Inst>,
+}
+
+/// An IR function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name (module-unique).
+    pub name: String,
+    /// Parameter registers, in call order.
+    pub params: Vec<Reg>,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Next unallocated register number (for cloning/rewriting passes).
+    pub next_reg: u32,
+}
+
+impl Function {
+    /// Create an empty function with `params` parameters.
+    pub fn new(name: impl Into<String>, params: usize) -> Self {
+        Function {
+            name: name.into(),
+            params: (0..params as u32).map(Reg).collect(),
+            blocks: vec![Block::default()],
+            next_reg: params as u32,
+        }
+    }
+
+    /// Allocate a fresh register.
+    pub fn fresh_reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Append a new empty block, returning its id.
+    pub fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Block::default());
+        BlockId(self.blocks.len() - 1)
+    }
+
+    /// Append an instruction to a block.
+    pub fn push(&mut self, block: BlockId, inst: Inst) {
+        self.blocks[block.0].insts.push(inst);
+    }
+
+    /// Total instruction count.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Iterate over all instructions.
+    pub fn insts(&self) -> impl Iterator<Item = &Inst> {
+        self.blocks.iter().flat_map(|b| b.insts.iter())
+    }
+
+    /// Iterate mutably over all instructions.
+    pub fn insts_mut(&mut self) -> impl Iterator<Item = &mut Inst> {
+        self.blocks.iter_mut().flat_map(|b| b.insts.iter_mut())
+    }
+
+    /// Names of directly called functions (both direct calls and the
+    /// candidates of function tradeoffs are *not* included here — only
+    /// static callees, which is what the call-graph analysis needs).
+    pub fn callees(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for inst in self.insts() {
+            if let Inst::Call { callee, .. } = inst {
+                if !out.contains(callee) {
+                    out.push(callee.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Names of tradeoffs referenced by this function (constant refs,
+    /// function-tradeoff calls, and type-tradeoff casts).
+    pub fn tradeoff_refs(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut add = |name: &String| {
+            if !out.contains(name) {
+                out.push(name.clone());
+            }
+        };
+        for inst in self.insts() {
+            match inst {
+                Inst::TradeoffRef { tradeoff, .. } => add(tradeoff),
+                Inst::CallTradeoff { tradeoff, .. } => add(tradeoff),
+                Inst::Cast {
+                    to: TyRef::Tradeoff(t),
+                    ..
+                } => add(t),
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+/// A module: functions plus the metadata tables.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    functions: Vec<Function>,
+    by_name: HashMap<String, usize>,
+    /// State-dependence and tradeoff tables (the paper's CIL-style metadata).
+    pub metadata: crate::metadata::Metadata,
+}
+
+impl Module {
+    /// An empty module.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a function. Replaces any function with the same name.
+    pub fn add_function(&mut self, f: Function) {
+        if let Some(&i) = self.by_name.get(&f.name) {
+            self.functions[i] = f;
+        } else {
+            self.by_name.insert(f.name.clone(), self.functions.len());
+            self.functions.push(f);
+        }
+    }
+
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.by_name.get(name).map(|&i| &self.functions[i])
+    }
+
+    /// Look up a function mutably.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        let i = *self.by_name.get(name)?;
+        Some(&mut self.functions[i])
+    }
+
+    /// All functions, in insertion order.
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// All functions, mutably.
+    pub fn functions_mut(&mut self) -> impl Iterator<Item = &mut Function> {
+        self.functions.iter_mut()
+    }
+
+    /// Total instruction count across functions (the "binary size" proxy of
+    /// Table 1).
+    pub fn inst_count(&self) -> usize {
+        self.functions.iter().map(Function::inst_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_fn() -> Function {
+        // f(x) = 2*x + tradeoff k
+        let mut f = Function::new("f", 1);
+        let x = f.params[0];
+        let two_x = f.fresh_reg();
+        let k = f.fresh_reg();
+        let sum = f.fresh_reg();
+        let entry = BlockId(0);
+        f.push(
+            entry,
+            Inst::Bin {
+                op: BinOp::Mul,
+                dst: two_x,
+                lhs: x.into(),
+                rhs: Operand::ImmInt(2),
+            },
+        );
+        f.push(
+            entry,
+            Inst::TradeoffRef {
+                dst: k,
+                tradeoff: "k".into(),
+            },
+        );
+        f.push(
+            entry,
+            Inst::Bin {
+                op: BinOp::Add,
+                dst: sum,
+                lhs: two_x.into(),
+                rhs: k.into(),
+            },
+        );
+        f.push(
+            entry,
+            Inst::Ret {
+                value: Some(sum.into()),
+            },
+        );
+        f
+    }
+
+    #[test]
+    fn function_accounting() {
+        let f = linear_fn();
+        assert_eq!(f.inst_count(), 4);
+        assert_eq!(f.tradeoff_refs(), vec!["k".to_string()]);
+        assert!(f.callees().is_empty());
+    }
+
+    #[test]
+    fn module_add_and_lookup() {
+        let mut m = Module::new();
+        m.add_function(linear_fn());
+        assert!(m.function("f").is_some());
+        assert!(m.function("g").is_none());
+        assert_eq!(m.inst_count(), 4);
+    }
+
+    #[test]
+    fn module_replace_same_name() {
+        let mut m = Module::new();
+        m.add_function(linear_fn());
+        m.add_function(Function::new("f", 0));
+        assert_eq!(m.functions().len(), 1);
+        assert_eq!(m.function("f").unwrap().params.len(), 0);
+    }
+
+    #[test]
+    fn callees_deduplicated() {
+        let mut f = Function::new("g", 0);
+        let e = BlockId(0);
+        for _ in 0..3 {
+            f.push(
+                e,
+                Inst::Call {
+                    dst: None,
+                    callee: "h".into(),
+                    args: vec![],
+                },
+            );
+        }
+        f.push(e, Inst::Ret { value: None });
+        assert_eq!(f.callees(), vec!["h".to_string()]);
+    }
+}

@@ -1,0 +1,371 @@
+//! Hand-written lexer for the `.stats` language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    // Keywords.
+    Tradeoff,
+    StateDependence,
+    Fn,
+    Let,
+    If,
+    Else,
+    While,
+    Return,
+    Choose,
+    Quantize,
+    For,
+    In,
+    DotDot,
+    // Literals and identifiers.
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    // Punctuation.
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Assign,
+    // Operators.
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    NotEq,
+    AndAnd,
+    OrOr,
+    Not,
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "identifier `{s}`"),
+            Token::Int(v) => write!(f, "integer `{v}`"),
+            Token::Float(v) => write!(f, "float `{v}`"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token with its source line (1-based), for error messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `source`. Line comments start with `//` or `#`.
+pub fn lex(source: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line = 1usize;
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    chars.next();
+                }
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    while let Some(&c) = chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        chars.next();
+                    }
+                } else {
+                    tokens.push(Spanned {
+                        token: Token::Slash,
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                let mut is_float = false;
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c);
+                        chars.next();
+                    } else if c == '.' && !is_float {
+                        // Two-character lookahead: `1.5` continues a float,
+                        // but `1..n` is a range — leave both dots alone.
+                        let mut ahead = chars.clone();
+                        ahead.next();
+                        if ahead.peek().is_some_and(|d| d.is_ascii_digit()) {
+                            is_float = true;
+                            text.push(c);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let token = if is_float {
+                    Token::Float(text.parse().map_err(|_| LexError {
+                        message: format!("malformed float literal `{text}`"),
+                        line,
+                    })?)
+                } else {
+                    Token::Int(text.parse().map_err(|_| LexError {
+                        message: format!("malformed integer literal `{text}`"),
+                        line,
+                    })?)
+                };
+                tokens.push(Spanned { token, line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let token = match ident.as_str() {
+                    "tradeoff" => Token::Tradeoff,
+                    "state_dependence" => Token::StateDependence,
+                    "fn" => Token::Fn,
+                    "let" => Token::Let,
+                    "if" => Token::If,
+                    "else" => Token::Else,
+                    "while" => Token::While,
+                    "return" => Token::Return,
+                    "choose" => Token::Choose,
+                    "quantize" => Token::Quantize,
+                    "for" => Token::For,
+                    "in" => Token::In,
+                    _ => Token::Ident(ident),
+                };
+                tokens.push(Spanned { token, line });
+            }
+            _ => {
+                chars.next();
+                let token = match c {
+                    '.' => {
+                        if chars.peek() == Some(&'.') {
+                            chars.next();
+                            Token::DotDot
+                        } else {
+                            return Err(LexError {
+                                message: "expected `..`".into(),
+                                line,
+                            });
+                        }
+                    }
+                    '{' => Token::LBrace,
+                    '}' => Token::RBrace,
+                    '(' => Token::LParen,
+                    ')' => Token::RParen,
+                    '[' => Token::LBracket,
+                    ']' => Token::RBracket,
+                    ',' => Token::Comma,
+                    ';' => Token::Semi,
+                    '+' => Token::Plus,
+                    '-' => Token::Minus,
+                    '*' => Token::Star,
+                    '%' => Token::Percent,
+                    '=' => {
+                        if chars.peek() == Some(&'=') {
+                            chars.next();
+                            Token::EqEq
+                        } else {
+                            Token::Assign
+                        }
+                    }
+                    '<' => {
+                        if chars.peek() == Some(&'=') {
+                            chars.next();
+                            Token::Le
+                        } else {
+                            Token::Lt
+                        }
+                    }
+                    '>' => {
+                        if chars.peek() == Some(&'=') {
+                            chars.next();
+                            Token::Ge
+                        } else {
+                            Token::Gt
+                        }
+                    }
+                    '!' => {
+                        if chars.peek() == Some(&'=') {
+                            chars.next();
+                            Token::NotEq
+                        } else {
+                            Token::Not
+                        }
+                    }
+                    '&' => {
+                        if chars.peek() == Some(&'&') {
+                            chars.next();
+                            Token::AndAnd
+                        } else {
+                            return Err(LexError {
+                                message: "expected `&&`".into(),
+                                line,
+                            });
+                        }
+                    }
+                    '|' => {
+                        if chars.peek() == Some(&'|') {
+                            chars.next();
+                            Token::OrOr
+                        } else {
+                            return Err(LexError {
+                                message: "expected `||`".into(),
+                                line,
+                            });
+                        }
+                    }
+                    other => {
+                        return Err(LexError {
+                            message: format!("unexpected character `{other}`"),
+                            line,
+                        })
+                    }
+                };
+                tokens.push(Spanned { token, line });
+            }
+        }
+    }
+    tokens.push(Spanned {
+        token: Token::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("tradeoff foo fn"),
+            vec![
+                Token::Tradeoff,
+                Token::Ident("foo".into()),
+                Token::Fn,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("42 3.5"),
+            vec![Token::Int(42), Token::Float(3.5), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("a <= b == c != d"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Le,
+                Token::Ident("b".into()),
+                Token::EqEq,
+                Token::Ident("c".into()),
+                Token::NotEq,
+                Token::Ident("d".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_ignored() {
+        assert_eq!(
+            toks("a // b c\n# d\ne"),
+            vec![Token::Ident("a".into()), Token::Ident("e".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn line_numbers() {
+        let spanned = lex("a\nb\n\nc").unwrap();
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 2);
+        assert_eq!(spanned[2].line, 4);
+    }
+
+    #[test]
+    fn negative_numbers_are_minus_then_literal() {
+        assert_eq!(
+            toks("-5"),
+            vec![Token::Minus, Token::Int(5), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn unknown_character_is_error() {
+        assert!(lex("a $ b").is_err());
+    }
+
+    #[test]
+    fn single_ampersand_is_error() {
+        let err = lex("a & b").unwrap_err();
+        assert!(err.message.contains("&&"));
+    }
+}

@@ -1,0 +1,71 @@
+//! The STATS compilers (paper §3.2–§3.4).
+//!
+//! The paper splits compilation in three to keep clang's C++ parser
+//! untouched: a Racket **front-end** translating C++-with-extensions to
+//! standard C++ plus tradeoff descriptor tables (Figure 11); a **middle-end**
+//! clang pass lowering to LLVM IR with metadata and generating auxiliary
+//! code by deep-cloning each state dependence's `computeOutput` (cloning the
+//! tradeoffs it reaches, bottom-up over the call graph, up to an instruction
+//! budget), then pinning non-auxiliary tradeoffs to their defaults; and a
+//! **back-end** instantiating one autotuner configuration by setting each
+//! remaining tradeoff — constant placeholders become constants, type
+//! tradeoffs retype variables (inserting casts), function tradeoffs replace
+//! callees — fetching values by dynamically compiling `getValue(i)`.
+//!
+//! This crate is that pipeline over our own substrate:
+//!
+//! - [`frontend`]: a small `.stats` language (tradeoff and state-dependence
+//!   declarations plus a C-like function language) with a hand-written lexer
+//!   and recursive-descent parser; emits the descriptor-table source text of
+//!   Figure 11 and an AST;
+//! - [`ir`]: a compact block-based IR with explicit tradeoff-reference
+//!   instructions and per-module [`metadata`] tables (the paper borrows this
+//!   metadata design from CIL);
+//! - [`lower`]: AST → IR;
+//! - [`midend`]: auxiliary-code generation (the deep-cloning pass);
+//! - [`backend`]: configuration instantiation and the bridge to
+//!   `stats_core::TradeoffBindings`;
+//! - [`interp`]: the IR interpreter standing in for LLVM's dynamic compiler
+//!   (the paper JITs `getValue()` only to fetch tradeoff values).
+//!
+//! # Pipeline example
+//!
+//! ```
+//! use stats_compiler::{backend, frontend, midend};
+//!
+//! let source = r#"
+//!     tradeoff layers { max_index = 10; default_index = 4; value(i) = i + 1; }
+//!     state_dependence track { compute = step; }
+//!     fn step(x) {
+//!         let l = tradeoff layers;
+//!         return x * l;
+//!     }
+//! "#;
+//! let parsed = frontend::compile(source).unwrap();
+//! let module = midend::run(parsed).unwrap();
+//! // The middle-end cloned `step` for auxiliary code:
+//! assert!(module.function("step__aux_track").is_some());
+//! // The back-end instantiates a configuration (tradeoff index 9 -> 10):
+//! let config = [("track".to_string(), vec![9])].into_iter().collect();
+//! let binary = backend::instantiate(&module, &config).unwrap();
+//! let out = backend::call(&binary, "step__aux_track", &[7.into()]).unwrap();
+//! assert_eq!(out.unwrap().as_int(), Some(70));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod ast;
+pub mod backend;
+pub mod frontend;
+pub mod interp;
+pub mod ir;
+mod lexer;
+pub mod lower;
+pub mod metadata;
+pub mod midend;
+pub mod opt;
+mod parser;
+pub mod pretty;
+pub mod verify;
+
+pub use frontend::CompileError;

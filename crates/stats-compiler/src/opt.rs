@@ -1,0 +1,410 @@
+//! Post-instantiation IR optimizations.
+//!
+//! The back-end's tradeoff substitution leaves obvious constants behind
+//! (`dst = const; use dst` chains, branches on constant conditions). These
+//! passes clean the instantiated module before execution: block-local
+//! constant folding, branch simplification, unreachable-block elimination,
+//! and dead-store elimination. They keep instantiation cheap (all passes
+//! are linear) while shrinking the "binary".
+
+use std::collections::HashMap;
+
+use crate::interp::Value;
+use crate::ir::{BinOp, Block, Function, Inst, Module, Operand, Reg};
+
+/// Run every optimization pass over each function of the module, to a fixed
+/// point (bounded), and return the number of instructions removed.
+pub fn optimize(module: &mut Module) -> usize {
+    let before = module.inst_count();
+    for f in module.functions_mut() {
+        for _ in 0..4 {
+            let changed = fold_constants(f) | simplify_branches(f);
+            remove_unreachable_blocks(f);
+            eliminate_dead_stores(f);
+            if !changed {
+                break;
+            }
+        }
+    }
+    before.saturating_sub(module.inst_count())
+}
+
+fn as_const(op: &Operand, env: &HashMap<Reg, Value>) -> Option<Value> {
+    match op {
+        Operand::ImmInt(v) => Some(Value::Int(*v)),
+        Operand::ImmFloat(v) => Some(Value::Float(*v)),
+        Operand::Reg(r) => env.get(r).copied(),
+    }
+}
+
+fn to_operand(v: Value) -> Operand {
+    match v {
+        Value::Int(i) => Operand::ImmInt(i),
+        Value::Float(f) => Operand::ImmFloat(f),
+    }
+}
+
+fn eval_bin(op: BinOp, a: Value, b: Value) -> Option<Value> {
+    use BinOp::*;
+    if let (Value::Int(x), Value::Int(y)) = (a, b) {
+        let v = match op {
+            Add => x.wrapping_add(y),
+            Sub => x.wrapping_sub(y),
+            Mul => x.wrapping_mul(y),
+            Div => {
+                if y == 0 {
+                    return None; // preserve the runtime error
+                }
+                x.wrapping_div(y)
+            }
+            Rem => {
+                if y == 0 {
+                    return None;
+                }
+                x.wrapping_rem(y)
+            }
+            Lt => (x < y) as i64,
+            Le => (x <= y) as i64,
+            Gt => (x > y) as i64,
+            Ge => (x >= y) as i64,
+            Eq => (x == y) as i64,
+            Ne => (x != y) as i64,
+        };
+        return Some(Value::Int(v));
+    }
+    let (x, y) = (a.as_float(), b.as_float());
+    Some(match op {
+        Add => Value::Float(x + y),
+        Sub => Value::Float(x - y),
+        Mul => Value::Float(x * y),
+        Div => Value::Float(x / y),
+        Rem => Value::Float(x % y),
+        Lt => Value::Int((x < y) as i64),
+        Le => Value::Int((x <= y) as i64),
+        Gt => Value::Int((x > y) as i64),
+        Ge => Value::Int((x >= y) as i64),
+        Eq => Value::Int((x == y) as i64),
+        Ne => Value::Int((x != y) as i64),
+    })
+}
+
+/// Block-local constant propagation and folding. Registers written by
+/// non-constant instructions (or in other blocks) are conservatively
+/// unknown at block entry, which is sound for the mutable-register IR.
+fn fold_constants(f: &mut Function) -> bool {
+    let mut changed = false;
+    for block in f.blocks.iter_mut() {
+        let mut env: HashMap<Reg, Value> = HashMap::new();
+        for inst in block.insts.iter_mut() {
+            match inst {
+                Inst::Const { dst, value } => {
+                    if let Operand::Reg(src) = value {
+                        if let Some(v) = env.get(src).copied() {
+                            *value = to_operand(v);
+                            changed = true;
+                        }
+                    }
+                    match as_const(value, &env) {
+                        Some(v) => {
+                            env.insert(*dst, v);
+                        }
+                        None => {
+                            env.remove(dst);
+                        }
+                    }
+                }
+                Inst::Bin { op, dst, lhs, rhs } => {
+                    for side in [&mut *lhs, &mut *rhs] {
+                        if let Operand::Reg(src) = side {
+                            if let Some(v) = env.get(src).copied() {
+                                *side = to_operand(v);
+                                changed = true;
+                            }
+                        }
+                    }
+                    match (as_const(lhs, &env), as_const(rhs, &env)) {
+                        (Some(a), Some(b)) => match eval_bin(*op, a, b) {
+                            Some(v) => {
+                                env.insert(*dst, v);
+                                *inst = Inst::Const {
+                                    dst: *dst,
+                                    value: to_operand(v),
+                                };
+                                changed = true;
+                            }
+                            None => {
+                                env.remove(dst);
+                            }
+                        },
+                        _ => {
+                            env.remove(dst);
+                        }
+                    }
+                }
+                Inst::Cast { dst, .. }
+                | Inst::TradeoffRef { dst, .. } => {
+                    env.remove(dst);
+                }
+                Inst::Call { dst, args, .. } | Inst::CallTradeoff { dst, args, .. } => {
+                    for a in args.iter_mut() {
+                        if let Operand::Reg(src) = a {
+                            if let Some(v) = env.get(src).copied() {
+                                *a = to_operand(v);
+                                changed = true;
+                            }
+                        }
+                    }
+                    if let Some(dst) = dst {
+                        env.remove(dst);
+                    }
+                }
+                Inst::Br { cond, .. } => {
+                    if let Operand::Reg(src) = cond {
+                        if let Some(v) = env.get(src).copied() {
+                            *cond = to_operand(v);
+                            changed = true;
+                        }
+                    }
+                }
+                Inst::Ret { value } => {
+                    if let Some(Operand::Reg(src)) = value {
+                        if let Some(v) = env.get(src).copied() {
+                            *value = Some(to_operand(v));
+                            changed = true;
+                        }
+                    }
+                }
+                Inst::Jmp { .. } => {}
+            }
+        }
+    }
+    changed
+}
+
+/// Rewrite branches whose condition is a constant into jumps.
+fn simplify_branches(f: &mut Function) -> bool {
+    let mut changed = false;
+    for block in f.blocks.iter_mut() {
+        if let Some(Inst::Br {
+            cond,
+            then_b,
+            else_b,
+        }) = block.insts.last()
+        {
+            let taken = match cond {
+                Operand::ImmInt(v) => Some(if *v != 0 { *then_b } else { *else_b }),
+                Operand::ImmFloat(v) => Some(if *v != 0.0 { *then_b } else { *else_b }),
+                Operand::Reg(_) => None,
+            };
+            if let Some(target) = taken {
+                *block.insts.last_mut().expect("nonempty") = Inst::Jmp { target };
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Drop blocks unreachable from the entry (after branch simplification),
+/// remapping block ids.
+fn remove_unreachable_blocks(f: &mut Function) {
+    let n = f.blocks.len();
+    let mut reachable = vec![false; n];
+    let mut stack = vec![0usize];
+    while let Some(b) = stack.pop() {
+        if b >= n || reachable[b] {
+            continue;
+        }
+        reachable[b] = true;
+        if let Some(term) = f.blocks[b].insts.last() {
+            match term {
+                Inst::Jmp { target } => stack.push(target.0),
+                Inst::Br { then_b, else_b, .. } => {
+                    stack.push(then_b.0);
+                    stack.push(else_b.0);
+                }
+                _ => {}
+            }
+        }
+    }
+    if reachable.iter().all(|&r| r) {
+        return;
+    }
+    let mut remap = vec![usize::MAX; n];
+    let mut kept: Vec<Block> = Vec::new();
+    for (i, block) in f.blocks.drain(..).enumerate() {
+        if reachable[i] {
+            remap[i] = kept.len();
+            kept.push(block);
+        }
+    }
+    for block in kept.iter_mut() {
+        for inst in block.insts.iter_mut() {
+            match inst {
+                Inst::Jmp { target } => target.0 = remap[target.0],
+                Inst::Br { then_b, else_b, .. } => {
+                    then_b.0 = remap[then_b.0];
+                    else_b.0 = remap[else_b.0];
+                }
+                _ => {}
+            }
+        }
+    }
+    f.blocks = kept;
+}
+
+/// Remove pure instructions whose destination register is never read
+/// anywhere in the function (sound even with mutable registers: a register
+/// with no reads at all cannot affect behavior).
+fn eliminate_dead_stores(f: &mut Function) {
+    use std::collections::HashSet;
+    let mut read: HashSet<Reg> = HashSet::new();
+    let mut mark = |op: &Operand| {
+        if let Operand::Reg(r) = op {
+            read.insert(*r);
+        }
+    };
+    for inst in f.insts() {
+        match inst {
+            Inst::Const { value, .. } => mark(value),
+            Inst::Bin { lhs, rhs, .. } => {
+                mark(lhs);
+                mark(rhs);
+            }
+            Inst::Cast { src, .. } => mark(src),
+            Inst::Call { args, .. } | Inst::CallTradeoff { args, .. } => {
+                args.iter().for_each(&mut mark)
+            }
+            Inst::Br { cond, .. } => mark(cond),
+            Inst::Ret { value } => {
+                if let Some(v) = value {
+                    mark(v);
+                }
+            }
+            Inst::TradeoffRef { .. } | Inst::Jmp { .. } => {}
+        }
+    }
+    for block in f.blocks.iter_mut() {
+        block.insts.retain(|inst| match inst {
+            // Division and remainder can trap: only dead when the divisor
+            // is a provably nonzero immediate.
+            Inst::Bin {
+                op: BinOp::Div | BinOp::Rem,
+                dst,
+                rhs,
+                ..
+            } => {
+                let provably_nonzero = matches!(rhs, Operand::ImmInt(v) if *v != 0)
+                    || matches!(rhs, Operand::ImmFloat(v) if *v != 0.0);
+                read.contains(dst) || !provably_nonzero
+            }
+            Inst::Const { dst, .. } | Inst::Bin { dst, .. } | Inst::Cast { dst, .. } => {
+                read.contains(dst)
+            }
+            // Calls may have effects; keep them. Terminators always stay.
+            _ => true,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend;
+    use crate::frontend::compile;
+    use crate::interp::{Interp, Value};
+    use crate::midend;
+
+    fn compiled_module(src: &str) -> Module {
+        midend::run(compile(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let mut m = compiled_module("fn f() { let a = 3; let b = 4; return a * b + 1; }");
+        let removed = optimize(&mut m);
+        assert!(removed > 0, "nothing folded");
+        let out = Interp::new(&m).call("f", &[]).unwrap().unwrap();
+        assert_eq!(out, Value::Int(13));
+        // The function should now be a single constant return (plus the
+        // residual block structure).
+        assert!(m.function("f").unwrap().inst_count() <= 2);
+    }
+
+    #[test]
+    fn preserves_division_by_zero() {
+        let mut m = compiled_module("fn f() { return 1 / 0; }");
+        optimize(&mut m);
+        let err = Interp::new(&m).call("f", &[]).unwrap_err();
+        assert_eq!(err, crate::interp::ExecError::DivisionByZero);
+    }
+
+    #[test]
+    fn simplifies_constant_branches_and_drops_dead_blocks() {
+        let mut m = compiled_module(
+            "fn f(x) { if (1 < 2) { return x + 1; } else { return x - 1; } }",
+        );
+        let before_blocks = m.function("f").unwrap().blocks.len();
+        optimize(&mut m);
+        let after_blocks = m.function("f").unwrap().blocks.len();
+        assert!(after_blocks < before_blocks);
+        let out = Interp::new(&m).call("f", &[Value::Int(9)]).unwrap().unwrap();
+        assert_eq!(out, Value::Int(10));
+    }
+
+    #[test]
+    fn loops_still_work_after_optimization() {
+        let src = "fn sum(n) { let s = 0; let i = 1; while (i <= n) { s = s + i; i = i + 1; } return s; }";
+        let mut m = compiled_module(src);
+        optimize(&mut m);
+        let out = Interp::new(&m)
+            .call("sum", &[Value::Int(100)])
+            .unwrap()
+            .unwrap();
+        assert_eq!(out, Value::Int(5050));
+    }
+
+    #[test]
+    fn instantiated_module_optimizes_and_agrees() {
+        let src = r#"
+            tradeoff k { max_index = 8; default_index = 3; value(i) = i * 2; }
+            state_dependence d { compute = step; }
+            fn step(v) {
+                let a = tradeoff k;
+                if (a > 100) { return 0; }
+                return v * a + a;
+            }
+        "#;
+        let m = compiled_module(src);
+        let cfg = [("d".to_string(), vec![5_i64])].into_iter().collect();
+        let binary = backend::instantiate(&m, &cfg).unwrap();
+        let mut optimized = binary.clone();
+        let removed = optimize(&mut optimized);
+        assert!(removed > 0);
+        for arg in [0_i64, 7, -3] {
+            let a = backend::call(&binary, "step__aux_d", &[arg.into()]).unwrap();
+            let b = backend::call(&optimized, "step__aux_d", &[arg.into()]).unwrap();
+            assert_eq!(a, b, "optimization changed behavior for {arg}");
+        }
+    }
+
+    #[test]
+    fn dead_stores_removed() {
+        let mut m = compiled_module("fn f(x) { let unused = x * 99; return x; }");
+        let before = m.function("f").unwrap().inst_count();
+        optimize(&mut m);
+        let after = m.function("f").unwrap().inst_count();
+        assert!(after < before);
+        let out = Interp::new(&m).call("f", &[Value::Int(4)]).unwrap().unwrap();
+        assert_eq!(out, Value::Int(4));
+    }
+
+    #[test]
+    fn calls_are_never_deleted() {
+        let mut m = compiled_module("fn g(x) { return x; } fn f() { let r = g(1); return 2; }");
+        optimize(&mut m);
+        // g(1)'s result is dead but the call might have effects: kept.
+        let f = m.function("f").unwrap();
+        assert!(f.insts().any(|i| matches!(i, Inst::Call { .. })));
+    }
+}

@@ -1,0 +1,634 @@
+//! Recursive-descent parser for the `.stats` language.
+
+use std::fmt;
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, Spanned, Token};
+
+/// A parse error with a source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
+    }
+}
+
+/// Parse a complete `.stats` source file.
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            line: self.line(),
+        })
+    }
+
+    fn expect(&mut self, want: Token) -> Result<(), ParseError> {
+        if *self.peek() == want {
+            self.next();
+            Ok(())
+        } else {
+            self.err(format!("expected {want}, found {}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        let line = self.line();
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            other => Err(ParseError {
+                message: format!("expected identifier, found {other}"),
+                line,
+            }),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64, ParseError> {
+        let line = self.line();
+        match self.next() {
+            Token::Int(v) => Ok(v),
+            other => Err(ParseError {
+                message: format!("expected integer, found {other}"),
+                line,
+            }),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut program = Program::default();
+        loop {
+            match self.peek() {
+                Token::Eof => break,
+                Token::Tradeoff => program.tradeoffs.push(self.tradeoff_def()?),
+                Token::StateDependence => program.state_deps.push(self.state_dep_def()?),
+                Token::Fn => program.functions.push(self.fn_def()?),
+                other => return self.err(format!("expected a declaration, found {other}")),
+            }
+        }
+        Ok(program)
+    }
+
+    fn tradeoff_def(&mut self) -> Result<TradeoffDef, ParseError> {
+        self.expect(Token::Tradeoff)?;
+        let name = self.ident()?;
+        self.expect(Token::LBrace)?;
+        let mut max_index: Option<i64> = None;
+        let mut default_index: Option<i64> = None;
+        let mut kind: Option<TradeoffKind> = None;
+        while *self.peek() != Token::RBrace {
+            let field = self.ident()?;
+            match field.as_str() {
+                "max_index" => {
+                    self.expect(Token::Assign)?;
+                    max_index = Some(self.int()?);
+                    self.expect(Token::Semi)?;
+                }
+                "default_index" => {
+                    self.expect(Token::Assign)?;
+                    default_index = Some(self.int()?);
+                    self.expect(Token::Semi)?;
+                }
+                "value" => {
+                    // value(i) = expr;
+                    self.expect(Token::LParen)?;
+                    let param = self.ident()?;
+                    self.expect(Token::RParen)?;
+                    self.expect(Token::Assign)?;
+                    let expr = self.expr()?;
+                    self.expect(Token::Semi)?;
+                    kind = Some(TradeoffKind::Computed { param, expr });
+                }
+                "functions" => {
+                    self.expect(Token::Assign)?;
+                    kind = Some(TradeoffKind::Functions(self.ident_list()?));
+                    self.expect(Token::Semi)?;
+                }
+                "types" => {
+                    self.expect(Token::Assign)?;
+                    kind = Some(TradeoffKind::Types(self.ident_list()?));
+                    self.expect(Token::Semi)?;
+                }
+                "values" => {
+                    self.expect(Token::Assign)?;
+                    kind = Some(TradeoffKind::Values(self.number_list()?));
+                    self.expect(Token::Semi)?;
+                }
+                other => return self.err(format!("unknown tradeoff field `{other}`")),
+            }
+        }
+        self.expect(Token::RBrace)?;
+        let kind = match kind {
+            Some(k) => k,
+            None => return self.err(format!("tradeoff `{name}` has no value rule")),
+        };
+        let inferred = match &kind {
+            TradeoffKind::Computed { .. } => None,
+            TradeoffKind::Functions(v) => Some(v.len() as i64),
+            TradeoffKind::Types(v) => Some(v.len() as i64),
+            TradeoffKind::Values(v) => Some(v.len() as i64),
+        };
+        let max_index = match (max_index, inferred) {
+            (Some(m), None) => m,
+            (None, Some(i)) => i,
+            (Some(m), Some(i)) if m == i => m,
+            (Some(m), Some(i)) => {
+                return self.err(format!(
+                    "tradeoff `{name}`: max_index {m} disagrees with list length {i}"
+                ))
+            }
+            (None, None) => {
+                return self.err(format!("tradeoff `{name}` with value(i) needs max_index"))
+            }
+        };
+        let default_index = match default_index {
+            Some(d) if (0..max_index).contains(&d) => d,
+            Some(d) => {
+                return self.err(format!(
+                    "tradeoff `{name}`: default_index {d} out of range 0..{max_index}"
+                ))
+            }
+            None => return self.err(format!("tradeoff `{name}` needs default_index")),
+        };
+        Ok(TradeoffDef {
+            name,
+            max_index,
+            default_index,
+            kind,
+        })
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>, ParseError> {
+        self.expect(Token::LBracket)?;
+        let mut items = Vec::new();
+        while *self.peek() != Token::RBracket {
+            items.push(self.ident()?);
+            if *self.peek() == Token::Comma {
+                self.next();
+            }
+        }
+        self.expect(Token::RBracket)?;
+        if items.is_empty() {
+            return self.err("empty list");
+        }
+        Ok(items)
+    }
+
+    fn number_list(&mut self) -> Result<Vec<f64>, ParseError> {
+        self.expect(Token::LBracket)?;
+        let mut items = Vec::new();
+        while *self.peek() != Token::RBracket {
+            let neg = if *self.peek() == Token::Minus {
+                self.next();
+                true
+            } else {
+                false
+            };
+            let v = match self.next() {
+                Token::Int(v) => v as f64,
+                Token::Float(v) => v,
+                other => return self.err(format!("expected number, found {other}")),
+            };
+            items.push(if neg { -v } else { v });
+            if *self.peek() == Token::Comma {
+                self.next();
+            }
+        }
+        self.expect(Token::RBracket)?;
+        if items.is_empty() {
+            return self.err("empty list");
+        }
+        Ok(items)
+    }
+
+    fn state_dep_def(&mut self) -> Result<StateDepDef, ParseError> {
+        self.expect(Token::StateDependence)?;
+        let name = self.ident()?;
+        self.expect(Token::LBrace)?;
+        let mut compute: Option<String> = None;
+        while *self.peek() != Token::RBrace {
+            let field = self.ident()?;
+            self.expect(Token::Assign)?;
+            match field.as_str() {
+                "compute" => compute = Some(self.ident()?),
+                other => return self.err(format!("unknown state_dependence field `{other}`")),
+            }
+            self.expect(Token::Semi)?;
+        }
+        self.expect(Token::RBrace)?;
+        match compute {
+            Some(compute) => Ok(StateDepDef { name, compute }),
+            None => self.err(format!("state_dependence `{name}` needs compute")),
+        }
+    }
+
+    fn fn_def(&mut self) -> Result<FnDef, ParseError> {
+        self.expect(Token::Fn)?;
+        let name = self.ident()?;
+        self.expect(Token::LParen)?;
+        let mut params = Vec::new();
+        while *self.peek() != Token::RParen {
+            params.push(self.ident()?);
+            if *self.peek() == Token::Comma {
+                self.next();
+            }
+        }
+        self.expect(Token::RParen)?;
+        let body = self.block()?;
+        Ok(FnDef { name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(Token::LBrace)?;
+        let mut stmts = Vec::new();
+        while *self.peek() != Token::RBrace {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(Token::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Token::Let => {
+                self.next();
+                let name = self.ident()?;
+                self.expect(Token::Assign)?;
+                let e = self.expr()?;
+                self.expect(Token::Semi)?;
+                Ok(Stmt::Let(name, e))
+            }
+            Token::Return => {
+                self.next();
+                let e = self.expr()?;
+                self.expect(Token::Semi)?;
+                Ok(Stmt::Return(e))
+            }
+            Token::If => {
+                self.next();
+                self.expect(Token::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Token::RParen)?;
+                let then_b = self.block()?;
+                let else_b = if *self.peek() == Token::Else {
+                    self.next();
+                    if *self.peek() == Token::If {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then_b, else_b))
+            }
+            Token::While => {
+                self.next();
+                self.expect(Token::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Token::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While(cond, body))
+            }
+            Token::For => {
+                self.next();
+                let var = self.ident()?;
+                self.expect(Token::In)?;
+                let lo = self.expr()?;
+                self.expect(Token::DotDot)?;
+                let hi = self.expr()?;
+                let body = self.block()?;
+                Ok(Stmt::For(var, lo, hi, body))
+            }
+            Token::Ident(name) => {
+                // Assignment or expression statement.
+                if self.tokens[self.pos + 1].token == Token::Assign {
+                    self.next();
+                    self.next();
+                    let e = self.expr()?;
+                    self.expect(Token::Semi)?;
+                    Ok(Stmt::Assign(name, e))
+                } else {
+                    let e = self.expr()?;
+                    self.expect(Token::Semi)?;
+                    Ok(Stmt::Expr(e))
+                }
+            }
+            other => self.err(format!("expected a statement, found {other}")),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while *self.peek() == Token::OrOr {
+            self.next();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while *self.peek() == Token::AndAnd {
+            self.next();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Token::Lt => BinOp::Lt,
+            Token::Le => BinOp::Le,
+            Token::Gt => BinOp::Gt,
+            Token::Ge => BinOp::Ge,
+            Token::EqEq => BinOp::Eq,
+            Token::NotEq => BinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.next();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinOp::Add,
+                Token::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinOp::Mul,
+                Token::Slash => BinOp::Div,
+                Token::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Token::Minus => {
+                self.next();
+                Ok(Expr::Neg(Box::new(self.unary_expr()?)))
+            }
+            Token::Not => {
+                self.next();
+                Ok(Expr::Not(Box::new(self.unary_expr()?)))
+            }
+            _ => self.primary_expr(),
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        match self.next() {
+            Token::Int(v) => Ok(Expr::Int(v)),
+            Token::Float(v) => Ok(Expr::Float(v)),
+            Token::Tradeoff => {
+                let name = self.ident()?;
+                Ok(Expr::TradeoffRef(name))
+            }
+            Token::Choose => {
+                let name = self.ident()?;
+                self.expect(Token::LParen)?;
+                let mut args = Vec::new();
+                while *self.peek() != Token::RParen {
+                    args.push(self.expr()?);
+                    if *self.peek() == Token::Comma {
+                        self.next();
+                    }
+                }
+                self.expect(Token::RParen)?;
+                Ok(Expr::TradeoffCall(name, args))
+            }
+            Token::Quantize => {
+                let name = self.ident()?;
+                self.expect(Token::LParen)?;
+                let inner = self.expr()?;
+                self.expect(Token::RParen)?;
+                Ok(Expr::TradeoffCast(name, Box::new(inner)))
+            }
+            Token::LParen => {
+                let e = self.expr()?;
+                self.expect(Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(name) => {
+                if *self.peek() == Token::LParen {
+                    self.next();
+                    let mut args = Vec::new();
+                    while *self.peek() != Token::RParen {
+                        args.push(self.expr()?);
+                        if *self.peek() == Token::Comma {
+                            self.next();
+                        }
+                    }
+                    self.expect(Token::RParen)?;
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(ParseError {
+                message: format!("expected an expression, found {other}"),
+                line,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure10_tradeoff() {
+        let p = parse(
+            "tradeoff numAnnealingLayers { max_index = 10; default_index = 4; value(i) = i + 1; }",
+        )
+        .unwrap();
+        assert_eq!(p.tradeoffs.len(), 1);
+        let t = &p.tradeoffs[0];
+        assert_eq!(t.name, "numAnnealingLayers");
+        assert_eq!(t.max_index, 10);
+        assert_eq!(t.default_index, 4);
+        assert!(matches!(t.kind, TradeoffKind::Computed { .. }));
+    }
+
+    #[test]
+    fn parses_list_tradeoffs() {
+        let p = parse(
+            "tradeoff sqrtVersion { functions = [sqrt_exact, sqrt_newton2]; default_index = 0; }
+             tradeoff prec { types = [f64, f32]; default_index = 0; }
+             tradeoff particles { values = [128, 256, 512]; default_index = 1; }",
+        )
+        .unwrap();
+        assert_eq!(p.tradeoffs.len(), 3);
+        assert_eq!(p.tradeoffs[0].max_index, 2);
+        assert_eq!(p.tradeoffs[2].max_index, 3);
+    }
+
+    #[test]
+    fn parses_function_with_control_flow() {
+        let p = parse(
+            "fn f(a, b) {
+                let x = 0;
+                while (x < a) {
+                    x = x + 1;
+                    if (x % 2 == 0) { b = b + x; } else { b = b - 1; }
+                }
+                return b;
+            }",
+        )
+        .unwrap();
+        let f = p.function("f").unwrap();
+        assert_eq!(f.params, vec!["a", "b"]);
+        assert_eq!(f.body.len(), 3);
+    }
+
+    #[test]
+    fn parses_state_dependence() {
+        let p = parse("state_dependence body { compute = step; }").unwrap();
+        assert_eq!(p.state_deps[0].compute, "step");
+    }
+
+    #[test]
+    fn tradeoff_ref_in_expression() {
+        let p = parse("fn f() { return tradeoff layers + 1; }").unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::Return(Expr::Bin(BinOp::Add, lhs, _)) => {
+                assert_eq!(**lhs, Expr::TradeoffRef("layers".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse("fn f() { return 1 + 2 * 3; }").unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::Return(Expr::Bin(BinOp::Add, _, rhs)) => {
+                assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_index_out_of_range_rejected() {
+        let err = parse("tradeoff t { values = [1, 2]; default_index = 5; }").unwrap_err();
+        assert!(err.message.contains("out of range"));
+    }
+
+    #[test]
+    fn missing_value_rule_rejected() {
+        let err = parse("tradeoff t { max_index = 3; default_index = 0; }").unwrap_err();
+        assert!(err.message.contains("no value rule"));
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let err = parse("fn f() {\n  let x = ;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn choose_call_parses() {
+        let p = parse("fn f(x) { return choose sqrtVersion(x, 2); }").unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::Return(Expr::TradeoffCall(name, args)) => {
+                assert_eq!(name, "sqrtVersion");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantize_parses() {
+        let p = parse("fn f(x) { return quantize prec(x + 1); }").unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::Return(Expr::TradeoffCast(name, inner)) => {
+                assert_eq!(name, "prec");
+                assert!(matches!(**inner, Expr::Bin(BinOp::Add, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn else_if_chain() {
+        let p = parse(
+            "fn f(x) { if (x < 0) { return 0; } else if (x < 10) { return 1; } else { return 2; } }",
+        )
+        .unwrap();
+        assert_eq!(p.functions.len(), 1);
+    }
+}

@@ -1,0 +1,296 @@
+//! Module-level IR verification.
+//!
+//! [`lower::validate`](crate::lower::validate) checks one function's block
+//! structure; this pass checks whole-module invariants the pipeline relies
+//! on between phases:
+//!
+//! - every direct call targets a defined function or a known host
+//!   intrinsic, with matching arity for defined functions;
+//! - metadata referential integrity: each state dependence's `compute_fn`
+//!   (and `aux_fn`, once the middle-end ran) exists; every name in
+//!   `aux_tradeoffs` has a tradeoff row; every tradeoff row's
+//!   `cloned_from`/`owner_dep` references exist; computed rows point at a
+//!   defined `getValue` function;
+//! - every tradeoff referenced by instructions has a metadata row (before
+//!   the back-end) — after instantiation, [`verify_instantiated`] instead
+//!   requires that *no* placeholder survived.
+
+use std::collections::HashSet;
+
+use crate::ir::{Function, Inst, Module};
+
+/// Host intrinsics the interpreter provides (calls to these are legal
+/// without a module definition).
+pub const INTRINSICS: &[&str] = &["sqrt", "abs", "min", "max", "exp", "ln", "pow", "floor"];
+
+/// A verification failure, with the offending item named.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "verify: {}", self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+fn err(message: String) -> VerifyError {
+    VerifyError { message }
+}
+
+fn check_calls(module: &Module, f: &Function) -> Result<(), VerifyError> {
+    for inst in f.insts() {
+        if let Inst::Call { callee, args, .. } = inst {
+            if INTRINSICS.contains(&callee.as_str()) {
+                continue;
+            }
+            match module.function(callee) {
+                None => {
+                    return Err(err(format!(
+                        "`{}` calls undefined function `{callee}`",
+                        f.name
+                    )))
+                }
+                Some(target) if target.params.len() != args.len() => {
+                    return Err(err(format!(
+                        "`{}` calls `{callee}` with {} arguments; it takes {}",
+                        f.name,
+                        args.len(),
+                        target.params.len()
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verify a module in its pre-instantiation state (front-end or middle-end
+/// output): calls resolve and metadata is internally consistent.
+pub fn verify(module: &Module) -> Result<(), VerifyError> {
+    let tradeoff_names: HashSet<&str> = module
+        .metadata
+        .tradeoffs
+        .iter()
+        .map(|t| t.name.as_str())
+        .collect();
+
+    for f in module.functions() {
+        crate::lower::validate(f)
+            .map_err(|e| err(format!("{}: {e}", f.name)))?;
+        check_calls(module, f)?;
+        for t in f.tradeoff_refs() {
+            if !tradeoff_names.contains(t.as_str()) {
+                return Err(err(format!(
+                    "`{}` references tradeoff `{t}` with no metadata row",
+                    f.name
+                )));
+            }
+        }
+    }
+
+    for row in &module.metadata.tradeoffs {
+        if row.default_index < 0 || row.default_index >= row.max_index {
+            return Err(err(format!(
+                "tradeoff `{}`: default index {} outside 0..{}",
+                row.name, row.default_index, row.max_index
+            )));
+        }
+        if let crate::metadata::TradeoffValues::Computed { get_value_fn } = &row.values {
+            if module.function(get_value_fn).is_none() {
+                return Err(err(format!(
+                    "tradeoff `{}`: getValue function `{get_value_fn}` missing",
+                    row.name
+                )));
+            }
+        }
+        if let Some(orig) = &row.cloned_from {
+            // The original row is deleted by the middle-end; only require
+            // the owner dependence to exist.
+            let _ = orig;
+            match &row.owner_dep {
+                Some(dep) if module.metadata.state_dep(dep).is_some() => {}
+                Some(dep) => {
+                    return Err(err(format!(
+                        "tradeoff `{}` owned by unknown dependence `{dep}`",
+                        row.name
+                    )))
+                }
+                None => {
+                    return Err(err(format!(
+                        "cloned tradeoff `{}` has no owner dependence",
+                        row.name
+                    )))
+                }
+            }
+        }
+    }
+
+    for dep in &module.metadata.state_deps {
+        if module.function(&dep.compute_fn).is_none() {
+            return Err(err(format!(
+                "dependence `{}`: compute function `{}` missing",
+                dep.name, dep.compute_fn
+            )));
+        }
+        if let Some(aux) = &dep.aux_fn {
+            if module.function(aux).is_none() {
+                return Err(err(format!(
+                    "dependence `{}`: auxiliary function `{aux}` missing",
+                    dep.name
+                )));
+            }
+        }
+        for t in &dep.aux_tradeoffs {
+            if !tradeoff_names.contains(t.as_str()) {
+                return Err(err(format!(
+                    "dependence `{}` lists unknown auxiliary tradeoff `{t}`",
+                    dep.name
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verify a back-end output: everything [`verify`] checks, plus no
+/// tradeoff placeholder of any kind survived instantiation.
+pub fn verify_instantiated(module: &Module) -> Result<(), VerifyError> {
+    verify(module)?;
+    for f in module.functions() {
+        let refs = f.tradeoff_refs();
+        if !refs.is_empty() {
+            return Err(err(format!(
+                "`{}` still contains tradeoff placeholders after \
+                 instantiation: {refs:?}",
+                f.name
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{self, DepConfig};
+    use crate::frontend::compile;
+    use crate::midend;
+
+    const SRC: &str = r#"
+        tradeoff layers { max_index = 10; default_index = 4; value(i) = i + 1; }
+        state_dependence d { compute = step; }
+        fn helper(x) { return x * tradeoff layers; }
+        fn step(v) { return helper(v) + sqrt(v); }
+    "#;
+
+    #[test]
+    fn frontend_and_midend_outputs_verify() {
+        let compiled = compile(SRC).unwrap();
+        verify(&compiled.module).unwrap();
+        let module = midend::run(compiled).unwrap();
+        verify(&module).unwrap();
+    }
+
+    #[test]
+    fn instantiated_output_verifies() {
+        let module = midend::run(compile(SRC).unwrap()).unwrap();
+        let cfg: DepConfig = [("d".to_string(), vec![3])].into_iter().collect();
+        let binary = backend::instantiate(&module, &cfg).unwrap();
+        verify_instantiated(&binary).unwrap();
+    }
+
+    #[test]
+    fn pre_instantiation_module_fails_instantiated_check() {
+        let module = midend::run(compile(SRC).unwrap()).unwrap();
+        let e = verify_instantiated(&module).unwrap_err();
+        assert!(e.message.contains("placeholders"));
+    }
+
+    #[test]
+    fn undefined_call_detected() {
+        use crate::ir::{BlockId, Function, Inst};
+        let mut m = Module::new();
+        let mut f = Function::new("f", 0);
+        f.push(
+            BlockId(0),
+            Inst::Call {
+                dst: None,
+                callee: "ghost".into(),
+                args: vec![],
+            },
+        );
+        f.push(BlockId(0), Inst::Ret { value: None });
+        m.add_function(f);
+        let e = verify(&m).unwrap_err();
+        assert!(e.message.contains("ghost"));
+    }
+
+    #[test]
+    fn call_arity_detected() {
+        use crate::ir::{BlockId, Function, Inst, Operand};
+        let mut m = Module::new();
+        m.add_function(Function::new("g", 2));
+        // g has no terminator -> give it one.
+        m.function_mut("g")
+            .unwrap()
+            .push(BlockId(0), Inst::Ret { value: None });
+        let mut f = Function::new("f", 0);
+        f.push(
+            BlockId(0),
+            Inst::Call {
+                dst: None,
+                callee: "g".into(),
+                args: vec![Operand::ImmInt(1)],
+            },
+        );
+        f.push(BlockId(0), Inst::Ret { value: None });
+        m.add_function(f);
+        let e = verify(&m).unwrap_err();
+        assert!(e.message.contains("takes 2"));
+    }
+
+    #[test]
+    fn dangling_metadata_detected() {
+        use crate::metadata::StateDepMeta;
+        let mut m = Module::new();
+        m.metadata.state_deps.push(StateDepMeta {
+            name: "d".into(),
+            compute_fn: "missing".into(),
+            aux_fn: None,
+            aux_tradeoffs: vec![],
+        });
+        let e = verify(&m).unwrap_err();
+        assert!(e.message.contains("missing"));
+    }
+
+    #[test]
+    fn orphan_tradeoff_reference_detected() {
+        let mut m = Module::new();
+        use crate::ir::{BlockId, Function, Inst};
+        let mut f = Function::new("f", 0);
+        let dst = f.fresh_reg();
+        f.push(
+            BlockId(0),
+            Inst::TradeoffRef {
+                dst,
+                tradeoff: "nowhere".into(),
+            },
+        );
+        f.push(BlockId(0), Inst::Ret { value: Some(dst.into()) });
+        m.add_function(f);
+        let e = verify(&m).unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn intrinsics_need_no_definition() {
+        let m = midend::run(compile("fn f(x) { return max(x, floor(x)); }").unwrap()).unwrap();
+        verify(&m).unwrap();
+    }
+}

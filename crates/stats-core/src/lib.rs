@@ -1,0 +1,85 @@
+//! STATS runtime core: state dependences, tradeoffs, and speculation.
+//!
+//! This crate implements the paper's primary contribution:
+//!
+//! - the **State Dependence Interface** (SDI, paper Figure 9): the
+//!   [`StateTransition`] trait (the `computeOutput(Input, State) -> Output`
+//!   pattern of Figure 4) plus [`SpecState`] (state cloning via `Clone` and
+//!   the developer-provided `doesSpecStateMatchAny` comparison), and the
+//!   [`StateDependence`] object with `start()`/`join()`;
+//! - the **Tradeoff Interface** (TI, paper Figure 10): [`TradeoffOptions`]
+//!   with `max_index`/`value`/`default_index`, and [`TradeoffBindings`]
+//!   resolving tradeoff references inside (auxiliary) code;
+//! - the **execution model** of §3.1: grouping inputs into blocks, running
+//!   groups in parallel from auxiliary speculative states, validating the
+//!   speculative state against a growing set of original nondeterministic
+//!   final states, re-executing the previous group's tail on mismatch, and
+//!   aborting (squashing outputs, falling back to sequential execution) when
+//!   the re-execution budget is exhausted;
+//! - a real thread-pool **runtime** executing that model with OS threads,
+//!   and a **trace executor** recording the same execution as a task graph
+//!   so that the `stats-sim` platform model can replay it on a simulated
+//!   28-core machine.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use stats_core::{
+//!     InvocationCtx, SpecConfig, SpecState, StateDependence, StateTransition,
+//! };
+//!
+//! // A toy nondeterministic computation: a random walk whose state is the
+//! // current position. Any position within a tolerance is "the same".
+//! #[derive(Clone, Debug)]
+//! struct Walk(f64);
+//! impl SpecState for Walk {
+//!     fn matches_any(&self, originals: &[Self]) -> bool {
+//!         originals.iter().any(|o| (o.0 - self.0).abs() < 1e3)
+//!     }
+//! }
+//!
+//! struct Step;
+//! impl StateTransition for Step {
+//!     type Input = f64;
+//!     type State = Walk;
+//!     type Output = f64;
+//!     fn compute_output(
+//!         &self,
+//!         input: &f64,
+//!         state: &mut Walk,
+//!         ctx: &mut InvocationCtx,
+//!     ) -> f64 {
+//!         let noise = ctx.normal(0.0, 1.0);
+//!         state.0 += input + noise;
+//!         ctx.charge(1.0);
+//!         state.0
+//!     }
+//! }
+//!
+//! let inputs: Vec<f64> = (0..16).map(|i| i as f64).collect();
+//! let dep = StateDependence::new(inputs, Walk(0.0), Step)
+//!     .with_config(SpecConfig { group_size: 4, ..SpecConfig::default() });
+//! let outcome = dep.run(42);
+//! assert_eq!(outcome.outputs.len(), 16);
+//! ```
+
+#![deny(missing_docs)]
+
+mod ctx;
+mod pool;
+mod protocol;
+mod runtime;
+mod sdi;
+mod tradeoff;
+
+pub use ctx::{InvocationCtx, WorkMeter};
+pub use pool::ThreadPool;
+pub use protocol::{
+    run_protocol, run_protocol_segmented, GroupRecord, GroupResolution, ProtocolResult, SpecConfig, SpecReport,
+    SpecTrace, TraceNode, TraceNodeKind,
+};
+pub use runtime::{SpecOutcome, StateDependence};
+pub use sdi::{ExactState, SpecState, StateTransition};
+pub use tradeoff::{
+    EnumeratedTradeoff, ScalarType, TradeoffBindings, TradeoffOptions, TradeoffValue,
+};

@@ -1,0 +1,309 @@
+//! A fixed-size, work-stealing thread pool.
+//!
+//! The paper's runtime "includes an efficient thread pool implementation
+//! (shared with all state dependences) to minimize thread creation
+//! overhead". This pool is created once and shared. Jobs are distributed
+//! over per-worker deques (`crossbeam-deque`): each worker pops from its
+//! own queue, falls back to the shared injector, and finally steals from
+//! siblings — the standard work-stealing discipline, which keeps group
+//! executions balanced even when their costs are skewed (e.g. groups with
+//! different auxiliary windows). [`ThreadPool::scope`] provides structured
+//! completion: wait until every job submitted in the scope has finished.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    /// Jobs submitted but not yet finished; also the shutdown flag home.
+    live: Mutex<PoolState>,
+    wake: Condvar,
+}
+
+struct PoolState {
+    pending: usize,
+    shutdown: bool,
+}
+
+/// A fixed-size pool of worker threads executing submitted closures with
+/// work stealing.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let locals: Vec<Worker<Job>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+        let stealers = locals.iter().map(Worker::stealer).collect();
+        let shared = Arc::new(PoolShared {
+            injector: Injector::new(),
+            stealers,
+            live: Mutex::new(PoolState {
+                pending: 0,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+        });
+
+        let mut workers = Vec::with_capacity(threads);
+        for (i, local) in locals.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("stats-worker-{i}"))
+                .spawn(move || worker_loop(i, local, shared))
+                .expect("failed to spawn worker thread");
+            workers.push(handle);
+        }
+        ThreadPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit a fire-and-forget job.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        {
+            let mut state = self.shared.live.lock();
+            assert!(!state.shutdown, "pool is shut down");
+            state.pending += 1;
+        }
+        self.shared.injector.push(Box::new(job));
+        self.shared.wake.notify_all();
+    }
+
+    /// Run a batch of jobs and wait for all of them to complete.
+    ///
+    /// Jobs receive their index. Panics in jobs are contained per-worker and
+    /// surface as a panic here once the scope completes accounting.
+    pub fn scope<F>(&self, jobs: Vec<F>)
+    where
+        F: FnOnce(usize) + Send + 'static,
+    {
+        let total = jobs.len();
+        if total == 0 {
+            return;
+        }
+        let done = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let panicked = Arc::new(AtomicUsize::new(0));
+        for (i, job) in jobs.into_iter().enumerate() {
+            let done = Arc::clone(&done);
+            let panicked = Arc::clone(&panicked);
+            self.execute(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    job(i);
+                }));
+                if result.is_err() {
+                    panicked.fetch_add(1, Ordering::SeqCst);
+                }
+                let (lock, cvar) = &*done;
+                let mut count = lock.lock();
+                *count += 1;
+                cvar.notify_all();
+            });
+        }
+        let (lock, cvar) = &*done;
+        let mut count = lock.lock();
+        while *count < total {
+            cvar.wait(&mut count);
+        }
+        let panics = panicked.load(Ordering::SeqCst);
+        assert!(panics == 0, "{panics} job(s) panicked in ThreadPool::scope");
+    }
+}
+
+fn find_job(idx: usize, local: &Worker<Job>, shared: &PoolShared) -> Option<Job> {
+    // Own queue first, then the injector (refilling the local queue), then
+    // steal from siblings.
+    if let Some(job) = local.pop() {
+        return Some(job);
+    }
+    loop {
+        let steal = shared.injector.steal_batch_and_pop(local);
+        if let crossbeam::deque::Steal::Success(job) = steal {
+            return Some(job);
+        }
+        if steal.is_empty() {
+            break;
+        } // Retry on contention.
+    }
+    for (j, stealer) in shared.stealers.iter().enumerate() {
+        if j == idx {
+            continue;
+        }
+        loop {
+            match stealer.steal() {
+                crossbeam::deque::Steal::Success(job) => return Some(job),
+                crossbeam::deque::Steal::Empty => break,
+                crossbeam::deque::Steal::Retry => continue,
+            }
+        }
+    }
+    None
+}
+
+fn worker_loop(idx: usize, local: Worker<Job>, shared: Arc<PoolShared>) {
+    loop {
+        if let Some(job) = find_job(idx, &local, &shared) {
+            job();
+            let mut state = shared.live.lock();
+            state.pending -= 1;
+            drop(state);
+            shared.wake.notify_all();
+            continue;
+        }
+        // Nothing runnable: park until new work or shutdown.
+        let mut state = shared.live.lock();
+        if state.shutdown && state.pending == 0 {
+            return;
+        }
+        if state.pending == 0
+            || (find_nothing_hint(&shared) && !state.shutdown)
+        {
+            shared.wake.wait_for(&mut state, std::time::Duration::from_millis(1));
+        }
+        if state.shutdown && state.pending == 0 {
+            return;
+        }
+    }
+}
+
+/// Cheap emptiness hint (racy by design; the wait above has a timeout).
+fn find_nothing_hint(shared: &PoolShared) -> bool {
+    shared.injector.is_empty() && shared.stealers.iter().all(Stealer::is_empty)
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.live.lock();
+            state.shutdown = true;
+        }
+        self.shared.wake.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        let jobs: Vec<_> = (0..100)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                move |_i: usize| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+            .collect();
+        pool.scope(jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn job_indices_are_distinct() {
+        let pool = ThreadPool::new(3);
+        let seen = Arc::new(Mutex::new(vec![false; 50]));
+        let jobs: Vec<_> = (0..50)
+            .map(|_| {
+                let seen = Arc::clone(&seen);
+                move |i: usize| {
+                    seen.lock()[i] = true;
+                }
+            })
+            .collect();
+        pool.scope(jobs);
+        assert!(seen.lock().iter().all(|&b| b));
+    }
+
+    #[test]
+    fn empty_scope_returns_immediately() {
+        let pool = ThreadPool::new(2);
+        pool.scope(Vec::<fn(usize)>::new());
+    }
+
+    #[test]
+    fn pool_reusable_across_scopes() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..5 {
+            let c = Arc::clone(&counter);
+            pool.scope(vec![move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+            }]);
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn at_least_one_thread() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked in ThreadPool::scope")]
+    fn job_panic_propagates() {
+        let pool = ThreadPool::new(2);
+        pool.scope(vec![|_i: usize| panic!("boom")]);
+    }
+
+    #[test]
+    fn skewed_job_costs_balance_via_stealing() {
+        // One long job + many short ones: total wall time must be far below
+        // the serial sum, i.e. short jobs ran on other workers while one
+        // worker was stuck with the long job.
+        let pool = ThreadPool::new(4);
+        let start = std::time::Instant::now();
+        let jobs: Vec<_> = (0..40)
+            .map(|i| {
+                move |_idx: usize| {
+                    let ms = if i == 0 { 60 } else { 3 };
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+            })
+            .collect();
+        pool.scope(jobs);
+        let elapsed = start.elapsed();
+        // Serial: 60 + 39*3 = 177ms. Balanced on 4 workers: ~60-110ms.
+        assert!(
+            elapsed.as_millis() < 160,
+            "no overlap: {}ms",
+            elapsed.as_millis()
+        );
+    }
+
+    #[test]
+    fn drop_completes_outstanding_work() {
+        let counter = Arc::new(AtomicU64::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..20 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Dropping the pool waits for workers to drain.
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+    }
+}

@@ -1,0 +1,1257 @@
+//! The STATS execution model (paper §3.1) as a deterministic protocol.
+//!
+//! [`run_protocol`] is the reference implementation of the execution model:
+//! inputs are grouped into ordered blocks; every block after the first
+//! starts from a *speculative* state produced by auxiliary code; when the
+//! previous block finishes, its final state is compared against the
+//! speculative one. On mismatch the previous block's tail re-executes (the
+//! nondeterministic producer may reach a different final state) up to a
+//! budget; if no match is found, all subsequent blocks abort, their outputs
+//! are squashed, and the remaining inputs are processed sequentially with no
+//! further speculation.
+//!
+//! The function is *sequential* but records a [`SpecTrace`]: a task graph of
+//! everything that executed (auxiliary runs, speculative invocations,
+//! validations, re-executions, the post-abort sequential tail) with work
+//! costs and dependence edges. Because every invocation's PRVG is seeded
+//! from its coordinates, the real thread-pool runtime
+//! ([`StateDependence`](crate::StateDependence)) produces byte-identical
+//! outputs, and the simulated platform (`stats-sim`) can replay the trace on
+//! any number of virtual cores.
+
+use std::fmt;
+
+use crate::ctx::{InvocationCtx, WorkMeter};
+use crate::sdi::{SpecState, StateTransition};
+use crate::tradeoff::TradeoffBindings;
+
+/// Salt mixed into the run seed for auxiliary-code PRVG streams, so the
+/// auxiliary producer never replays the original code's randomness.
+const AUX_SEED_SALT: u64 = 0xA0C1_11A2_7E57_5EED;
+
+/// A point in the state space for one state dependence (paper §3.3): how to
+/// group inputs, how much history the auxiliary code consumes, and the
+/// runtime's re-execution/rollback budgets.
+#[derive(Debug, Clone)]
+pub struct SpecConfig {
+    /// Block cardinality `G`. `0`, `1`, or a value at least the input count
+    /// disables speculation (a single sequential block).
+    pub group_size: usize,
+    /// How many previous inputs the auxiliary code consumes (`W`), starting
+    /// from the initial state.
+    pub window: usize,
+    /// Maximum number of times the runtime may re-execute the original
+    /// producer of a state dependence (`R`).
+    pub max_reexec: usize,
+    /// How many inputs the previous group goes back when re-executing (`D`);
+    /// clamped to the group length, minimum 1.
+    pub rollback: usize,
+    /// Master switch: when false, the dependence is satisfied conventionally
+    /// (no auxiliary code), which is also what the autotuner chooses when
+    /// speculation never pays (e.g. `fluidanimate`).
+    pub speculate: bool,
+    /// Work units charged for one state comparison.
+    pub validation_cost: f64,
+    /// Tradeoff bindings in effect inside auxiliary code (cloned tradeoffs,
+    /// set by the back-end compiler from the autotuner's configuration).
+    pub aux_bindings: TradeoffBindings,
+    /// Tradeoff bindings for original code (always the defaults).
+    pub orig_bindings: TradeoffBindings,
+}
+
+impl Default for SpecConfig {
+    fn default() -> Self {
+        SpecConfig {
+            group_size: 8,
+            window: 2,
+            max_reexec: 2,
+            rollback: 2,
+            speculate: true,
+            validation_cost: 1.0,
+            aux_bindings: TradeoffBindings::new(),
+            orig_bindings: TradeoffBindings::new(),
+        }
+    }
+}
+
+impl SpecConfig {
+    /// A configuration with speculation disabled: the paper's baseline
+    /// semantics (every state dependence satisfied conventionally).
+    pub fn sequential() -> Self {
+        SpecConfig {
+            speculate: false,
+            ..SpecConfig::default()
+        }
+    }
+
+    /// Check the configuration for values that are legal but almost
+    /// certainly mistakes, returning human-readable diagnostics. The
+    /// protocol accepts any configuration (clamping internally); these
+    /// warnings exist for tools that surface configurations to users.
+    pub fn lint(&self) -> Vec<String> {
+        let mut warnings = Vec::new();
+        if self.speculate && self.group_size <= 1 {
+            warnings.push(
+                "group_size <= 1 disables speculation despite speculate=true".to_string(),
+            );
+        }
+        if self.speculate && self.window == 0 {
+            warnings.push(
+                "window = 0 gives auxiliary code no inputs: the speculative                  state is the initial state, which rarely matches"
+                    .to_string(),
+            );
+        }
+        if self.speculate && self.window > 4 * self.group_size.max(1) {
+            warnings.push(format!(
+                "window ({}) much larger than group_size ({}): auxiliary code                  costs more than the work it overlaps",
+                self.window, self.group_size
+            ));
+        }
+        if self.rollback == 0 {
+            warnings.push("rollback = 0 is clamped to 1 at run time".to_string());
+        }
+        if self.validation_cost < 0.0 {
+            warnings.push("validation_cost is negative".to_string());
+        }
+        warnings
+    }
+
+    /// The effective group size for `n` inputs (see [`SpecConfig::group_size`]).
+    pub fn effective_group_size(&self, n: usize) -> usize {
+        if !self.speculate || self.group_size <= 1 || self.group_size >= n {
+            n
+        } else {
+            self.group_size
+        }
+    }
+}
+
+/// What kind of work a trace node represents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceNodeKind {
+    /// One auxiliary-code run producing the speculative start state of
+    /// `group` (internally a chain over the window inputs, summed).
+    Auxiliary {
+        /// The group whose start state this run produces.
+        group: usize,
+    },
+    /// One invocation of the original `compute_output`.
+    Invocation {
+        /// The group the input belongs to.
+        group: usize,
+        /// Absolute input index.
+        index: usize,
+        /// Re-execution attempt (0 = first execution).
+        attempt: usize,
+        /// Whether the invocation ran in the post-abort sequential tail.
+        sequential_tail: bool,
+    },
+    /// One state comparison (`does_spec_state_match_any`).
+    Validation {
+        /// The speculative group being validated.
+        group: usize,
+        /// Which comparison attempt this is (0 = against the first original).
+        attempt: usize,
+    },
+}
+
+/// One node of a [`SpecTrace`]: a unit of executed work with dependences.
+#[derive(Debug, Clone)]
+pub struct TraceNode {
+    /// What the node did.
+    pub kind: TraceNodeKind,
+    /// Work performed (CPU + memory-bound split).
+    pub work: WorkMeter,
+    /// Indices of trace nodes that must finish before this one starts.
+    pub deps: Vec<usize>,
+    /// Whether the node's results were committed (false = squashed work).
+    pub committed: bool,
+}
+
+/// The recorded execution: every piece of work the protocol performed, with
+/// dependence edges reflecting the execution model's parallelism.
+#[derive(Debug, Clone, Default)]
+pub struct SpecTrace {
+    /// Nodes in execution-discovery order; `deps` refer to indices herein.
+    pub nodes: Vec<TraceNode>,
+}
+
+impl SpecTrace {
+    fn push(&mut self, kind: TraceNodeKind, work: WorkMeter, deps: Vec<usize>) -> usize {
+        self.nodes.push(TraceNode {
+            kind,
+            work,
+            deps,
+            committed: true,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Total work units across all nodes (committed and squashed).
+    pub fn total_work(&self) -> f64 {
+        self.nodes.iter().map(|n| n.work.total).sum()
+    }
+
+    /// Work units of committed nodes only.
+    pub fn committed_work(&self) -> f64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.committed)
+            .map(|n| n.work.total)
+            .sum()
+    }
+}
+
+/// How a group of inputs was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupResolution {
+    /// The group was never speculative (group 0, or speculation disabled).
+    NonSpeculative,
+    /// The speculative state matched an original; outputs committed.
+    Committed {
+        /// How many re-executions of the previous group were needed.
+        reexecutions: usize,
+    },
+    /// No match within the budget; the group (and all later ones) aborted.
+    Aborted,
+    /// The group's inputs were processed in the post-abort sequential tail.
+    SequentialTail,
+}
+
+/// Per-group outcome record.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupRecord {
+    /// First absolute input index of the group.
+    pub start: usize,
+    /// One past the last absolute input index of the group.
+    pub end: usize,
+    /// Resolution of the group.
+    pub resolution: GroupResolution,
+}
+
+/// Aggregate statistics of one protocol run.
+#[derive(Debug, Clone, Default)]
+pub struct SpecReport {
+    /// Per-group outcomes, in input order.
+    pub groups: Vec<GroupRecord>,
+    /// Total re-executions of original producers.
+    pub reexecutions: usize,
+    /// Total state comparisons performed.
+    pub validations: usize,
+    /// Whether an abort occurred.
+    pub aborted: bool,
+    /// Work units of committed original-code invocations.
+    pub committed_original_work: f64,
+    /// Work units of committed auxiliary code (the "extra committed
+    /// instructions" of Table 1, together with re-execution work).
+    pub committed_aux_work: f64,
+    /// Work units squashed (aborted speculative groups, failed re-executions).
+    pub squashed_work: f64,
+}
+
+impl SpecReport {
+    /// Number of groups that committed speculatively.
+    pub fn committed_speculative_groups(&self) -> usize {
+        self.groups
+            .iter()
+            .filter(|g| matches!(g.resolution, GroupResolution::Committed { .. }))
+            .count()
+    }
+
+    /// Extra committed work (auxiliary code) relative to the committed
+    /// original work — Table 1's "extra committed x86_64 instructions".
+    pub fn extra_committed_fraction(&self) -> f64 {
+        if self.committed_original_work > 0.0 {
+            self.committed_aux_work / self.committed_original_work
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The complete result of a protocol run.
+pub struct ProtocolResult<T: StateTransition> {
+    /// Committed outputs, one per input, in input order.
+    pub outputs: Vec<T::Output>,
+    /// The committed final state after the last input.
+    pub final_state: T::State,
+    /// Aggregate statistics.
+    pub report: SpecReport,
+    /// The recorded task graph.
+    pub trace: SpecTrace,
+}
+
+struct GroupRun<T: StateTransition> {
+    start: usize,
+    end: usize,
+    /// State checkpoint taken `rollback` inputs before the end (attempt 0).
+    checkpoint: T::State,
+    /// Final state of attempt 0 — "the first not-speculative state".
+    final_state: T::State,
+    /// Trace node of the last invocation in the group's main chain.
+    last_node: usize,
+    /// Trace node indices of the group's main chain (aux + invocations).
+    chain_nodes: Vec<usize>,
+    /// The speculative start state the group consumed (None for group 0).
+    spec_start: Option<T::State>,
+}
+
+/// Identity of one group to execute (input range and position).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GroupSpec {
+    pub(crate) k: usize,
+    pub(crate) start: usize,
+    pub(crate) end: usize,
+    pub(crate) speculative: bool,
+}
+
+/// Everything one group execution produces. Pure data: group executions are
+/// mutually independent, which is exactly why they may run on real threads.
+pub(crate) struct GroupData<T: StateTransition> {
+    spec: GroupSpec,
+    aux_work: Option<WorkMeter>,
+    spec_start: Option<T::State>,
+    checkpoint: T::State,
+    final_state: T::State,
+    outputs: Vec<T::Output>,
+    works: Vec<WorkMeter>,
+}
+
+/// Execute one group: auxiliary code (for speculative groups) followed by
+/// the chained invocations over the group's inputs. Thread-safe and
+/// deterministic given `run_seed`.
+// Loop indices below are *absolute input positions* fed to the PRVG seed
+// derivation, not mere subscripts: iterator rewrites would obscure that.
+#[allow(clippy::needless_range_loop)]
+pub(crate) fn execute_group<T: StateTransition>(
+    transition: &T,
+    inputs: &[T::Input],
+    initial: &T::State,
+    config: &SpecConfig,
+    run_seed: u64,
+    spec: GroupSpec,
+) -> GroupData<T> {
+    let GroupSpec { k, start, end, speculative } = spec;
+    let len = end - start;
+    let rollback = config.rollback.clamp(1, len);
+
+    let (mut state, aux_work, spec_start) = if !speculative {
+        (initial.clone(), None, None)
+    } else {
+        // Auxiliary code: from the initial state, consume the last
+        // `window` inputs before `start` with the auxiliary bindings.
+        let mut aux_state = initial.clone();
+        let mut aux_work = WorkMeter::default();
+        let w_start = start.saturating_sub(config.window);
+        for i in w_start..start {
+            let (_out, m) = run_invocation(
+                transition,
+                &inputs[i],
+                &mut aux_state,
+                run_seed,
+                k as u64,
+                i as u64,
+                0,
+                &config.aux_bindings,
+                true,
+            );
+            aux_work.total += m.total;
+            aux_work.memory += m.memory;
+        }
+        (aux_state.clone(), Some(aux_work), Some(aux_state))
+    };
+
+    let mut checkpoint = state.clone();
+    let mut outputs = Vec::with_capacity(len);
+    let mut works = Vec::with_capacity(len);
+    for i in start..end {
+        if i == end - rollback {
+            checkpoint = state.clone();
+        }
+        let (out, m) = run_invocation(
+            transition,
+            &inputs[i],
+            &mut state,
+            run_seed,
+            k as u64,
+            i as u64,
+            0,
+            &config.orig_bindings,
+            false,
+        );
+        outputs.push(out);
+        works.push(m);
+    }
+
+    GroupData {
+        spec,
+        aux_work,
+        spec_start,
+        checkpoint,
+        final_state: state,
+        outputs,
+        works,
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // the invocation coordinates are the point
+fn run_invocation<T: StateTransition>(
+    transition: &T,
+    input: &T::Input,
+    state: &mut T::State,
+    run_seed: u64,
+    group: u64,
+    index: u64,
+    attempt: u64,
+    bindings: &TradeoffBindings,
+    auxiliary: bool,
+) -> (T::Output, WorkMeter) {
+    let seed_base = if auxiliary {
+        run_seed ^ AUX_SEED_SALT
+    } else {
+        run_seed
+    };
+    let seed = InvocationCtx::derive_seed(seed_base, group, index, attempt);
+    let mut ctx = InvocationCtx::new(seed, bindings.clone(), auxiliary);
+    let out = transition.compute_output(input, state, &mut ctx);
+    (out, ctx.meter())
+}
+
+/// Execute the STATS execution model over `inputs`, starting from `initial`.
+///
+/// Deterministic: all nondeterminism flows from `run_seed` through
+/// per-invocation derived seeds, so repeated calls with the same arguments
+/// produce identical outputs, reports, and traces.
+pub fn run_protocol<T: StateTransition>(
+    transition: &T,
+    inputs: &[T::Input],
+    initial: &T::State,
+    config: &SpecConfig,
+    run_seed: u64,
+) -> ProtocolResult<T> {
+    run_protocol_with(transition, inputs, initial, config, run_seed, |specs| {
+        specs
+            .iter()
+            .map(|&s| execute_group(transition, inputs, initial, config, run_seed, s))
+            .collect()
+    })
+}
+
+/// The execution model parameterized over *how* groups execute: the
+/// sequential reference path runs them in a loop; the thread-pool runtime
+/// runs them concurrently. Both feed identical [`GroupData`] into the same
+/// validation/commit/abort logic, so they cannot diverge semantically.
+#[allow(clippy::needless_range_loop)] // absolute input indices feed seed derivation
+pub(crate) fn run_protocol_with<T, F>(
+    transition: &T,
+    inputs: &[T::Input],
+    initial: &T::State,
+    config: &SpecConfig,
+    run_seed: u64,
+    exec_groups: F,
+) -> ProtocolResult<T>
+where
+    T: StateTransition,
+    F: FnOnce(&[GroupSpec]) -> Vec<GroupData<T>>,
+{
+    let n = inputs.len();
+    let mut trace = SpecTrace::default();
+    let mut report = SpecReport::default();
+    let mut outputs: Vec<Option<T::Output>> = (0..n).map(|_| None).collect();
+
+    if n == 0 {
+        return ProtocolResult {
+            outputs: Vec::new(),
+            final_state: initial.clone(),
+            report,
+            trace,
+        };
+    }
+
+    let g = config.effective_group_size(n);
+    let speculating = g < n;
+    let specs: Vec<GroupSpec> = (0..n)
+        .step_by(g)
+        .enumerate()
+        .map(|(k, start)| GroupSpec {
+            k,
+            start,
+            end: (start + g).min(n),
+            speculative: k > 0 && speculating,
+        })
+        .collect();
+
+    // ---- Phase 1: run every group (group 0 from S0, later groups from
+    // their auxiliary speculative state). The trace's dependence edges carry
+    // the parallelism regardless of how `exec_groups` scheduled the work.
+    let data = exec_groups(&specs);
+    assert_eq!(data.len(), specs.len(), "executor must run every group");
+
+    let mut runs: Vec<GroupRun<T>> = Vec::with_capacity(specs.len());
+    for d in data {
+        let GroupSpec { k, start, end, speculative } = d.spec;
+        let mut deps: Vec<usize> = Vec::new();
+        let mut chain_nodes: Vec<usize> = Vec::new();
+        if let Some(aux_work) = d.aux_work {
+            let aux_node = trace.push(TraceNodeKind::Auxiliary { group: k }, aux_work, vec![]);
+            chain_nodes.push(aux_node);
+            deps.push(aux_node);
+        }
+        let mut last_node = usize::MAX;
+        for (off, (out, m)) in d.outputs.into_iter().zip(d.works).enumerate() {
+            let i = start + off;
+            let node = trace.push(
+                TraceNodeKind::Invocation {
+                    group: k,
+                    index: i,
+                    attempt: 0,
+                    sequential_tail: false,
+                },
+                m,
+                deps.clone(),
+            );
+            outputs[i] = Some(out);
+            chain_nodes.push(node);
+            deps = vec![node];
+            last_node = node;
+        }
+
+        runs.push(GroupRun {
+            start,
+            end,
+            checkpoint: d.checkpoint,
+            final_state: d.final_state,
+            last_node,
+            chain_nodes,
+            spec_start: d.spec_start,
+        });
+        report.groups.push(GroupRecord {
+            start,
+            end,
+            resolution: if speculative {
+                GroupResolution::Committed { reexecutions: 0 } // provisional
+            } else {
+                GroupResolution::NonSpeculative
+            },
+        });
+    }
+
+    // ---- Phase 2: validate speculative groups in order.
+    let mut abort_at: Option<usize> = None;
+    let mut prev_commit_gate: Option<usize> = None; // validation node of group k-1
+    for k in 1..runs.len() {
+        if abort_at.is_some() {
+            break;
+        }
+        let spec = runs[k]
+            .spec_start
+            .clone()
+            .expect("speculative group has a start state");
+        let aux_node = runs[k].chain_nodes[0];
+        let rollback = config.rollback.clamp(1, runs[k - 1].end - runs[k - 1].start);
+
+        let mut originals = vec![runs[k - 1].final_state.clone()];
+        let mut val_deps = vec![runs[k - 1].last_node, aux_node];
+        if let Some(gate) = prev_commit_gate {
+            val_deps.push(gate);
+        }
+        let mut val_node = trace.push(
+            TraceNodeKind::Validation { group: k, attempt: 0 },
+            WorkMeter {
+                total: config.validation_cost,
+                memory: 0.0,
+            },
+            val_deps,
+        );
+        report.validations += 1;
+        let mut matched = spec.matches_any(&originals);
+        let mut attempts = 0usize;
+
+        while !matched && attempts < config.max_reexec {
+            attempts += 1;
+            report.reexecutions += 1;
+            // Re-execute the previous group's last `rollback` inputs from
+            // the checkpoint, with fresh PRVG streams.
+            let mut state = runs[k - 1].checkpoint.clone();
+            let re_start = runs[k - 1].end - rollback;
+            let mut deps = vec![val_node];
+            let mut tail_outputs: Vec<T::Output> = Vec::with_capacity(rollback);
+            let mut tail_nodes: Vec<usize> = Vec::new();
+            for i in re_start..runs[k - 1].end {
+                let (out, m) = run_invocation(
+                    transition,
+                    &inputs[i],
+                    &mut state,
+                    run_seed,
+                    (k - 1) as u64,
+                    i as u64,
+                    attempts as u64,
+                    &config.orig_bindings,
+                    false,
+                );
+                let node = trace.push(
+                    TraceNodeKind::Invocation {
+                        group: k - 1,
+                        index: i,
+                        attempt: attempts,
+                        sequential_tail: false,
+                    },
+                    m,
+                    deps,
+                );
+                tail_outputs.push(out);
+                tail_nodes.push(node);
+                deps = vec![node];
+            }
+            originals.push(state.clone());
+            val_node = trace.push(
+                TraceNodeKind::Validation {
+                    group: k,
+                    attempt: attempts,
+                },
+                WorkMeter {
+                    total: config.validation_cost,
+                    memory: 0.0,
+                },
+                deps,
+            );
+            report.validations += 1;
+            matched = spec.matches_any(&originals);
+            if matched {
+                // The matching original execution becomes official: its tail
+                // outputs replace attempt 0's. Earlier failed attempts stay
+                // squashed; mark only this attempt's nodes committed (they
+                // already are) and attempt-0 tail nodes squashed.
+                for (off, out) in tail_outputs.into_iter().enumerate() {
+                    outputs[re_start + off] = Some(out);
+                }
+                // Squash the attempt-0 tail of the previous group.
+                let prev = &runs[k - 1];
+                let chain_len = prev.chain_nodes.len();
+                for &node in &prev.chain_nodes[chain_len - rollback..] {
+                    trace.nodes[node].committed = false;
+                }
+            } else {
+                // This attempt's work is squashed.
+                for node in tail_nodes {
+                    trace.nodes[node].committed = false;
+                }
+            }
+        }
+
+        if matched {
+            report.groups[k].resolution = GroupResolution::Committed {
+                reexecutions: attempts,
+            };
+            prev_commit_gate = Some(val_node);
+        } else {
+            abort_at = Some(k);
+            report.aborted = true;
+            // Squash every group from k on (outputs and work).
+            for r in runs.iter().skip(k) {
+                for &node in &r.chain_nodes {
+                    trace.nodes[node].committed = false;
+                }
+                for slot in outputs.iter_mut().take(r.end).skip(r.start) {
+                    *slot = None;
+                }
+            }
+            // Restart from the first non-speculative state of group k-1 and
+            // process the remaining inputs sequentially, no speculation.
+            let restart = runs[k].start;
+            let mut state = runs[k - 1].final_state.clone();
+            let mut deps = vec![val_node];
+            for i in restart..n {
+                let group_of_i = i / g;
+                let (out, m) = run_invocation(
+                    transition,
+                    &inputs[i],
+                    &mut state,
+                    run_seed,
+                    group_of_i as u64,
+                    i as u64,
+                    // The sequential tail is a fresh (re-)execution of these
+                    // inputs: give it a distinct attempt number so its PRVG
+                    // streams differ from the squashed speculative run.
+                    (config.max_reexec + 1) as u64,
+                    &config.orig_bindings,
+                    false,
+                );
+                let node = trace.push(
+                    TraceNodeKind::Invocation {
+                        group: group_of_i,
+                        index: i,
+                        attempt: config.max_reexec + 1,
+                        sequential_tail: true,
+                    },
+                    m,
+                    deps,
+                );
+                outputs[i] = Some(out);
+                deps = vec![node];
+            }
+            for rec in report.groups.iter_mut().skip(k) {
+                rec.resolution = GroupResolution::SequentialTail;
+            }
+            // The final state is now the sequential tail's.
+            runs.last_mut().expect("nonempty").final_state = state;
+        }
+    }
+
+    // ---- Phase 3: accounting.
+    for node in &trace.nodes {
+        let w = node.work.total;
+        if node.committed {
+            match node.kind {
+                TraceNodeKind::Auxiliary { .. } => report.committed_aux_work += w,
+                _ => report.committed_original_work += w,
+            }
+        } else {
+            report.squashed_work += w;
+        }
+    }
+
+    let final_state = runs
+        .last()
+        .expect("at least one group")
+        .final_state
+        .clone();
+    let outputs: Vec<T::Output> = outputs
+        .into_iter()
+        .map(|o| o.expect("every input has a committed output"))
+        .collect();
+
+    ProtocolResult {
+        outputs,
+        final_state,
+        report,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sdi::ExactState;
+
+    /// Deterministic counter: state is the running sum; outputs the sum.
+    struct Sum;
+    impl StateTransition for Sum {
+        type Input = u64;
+        type State = ExactState<u64>;
+        type Output = u64;
+        fn compute_output(
+            &self,
+            input: &u64,
+            state: &mut ExactState<u64>,
+            ctx: &mut InvocationCtx,
+        ) -> u64 {
+            ctx.charge(10.0);
+            state.0 = state.0.wrapping_add(*input);
+            state.0
+        }
+    }
+
+    /// A state whose comparison always succeeds (streamcluster-style: any
+    /// speculative state is a legal original output).
+    #[derive(Clone, Debug)]
+    struct AlwaysMatch(u64);
+    impl SpecState for AlwaysMatch {
+        fn matches_any(&self, _originals: &[Self]) -> bool {
+            true
+        }
+    }
+
+    /// A state whose comparison never succeeds (forces the abort path).
+    #[derive(Clone, Debug)]
+    struct NeverMatch(u64);
+    impl SpecState for NeverMatch {
+        fn matches_any(&self, _originals: &[Self]) -> bool {
+            false
+        }
+    }
+
+    struct SumAlways;
+    impl StateTransition for SumAlways {
+        type Input = u64;
+        type State = AlwaysMatch;
+        type Output = u64;
+        fn compute_output(
+            &self,
+            input: &u64,
+            state: &mut AlwaysMatch,
+            ctx: &mut InvocationCtx,
+        ) -> u64 {
+            ctx.charge(10.0);
+            state.0 = state.0.wrapping_add(*input);
+            state.0
+        }
+    }
+
+    struct SumNever;
+    impl StateTransition for SumNever {
+        type Input = u64;
+        type State = NeverMatch;
+        type Output = u64;
+        fn compute_output(
+            &self,
+            input: &u64,
+            state: &mut NeverMatch,
+            ctx: &mut InvocationCtx,
+        ) -> u64 {
+            ctx.charge(10.0);
+            state.0 = state.0.wrapping_add(*input);
+            state.0
+        }
+    }
+
+    fn inputs(n: usize) -> Vec<u64> {
+        (1..=n as u64).collect()
+    }
+
+    #[test]
+    fn sequential_config_matches_plain_fold() {
+        let ins = inputs(10);
+        let r = run_protocol(&Sum, &ins, &ExactState(0), &SpecConfig::sequential(), 1);
+        let expected: Vec<u64> = ins
+            .iter()
+            .scan(0u64, |s, &x| {
+                *s += x;
+                Some(*s)
+            })
+            .collect();
+        assert_eq!(r.outputs, expected);
+        assert_eq!(r.final_state.0, 55);
+        assert!(!r.report.aborted);
+        assert!(r
+            .report
+            .groups
+            .iter()
+            .all(|g| g.resolution == GroupResolution::NonSpeculative));
+    }
+
+    /// "Short memory" transition: the state is just the last input seen, so
+    /// auxiliary code with any window >= 1 reproduces it exactly — the
+    /// structural property (§4.8) that makes a computation a good STATS fit.
+    struct Last;
+    impl StateTransition for Last {
+        type Input = u64;
+        type State = ExactState<u64>;
+        type Output = u64;
+        fn compute_output(
+            &self,
+            input: &u64,
+            state: &mut ExactState<u64>,
+            ctx: &mut InvocationCtx,
+        ) -> u64 {
+            ctx.charge(10.0);
+            state.0 = *input;
+            state.0
+        }
+    }
+
+    #[test]
+    fn exact_state_speculation_commits_for_short_memory_code() {
+        let ins = inputs(16);
+        let cfg = SpecConfig {
+            group_size: 4,
+            window: 1,
+            ..SpecConfig::default()
+        };
+        let r = run_protocol(&Last, &ins, &ExactState(0), &cfg, 7);
+        assert!(!r.report.aborted, "report: {:?}", r.report);
+        assert_eq!(r.report.committed_speculative_groups(), 3);
+        assert_eq!(r.outputs, ins);
+    }
+
+    #[test]
+    fn full_history_state_aborts_even_with_group_sized_window() {
+        // Sum's state is the whole prefix sum: a window covering only the
+        // previous group cannot reproduce it past the first boundary, so the
+        // second speculative group must abort (the fluidanimate situation).
+        let ins = inputs(16);
+        let cfg = SpecConfig {
+            group_size: 4,
+            window: 4,
+            ..SpecConfig::default()
+        };
+        let r = run_protocol(&Sum, &ins, &ExactState(0), &cfg, 7);
+        assert!(r.report.aborted);
+        // Group 1's window happens to cover its whole prefix, so it commits.
+        assert_eq!(
+            r.report.groups[1].resolution,
+            GroupResolution::Committed { reexecutions: 0 }
+        );
+        let expected: Vec<u64> = ins
+            .iter()
+            .scan(0u64, |s, &x| {
+                *s += x;
+                Some(*s)
+            })
+            .collect();
+        assert_eq!(r.outputs, expected);
+    }
+
+    #[test]
+    fn short_window_mismatch_aborts_exact_state() {
+        // With a window smaller than the prefix, the aux state cannot equal
+        // the exact running sum, so every validation fails and the first
+        // speculative group aborts.
+        let ins = inputs(16);
+        let cfg = SpecConfig {
+            group_size: 4,
+            window: 1,
+            max_reexec: 2,
+            ..SpecConfig::default()
+        };
+        let r = run_protocol(&Sum, &ins, &ExactState(0), &cfg, 7);
+        assert!(r.report.aborted);
+        // Outputs must still be the correct sequential results.
+        let expected: Vec<u64> = ins
+            .iter()
+            .scan(0u64, |s, &x| {
+                *s += x;
+                Some(*s)
+            })
+            .collect();
+        assert_eq!(r.outputs, expected);
+        assert_eq!(r.final_state.0, 136);
+        // Re-executions happened (deterministic code cannot change its
+        // final state, but the runtime doesn't know that).
+        assert_eq!(r.report.reexecutions, 2);
+        assert!(r.report.squashed_work > 0.0);
+    }
+
+    #[test]
+    fn always_match_commits_everything() {
+        let ins = inputs(20);
+        let cfg = SpecConfig {
+            group_size: 5,
+            window: 2,
+            ..SpecConfig::default()
+        };
+        let r = run_protocol(&SumAlways, &ins, &AlwaysMatch(0), &cfg, 3);
+        assert!(!r.report.aborted);
+        assert_eq!(r.report.committed_speculative_groups(), 3);
+        assert_eq!(r.report.reexecutions, 0);
+        assert_eq!(r.outputs.len(), 20);
+        assert!(r.report.committed_aux_work > 0.0);
+    }
+
+    #[test]
+    fn never_match_aborts_at_first_group_and_falls_back() {
+        let ins = inputs(20);
+        let cfg = SpecConfig {
+            group_size: 5,
+            window: 2,
+            max_reexec: 3,
+            ..SpecConfig::default()
+        };
+        let r = run_protocol(&SumNever, &ins, &NeverMatch(0), &cfg, 3);
+        assert!(r.report.aborted);
+        assert_eq!(r.report.reexecutions, 3);
+        // All 20 outputs exist and match the sequential fold.
+        let expected: Vec<u64> = ins
+            .iter()
+            .scan(0u64, |s, &x| {
+                *s += x;
+                Some(*s)
+            })
+            .collect();
+        assert_eq!(r.outputs, expected);
+        // Groups 1.. are sequential-tail.
+        assert!(r
+            .report
+            .groups
+            .iter()
+            .skip(1)
+            .all(|g| g.resolution == GroupResolution::SequentialTail));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let r = run_protocol(&Sum, &[], &ExactState(9), &SpecConfig::default(), 0);
+        assert!(r.outputs.is_empty());
+        assert_eq!(r.final_state.0, 9);
+    }
+
+    #[test]
+    fn single_input() {
+        let r = run_protocol(&Sum, &[5], &ExactState(0), &SpecConfig::default(), 0);
+        assert_eq!(r.outputs, vec![5]);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let ins = inputs(17);
+        let cfg = SpecConfig {
+            group_size: 4,
+            window: 2,
+            ..SpecConfig::default()
+        };
+        let a = run_protocol(&SumAlways, &ins, &AlwaysMatch(0), &cfg, 99);
+        let b = run_protocol(&SumAlways, &ins, &AlwaysMatch(0), &cfg, 99);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.trace.nodes.len(), b.trace.nodes.len());
+        assert_eq!(a.report.validations, b.report.validations);
+    }
+
+    #[test]
+    fn trace_dependences_are_backward() {
+        let ins = inputs(16);
+        let cfg = SpecConfig {
+            group_size: 4,
+            window: 2,
+            ..SpecConfig::default()
+        };
+        let r = run_protocol(&SumAlways, &ins, &AlwaysMatch(0), &cfg, 1);
+        for (i, node) in r.trace.nodes.iter().enumerate() {
+            for &d in &node.deps {
+                assert!(d < i, "node {i} depends on later node {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn speculative_groups_do_not_depend_on_previous_group_chain() {
+        // The whole point: group 1's first invocation depends only on its
+        // auxiliary node, not on group 0's invocations.
+        let ins = inputs(8);
+        let cfg = SpecConfig {
+            group_size: 4,
+            window: 1,
+            ..SpecConfig::default()
+        };
+        let r = run_protocol(&SumAlways, &ins, &AlwaysMatch(0), &cfg, 1);
+        let aux_idx = r
+            .trace
+            .nodes
+            .iter()
+            .position(|n| matches!(n.kind, TraceNodeKind::Auxiliary { group: 1 }))
+            .expect("aux node for group 1");
+        let first_g1 = r
+            .trace
+            .nodes
+            .iter()
+            .position(
+                |n| matches!(n.kind, TraceNodeKind::Invocation { group: 1, index: 4, .. }),
+            )
+            .expect("first invocation of group 1");
+        assert_eq!(r.trace.nodes[first_g1].deps, vec![aux_idx]);
+    }
+
+    #[test]
+    fn lint_flags_suspicious_configs() {
+        let ok = SpecConfig {
+            group_size: 8,
+            window: 2,
+            ..SpecConfig::default()
+        };
+        assert!(ok.lint().is_empty(), "{:?}", ok.lint());
+
+        let zero_window = SpecConfig {
+            window: 0,
+            ..SpecConfig::default()
+        };
+        assert!(zero_window.lint().iter().any(|w| w.contains("window = 0")));
+
+        let huge_window = SpecConfig {
+            group_size: 2,
+            window: 50,
+            ..SpecConfig::default()
+        };
+        assert!(huge_window.lint().iter().any(|w| w.contains("much larger")));
+
+        let tiny_group = SpecConfig {
+            group_size: 1,
+            ..SpecConfig::default()
+        };
+        assert!(tiny_group
+            .lint()
+            .iter()
+            .any(|w| w.contains("disables speculation")));
+
+        let no_rollback = SpecConfig {
+            rollback: 0,
+            ..SpecConfig::default()
+        };
+        assert!(no_rollback.lint().iter().any(|w| w.contains("rollback")));
+    }
+
+    #[test]
+    fn segmented_run_restores_speculation_after_abort() {
+        // NeverMatch aborts in every segment, but each new segment tries
+        // speculation again (visible as one abort per segment).
+        let ins = inputs(40);
+        let cfg = SpecConfig {
+            group_size: 5,
+            window: 2,
+            max_reexec: 1,
+            ..SpecConfig::default()
+        };
+        let r = run_protocol_segmented(&SumNever, &ins, &NeverMatch(0), &cfg, 3, 20);
+        assert!(r.report.aborted);
+        // 40 outputs, exact fold, final state carried across segments.
+        let expected: Vec<u64> = ins
+            .iter()
+            .scan(0u64, |s, &x| {
+                *s += x;
+                Some(*s)
+            })
+            .collect();
+        assert_eq!(r.outputs, expected);
+        assert_eq!(r.final_state.0, 820);
+        // Group ranges tile the whole input range across segments.
+        let mut covered = 0;
+        for g in &r.report.groups {
+            assert_eq!(g.start, covered);
+            covered = g.end;
+        }
+        assert_eq!(covered, 40);
+    }
+
+    #[test]
+    fn segmented_preserves_short_memory_semantics() {
+        // `Last`'s state is the most recent input: any window >= 1
+        // reproduces it, so committed speculation is exact and the final
+        // state is the last input regardless of segmentation.
+        let ins = inputs(24);
+        let cfg = SpecConfig {
+            group_size: 4,
+            window: 1,
+            ..SpecConfig::default()
+        };
+        let seg = run_protocol_segmented(&Last, &ins, &ExactState(0), &cfg, 9, 12);
+        assert!(!seg.report.aborted);
+        assert_eq!(seg.outputs, ins);
+        assert_eq!(seg.final_state.0, 24);
+        // Speculation happened in both segments.
+        assert!(seg.report.committed_speculative_groups() >= 4);
+    }
+
+    #[test]
+    fn report_display_is_informative() {
+        let ins = inputs(16);
+        let cfg = SpecConfig {
+            group_size: 4,
+            window: 2,
+            ..SpecConfig::default()
+        };
+        let r = run_protocol(&SumAlways, &ins, &AlwaysMatch(0), &cfg, 1);
+        let text = format!("{}", r.report);
+        assert!(text.contains("4 groups"));
+        assert!(text.contains("committed"));
+    }
+
+    fn assert_work_partitions(total: f64, report: &SpecReport) {
+        let sum = report.committed_original_work
+            + report.committed_aux_work
+            + report.squashed_work;
+        assert!((total - sum).abs() < 1e-9, "total {total} != parts {sum}");
+    }
+
+    #[test]
+    fn work_accounting_partitions_total_on_commit_path() {
+        let ins = inputs(20);
+        let cfg = SpecConfig {
+            group_size: 5,
+            window: 2,
+            max_reexec: 2,
+            ..SpecConfig::default()
+        };
+        let r = run_protocol(&SumAlways, &ins, &AlwaysMatch(0), &cfg, 5);
+        assert_work_partitions(r.trace.total_work(), &r.report);
+    }
+
+    #[test]
+    fn work_accounting_partitions_total_on_abort_path() {
+        let ins = inputs(20);
+        let cfg = SpecConfig {
+            group_size: 5,
+            window: 2,
+            max_reexec: 2,
+            ..SpecConfig::default()
+        };
+        let r = run_protocol(&SumNever, &ins, &NeverMatch(0), &cfg, 5);
+        assert_work_partitions(r.trace.total_work(), &r.report);
+    }
+}
+
+impl fmt::Display for SpecReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let spec_groups = self.groups.len().saturating_sub(1);
+        write!(
+            f,
+            "{} groups ({} speculative, {} committed), {} re-executions, \
+             {} validations, aborted: {}, work: {:.0} original + {:.0} auxiliary \
+             committed, {:.0} squashed",
+            self.groups.len(),
+            spec_groups,
+            self.committed_speculative_groups(),
+            self.reexecutions,
+            self.validations,
+            self.aborted,
+            self.committed_original_work,
+            self.committed_aux_work,
+            self.squashed_work,
+        )
+    }
+}
+
+/// Run the execution model over `inputs` in consecutive segments of
+/// `segment` inputs each, carrying the committed final state across
+/// segments.
+///
+/// §3.1's abort rule says "no other speculation is performed until all the
+/// *current* inputs are processed": in a long-running program the state
+/// dependence is re-entered per batch (a video chunk, a stream window), so
+/// an abort disables speculation only for the rest of its own segment —
+/// the next segment speculates afresh. This helper models that usage;
+/// reports are merged (group indices keep segment-local numbering).
+pub fn run_protocol_segmented<T: StateTransition>(
+    transition: &T,
+    inputs: &[T::Input],
+    initial: &T::State,
+    config: &SpecConfig,
+    run_seed: u64,
+    segment: usize,
+) -> ProtocolResult<T> {
+    let segment = segment.max(1);
+    let mut state = initial.clone();
+    let mut outputs = Vec::with_capacity(inputs.len());
+    let mut report = SpecReport::default();
+    let mut trace = SpecTrace::default();
+    for (seg_idx, chunk) in inputs.chunks(segment).enumerate() {
+        let r = run_protocol(transition, chunk, &state, config, run_seed ^ (seg_idx as u64) << 32);
+        state = r.final_state;
+        let offset = outputs.len();
+        outputs.extend(r.outputs);
+        // Merge the report, shifting group input ranges by the offset.
+        for mut g in r.report.groups {
+            g.start += offset;
+            g.end += offset;
+            report.groups.push(g);
+        }
+        report.reexecutions += r.report.reexecutions;
+        report.validations += r.report.validations;
+        report.aborted |= r.report.aborted;
+        report.committed_original_work += r.report.committed_original_work;
+        report.committed_aux_work += r.report.committed_aux_work;
+        report.squashed_work += r.report.squashed_work;
+        // Chain the trace: the next segment's nodes depend on nothing from
+        // the previous (inputs are available), but the state chain runs
+        // through the previous segment's committed final node; encode by
+        // shifting dependence indices.
+        let base = trace.nodes.len();
+        for mut node in r.trace.nodes {
+            node.deps.iter_mut().for_each(|d| *d += base);
+            trace.nodes.push(node);
+        }
+    }
+    ProtocolResult {
+        outputs,
+        final_state: state,
+        report,
+        trace,
+    }
+}

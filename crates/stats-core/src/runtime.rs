@@ -1,0 +1,319 @@
+//! The user-facing runtime object: `StateDependence` (paper Figure 9).
+//!
+//! `StateDependence::start()` begins the §3.1 execution model in parallel
+//! with the invoking thread, running groups of invocations concurrently on a
+//! shared [`ThreadPool`]; `join()` waits until all inputs are correctly
+//! processed and returns the committed outputs.
+//!
+//! Because every invocation's PRVG stream is derived from coordinates (run
+//! seed, group, index, attempt), the parallel execution is *reproducible*
+//! and byte-identical to the sequential reference
+//! [`run_protocol`](crate::run_protocol) — a property the test suite checks.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use crate::pool::ThreadPool;
+use crate::protocol::{
+    execute_group, run_protocol_with, GroupData, ProtocolResult, SpecConfig, SpecReport,
+};
+use crate::sdi::StateTransition;
+
+/// The result of a completed state-dependence execution.
+pub struct SpecOutcome<T: StateTransition> {
+    /// Committed outputs, one per input, in input order.
+    pub outputs: Vec<T::Output>,
+    /// The committed final state.
+    pub final_state: T::State,
+    /// Speculation statistics (commits, re-executions, aborts, work split).
+    pub report: SpecReport,
+}
+
+struct Shared<T: StateTransition> {
+    inputs: Vec<T::Input>,
+    initial: T::State,
+    transition: T,
+    config: SpecConfig,
+    pool: Arc<ThreadPool>,
+}
+
+/// A state dependence made explicit (paper Figures 8/9): the inputs, the
+/// initial state, and the `compute_output` transition, plus the STATS
+/// execution-model configuration.
+///
+/// ```
+/// use stats_core::{ExactState, InvocationCtx, SpecConfig, StateDependence, StateTransition};
+///
+/// struct Double;
+/// impl StateTransition for Double {
+///     type Input = u64;
+///     type State = ExactState<u64>;
+///     type Output = u64;
+///     fn compute_output(
+///         &self,
+///         input: &u64,
+///         state: &mut ExactState<u64>,
+///         ctx: &mut InvocationCtx,
+///     ) -> u64 {
+///         ctx.charge(1.0);
+///         state.0 = *input; // short-memory state
+///         2 * *input
+///     }
+/// }
+///
+/// let mut dep = StateDependence::new((0..32).collect(), ExactState(0), Double)
+///     .with_config(SpecConfig { group_size: 8, window: 1, ..SpecConfig::default() });
+/// dep.start();
+/// let outcome = dep.join();
+/// assert_eq!(outcome.outputs[5], 10);
+/// assert!(!outcome.report.aborted);
+/// ```
+pub struct StateDependence<T: StateTransition> {
+    shared: Option<Arc<Shared<T>>>,
+    seed: u64,
+    handle: Option<JoinHandle<ProtocolResult<T>>>,
+}
+
+impl<T: StateTransition> StateDependence<T> {
+    /// Create a state dependence over `inputs` with the given initial state
+    /// and transition, a default [`SpecConfig`], and a pool sized to the
+    /// machine's available parallelism.
+    pub fn new(inputs: Vec<T::Input>, initial: T::State, transition: T) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_pool(inputs, initial, transition, Arc::new(ThreadPool::new(threads)))
+    }
+
+    /// Like [`StateDependence::new`], but sharing an existing thread pool —
+    /// the paper's runtime shares one pool among all state dependences.
+    pub fn with_pool(
+        inputs: Vec<T::Input>,
+        initial: T::State,
+        transition: T,
+        pool: Arc<ThreadPool>,
+    ) -> Self {
+        StateDependence {
+            shared: Some(Arc::new(Shared {
+                inputs,
+                initial,
+                transition,
+                config: SpecConfig::default(),
+                pool,
+            })),
+            seed: 0,
+            handle: None,
+        }
+    }
+
+    /// Replace the execution-model configuration (builder style).
+    pub fn with_config(mut self, config: SpecConfig) -> Self {
+        let shared = Arc::try_unwrap(self.shared.take().expect("not started"))
+            .unwrap_or_else(|_| panic!("with_config must precede start"));
+        self.shared = Some(Arc::new(Shared { config, ..shared }));
+        self
+    }
+
+    /// Set the run seed controlling every PRVG stream (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Run to completion on the calling thread's pool and return the
+    /// outcome. Equivalent to `start()` followed by `join()`.
+    pub fn run(mut self, seed: u64) -> SpecOutcome<T> {
+        self.seed = seed;
+        self.start();
+        self.join()
+    }
+
+    /// Begin the execution model in parallel with the invoking thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn start(&mut self) {
+        assert!(self.handle.is_none(), "start() called twice");
+        let shared = Arc::clone(self.shared.as_ref().expect("not consumed"));
+        let seed = self.seed;
+        self.handle = Some(
+            std::thread::Builder::new()
+                .name("stats-coordinator".into())
+                .spawn(move || run_pooled(&shared, seed))
+                .expect("failed to spawn coordinator"),
+        );
+    }
+
+    /// Wait until all inputs are correctly processed and return the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start()` was not called first.
+    pub fn join(mut self) -> SpecOutcome<T> {
+        let handle = self.handle.take().expect("join() requires start()");
+        let result = handle.join().expect("coordinator panicked");
+        SpecOutcome {
+            outputs: result.outputs,
+            final_state: result.final_state,
+            report: result.report,
+        }
+    }
+}
+
+/// Execute the protocol with group execution fanned out to the pool.
+fn run_pooled<T: StateTransition>(shared: &Arc<Shared<T>>, seed: u64) -> ProtocolResult<T> {
+    let s = Arc::clone(shared);
+    run_protocol_with(
+        &shared.transition,
+        &shared.inputs,
+        &shared.initial,
+        &shared.config,
+        seed,
+        move |specs| {
+            let slots: Arc<Mutex<Vec<Option<GroupData<T>>>>> =
+                Arc::new(Mutex::new((0..specs.len()).map(|_| None).collect()));
+            let jobs: Vec<_> = specs
+                .iter()
+                .map(|&spec| {
+                    let s = Arc::clone(&s);
+                    let slots = Arc::clone(&slots);
+                    move |idx: usize| {
+                        let data = execute_group(
+                            &s.transition,
+                            &s.inputs,
+                            &s.initial,
+                            &s.config,
+                            seed,
+                            spec,
+                        );
+                        slots.lock()[idx] = Some(data);
+                    }
+                })
+                .collect();
+            shared.pool.scope(jobs);
+            Arc::try_unwrap(slots)
+                .unwrap_or_else(|_| panic!("pool scope leaked a slot reference"))
+                .into_inner()
+                .into_iter()
+                .map(|d| d.expect("every group executed"))
+                .collect()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::InvocationCtx;
+    use crate::protocol::run_protocol;
+    use crate::sdi::SpecState;
+
+    /// Nondeterministic short-memory workload: state is the last input plus
+    /// bounded noise; matches tolerate the noise.
+    #[derive(Clone, Debug)]
+    struct Noisy(f64);
+    impl SpecState for Noisy {
+        fn matches_any(&self, originals: &[Self]) -> bool {
+            originals.iter().any(|o| (o.0 - self.0).abs() < 0.5)
+        }
+    }
+
+    struct NoisyLast;
+    impl StateTransition for NoisyLast {
+        type Input = f64;
+        type State = Noisy;
+        type Output = f64;
+        fn compute_output(
+            &self,
+            input: &f64,
+            state: &mut Noisy,
+            ctx: &mut InvocationCtx,
+        ) -> f64 {
+            ctx.charge(5.0);
+            state.0 = *input + ctx.uniform(-0.1, 0.1);
+            state.0
+        }
+    }
+
+    fn config() -> SpecConfig {
+        SpecConfig {
+            group_size: 4,
+            window: 1,
+            max_reexec: 2,
+            rollback: 1,
+            ..SpecConfig::default()
+        }
+    }
+
+    #[test]
+    fn pooled_matches_sequential_reference() {
+        let inputs: Vec<f64> = (0..24).map(|i| i as f64).collect();
+        for seed in [0_u64, 1, 7, 42] {
+            let reference = run_protocol(&NoisyLast, &inputs, &Noisy(0.0), &config(), seed);
+            let dep = StateDependence::with_pool(
+                inputs.clone(),
+                Noisy(0.0),
+                NoisyLast,
+                Arc::new(ThreadPool::new(4)),
+            )
+            .with_config(config());
+            let outcome = dep.run(seed);
+            assert_eq!(outcome.outputs, reference.outputs, "seed {seed}");
+            assert_eq!(outcome.report.aborted, reference.report.aborted);
+            assert_eq!(outcome.report.reexecutions, reference.report.reexecutions);
+        }
+    }
+
+    #[test]
+    fn start_join_api() {
+        let mut dep = StateDependence::with_pool(
+            (0..16).map(|i| i as f64).collect(),
+            Noisy(0.0),
+            NoisyLast,
+            Arc::new(ThreadPool::new(2)),
+        )
+        .with_config(config())
+        .with_seed(3);
+        dep.start();
+        let outcome = dep.join();
+        assert_eq!(outcome.outputs.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "start() called twice")]
+    fn double_start_panics() {
+        let mut dep = StateDependence::with_pool(
+            vec![1.0],
+            Noisy(0.0),
+            NoisyLast,
+            Arc::new(ThreadPool::new(1)),
+        );
+        dep.start();
+        dep.start();
+    }
+
+    #[test]
+    fn shared_pool_across_dependences() {
+        let pool = Arc::new(ThreadPool::new(4));
+        let a = StateDependence::with_pool(
+            (0..8).map(f64::from).collect(),
+            Noisy(0.0),
+            NoisyLast,
+            Arc::clone(&pool),
+        )
+        .with_config(config());
+        let b = StateDependence::with_pool(
+            (0..8).map(f64::from).collect(),
+            Noisy(0.0),
+            NoisyLast,
+            Arc::clone(&pool),
+        )
+        .with_config(config());
+        let oa = a.run(1);
+        let ob = b.run(1);
+        assert_eq!(oa.outputs, ob.outputs);
+    }
+}

@@ -1,0 +1,110 @@
+//! The State Dependence Interface (SDI, paper §3.3 and Figure 9).
+//!
+//! The SDI makes the code pattern of paper Figure 4 explicit: a piece of
+//! code computes an `Output` from an `Input` while consulting and updating a
+//! local `State` that feeds forward to the next invocation. Making the
+//! pattern explicit lets the STATS machinery (a) privatize `State` per
+//! thread by cloning it, and (b) run multiple invocations in parallel from
+//! speculative states produced by auxiliary code.
+
+use crate::ctx::InvocationCtx;
+
+/// Computational state threaded across invocations (the `State` class of
+/// Figure 8).
+///
+/// `Clone` plays the role of the paper's overridden `operator=` (state
+/// privatization); [`SpecState::matches_any`] is the developer-provided
+/// `doesSpecStateMatchAny` comparison deciding whether a speculative state
+/// is equivalent to one of the original nondeterministic final states.
+pub trait SpecState: Clone + Send + Sync + 'static {
+    /// Does this *speculative* state match any of the given *original*
+    /// states?
+    ///
+    /// The originals are accumulated by the runtime: the first entry is the
+    /// previous group's first (non-speculative) final state; re-executions
+    /// of the nondeterministic producer append more candidates. Developers
+    /// decide how strict the match must be. Implementations may require at
+    /// least two originals (returning `false` otherwise) to calibrate the
+    /// acceptable distance from the observed inter-run variability — the
+    /// runtime responds by re-executing the producer to grow the set.
+    fn matches_any(&self, originals: &[Self]) -> bool;
+}
+
+/// Wrapper giving any `Clone + Eq` state exact-match speculation semantics.
+///
+/// Useful in tests and for dependences whose state is a small value where
+/// only bit-exact reproduction counts as a match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ExactState<T>(pub T);
+
+impl<T: Clone + Eq + Send + Sync + 'static> SpecState for ExactState<T> {
+    fn matches_any(&self, originals: &[Self]) -> bool {
+        originals.iter().any(|o| o == self)
+    }
+}
+
+/// The `computeOutput(Input*, State*) -> Output*` function of Figures 4/8/9,
+/// as a trait so the compiler-enforced dependence structure is explicit:
+/// computing `Output` may depend **only** on `Input` and `State`, and the
+/// only inter-invocation dependence is the one on `State`.
+///
+/// Nondeterminism must come exclusively from the context's PRVG
+/// ([`InvocationCtx::rng`] and friends); this is what lets the runtime
+/// re-execute a producer and obtain a legitimately different final state.
+pub trait StateTransition: Send + Sync + 'static {
+    /// Per-invocation input (the `Input` class of Figure 8).
+    type Input: Clone + Send + Sync + 'static;
+    /// Feed-forward state (the `State` class of Figure 8).
+    type State: SpecState;
+    /// Per-invocation output (the `Output` class of Figure 8).
+    type Output: Send + 'static;
+
+    /// Compute the output for `input`, reading and updating `state`.
+    fn compute_output(
+        &self,
+        input: &Self::Input,
+        state: &mut Self::State,
+        ctx: &mut InvocationCtx,
+    ) -> Self::Output;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tradeoff::TradeoffBindings;
+
+    #[test]
+    fn exact_state_matches_only_equal() {
+        let s = ExactState(42u32);
+        assert!(s.matches_any(&[ExactState(7), ExactState(42)]));
+        assert!(!s.matches_any(&[ExactState(7), ExactState(9)]));
+        assert!(!s.matches_any(&[]));
+    }
+
+    struct Counter;
+    impl StateTransition for Counter {
+        type Input = u32;
+        type State = ExactState<u32>;
+        type Output = u32;
+        fn compute_output(
+            &self,
+            input: &u32,
+            state: &mut ExactState<u32>,
+            ctx: &mut InvocationCtx,
+        ) -> u32 {
+            ctx.charge(1.0);
+            state.0 += input;
+            state.0
+        }
+    }
+
+    #[test]
+    fn transition_updates_state() {
+        let t = Counter;
+        let mut s = ExactState(0u32);
+        let mut ctx = InvocationCtx::new(0, TradeoffBindings::new(), false);
+        assert_eq!(t.compute_output(&3, &mut s, &mut ctx), 3);
+        assert_eq!(t.compute_output(&4, &mut s, &mut ctx), 7);
+        assert_eq!(ctx.meter().total, 2.0);
+    }
+}

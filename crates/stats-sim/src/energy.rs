@@ -1,0 +1,162 @@
+//! System-wide energy model (Watts Up Pro substitute).
+//!
+//! The paper measures AC-side, system-wide power at 1-second intervals with a
+//! Watts Up Pro meter. We model the same quantity with a standard
+//! static+dynamic decomposition: a baseline system power (fans, DRAM, disks,
+//! PSU losses, idle uncore), a per-powered-socket uncore power, and a
+//! per-core dynamic power proportional to busy time. Energy is power
+//! integrated over the simulated schedule.
+
+use crate::engine::Schedule;
+use crate::platform::Platform;
+
+/// Parameters of the system power model, in watts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// System baseline power drawn for the whole run regardless of activity.
+    pub baseline_w: f64,
+    /// Additional power per socket that has at least one allocated thread.
+    pub socket_w: f64,
+    /// Dynamic power of a core actively executing (full-speed context).
+    pub core_active_w: f64,
+    /// Static power of a core that is allocated but currently idle.
+    pub core_idle_w: f64,
+}
+
+impl EnergyModel {
+    /// Calibrated to the paper's platform: two Xeon E5-2695 v3 (120 W TDP
+    /// each) in a server whose idle AC draw is on the order of 100 W.
+    pub fn haswell_r730() -> Self {
+        EnergyModel {
+            baseline_w: 100.0,
+            socket_w: 18.0,
+            core_active_w: 6.0,
+            core_idle_w: 1.5,
+        }
+    }
+
+    /// Integrate the model over a schedule, producing a report.
+    ///
+    /// `threads` software threads were allocated; busy time comes from the
+    /// schedule. Two SMT siblings on one core count as one active core while
+    /// either is busy; we approximate by charging active power per *core*
+    /// busy time, i.e. the union of its contexts' busy times, conservatively
+    /// estimated as `min(sum of context busy, makespan)`.
+    pub fn energy(&self, schedule: &Schedule, platform: &Platform) -> EnergyReport {
+        let seconds = schedule.makespan_seconds();
+        let makespan_work = schedule.makespan_work();
+        if seconds == 0.0 {
+            return EnergyReport {
+                joules: 0.0,
+                avg_power_w: 0.0,
+                seconds: 0.0,
+            };
+        }
+        let placement = schedule.placement();
+        let n_threads = placement.threads();
+        let cores = platform.physical_cores();
+
+        // Aggregate busy work per physical core (threads are placed
+        // round-robin over cores, mirroring `Platform::place`).
+        let mut core_busy = vec![0.0_f64; cores];
+        for (t, &busy) in schedule.thread_busy().iter().enumerate().take(n_threads) {
+            core_busy[t % cores] += busy;
+        }
+
+        let allocated_cores = n_threads.min(cores);
+        let mut active_core_seconds = 0.0;
+        for busy in core_busy.iter().take(allocated_cores) {
+            let busy_work = busy.min(makespan_work);
+            active_core_seconds += busy_work / platform.work_units_per_second;
+        }
+        let allocated_core_seconds = allocated_cores as f64 * seconds;
+        let idle_core_seconds = (allocated_core_seconds - active_core_seconds).max(0.0);
+
+        let joules = self.baseline_w * seconds
+            + self.socket_w * placement.sockets_used as f64 * seconds
+            + self.core_active_w * active_core_seconds
+            + self.core_idle_w * idle_core_seconds;
+        EnergyReport {
+            joules,
+            avg_power_w: joules / seconds,
+            seconds,
+        }
+    }
+}
+
+/// Energy accounting for one simulated run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Total system energy in joules.
+    pub joules: f64,
+    /// Average system power over the run, in watts.
+    pub avg_power_w: f64,
+    /// Simulated wall-clock duration in seconds.
+    pub seconds: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use crate::task::TaskGraph;
+
+    fn chain(n: usize, cost: f64) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let mut prev = None;
+        for _ in 0..n {
+            let deps: Vec<_> = prev.into_iter().collect();
+            prev = Some(g.add_task(cost, 0.0, &deps));
+        }
+        g
+    }
+
+    #[test]
+    fn finishing_earlier_saves_energy() {
+        let p = Platform::haswell_single_socket();
+        let m = EnergyModel::haswell_r730();
+        // 8 independent tasks: 8 threads finish 8x earlier than 1 thread.
+        let mut g = TaskGraph::new();
+        for _ in 0..8 {
+            g.add_task(1.0e6, 0.0, &[]);
+        }
+        let e1 = m.energy(&simulate(&g, &p, 1), &p);
+        let e8 = m.energy(&simulate(&g, &p, 8), &p);
+        assert!(e8.joules < e1.joules, "e8={} e1={}", e8.joules, e1.joules);
+    }
+
+    #[test]
+    fn extra_idle_cores_waste_energy() {
+        let p = Platform::haswell_single_socket();
+        let m = EnergyModel::haswell_r730();
+        // A serial chain gains nothing from extra threads but pays their
+        // static power.
+        let g = chain(4, 1.0e6);
+        let e1 = m.energy(&simulate(&g, &p, 1), &p);
+        let e14 = m.energy(&simulate(&g, &p, 14), &p);
+        assert!(e14.joules > e1.joules);
+        assert!((e1.seconds - e14.seconds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_schedule_zero_energy() {
+        let p = Platform::haswell_r730();
+        let m = EnergyModel::haswell_r730();
+        let g = TaskGraph::new();
+        let e = m.energy(&simulate(&g, &p, 4), &p);
+        assert_eq!(e.joules, 0.0);
+    }
+
+    #[test]
+    fn average_power_bounded_by_model() {
+        let p = Platform::haswell_r730();
+        let m = EnergyModel::haswell_r730();
+        let g = chain(3, 5.0e5);
+        let e = m.energy(&simulate(&g, &p, 28), &p);
+        let max_power = m.baseline_w
+            + 2.0 * m.socket_w
+            + 28.0 * m.core_active_w.max(m.core_idle_w);
+        assert!(e.avg_power_w <= max_power);
+        assert!(e.avg_power_w >= m.baseline_w);
+    }
+}

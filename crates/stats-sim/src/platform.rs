@@ -1,0 +1,184 @@
+//! Virtual platform description: sockets, cores, SMT contexts, NUMA, clock.
+
+/// Description of a simulated shared-memory multiprocessor.
+///
+/// The default preset, [`Platform::haswell_r730`], models the paper's
+/// evaluation machine: a dual-socket server with two 14-core Haswell Xeons,
+/// 2-way Hyper-Threading, and a NUMA interconnect between the sockets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// Number of sockets (processor packages).
+    pub sockets: usize,
+    /// Physical cores per socket.
+    pub cores_per_socket: usize,
+    /// Hardware threads (SMT contexts) per core.
+    pub smt_per_core: usize,
+    /// Relative execution rate of a hardware thread whose sibling context on
+    /// the same core is also populated. Intel guidance puts the aggregate
+    /// benefit of Hyper-Threading around +30%, i.e. each sibling runs at
+    /// roughly 0.65x of an unshared core.
+    pub smt_factor: f64,
+    /// Multiplier (> 1.0) applied to the memory-bound fraction of a task's
+    /// work when the allocated threads span more than one socket, modelling
+    /// remote-socket memory accesses over QPI.
+    pub numa_penalty: f64,
+    /// Work units executed per simulated second by an unshared core.
+    pub work_units_per_second: f64,
+}
+
+impl Platform {
+    /// The paper's evaluation platform: dual-socket Dell PowerEdge R730 with
+    /// two 14-core Intel Xeon E5-2695 v3 processors, 2-way Hyper-Threading.
+    pub fn haswell_r730() -> Self {
+        Platform {
+            sockets: 2,
+            cores_per_socket: 14,
+            smt_per_core: 2,
+            smt_factor: 0.65,
+            numa_penalty: 1.55,
+            work_units_per_second: 1.0e6,
+        }
+    }
+
+    /// A single-socket view of the same machine, used by the Hyper-Threading
+    /// experiment (Figure 14), which constrains execution to one socket.
+    pub fn haswell_single_socket() -> Self {
+        Platform {
+            sockets: 1,
+            ..Self::haswell_r730()
+        }
+    }
+
+    /// Total physical cores across all sockets.
+    pub fn physical_cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Total hardware threads (logical CPUs) across all sockets.
+    pub fn hardware_threads(&self) -> usize {
+        self.physical_cores() * self.smt_per_core
+    }
+
+    /// Compute the placement of `n` software threads onto hardware threads.
+    ///
+    /// Placement policy (mirrors the paper's experiments, which pin within a
+    /// socket first): fill one hardware context per core on socket 0, then
+    /// socket 1, …; only once every core has one thread do sibling SMT
+    /// contexts get populated. `n` is clamped to the machine's capacity.
+    pub fn place(&self, n: usize) -> Placement {
+        let n = n.clamp(1, self.hardware_threads());
+        let cores = self.physical_cores();
+        let mut speeds = Vec::with_capacity(n);
+        let mut sockets_used = 0usize;
+        for t in 0..n {
+            let core = t % cores;
+            let socket = core / self.cores_per_socket;
+            sockets_used = sockets_used.max(socket + 1);
+            // The thread shares its core iff another thread wraps onto the
+            // same core: with round-robin by core, core c hosts
+            // ceil((n - c) / cores) threads.
+            let occupants = (n - core).div_ceil(cores);
+            let speed = if occupants > 1 { self.smt_factor } else { 1.0 };
+            speeds.push(speed);
+        }
+        let numa_multiplier = if sockets_used > 1 { self.numa_penalty } else { 1.0 };
+        Placement {
+            thread_speeds: speeds,
+            sockets_used,
+            numa_multiplier,
+        }
+    }
+}
+
+/// The result of mapping software threads onto a [`Platform`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Relative execution rate of each software thread (1.0 = unshared core).
+    pub thread_speeds: Vec<f64>,
+    /// Number of sockets spanned by the allocation.
+    pub sockets_used: usize,
+    /// Slowdown multiplier applied to the memory-bound fraction of every
+    /// task's work (1.0 when the allocation fits in one socket).
+    pub numa_multiplier: f64,
+}
+
+impl Placement {
+    /// Number of software threads in this placement.
+    pub fn threads(&self) -> usize {
+        self.thread_speeds.len()
+    }
+
+    /// Simulated duration in work units of a task with `cost` work units and
+    /// memory-bound fraction `mem_fraction` on thread `thread`.
+    pub fn duration(&self, thread: usize, cost: f64, mem_fraction: f64) -> f64 {
+        let mem = mem_fraction.clamp(0.0, 1.0);
+        let numa_scale = 1.0 + mem * (self.numa_multiplier - 1.0);
+        cost * numa_scale / self.thread_speeds[thread]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haswell_capacity() {
+        let p = Platform::haswell_r730();
+        assert_eq!(p.physical_cores(), 28);
+        assert_eq!(p.hardware_threads(), 56);
+    }
+
+    #[test]
+    fn placement_single_socket_no_numa() {
+        let p = Platform::haswell_r730();
+        let pl = p.place(14);
+        assert_eq!(pl.threads(), 14);
+        assert_eq!(pl.sockets_used, 1);
+        assert_eq!(pl.numa_multiplier, 1.0);
+        assert!(pl.thread_speeds.iter().all(|&s| s == 1.0));
+    }
+
+    #[test]
+    fn placement_two_sockets_numa() {
+        let p = Platform::haswell_r730();
+        let pl = p.place(28);
+        assert_eq!(pl.sockets_used, 2);
+        assert!(pl.numa_multiplier > 1.0);
+        // No SMT sharing yet at 28 threads on 28 cores.
+        assert!(pl.thread_speeds.iter().all(|&s| s == 1.0));
+    }
+
+    #[test]
+    fn placement_smt_sharing() {
+        let p = Platform::haswell_r730();
+        let pl = p.place(56);
+        assert!(pl.thread_speeds.iter().all(|&s| (s - 0.65).abs() < 1e-12));
+    }
+
+    #[test]
+    fn placement_partial_smt() {
+        let p = Platform::haswell_single_socket();
+        // 15 threads on 14 cores: core 0 hosts 2 threads, others 1.
+        let pl = p.place(15);
+        assert_eq!(pl.thread_speeds[0], 0.65);
+        assert_eq!(pl.thread_speeds[14], 0.65);
+        assert_eq!(pl.thread_speeds[1], 1.0);
+    }
+
+    #[test]
+    fn placement_clamps_to_capacity() {
+        let p = Platform::haswell_r730();
+        assert_eq!(p.place(1000).threads(), 56);
+        assert_eq!(p.place(0).threads(), 1);
+    }
+
+    #[test]
+    fn duration_applies_numa_to_mem_fraction_only() {
+        let p = Platform::haswell_r730();
+        let pl = p.place(28);
+        let d_cpu = pl.duration(0, 100.0, 0.0);
+        let d_mem = pl.duration(0, 100.0, 1.0);
+        assert_eq!(d_cpu, 100.0);
+        assert!((d_mem - 100.0 * p.numa_penalty).abs() < 1e-9);
+    }
+}

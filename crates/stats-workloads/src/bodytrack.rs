@@ -1,0 +1,552 @@
+//! `bodytrack`: annealed-particle-filter tracking of a human body in 3D.
+//!
+//! The PARSEC benchmark tracks a person's body across a stream of camera
+//! quadruples; analysing quadruple `i` consumes the body model produced by
+//! quadruple `i-1` — the paper's flagship state dependence (Figures 7/8).
+//! This port reproduces the kernel's structure: a synthetic subject (several
+//! body parts following a smooth 3D trajectory) is observed through noisy
+//! per-frame measurements, and an *annealed particle filter* [Deutscher et
+//! al.] estimates the body pose each frame. The randomized resampling and
+//! diffusion make the benchmark nondeterministic.
+//!
+//! Tradeoffs (paper §4.2, payoff order): the number of simulated annealing
+//! layers, the precision of the annealing weight variable, and the number
+//! of particles.
+//!
+//! The computation has the "short memory" property of §4.8: where the body
+//! is at frame `i` can be recovered from the last few frames, so auxiliary
+//! code consuming a small window reproduces the model well.
+
+use std::sync::Arc;
+
+use stats_core::{
+    EnumeratedTradeoff, InvocationCtx, ScalarType, SpecState, StateTransition, TradeoffOptions,
+    TradeoffValue,
+};
+
+use crate::match_rule::between_originals;
+use crate::metrics::{avg_point_distance, relative_mse};
+use crate::spec::{
+    BenchmarkId, DependenceShape, Instance, OriginalTlp, Workload, WorkloadSpec,
+};
+
+/// Number of tracked body parts.
+pub const BODY_PARTS: usize = 5;
+/// Pose dimensionality (3D per part).
+pub const POSE_DIM: usize = 3 * BODY_PARTS;
+
+/// Per-frame input: the frame id (the observations live in the transition,
+/// mirroring Figure 8 where `Input` is just `frameId`).
+pub type Frame = usize;
+
+/// The body model: the particle cloud and its pose estimate.
+#[derive(Debug, Clone)]
+pub struct BodyModel {
+    /// Particle poses (each `POSE_DIM` long).
+    pub particles: Vec<Vec<f64>>,
+    /// The current pose estimate (weighted particle mean).
+    pub estimate: Vec<f64>,
+}
+
+impl BodyModel {
+    /// Initial model: a cloud around the annotated first-frame pose (real
+    /// bodytrack likewise starts from a provided initial pose). The filter
+    /// searches only locally, so a model that has fallen behind the subject
+    /// needs several frames to re-acquire it — this is what makes the
+    /// auxiliary window necessary and dependence-breaking harmful.
+    fn initial(n_particles: usize, spread: f64, seed: u64, center: &[f64]) -> Self {
+        let mut particles = Vec::with_capacity(n_particles);
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut next = move || {
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            let v = z ^ (z >> 31);
+            (v as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        for _ in 0..n_particles {
+            particles.push(center.iter().map(|c| c + next() * spread).collect());
+        }
+        BodyModel {
+            particles,
+            estimate: center.to_vec(),
+        }
+    }
+
+    /// The paper's distance measure: "the sum of the absolute differences of
+    /// every body part position between two states".
+    pub fn distance(&self, other: &BodyModel) -> f64 {
+        self.estimate
+            .iter()
+            .zip(&other.estimate)
+            .map(|(a, b)| (a - b).abs())
+            .sum()
+    }
+}
+
+/// Developer-chosen strictness (§3.3: the API "allows developers to decide
+/// how strict the matching between speculative and original states needs to
+/// be"): with a single original available, accept within a tolerance
+/// calibrated to the tracker's per-frame estimation noise; with two or
+/// more, use the paper's between-originals variability rule.
+const SINGLE_ORIGINAL_TOLERANCE: f64 = 1.2;
+
+impl SpecState for BodyModel {
+    fn matches_any(&self, originals: &[Self]) -> bool {
+        if originals.len() == 1 {
+            return self.distance(&originals[0]) <= SINGLE_ORIGINAL_TOLERANCE;
+        }
+        between_originals(self, originals, |a, b| a.distance(b))
+    }
+}
+
+/// The per-frame body-tracking transition.
+pub struct BodyTrackTransition {
+    observations: Arc<Vec<Vec<f64>>>,
+}
+
+impl StateTransition for BodyTrackTransition {
+    type Input = Frame;
+    type State = BodyModel;
+    type Output = Vec<f64>;
+
+    fn compute_output(
+        &self,
+        input: &Frame,
+        state: &mut BodyModel,
+        ctx: &mut InvocationCtx,
+    ) -> Vec<f64> {
+        let layers = ctx.tradeoff_int("numAnnealingLayers").max(1) as usize;
+        let precision = ctx.tradeoff_type("annealingPrecision");
+        let target_particles = ctx.tradeoff_int("numParticles").max(4) as usize;
+        let obs = &self.observations[*input];
+
+        resize_particles(state, target_particles, ctx);
+        let n = state.particles.len();
+
+        // Annealed particle filter with per-part likelihoods: each body
+        // part's 3D position is weighted, resampled, and diffused on its own
+        // (the real bodytrack likewise evaluates per-part edge/silhouette
+        // likelihoods). The annealing schedule sharpens beta per layer.
+        let mut estimate = vec![0.0; POSE_DIM];
+        let mut weights = vec![0.0_f64; n];
+        for part in 0..BODY_PARTS {
+            let o = &obs[part * 3..(part + 1) * 3];
+            let weight_for = |p: &[f64], beta: f64| -> f64 {
+                let d2: f64 = p[part * 3..(part + 1) * 3]
+                    .iter()
+                    .zip(o)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                precision.quantize((-beta * d2).exp())
+            };
+            for layer in 0..layers {
+                let beta = 2.0 * 2.0_f64.powi(layer as i32);
+                let sigma = (0.5 * 0.55_f64.powi(layer as i32)).max(0.01);
+
+                // Weight by the (precision-limited) observation likelihood.
+                let mut sum = 0.0;
+                for (p, w) in state.particles.iter().zip(weights.iter_mut()) {
+                    *w = weight_for(p, beta);
+                    sum += *w;
+                }
+                if sum <= f64::MIN_POSITIVE {
+                    let uniform = 1.0 / n as f64;
+                    weights.iter_mut().for_each(|w| *w = uniform);
+                } else {
+                    weights.iter_mut().for_each(|w| *w /= sum);
+                }
+
+                // Systematic resampling of this part's coordinates
+                // (randomized offset: a nondeterminism source) followed by
+                // annealing diffusion.
+                resample_part(&mut state.particles, part, &weights, ctx);
+                for p in state.particles.iter_mut() {
+                    for x in p[part * 3..(part + 1) * 3].iter_mut() {
+                        *x += ctx.normal(0.0, sigma);
+                    }
+                }
+            }
+
+            // Part estimate: likelihood-weighted mean at the sharpest level
+            // (no trailing diffusion noise in the estimate).
+            let final_beta = 2.0 * 2.0_f64.powi(layers as i32);
+            let mut part_est = [0.0_f64; 3];
+            let mut wsum = 0.0;
+            for p in &state.particles {
+                let w = weight_for(p, final_beta).max(f64::MIN_POSITIVE);
+                for (e, x) in part_est.iter_mut().zip(&p[part * 3..(part + 1) * 3]) {
+                    *e += w * x;
+                }
+                wsum += w;
+            }
+            for (e, v) in estimate[part * 3..(part + 1) * 3]
+                .iter_mut()
+                .zip(part_est.iter())
+            {
+                *e = v / wsum;
+            }
+        }
+        state.estimate = estimate.clone();
+
+        // Cost model: likelihood + resample + diffuse per particle per layer.
+        ctx.charge((layers * n * POSE_DIM) as f64 * 1.0);
+        ctx.charge_mem((layers * n) as f64 * 0.2);
+        estimate
+    }
+}
+
+fn resize_particles(state: &mut BodyModel, target: usize, ctx: &mut InvocationCtx) {
+    let n = state.particles.len();
+    if n == target || n == 0 {
+        return;
+    }
+    if target < n {
+        state.particles.truncate(target);
+    } else {
+        for _ in n..target {
+            let src = ctx.index(n);
+            let clone = state.particles[src].clone();
+            state.particles.push(clone);
+        }
+    }
+}
+
+/// Systematic resampling of one part's 3D coordinates across the particle
+/// set, in place.
+fn resample_part(
+    particles: &mut [Vec<f64>],
+    part: usize,
+    weights: &[f64],
+    ctx: &mut InvocationCtx,
+) {
+    let n = particles.len();
+    let step = 1.0 / n as f64;
+    let mut u = ctx.uniform(0.0, step);
+    let mut cumulative = weights[0];
+    let mut i = 0usize;
+    let mut picked = Vec::with_capacity(n);
+    for _ in 0..n {
+        while u > cumulative && i + 1 < n {
+            i += 1;
+            cumulative += weights[i];
+        }
+        let src = &particles[i][part * 3..(part + 1) * 3];
+        picked.push([src[0], src[1], src[2]]);
+        u += step;
+    }
+    for (p, src) in particles.iter_mut().zip(picked) {
+        p[part * 3..(part + 1) * 3].copy_from_slice(&src);
+    }
+}
+
+/// The `bodytrack` workload.
+pub struct BodyTrack;
+
+/// The subject's true pose at `frame` (the generator's ground truth).
+pub fn ground_truth(frame: usize, representative: bool) -> Vec<f64> {
+    let t = frame as f64;
+    let mut pose = Vec::with_capacity(POSE_DIM);
+    for part in 0..BODY_PARTS {
+        let phase = part as f64 * 1.3;
+        // Non-representative training inputs (§4.6): "the subject does not
+        // move across quadruples".
+        let (cx, cy, cz) = if representative {
+            (
+                2.0 * (0.15 * t + phase).sin(),
+                2.0 * (0.11 * t + 0.5 * phase).cos(),
+                1.0 * (0.07 * t).sin(),
+            )
+        } else {
+            (0.3 * part as f64, -0.2 * part as f64, 0.1)
+        };
+        pose.push(cx + part as f64 * 0.4);
+        pose.push(cy - part as f64 * 0.3);
+        pose.push(cz + part as f64 * 0.2);
+    }
+    pose
+}
+
+fn observations(spec: &WorkloadSpec) -> Vec<Vec<f64>> {
+    // Observation noise from a generator-owned stream (distinct from the
+    // invocation PRVGs, which belong to the algorithm).
+    let mut z = spec.seed.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(1);
+    let mut next = move || {
+        z ^= z << 13;
+        z ^= z >> 7;
+        z ^= z << 17;
+        (z as f64 / u64::MAX as f64) * 2.0 - 1.0
+    };
+    (0..spec.inputs)
+        .map(|f| {
+            ground_truth(f, spec.representative)
+                .into_iter()
+                .map(|x| x + 0.03 * next())
+                .collect()
+        })
+        .collect()
+}
+
+impl Workload for BodyTrack {
+    type T = BodyTrackTransition;
+
+    fn id(&self) -> BenchmarkId {
+        BenchmarkId::BodyTrack
+    }
+
+    fn tradeoffs(&self) -> Vec<Arc<dyn TradeoffOptions>> {
+        vec![
+            // Figure 10's tradeoff: annealing layers 1..=10, default 5.
+            Arc::new(EnumeratedTradeoff::int_range("numAnnealingLayers", 1, 10, 5)),
+            Arc::new(EnumeratedTradeoff::new(
+                "annealingPrecision",
+                vec![
+                    TradeoffValue::Type(ScalarType::F32),
+                    TradeoffValue::Type(ScalarType::F64),
+                ],
+                1,
+            )),
+            Arc::new(EnumeratedTradeoff::new(
+                "numParticles",
+                vec![
+                    TradeoffValue::Int(16),
+                    TradeoffValue::Int(32),
+                    TradeoffValue::Int(64),
+                    TradeoffValue::Int(128),
+                ],
+                2,
+            )),
+        ]
+    }
+
+    fn instance(&self, spec: &WorkloadSpec) -> Instance<BodyTrackTransition> {
+        let n_particles = 64 * spec.scale.max(1);
+        let start_pose = ground_truth(0, spec.representative);
+        Instance {
+            inputs: (0..spec.inputs).collect(),
+            initial: BodyModel::initial(n_particles, 0.4, spec.seed, &start_pose),
+            transition: BodyTrackTransition {
+                observations: Arc::new(observations(spec)),
+            },
+        }
+    }
+
+    fn output_distance(&self, a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
+        let fa: Vec<f64> = a.iter().flatten().copied().collect();
+        let fb: Vec<f64> = b.iter().flatten().copied().collect();
+        avg_point_distance(&fa, &fb, 3)
+    }
+
+    fn output_error(&self, spec: &WorkloadSpec, outputs: &[Vec<f64>]) -> f64 {
+        // Relative MSE of body-part vectors against the ground truth.
+        let est: Vec<f64> = outputs.iter().flatten().copied().collect();
+        let truth: Vec<f64> = (0..outputs.len())
+            .flat_map(|f| ground_truth(f, spec.representative))
+            .collect();
+        relative_mse(&est, &truth)
+    }
+
+    fn refine_outputs(&self, runs: Vec<Vec<Vec<f64>>>) -> Vec<Vec<f64>> {
+        average_pose_runs(runs)
+    }
+
+    fn original_tlp(&self) -> OriginalTlp {
+        // The paper notes bodytrack's original TLP "requires more frequent
+        // inter-thread synchronizations creating a bottleneck".
+        OriginalTlp {
+            parallel_fraction: 0.90,
+            sync_overhead: 0.008,
+            max_threads: 16,
+            mem_fraction: 0.25,
+        }
+    }
+
+    fn dependence_shape(&self) -> DependenceShape {
+        DependenceShape::Complex
+    }
+}
+
+/// Average pose estimates across runs (variance reduction — the Figure 16
+/// quality-improvement mode).
+pub fn average_pose_runs(runs: Vec<Vec<Vec<f64>>>) -> Vec<Vec<f64>> {
+    let Some(first) = runs.first() else {
+        return Vec::new();
+    };
+    let frames = first.len();
+    let r = runs.len() as f64;
+    (0..frames)
+        .map(|f| {
+            let mut acc = vec![0.0; runs[0][f].len()];
+            for run in &runs {
+                for (a, x) in acc.iter_mut().zip(&run[f]) {
+                    *a += x;
+                }
+            }
+            acc.iter_mut().for_each(|a| *a /= r);
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stats_core::{run_protocol, SpecConfig, TradeoffBindings};
+
+    fn bindings(w: &BodyTrack) -> TradeoffBindings {
+        TradeoffBindings::defaults(&w.tradeoffs())
+    }
+
+    fn spec(n: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            inputs: n,
+            ..WorkloadSpec::default()
+        }
+    }
+
+    fn sequential_outputs(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let w = BodyTrack;
+        let inst = w.instance(&spec(n));
+        let cfg = SpecConfig {
+            orig_bindings: bindings(&w),
+            ..SpecConfig::sequential()
+        };
+        run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, seed).outputs
+    }
+
+    #[test]
+    fn tracker_follows_the_subject() {
+        let outputs = sequential_outputs(24, 7);
+        // After convergence, per-part error must be far below the motion
+        // amplitude (~2.0).
+        let w = BodyTrack;
+        let err = w.output_error(&spec(24), &outputs);
+        assert!(err < 0.05, "relative MSE too high: {err}");
+    }
+
+    #[test]
+    fn tracker_is_nondeterministic_but_stable() {
+        let a = sequential_outputs(16, 1);
+        let b = sequential_outputs(16, 2);
+        let w = BodyTrack;
+        let d = w.output_distance(&a, &b);
+        assert!(d > 0.0, "two seeds gave identical outputs");
+        assert!(d < 0.5, "variability implausibly large: {d}");
+    }
+
+    #[test]
+    fn same_seed_reproduces() {
+        assert_eq!(sequential_outputs(8, 3), sequential_outputs(8, 3));
+    }
+
+    #[test]
+    fn speculation_commits_with_reasonable_window() {
+        let w = BodyTrack;
+        let inst = w.instance(&spec(32));
+        let opts = w.tradeoffs();
+        let cfg = SpecConfig {
+            group_size: 8,
+            window: 2,
+            max_reexec: 2,
+            rollback: 1,
+            orig_bindings: TradeoffBindings::defaults(&opts),
+            // Auxiliary code at decent quality (all tradeoffs maxed).
+            aux_bindings: TradeoffBindings::from_indices(&opts, &[9, 1, 3]),
+            ..SpecConfig::default()
+        };
+        let r = run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, 11);
+        assert!(
+            r.report.committed_speculative_groups() >= 2,
+            "report: {:?}",
+            r.report
+        );
+        // Output quality must stay in the nondeterministic envelope.
+        let err = w.output_error(&spec(32), &r.outputs);
+        assert!(err < 0.05, "relative MSE too high: {err}");
+    }
+
+    #[test]
+    fn zero_window_aux_mismatches() {
+        // With no inputs consumed, the speculative state is the first-frame
+        // pose: far from where the subject has moved to, so the comparison
+        // must reject it and the run aborts.
+        let w = BodyTrack;
+        let inst = w.instance(&spec(32));
+        let opts = w.tradeoffs();
+        let cfg = SpecConfig {
+            group_size: 8,
+            window: 0,
+            max_reexec: 1,
+            rollback: 1,
+            orig_bindings: TradeoffBindings::defaults(&opts),
+            aux_bindings: TradeoffBindings::defaults(&opts),
+            ..SpecConfig::default()
+        };
+        let r = run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, 11);
+        assert!(r.report.aborted);
+        // Correctness is preserved regardless.
+        let err = w.output_error(&spec(32), &r.outputs);
+        assert!(err < 0.05, "relative MSE too high: {err}");
+    }
+
+    #[test]
+    fn fewer_layers_cost_less() {
+        let w = BodyTrack;
+        let inst = w.instance(&spec(4));
+        let opts = w.tradeoffs();
+        let run = |layer_idx: i64| {
+            let cfg = SpecConfig {
+                orig_bindings: TradeoffBindings::from_indices(&opts, &[layer_idx, 1, 2]),
+                ..SpecConfig::sequential()
+            };
+            run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, 0)
+                .trace
+                .total_work()
+        };
+        assert!(run(0) < run(9) / 2.0);
+    }
+
+    #[test]
+    fn refine_outputs_reduces_error() {
+        let w = BodyTrack;
+        let runs: Vec<_> = (0..8).map(|s| sequential_outputs(24, 100 + s)).collect();
+        let single_err = w.output_error(&spec(24), &runs[0]);
+        let refined = w.refine_outputs(runs);
+        let refined_err = w.output_error(&spec(24), &refined);
+        assert!(
+            refined_err < single_err,
+            "refined {refined_err} vs single {single_err}"
+        );
+    }
+
+    #[test]
+    fn nonrepresentative_subject_is_still_trackable() {
+        let w = BodyTrack;
+        let s = WorkloadSpec {
+            inputs: 16,
+            representative: false,
+            ..WorkloadSpec::default()
+        };
+        let inst = w.instance(&s);
+        let cfg = SpecConfig {
+            orig_bindings: bindings(&w),
+            ..SpecConfig::sequential()
+        };
+        let r = run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, 5);
+        assert!(w.output_error(&s, &r.outputs) < 0.05);
+    }
+
+    #[test]
+    fn model_distance_is_symmetric_and_zero_on_self() {
+        let m1 = BodyModel {
+            particles: vec![],
+            estimate: vec![1.0; POSE_DIM],
+        };
+        let m2 = BodyModel {
+            particles: vec![],
+            estimate: vec![2.0; POSE_DIM],
+        };
+        assert_eq!(m1.distance(&m1), 0.0);
+        assert_eq!(m1.distance(&m2), m2.distance(&m1));
+        assert_eq!(m1.distance(&m2), POSE_DIM as f64);
+    }
+}

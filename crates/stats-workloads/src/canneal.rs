@@ -1,0 +1,206 @@
+//! `canneal`: simulated-annealing netlist routing — the benchmark STATS
+//! **cannot** target, included to demonstrate the boundary (paper §4.2).
+//!
+//! > "STATS needs to know the number of inputs that the code pattern of
+//! > Figure 4 has to process at run time just before the first invocation
+//! > of this code pattern. This information is unfortunately unavailable in
+//! > the canneal benchmark: the number of inputs depends on the evolution
+//! > of the computation state."
+//!
+//! The kernel is real: elements of a netlist sit on a grid; each annealing
+//! step proposes swapping two elements and accepts the swap if it shortens
+//! total wire length (or probabilistically, by the cooling temperature).
+//! The loop terminates when the temperature has cooled **and** several
+//! consecutive temperature steps brought no improvement — a condition on
+//! the *evolving state*, so the iteration count cannot be known up front.
+//!
+//! [`run_annealing`] exposes that structure; [`steps_are_state_dependent`]
+//! is used by tests (and documentation) to show different seeds genuinely
+//! run different numbers of steps, which is exactly what breaks the SDI's
+//! `Vec<Input>` contract.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A placed netlist: `positions[e]` is element `e`'s grid cell, and `nets`
+/// lists connected element pairs.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    /// Grid side length.
+    pub side: usize,
+    /// Element -> cell index.
+    pub positions: Vec<usize>,
+    /// Connected element pairs.
+    pub nets: Vec<(usize, usize)>,
+}
+
+impl Netlist {
+    /// A synthetic netlist: a ring plus chords, initially placed badly
+    /// (element `e` on cell `e`).
+    pub fn synthetic(elements: usize, seed: u64) -> Self {
+        let side = (elements as f64).sqrt().ceil() as usize;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut nets = Vec::new();
+        for e in 0..elements {
+            nets.push((e, (e + 1) % elements));
+            if rng.random_bool(0.3) {
+                nets.push((e, rng.random_range(0..elements)));
+            }
+        }
+        Netlist {
+            side,
+            positions: (0..elements).collect(),
+            nets,
+        }
+    }
+
+    fn manhattan(&self, a: usize, b: usize) -> f64 {
+        let (ax, ay) = (a % self.side, a / self.side);
+        let (bx, by) = (b % self.side, b / self.side);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as f64
+    }
+
+    /// Total wire length of the current placement.
+    pub fn wire_length(&self) -> f64 {
+        self.nets
+            .iter()
+            .map(|&(a, b)| self.manhattan(self.positions[a], self.positions[b]))
+            .sum()
+    }
+}
+
+/// Result of an annealing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealOutcome {
+    /// Final wire length.
+    pub wire_length: f64,
+    /// Temperature steps actually executed — **state-dependent**, which is
+    /// why canneal has no STATS-targetable state dependence.
+    pub steps: usize,
+    /// Swap proposals evaluated.
+    pub proposals: usize,
+}
+
+/// Run simulated annealing to convergence. The outer loop's trip count
+/// depends on the evolving placement: it ends only after the temperature
+/// floor is reached *and* `patience` consecutive steps yield no
+/// improvement.
+pub fn run_annealing(netlist: &mut Netlist, seed: u64, patience: usize) -> AnnealOutcome {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let elements = netlist.positions.len();
+    let mut temperature = 2.0;
+    let mut best = netlist.wire_length();
+    let mut stale = 0usize;
+    let mut steps = 0usize;
+    let mut proposals = 0usize;
+
+    while temperature > 0.01 || stale < patience {
+        // One temperature step: a sweep of random swap proposals.
+        for _ in 0..elements {
+            proposals += 1;
+            let a = rng.random_range(0..elements);
+            let b = rng.random_range(0..elements);
+            if a == b {
+                continue;
+            }
+            let before = netlist.wire_length();
+            netlist.positions.swap(a, b);
+            let after = netlist.wire_length();
+            let delta = after - before;
+            let accept = delta < 0.0
+                || (temperature > 0.01
+                    && rng.random::<f64>() < (-delta / (temperature * 8.0)).exp());
+            if !accept {
+                netlist.positions.swap(a, b);
+            }
+        }
+        steps += 1;
+        temperature *= 0.85;
+        let now = netlist.wire_length();
+        if now < best - 1e-9 {
+            best = now;
+            stale = 0;
+        } else {
+            stale += 1;
+        }
+        if steps > 500 {
+            break; // safety net for tests
+        }
+    }
+
+    AnnealOutcome {
+        wire_length: netlist.wire_length(),
+        steps,
+        proposals,
+    }
+}
+
+/// Demonstrates the §4.2 exclusion: across seeds, the number of executed
+/// temperature steps differs — the "input count" of the would-be state
+/// dependence depends on the computation's evolution, so it cannot be
+/// provided to [`StateDependence::new`](stats_core::StateDependence::new)
+/// (which requires the complete `Vec<Input>` before the first invocation).
+pub fn steps_are_state_dependent(elements: usize, seeds: &[u64]) -> Vec<usize> {
+    seeds
+        .iter()
+        .map(|&s| {
+            let mut n = Netlist::synthetic(elements, 7);
+            run_annealing(&mut n, s, 3).steps
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annealing_improves_wire_length() {
+        let mut n = Netlist::synthetic(36, 1);
+        let before = n.wire_length();
+        let out = run_annealing(&mut n, 1, 3);
+        assert!(
+            out.wire_length < before,
+            "no improvement: {before} -> {}",
+            out.wire_length
+        );
+    }
+
+    #[test]
+    fn step_count_varies_with_seed() {
+        let steps = steps_are_state_dependent(25, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let min = steps.iter().min().unwrap();
+        let max = steps.iter().max().unwrap();
+        assert!(
+            max > min,
+            "step counts identical across seeds: {steps:?} — the exclusion \
+             argument would not hold"
+        );
+    }
+
+    #[test]
+    fn outcome_is_nondeterministic() {
+        let mut a = Netlist::synthetic(36, 1);
+        let mut b = Netlist::synthetic(36, 1);
+        let oa = run_annealing(&mut a, 10, 3);
+        let ob = run_annealing(&mut b, 11, 3);
+        assert_ne!(oa.wire_length, ob.wire_length);
+    }
+
+    #[test]
+    fn wire_length_zero_for_coincident_elements() {
+        let n = Netlist {
+            side: 4,
+            positions: vec![5, 5],
+            nets: vec![(0, 1)],
+        };
+        assert_eq!(n.wire_length(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Netlist::synthetic(30, 2);
+        let mut b = Netlist::synthetic(30, 2);
+        assert_eq!(run_annealing(&mut a, 5, 3), run_annealing(&mut b, 5, 3));
+    }
+}

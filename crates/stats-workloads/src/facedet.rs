@@ -1,0 +1,486 @@
+//! `facedet`: particle-filter face detection/tracking in a video stream.
+//!
+//! The paper's OpenCV-based pipeline "updates the position of the detected
+//! faces at each frame … taking advantage of the position of the faces
+//! found in the previous frame by applying a randomized particle filter"
+//! (§4.2). This port tracks a synthetic face — an axis-aligned box with a
+//! moving center and breathing scale — through noisy detector measurements
+//! with a particle filter over `(cx, cy, scale)`.
+//!
+//! Tradeoffs (payoff order): the number of particles and the number of
+//! times Gaussian noise is added to the particles. The state comparison is
+//! the average Euclidean distance of the four corner points of the box that
+//! contains the face, under the between-originals rule.
+
+use std::sync::Arc;
+
+use stats_core::{
+    EnumeratedTradeoff, InvocationCtx, SpecState, StateTransition, TradeoffOptions,
+    TradeoffValue,
+};
+
+use crate::match_rule::between_originals;
+use crate::metrics::avg_point_distance;
+use crate::spec::{
+    BenchmarkId, DependenceShape, Instance, OriginalTlp, Workload, WorkloadSpec,
+};
+
+/// A face hypothesis: center and scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaceBox {
+    /// Box center x.
+    pub cx: f64,
+    /// Box center y.
+    pub cy: f64,
+    /// Half-side of the square box.
+    pub scale: f64,
+}
+
+impl FaceBox {
+    /// The four corner points, flattened `[x0,y0, x1,y1, x2,y2, x3,y3]`.
+    pub fn corners(&self) -> [f64; 8] {
+        let FaceBox { cx, cy, scale } = *self;
+        [
+            cx - scale,
+            cy - scale,
+            cx + scale,
+            cy - scale,
+            cx + scale,
+            cy + scale,
+            cx - scale,
+            cy + scale,
+        ]
+    }
+
+    /// Average corner distance to another box (the paper's facedet metric).
+    pub fn corner_distance(&self, other: &FaceBox) -> f64 {
+        avg_point_distance(&self.corners(), &other.corners(), 2)
+    }
+}
+
+/// The tracker state: the particle set and the current box estimate.
+#[derive(Debug, Clone)]
+pub struct FaceState {
+    /// Particle hypotheses.
+    pub particles: Vec<FaceBox>,
+    /// Current estimate.
+    pub estimate: FaceBox,
+}
+
+impl FaceState {
+    /// Initial tracker state: hypotheses around the face found by the full
+    /// detector on the first frame (the particle filter then tracks
+    /// locally; a stale model needs several frames to re-acquire a face
+    /// that has moved away).
+    fn initial(n: usize, center: FaceBox) -> Self {
+        let mut particles = Vec::with_capacity(n);
+        let side = (n as f64).sqrt().ceil() as usize;
+        for i in 0..n {
+            let gx = (i % side) as f64 / side.max(1) as f64 - 0.5;
+            let gy = (i / side) as f64 / side.max(1) as f64 - 0.5;
+            particles.push(FaceBox {
+                cx: center.cx + 6.0 * gx,
+                cy: center.cy + 6.0 * gy,
+                scale: center.scale,
+            });
+        }
+        FaceState {
+            particles,
+            estimate: center,
+        }
+    }
+}
+
+/// Single-original acceptance tolerance (average corner distance, in the
+/// units of the synthetic frame): calibrated to the tracker's per-frame
+/// estimation noise. See `bodytrack` for the rationale.
+const SINGLE_ORIGINAL_TOLERANCE: f64 = 2.5;
+
+impl SpecState for FaceState {
+    fn matches_any(&self, originals: &[Self]) -> bool {
+        if originals.len() == 1 {
+            return self.estimate.corner_distance(&originals[0].estimate)
+                <= SINGLE_ORIGINAL_TOLERANCE;
+        }
+        between_originals(self, originals, |a, b| {
+            a.estimate.corner_distance(&b.estimate)
+        })
+    }
+}
+
+/// Per-frame input: the frame index.
+pub type Frame = usize;
+
+/// The per-frame face-tracking transition.
+pub struct FaceDetTransition {
+    detections: Arc<Vec<FaceBox>>,
+}
+
+impl StateTransition for FaceDetTransition {
+    type Input = Frame;
+    type State = FaceState;
+    type Output = FaceBox;
+
+    fn compute_output(
+        &self,
+        input: &Frame,
+        state: &mut FaceState,
+        ctx: &mut InvocationCtx,
+    ) -> FaceBox {
+        let target_particles = ctx.tradeoff_int("numParticles").max(4) as usize;
+        let noise_rounds = ctx.tradeoff_int("noiseApplications").max(1) as usize;
+        let det = self.detections[*input];
+
+        // Resize the particle set to the configured cardinality.
+        while state.particles.len() < target_particles {
+            let src = ctx.index(state.particles.len());
+            let p = state.particles[src];
+            state.particles.push(p);
+        }
+        state.particles.truncate(target_particles);
+        let n = state.particles.len();
+
+        // Diffuse (the "number of times Gaussian noise is added" tradeoff:
+        // more rounds explore more, at more cost), weight by the detector
+        // response, resample.
+        for round in 0..noise_rounds {
+            let sigma = 2.5 * 0.7_f64.powi(round as i32);
+            for p in state.particles.iter_mut() {
+                p.cx += ctx.normal(0.0, sigma);
+                p.cy += ctx.normal(0.0, sigma);
+                p.scale = (p.scale + ctx.normal(0.0, 0.3 * sigma)).max(1.0);
+            }
+            let mut weights = Vec::with_capacity(n);
+            let mut sum = 0.0;
+            for p in &state.particles {
+                let d2 = (p.cx - det.cx).powi(2)
+                    + (p.cy - det.cy).powi(2)
+                    + 4.0 * (p.scale - det.scale).powi(2);
+                let w = (-d2 / 8.0).exp();
+                weights.push(w);
+                sum += w;
+            }
+            if sum <= f64::MIN_POSITIVE {
+                weights.iter_mut().for_each(|w| *w = 1.0 / n as f64);
+            } else {
+                weights.iter_mut().for_each(|w| *w /= sum);
+            }
+            // Multinomial resampling.
+            let old = state.particles.clone();
+            for slot in state.particles.iter_mut() {
+                let r = ctx.uniform(0.0, 1.0);
+                let mut acc = 0.0;
+                let mut pick = n - 1;
+                for (i, w) in weights.iter().enumerate() {
+                    acc += w;
+                    if r <= acc {
+                        pick = i;
+                        break;
+                    }
+                }
+                *slot = old[pick];
+            }
+        }
+
+        // Estimate: particle mean.
+        let mut est = FaceBox {
+            cx: 0.0,
+            cy: 0.0,
+            scale: 0.0,
+        };
+        for p in &state.particles {
+            est.cx += p.cx;
+            est.cy += p.cy;
+            est.scale += p.scale;
+        }
+        est.cx /= n as f64;
+        est.cy /= n as f64;
+        est.scale /= n as f64;
+        state.estimate = est;
+
+        // Cost: the detector response is evaluated per particle per round;
+        // the real pipeline also runs a vectorized cascade per frame.
+        ctx.charge((n * noise_rounds) as f64 * 6.0 + 200.0);
+        ctx.charge_mem((n * noise_rounds) as f64 * 1.0);
+        est
+    }
+}
+
+/// The `facedet` workload.
+pub struct FaceDet;
+
+/// True face box at `frame`.
+pub fn ground_truth(frame: usize, representative: bool) -> FaceBox {
+    let t = frame as f64;
+    if representative {
+        FaceBox {
+            cx: 50.0 + 25.0 * (0.12 * t).sin(),
+            cy: 45.0 + 18.0 * (0.09 * t + 0.8).cos(),
+            scale: 10.0 + 2.5 * (0.05 * t).sin(),
+        }
+    } else {
+        // §4.6: "the detected face in facedet does not move".
+        FaceBox {
+            cx: 50.0,
+            cy: 45.0,
+            scale: 10.0,
+        }
+    }
+}
+
+fn detections(spec: &WorkloadSpec) -> Vec<FaceBox> {
+    let mut z = spec.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(7);
+    let mut next = move || {
+        z ^= z << 13;
+        z ^= z >> 7;
+        z ^= z << 17;
+        (z as f64 / u64::MAX as f64) * 2.0 - 1.0
+    };
+    (0..spec.inputs)
+        .map(|f| {
+            let t = ground_truth(f, spec.representative);
+            FaceBox {
+                cx: t.cx + 0.5 * next(),
+                cy: t.cy + 0.5 * next(),
+                scale: (t.scale + 0.25 * next()).max(1.0),
+            }
+        })
+        .collect()
+}
+
+impl Workload for FaceDet {
+    type T = FaceDetTransition;
+
+    fn id(&self) -> BenchmarkId {
+        BenchmarkId::FaceDet
+    }
+
+    fn tradeoffs(&self) -> Vec<Arc<dyn TradeoffOptions>> {
+        vec![
+            Arc::new(EnumeratedTradeoff::new(
+                "numParticles",
+                vec![
+                    TradeoffValue::Int(8),
+                    TradeoffValue::Int(16),
+                    TradeoffValue::Int(32),
+                    TradeoffValue::Int(64),
+                ],
+                2,
+            )),
+            Arc::new(EnumeratedTradeoff::int_range("noiseApplications", 1, 6, 3)),
+        ]
+    }
+
+    fn instance(&self, spec: &WorkloadSpec) -> Instance<FaceDetTransition> {
+        Instance {
+            inputs: (0..spec.inputs).collect(),
+            initial: FaceState::initial(
+                32 * spec.scale.max(1),
+                ground_truth(0, spec.representative),
+            ),
+            transition: FaceDetTransition {
+                detections: Arc::new(detections(spec)),
+            },
+        }
+    }
+
+    fn output_distance(&self, a: &[FaceBox], b: &[FaceBox]) -> f64 {
+        if a.is_empty() {
+            return 0.0;
+        }
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| x.corner_distance(y))
+            .sum::<f64>()
+            / a.len() as f64
+    }
+
+    fn output_error(&self, spec: &WorkloadSpec, outputs: &[FaceBox]) -> f64 {
+        if outputs.is_empty() {
+            return 0.0;
+        }
+        outputs
+            .iter()
+            .enumerate()
+            .map(|(f, o)| o.corner_distance(&ground_truth(f, spec.representative)))
+            .sum::<f64>()
+            / outputs.len() as f64
+    }
+
+    fn refine_outputs(&self, runs: Vec<Vec<FaceBox>>) -> Vec<FaceBox> {
+        let Some(first) = runs.first() else {
+            return Vec::new();
+        };
+        let frames = first.len();
+        let r = runs.len() as f64;
+        (0..frames)
+            .map(|f| {
+                let mut acc = FaceBox {
+                    cx: 0.0,
+                    cy: 0.0,
+                    scale: 0.0,
+                };
+                for run in &runs {
+                    acc.cx += run[f].cx;
+                    acc.cy += run[f].cy;
+                    acc.scale += run[f].scale;
+                }
+                FaceBox {
+                    cx: acc.cx / r,
+                    cy: acc.cy / r,
+                    scale: acc.scale / r,
+                }
+            })
+            .collect()
+    }
+
+    fn original_tlp(&self) -> OriginalTlp {
+        // §4.3: "The original parallelism available in facedet is used to
+        // aggressively vectorize the code" — little thread-level headroom.
+        OriginalTlp {
+            parallel_fraction: 0.72,
+            sync_overhead: 0.004,
+            max_threads: 6,
+            mem_fraction: 0.2,
+        }
+    }
+
+    fn dependence_shape(&self) -> DependenceShape {
+        DependenceShape::Complex
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stats_core::{run_protocol, SpecConfig, TradeoffBindings};
+
+    fn spec(n: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            inputs: n,
+            ..WorkloadSpec::default()
+        }
+    }
+
+    fn outputs(n: usize, seed: u64) -> Vec<FaceBox> {
+        let w = FaceDet;
+        let inst = w.instance(&spec(n));
+        let cfg = SpecConfig {
+            orig_bindings: TradeoffBindings::defaults(&w.tradeoffs()),
+            ..SpecConfig::sequential()
+        };
+        run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, seed).outputs
+    }
+
+    #[test]
+    fn tracker_follows_the_face() {
+        let outs = outputs(24, 3);
+        let err = FaceDet.output_error(&spec(24), &outs);
+        // Error must beat the detector noise scale comfortably after lock-on.
+        assert!(err < 3.0, "corner error too high: {err}");
+    }
+
+    #[test]
+    fn nondeterministic_outputs() {
+        let a = outputs(16, 1);
+        let b = outputs(16, 2);
+        let d = FaceDet.output_distance(&a, &b);
+        assert!(d > 0.0);
+        assert!(d < 5.0, "variability too large: {d}");
+    }
+
+    #[test]
+    fn speculation_commits_with_window() {
+        let w = FaceDet;
+        let inst = w.instance(&spec(32));
+        let opts = w.tradeoffs();
+        let cfg = SpecConfig {
+            group_size: 8,
+            window: 4,
+            max_reexec: 2,
+            rollback: 1,
+            orig_bindings: TradeoffBindings::defaults(&opts),
+            aux_bindings: TradeoffBindings::from_indices(&opts, &[3, 5]),
+            ..SpecConfig::default()
+        };
+        let r = run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, 17);
+        assert!(
+            r.report.committed_speculative_groups() >= 2,
+            "{:?}",
+            r.report
+        );
+        assert!(w.output_error(&spec(32), &r.outputs) < 3.0);
+    }
+
+    #[test]
+    fn corners_geometry() {
+        let b = FaceBox {
+            cx: 10.0,
+            cy: 20.0,
+            scale: 2.0,
+        };
+        let c = b.corners();
+        assert_eq!(&c[0..2], &[8.0, 18.0]);
+        assert_eq!(&c[4..6], &[12.0, 22.0]);
+        assert_eq!(b.corner_distance(&b), 0.0);
+    }
+
+    #[test]
+    fn corner_distance_tracks_center_shift() {
+        let a = FaceBox {
+            cx: 0.0,
+            cy: 0.0,
+            scale: 5.0,
+        };
+        let b = FaceBox {
+            cx: 3.0,
+            cy: 4.0,
+            scale: 5.0,
+        };
+        assert!((a.corner_distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refine_improves_error() {
+        let w = FaceDet;
+        let runs: Vec<_> = (0..8).map(|s| outputs(24, 50 + s)).collect();
+        let single = w.output_error(&spec(24), &runs[0]);
+        let refined_outs = w.refine_outputs(runs);
+        let refined = w.output_error(&spec(24), &refined_outs);
+        assert!(refined < single, "refined {refined} vs single {single}");
+    }
+
+    #[test]
+    fn more_noise_rounds_cost_more() {
+        let w = FaceDet;
+        let inst = w.instance(&spec(4));
+        let opts = w.tradeoffs();
+        let work = |rounds_idx: i64| {
+            let cfg = SpecConfig {
+                orig_bindings: TradeoffBindings::from_indices(&opts, &[2, rounds_idx]),
+                ..SpecConfig::sequential()
+            };
+            run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, 0)
+                .trace
+                .total_work()
+        };
+        assert!(work(0) < work(5));
+    }
+
+    #[test]
+    fn motionless_face_variant() {
+        let w = FaceDet;
+        let s = WorkloadSpec {
+            inputs: 12,
+            representative: false,
+            ..WorkloadSpec::default()
+        };
+        let inst = w.instance(&s);
+        let cfg = SpecConfig {
+            orig_bindings: TradeoffBindings::defaults(&w.tradeoffs()),
+            ..SpecConfig::sequential()
+        };
+        let r = run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, 9);
+        assert!(w.output_error(&s, &r.outputs) < 3.0);
+    }
+}

@@ -1,0 +1,541 @@
+//! `fluidanimate`: smoothed-particle-hydrodynamics fluid simulation.
+//!
+//! The PARSEC benchmark simulates an incompressible fluid with SPH. The
+//! state is "the condition of the fluid during the simulation (i.e., the
+//! position and velocity of the particles)" and the dependence is on the
+//! fluid-state update between frames (§4.2).
+//!
+//! This is the paper's designed *negative* case (§4.8): "the simulation of
+//! a fluid at instant i requires the simulation of it in all previous
+//! instants" — the computation has no short-memory window, so auxiliary
+//! code starting from the initial state diverges from the true trajectory,
+//! the runtime aborts its speculation, and the autotuner falls back to the
+//! original TLP. The port keeps that property: SPH dynamics are chaotic.
+//!
+//! Tradeoffs (payoff order, matching Table 1's nine columns minus the two
+//! thread counts): the `sqrt` implementation used in the kernel distance
+//! computations (three accuracy versions), the data type of three
+//! simulation variables (density, pressure, viscosity accumulators), and
+//! the x/y/z dimensions of the spatial partition prism (coarser prisms are
+//! cheaper but miss neighbor interactions).
+
+use std::sync::Arc;
+
+use stats_core::{
+    EnumeratedTradeoff, InvocationCtx, ScalarType, SpecState, StateTransition, TradeoffOptions,
+    TradeoffValue,
+};
+
+use crate::match_rule::between_originals;
+use crate::metrics::avg_point_distance;
+use crate::spec::{
+    BenchmarkId, DependenceShape, Instance, NondetSource, OriginalTlp, Workload, WorkloadSpec,
+};
+
+/// SPH smoothing radius.
+const H: f64 = 0.18;
+/// Time step.
+const DT: f64 = 0.004;
+/// Rest density.
+const RHO0: f64 = 1000.0;
+/// Pressure stiffness.
+const STIFFNESS: f64 = 40.0;
+/// Viscosity coefficient.
+const VISCOSITY: f64 = 2.5;
+/// Particle mass.
+const MASS: f64 = 1.0;
+/// Gravity.
+const GRAVITY: f64 = -9.8;
+
+/// The fluid state: particle positions and velocities.
+#[derive(Debug, Clone, Default)]
+pub struct Fluid {
+    /// Flattened particle positions `[x,y,z]*n`.
+    pub pos: Vec<f64>,
+    /// Flattened particle velocities.
+    pub vel: Vec<f64>,
+}
+
+impl Fluid {
+    /// Number of particles.
+    pub fn particles(&self) -> usize {
+        self.pos.len() / 3
+    }
+
+    /// The paper's fluidanimate distance: average Euclidean distance
+    /// between particle positions.
+    pub fn distance(&self, other: &Fluid) -> f64 {
+        avg_point_distance(&self.pos, &other.pos, 3)
+    }
+
+    fn dam_break(n: usize) -> Self {
+        // A block of fluid in one corner of the unit box.
+        let side = (n as f64).cbrt().ceil() as usize;
+        let mut pos = Vec::with_capacity(3 * n);
+        let mut i = 0usize;
+        'outer: for x in 0..side {
+            for y in 0..side {
+                for z in 0..side {
+                    if i >= n {
+                        break 'outer;
+                    }
+                    pos.push(0.05 + 0.4 * x as f64 / side as f64);
+                    pos.push(0.05 + 0.6 * y as f64 / side as f64);
+                    pos.push(0.05 + 0.4 * z as f64 / side as f64);
+                    i += 1;
+                }
+            }
+        }
+        Fluid {
+            vel: vec![0.0; pos.len()],
+            pos,
+        }
+    }
+}
+
+impl SpecState for Fluid {
+    fn matches_any(&self, originals: &[Self]) -> bool {
+        between_originals(self, originals, |a, b| a.distance(b))
+    }
+}
+
+/// Per-frame input: the frame index (the simulation consumes only time).
+pub type Frame = usize;
+
+/// One SPH time step.
+pub struct FluidTransition;
+
+/// The three `sqrt` versions selected by the function tradeoff: exact, and
+/// one/two Newton–Raphson iterations from a crude seed.
+pub fn sqrt_version(name: &str, x: f64) -> f64 {
+    match name {
+        "sqrt_exact" => x.sqrt(),
+        "sqrt_newton2" => {
+            let mut y = crude_seed(x);
+            y = 0.5 * (y + x / y.max(1e-12));
+            y = 0.5 * (y + x / y.max(1e-12));
+            y
+        }
+        "sqrt_newton1" => {
+            let mut y = crude_seed(x);
+            y = 0.5 * (y + x / y.max(1e-12));
+            y
+        }
+        other => panic!("unknown sqrt version `{other}`"),
+    }
+}
+
+fn crude_seed(x: f64) -> f64 {
+    // Exponent halving via bit manipulation — the classic fast inverse
+    // square-root trick's cousin.
+    if x <= 0.0 {
+        return 0.0;
+    }
+    let bits = x.to_bits();
+    let approx = (bits >> 1).wrapping_add(0x1FF8_0000_0000_0000);
+    f64::from_bits(approx)
+}
+
+impl StateTransition for FluidTransition {
+    type Input = Frame;
+    type State = Fluid;
+    type Output = Vec<f64>;
+
+    #[allow(clippy::needless_range_loop)] // particle indices shared across arrays
+    fn compute_output(
+        &self,
+        _input: &Frame,
+        state: &mut Fluid,
+        ctx: &mut InvocationCtx,
+    ) -> Vec<f64> {
+        let sqrt_name = ctx.tradeoff_function("sqrtVersion").to_string();
+        let density_ty = ctx.tradeoff_type("densityPrecision");
+        let pressure_ty = ctx.tradeoff_type("pressurePrecision");
+        let viscosity_ty = ctx.tradeoff_type("viscosityPrecision");
+        let px = ctx.tradeoff_float("prismX");
+        let py = ctx.tradeoff_float("prismY");
+        let pz = ctx.tradeoff_float("prismZ");
+
+        let n = state.particles();
+        // Spatial partition: cells of size H * prism scale per axis. Scales
+        // below 1.0 shrink the cells; the 27-cell neighborhood then misses
+        // some true neighbors (cheaper, approximate).
+        let cell = [H * px, H * py, H * pz];
+        let dims = [
+            (1.0 / cell[0]).ceil() as usize + 1,
+            (1.0 / cell[1]).ceil() as usize + 1,
+            (1.0 / cell[2]).ceil() as usize + 1,
+        ];
+        let cell_of = |p: &[f64]| -> [usize; 3] {
+            [
+                ((p[0] / cell[0]) as usize).min(dims[0] - 1),
+                ((p[1] / cell[1]) as usize).min(dims[1] - 1),
+                ((p[2] / cell[2]) as usize).min(dims[2] - 1),
+            ]
+        };
+        let mut grid: Vec<Vec<usize>> = vec![Vec::new(); dims[0] * dims[1] * dims[2]];
+        let idx = |c: [usize; 3]| c[0] + dims[0] * (c[1] + dims[1] * c[2]);
+        for i in 0..n {
+            let c = cell_of(&state.pos[3 * i..3 * i + 3]);
+            grid[idx(c)].push(i);
+        }
+
+        // Neighbor iteration helper over the 27-cell neighborhood.
+        let neighbors = |i: usize, pos: &[f64], out: &mut Vec<(usize, f64)>, work: &mut f64| {
+            out.clear();
+            let pi = &pos[3 * i..3 * i + 3];
+            let c = cell_of(pi);
+            for dx in -1i64..=1 {
+                for dy in -1i64..=1 {
+                    for dz in -1i64..=1 {
+                        let cc = [
+                            c[0] as i64 + dx,
+                            c[1] as i64 + dy,
+                            c[2] as i64 + dz,
+                        ];
+                        if cc.iter().any(|&v| v < 0)
+                            || cc[0] >= dims[0] as i64
+                            || cc[1] >= dims[1] as i64
+                            || cc[2] >= dims[2] as i64
+                        {
+                            continue;
+                        }
+                        for &j in &grid[idx([cc[0] as usize, cc[1] as usize, cc[2] as usize])] {
+                            if j == i {
+                                continue;
+                            }
+                            let pj = &pos[3 * j..3 * j + 3];
+                            let d2: f64 = pi
+                                .iter()
+                                .zip(pj)
+                                .map(|(a, b)| (a - b) * (a - b))
+                                .sum();
+                            *work += 1.0;
+                            if d2 < H * H {
+                                out.push((j, d2));
+                            }
+                        }
+                    }
+                }
+            }
+        };
+
+        // Pass 1: densities (poly6 kernel).
+        let mut work = 0.0;
+        let mut density = vec![0.0_f64; n];
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        let poly6 = 315.0 / (64.0 * std::f64::consts::PI * H.powi(9));
+        for i in 0..n {
+            neighbors(i, &state.pos, &mut scratch, &mut work);
+            let mut rho = MASS * poly6 * (H * H).powi(3); // self-contribution
+            for &(_, d2) in &scratch {
+                let diff = H * H - d2;
+                rho = density_ty.quantize(rho + MASS * poly6 * diff * diff * diff);
+            }
+            density[i] = rho.max(1e-9);
+        }
+
+        // Pass 2: forces (spiky pressure gradient + viscosity Laplacian),
+        // with a tiny random perturbation standing in for the accumulation-
+        // order races of the real pthreads implementation.
+        let spiky = -45.0 / (std::f64::consts::PI * H.powi(6));
+        let visc_lap = 45.0 / (std::f64::consts::PI * H.powi(6));
+        let mut acc = vec![0.0_f64; 3 * n];
+        for i in 0..n {
+            neighbors(i, &state.pos, &mut scratch, &mut work);
+            let rho_i = density[i];
+            let p_i = pressure_ty.quantize(STIFFNESS * (rho_i - RHO0));
+            let mut f = [0.0_f64, 0.0, 0.0];
+            for &(j, d2) in &scratch {
+                let r = sqrt_version(&sqrt_name, d2).max(1e-9);
+                let rho_j = density[j];
+                let p_j = pressure_ty.quantize(STIFFNESS * (rho_j - RHO0));
+                let wp = spiky * (H - r) * (H - r);
+                let coef = MASS * (p_i + p_j) / (2.0 * rho_j) * wp / r;
+                for a in 0..3 {
+                    let dx = state.pos[3 * i + a] - state.pos[3 * j + a];
+                    f[a] += coef * dx;
+                    let dv = state.vel[3 * j + a] - state.vel[3 * i + a];
+                    f[a] = viscosity_ty
+                        .quantize(f[a] + VISCOSITY * MASS * dv / rho_j * visc_lap * (H - r));
+                }
+            }
+            // Race-order perturbation (relative, tiny).
+            let jitter = 1.0 + 1e-7 * ctx.normal(0.0, 1.0);
+            for a in 0..3 {
+                acc[3 * i + a] = f[a] / rho_i * jitter;
+            }
+            acc[3 * i + 1] += GRAVITY;
+        }
+
+        // Pass 3: integrate + box walls.
+        for i in 0..n {
+            for a in 0..3 {
+                state.vel[3 * i + a] += acc[3 * i + a] * DT;
+                state.pos[3 * i + a] += state.vel[3 * i + a] * DT;
+                if state.pos[3 * i + a] < 0.0 {
+                    state.pos[3 * i + a] = 0.0;
+                    state.vel[3 * i + a] *= -0.3;
+                }
+                if state.pos[3 * i + a] > 1.0 {
+                    state.pos[3 * i + a] = 1.0;
+                    state.vel[3 * i + a] *= -0.3;
+                }
+            }
+        }
+
+        ctx.charge(work + n as f64 * 10.0);
+        ctx.charge_mem(work * 0.5);
+        state.pos.clone()
+    }
+}
+
+/// The `fluidanimate` workload.
+pub struct FluidAnimate;
+
+impl Workload for FluidAnimate {
+    type T = FluidTransition;
+
+    fn id(&self) -> BenchmarkId {
+        BenchmarkId::FluidAnimate
+    }
+
+    fn tradeoffs(&self) -> Vec<Arc<dyn TradeoffOptions>> {
+        let types = || {
+            vec![
+                TradeoffValue::Type(ScalarType::F32),
+                TradeoffValue::Type(ScalarType::F64),
+            ]
+        };
+        let prism = |name: &str| {
+            EnumeratedTradeoff::new(
+                name,
+                vec![
+                    TradeoffValue::Float(0.5),
+                    TradeoffValue::Float(0.75),
+                    TradeoffValue::Float(1.0),
+                ],
+                2,
+            )
+        };
+        vec![
+            Arc::new(EnumeratedTradeoff::new(
+                "sqrtVersion",
+                vec![
+                    TradeoffValue::Function("sqrt_newton1".into()),
+                    TradeoffValue::Function("sqrt_newton2".into()),
+                    TradeoffValue::Function("sqrt_exact".into()),
+                ],
+                2,
+            )),
+            Arc::new(EnumeratedTradeoff::new("densityPrecision", types(), 1)),
+            Arc::new(EnumeratedTradeoff::new("pressurePrecision", types(), 1)),
+            Arc::new(EnumeratedTradeoff::new("viscosityPrecision", types(), 1)),
+            Arc::new(prism("prismX")),
+            Arc::new(prism("prismY")),
+            Arc::new(prism("prismZ")),
+        ]
+    }
+
+    fn instance(&self, spec: &WorkloadSpec) -> Instance<FluidTransition> {
+        // The representative scene is a dam break (everything moves); the
+        // non-representative one is fluid already at rest.
+        let n = 80 * spec.scale.max(1);
+        let mut fluid = Fluid::dam_break(n);
+        if !spec.representative {
+            // Settle: spread particles uniformly, zero velocity.
+            let side = (n as f64).cbrt().ceil() as usize;
+            let mut i = 0;
+            'outer: for x in 0..side {
+                for y in 0..side {
+                    for z in 0..side {
+                        if i >= n {
+                            break 'outer;
+                        }
+                        fluid.pos[3 * i] = (x as f64 + 0.5) / side as f64;
+                        fluid.pos[3 * i + 1] = 0.5 * (y as f64 + 0.5) / side as f64;
+                        fluid.pos[3 * i + 2] = (z as f64 + 0.5) / side as f64;
+                        i += 1;
+                    }
+                }
+            }
+        }
+        Instance {
+            inputs: (0..spec.inputs).collect(),
+            initial: fluid,
+            transition: FluidTransition,
+        }
+    }
+
+    fn output_distance(&self, a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
+        match (a.last(), b.last()) {
+            (Some(x), Some(y)) => avg_point_distance(x, y, 3),
+            _ => 0.0,
+        }
+    }
+
+    fn output_error(&self, _spec: &WorkloadSpec, outputs: &[Vec<f64>]) -> f64 {
+        // No analytic ground truth: report the deviation of the final frame
+        // from a physically sane envelope (particles inside the box, finite
+        // values). 0 = sane.
+        let Some(last) = outputs.last() else {
+            return 0.0;
+        };
+        let violations = last
+            .iter()
+            .filter(|v| !v.is_finite() || **v < -1e-9 || **v > 1.0 + 1e-9)
+            .count();
+        violations as f64 / last.len() as f64
+    }
+
+    fn original_tlp(&self) -> OriginalTlp {
+        OriginalTlp {
+            parallel_fraction: 0.965,
+            sync_overhead: 0.0015,
+            max_threads: 28,
+            mem_fraction: 0.5,
+        }
+    }
+
+    fn dependence_shape(&self) -> DependenceShape {
+        DependenceShape::Complex
+    }
+
+    fn nondet_source(&self) -> NondetSource {
+        NondetSource::RaceCondition
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stats_core::{run_protocol, SpecConfig, TradeoffBindings};
+
+    fn spec(n: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            inputs: n,
+            ..WorkloadSpec::default()
+        }
+    }
+
+    fn seq_cfg() -> SpecConfig {
+        SpecConfig {
+            orig_bindings: TradeoffBindings::defaults(&FluidAnimate.tradeoffs()),
+            ..SpecConfig::sequential()
+        }
+    }
+
+    fn run(n: usize, seed: u64, cfg: SpecConfig) -> stats_core::ProtocolResult<FluidTransition> {
+        let w = FluidAnimate;
+        let inst = w.instance(&spec(n));
+        run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, seed)
+    }
+
+    #[test]
+    fn simulation_stays_physical() {
+        let r = run(16, 1, seq_cfg());
+        let err = FluidAnimate.output_error(&spec(16), &r.outputs);
+        assert_eq!(err, 0.0, "particles escaped the box or went non-finite");
+    }
+
+    #[test]
+    fn fluid_actually_moves() {
+        let r = run(12, 1, seq_cfg());
+        let first = &r.outputs[0];
+        let last = r.outputs.last().unwrap();
+        let moved = avg_point_distance(first, last, 3);
+        assert!(moved > 0.005, "fluid static: {moved}");
+    }
+
+    #[test]
+    fn race_perturbation_makes_runs_diverge() {
+        let a = run(20, 1, seq_cfg()).outputs;
+        let b = run(20, 2, seq_cfg()).outputs;
+        let d = FluidAnimate.output_distance(&a, &b);
+        assert!(d > 0.0, "identical trajectories despite perturbation");
+    }
+
+    #[test]
+    fn speculation_aborts_full_history_dependence() {
+        // The paper's central negative result: auxiliary code (any window
+        // smaller than the whole prefix) cannot reproduce the fluid state,
+        // so the runtime aborts and falls back to the original execution.
+        let w = FluidAnimate;
+        let opts = w.tradeoffs();
+        let cfg = SpecConfig {
+            group_size: 8,
+            window: 3,
+            max_reexec: 2,
+            rollback: 1,
+            orig_bindings: TradeoffBindings::defaults(&opts),
+            aux_bindings: TradeoffBindings::defaults(&opts),
+            ..SpecConfig::default()
+        };
+        let r = run(24, 3, cfg);
+        assert!(r.report.aborted, "{:?}", r.report);
+        assert_eq!(r.report.committed_speculative_groups(), 0);
+        // Output is still correct (sequential fallback).
+        assert_eq!(r.outputs.len(), 24);
+        assert_eq!(FluidAnimate.output_error(&spec(24), &r.outputs), 0.0);
+    }
+
+    #[test]
+    fn sqrt_versions_are_ordered_by_accuracy() {
+        for x in [0.25, 2.0, 9.0, 123.456] {
+            let exact = sqrt_version("sqrt_exact", x);
+            let n2 = sqrt_version("sqrt_newton2", x);
+            let n1 = sqrt_version("sqrt_newton1", x);
+            assert!((exact - x.sqrt()).abs() < 1e-15);
+            let e2 = (n2 - exact).abs();
+            let e1 = (n1 - exact).abs();
+            assert!(e2 <= e1, "newton2 ({e2}) worse than newton1 ({e1}) at {x}");
+            assert!(e1 / exact < 0.5, "newton1 wildly off at {x}");
+        }
+    }
+
+    #[test]
+    fn coarse_prism_is_cheaper() {
+        let w = FluidAnimate;
+        let inst = w.instance(&spec(3));
+        let opts = w.tradeoffs();
+        let work = |prism_idx: i64| {
+            let cfg = SpecConfig {
+                orig_bindings: TradeoffBindings::from_indices(
+                    &opts,
+                    &[2, 1, 1, 1, prism_idx, prism_idx, prism_idx],
+                ),
+                ..SpecConfig::sequential()
+            };
+            run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, 0)
+                .trace
+                .total_work()
+        };
+        assert!(work(0) < work(2), "coarse {} vs exact {}", work(0), work(2));
+    }
+
+    #[test]
+    fn settled_scene_variant_runs() {
+        let w = FluidAnimate;
+        let s = WorkloadSpec {
+            inputs: 6,
+            representative: false,
+            ..WorkloadSpec::default()
+        };
+        let inst = w.instance(&s);
+        let r = run_protocol(&inst.transition, &inst.inputs, &inst.initial, &seq_cfg(), 1);
+        assert_eq!(w.output_error(&s, &r.outputs), 0.0);
+    }
+
+    #[test]
+    fn crude_seed_is_in_the_ballpark() {
+        for x in [0.01, 1.0, 100.0, 1e6] {
+            let seed = crude_seed(x);
+            let exact = x.sqrt();
+            assert!(seed > 0.0);
+            assert!(
+                seed / exact > 0.3 && seed / exact < 3.5,
+                "seed {seed} vs sqrt {exact}"
+            );
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Rust ports of the six nondeterministic benchmarks evaluated by STATS.
+//!
+//! The paper evaluates on the nondeterministic PARSEC 3.0 benchmarks that
+//! compile with vanilla clang, plus an OpenCV face-detection pipeline:
+//!
+//! | Benchmark         | Kernel (ported from scratch)                     | State dependence                       |
+//! |-------------------|--------------------------------------------------|----------------------------------------|
+//! | `bodytrack`       | Annealed particle filter tracking a 3D body      | body-model update between frames       |
+//! | `facedet`         | Particle-filter face-box tracker (OpenCV-style)  | face position update between frames    |
+//! | `fluidanimate`    | Smoothed-particle-hydrodynamics fluid simulation | fluid state update between time steps  |
+//! | `swaptions`       | HJM-style Monte Carlo swaption pricing           | running price update between trials    |
+//! | `streamcluster`   | Online k-median clustering of a point stream     | current-solution update per candidate  |
+//! | `streamclassifier`| Streaming nearest-centroid classification        | classifier-model update per chunk      |
+//!
+//! (`canneal` is excluded exactly as in the paper §4.2: the number of inputs
+//! its pattern processes depends on the evolving computation state, which
+//! STATS must know before the first invocation.)
+//!
+//! Each port defines the SDI types (`Input`/`State`/`Output` and the
+//! transition), the paper's tradeoffs in the paper's payoff order, the
+//! state-comparison function, the domain quality metric, input generators
+//! (representative and the §4.6 non-representative variants), and a model of
+//! the benchmark's *original* thread-level parallelism used by the platform
+//! simulator.
+
+#![deny(missing_docs)]
+
+pub mod bodytrack;
+pub mod canneal;
+pub mod facedet;
+pub mod fluidanimate;
+mod match_rule;
+pub mod metrics;
+mod spec;
+pub mod streamclassifier;
+pub mod streamcluster;
+pub mod swaptions;
+
+pub use match_rule::between_originals;
+pub use spec::{
+    BenchmarkId, DependenceShape, Instance, NondetSource, OriginalTlp, Workload, WorkloadSpec,
+};
+
+/// Dispatch a generic closure-like body over the concrete workload type for
+/// a [`BenchmarkId`] — the bridge between runtime benchmark selection and
+/// the generic [`Workload`] interface (which is not object-safe because of
+/// its associated transition type).
+///
+/// ```
+/// use stats_workloads::{with_workload, BenchmarkId, Workload};
+///
+/// let id = BenchmarkId::Swaptions;
+/// let n = with_workload!(id, |w| w.tradeoffs().len());
+/// assert_eq!(n, 2);
+/// ```
+#[macro_export]
+macro_rules! with_workload {
+    ($id:expr, |$w:ident| $body:expr) => {
+        match $id {
+            $crate::BenchmarkId::Swaptions => {
+                let $w = $crate::swaptions::Swaptions;
+                $body
+            }
+            $crate::BenchmarkId::StreamClassifier => {
+                let $w = $crate::streamclassifier::StreamClassifier;
+                $body
+            }
+            $crate::BenchmarkId::StreamCluster => {
+                let $w = $crate::streamcluster::StreamCluster;
+                $body
+            }
+            $crate::BenchmarkId::FluidAnimate => {
+                let $w = $crate::fluidanimate::FluidAnimate;
+                $body
+            }
+            $crate::BenchmarkId::BodyTrack => {
+                let $w = $crate::bodytrack::BodyTrack;
+                $body
+            }
+            $crate::BenchmarkId::FaceDet => {
+                let $w = $crate::facedet::FaceDet;
+                $body
+            }
+        }
+    };
+}

@@ -1,0 +1,74 @@
+//! The paper's state-comparison rule for distance-based states.
+//!
+//! §4.2 (bodytrack): "The state comparison function computes the distances
+//! of the speculative state with the given set of original states, and the
+//! distances among all the original states. […] If the distance of the
+//! speculative state S' with an original state S is less or equal the
+//! distance of another original state and S, then we consider the
+//! speculative state as valid" — i.e. S' is accepted when it lies *within
+//! the observed inter-run variability* of the nondeterministic producer.
+//!
+//! With fewer than two originals there is no variability estimate, so the
+//! rule returns `false`; the runtime reacts by re-executing the producer to
+//! obtain another original — which is exactly the paper's re-execution loop.
+
+/// Apply the between-originals rule with distance function `dist`.
+pub fn between_originals<S>(spec: &S, originals: &[S], dist: impl Fn(&S, &S) -> f64) -> bool {
+    if originals.len() < 2 {
+        return false;
+    }
+    for (i, oi) in originals.iter().enumerate() {
+        let d_spec = dist(spec, oi);
+        for (j, oj) in originals.iter().enumerate() {
+            if i != j && d_spec <= dist(oj, oi) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(a: &f64, b: &f64) -> f64 {
+        (a - b).abs()
+    }
+
+    #[test]
+    fn fewer_than_two_originals_never_match() {
+        assert!(!between_originals(&0.0, &[], d));
+        assert!(!between_originals(&0.0, &[0.0], d));
+    }
+
+    #[test]
+    fn spec_within_variability_matches() {
+        // Originals at 0 and 1 (variability 1); spec at 0.5 is inside.
+        assert!(between_originals(&0.5, &[0.0, 1.0], d));
+    }
+
+    #[test]
+    fn spec_far_outside_variability_fails() {
+        assert!(!between_originals(&10.0, &[0.0, 1.0], d));
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        assert!(between_originals(&1.0, &[0.0, 1.0], d));
+        assert!(between_originals(&-1.0, &[0.0, 1.0], d));
+    }
+
+    #[test]
+    fn more_originals_widen_acceptance() {
+        // With originals {0, 1} a spec at 2.5 fails; adding an original at
+        // 3 widens the observed variability and it passes.
+        assert!(!between_originals(&2.5, &[0.0, 1.0], d));
+        assert!(between_originals(&2.5, &[0.0, 1.0, 3.0], d));
+    }
+
+    #[test]
+    fn exact_duplicate_originals_still_accept_equal_spec() {
+        assert!(between_originals(&5.0, &[5.0, 5.0], d));
+    }
+}

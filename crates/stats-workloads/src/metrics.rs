@@ -1,0 +1,252 @@
+//! Domain-specific output-quality metrics (paper §4.2, "Output quality").
+//!
+//! - bodytrack: relative mean-square error of the body-part vectors;
+//! - fluidanimate: average Euclidean distance between particle positions;
+//! - streamcluster: difference of Davies–Bouldin indices of the clusterings;
+//! - streamclassifier: difference of B³ metrics;
+//! - swaptions: average relative difference between generated prices;
+//! - facedet: average Euclidean distance of the face-box corner points.
+
+/// Euclidean distance between two equal-length vectors.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Average Euclidean distance between corresponding points of two point
+/// sets, each point `dim`-dimensional, flattened into slices.
+pub fn avg_point_distance(a: &[f64], b: &[f64], dim: usize) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert!(dim > 0);
+    let n = a.len() / dim;
+    if n == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        total += euclidean(&a[i * dim..(i + 1) * dim], &b[i * dim..(i + 1) * dim]);
+    }
+    total / n as f64
+}
+
+/// Relative mean-square error of `estimate` against `reference`
+/// (bodytrack's metric \[58\]).
+pub fn relative_mse(estimate: &[f64], reference: &[f64]) -> f64 {
+    debug_assert_eq!(estimate.len(), reference.len());
+    if estimate.is_empty() {
+        return 0.0;
+    }
+    let mse: f64 = estimate
+        .iter()
+        .zip(reference)
+        .map(|(e, r)| (e - r) * (e - r))
+        .sum::<f64>()
+        / estimate.len() as f64;
+    let ref_power: f64 =
+        reference.iter().map(|r| r * r).sum::<f64>() / reference.len() as f64;
+    if ref_power > 0.0 {
+        mse / ref_power
+    } else {
+        mse
+    }
+}
+
+/// Average relative difference between two price series (swaptions' metric).
+pub fn avg_relative_diff(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let denom = y.abs().max(1e-12);
+            (x - y).abs() / denom
+        })
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+/// Davies–Bouldin index of a clustering: mean over clusters of the worst
+/// ratio `(s_i + s_j) / d(c_i, c_j)`; lower is better. `points` are
+/// flattened `dim`-dimensional coordinates, `assignment[i]` is point `i`'s
+/// cluster, `centers` are flattened cluster centers.
+pub fn davies_bouldin(
+    points: &[f64],
+    assignment: &[usize],
+    centers: &[f64],
+    dim: usize,
+) -> f64 {
+    let k = centers.len() / dim;
+    if k < 2 {
+        return 0.0;
+    }
+    let n = points.len() / dim;
+    debug_assert_eq!(assignment.len(), n);
+    // Mean intra-cluster scatter.
+    let mut scatter = vec![0.0_f64; k];
+    let mut count = vec![0usize; k];
+    for i in 0..n {
+        let c = assignment[i];
+        debug_assert!(c < k);
+        scatter[c] += euclidean(
+            &points[i * dim..(i + 1) * dim],
+            &centers[c * dim..(c + 1) * dim],
+        );
+        count[c] += 1;
+    }
+    for c in 0..k {
+        if count[c] > 0 {
+            scatter[c] /= count[c] as f64;
+        }
+    }
+    let mut total = 0.0;
+    let mut used = 0usize;
+    for i in 0..k {
+        if count[i] == 0 {
+            continue;
+        }
+        let mut worst: f64 = 0.0;
+        for j in 0..k {
+            if i == j || count[j] == 0 {
+                continue;
+            }
+            let d = euclidean(&centers[i * dim..(i + 1) * dim], &centers[j * dim..(j + 1) * dim]);
+            if d > 0.0 {
+                worst = worst.max((scatter[i] + scatter[j]) / d);
+            }
+        }
+        total += worst;
+        used += 1;
+    }
+    if used > 0 {
+        total / used as f64
+    } else {
+        0.0
+    }
+}
+
+/// B³ (B-cubed) F-score between a predicted clustering and a gold labeling
+/// (streamclassifier's metric \[58\]); 1.0 = identical, 0 = disjoint.
+pub fn b_cubed(predicted: &[usize], gold: &[usize]) -> f64 {
+    debug_assert_eq!(predicted.len(), gold.len());
+    let n = predicted.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let mut precision = 0.0;
+    let mut recall = 0.0;
+    for i in 0..n {
+        let mut same_pred = 0usize;
+        let mut same_gold = 0usize;
+        let mut same_both = 0usize;
+        for j in 0..n {
+            let sp = predicted[j] == predicted[i];
+            let sg = gold[j] == gold[i];
+            same_pred += sp as usize;
+            same_gold += sg as usize;
+            same_both += (sp && sg) as usize;
+        }
+        precision += same_both as f64 / same_pred as f64;
+        recall += same_both as f64 / same_gold as f64;
+    }
+    precision /= n as f64;
+    recall /= n as f64;
+    if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    }
+}
+
+/// Geometric mean of strictly positive values (used throughout the figures).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-300).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_basics() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn avg_point_distance_identity_is_zero() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        assert_eq!(avg_point_distance(&a, &a, 3), 0.0);
+    }
+
+    #[test]
+    fn avg_point_distance_symmetry() {
+        let a = [0.0, 0.0, 1.0, 1.0];
+        let b = [1.0, 0.0, 0.0, 1.0];
+        assert_eq!(avg_point_distance(&a, &b, 2), avg_point_distance(&b, &a, 2));
+    }
+
+    #[test]
+    fn relative_mse_identity_and_scale() {
+        let r = [1.0, 2.0, 3.0];
+        assert_eq!(relative_mse(&r, &r), 0.0);
+        let e = [2.0, 4.0, 6.0];
+        assert!(relative_mse(&e, &r) > 0.0);
+    }
+
+    #[test]
+    fn avg_relative_diff_identity() {
+        let a = [10.0, 20.0];
+        assert_eq!(avg_relative_diff(&a, &a), 0.0);
+        assert!((avg_relative_diff(&[11.0, 22.0], &a) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn davies_bouldin_prefers_separated_clusters() {
+        // Two tight, well-separated clusters vs. two overlapping ones.
+        let tight_points = [0.0, 0.1, -0.1, 10.0, 10.1, 9.9];
+        let assignment = [0, 0, 0, 1, 1, 1];
+        let centers_tight = [0.0, 10.0];
+        let db_tight = davies_bouldin(&tight_points, &assignment, &centers_tight, 1);
+
+        let loose_points = [0.0, 2.0, -2.0, 3.0, 5.0, 1.0];
+        let centers_loose = [0.0, 3.0];
+        let db_loose = davies_bouldin(&loose_points, &assignment, &centers_loose, 1);
+        assert!(db_tight < db_loose, "{db_tight} vs {db_loose}");
+    }
+
+    #[test]
+    fn davies_bouldin_single_cluster_is_zero() {
+        assert_eq!(davies_bouldin(&[1.0, 2.0], &[0, 0], &[1.5], 1), 0.0);
+    }
+
+    #[test]
+    fn b_cubed_identity() {
+        assert_eq!(b_cubed(&[0, 0, 1, 1], &[0, 0, 1, 1]), 1.0);
+        // Label names don't matter, only the partition.
+        assert_eq!(b_cubed(&[5, 5, 9, 9], &[0, 0, 1, 1]), 1.0);
+    }
+
+    #[test]
+    fn b_cubed_detects_disagreement() {
+        let perfect = b_cubed(&[0, 0, 1, 1], &[0, 0, 1, 1]);
+        let off = b_cubed(&[0, 1, 1, 1], &[0, 0, 1, 1]);
+        assert!(off < perfect);
+        assert!(off > 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+}

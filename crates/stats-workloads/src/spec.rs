@@ -1,0 +1,218 @@
+//! The common workload interface consumed by the profiler and benches.
+
+use std::sync::Arc;
+
+use stats_core::{StateTransition, TradeoffOptions};
+
+/// Identifies one of the six ported benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenchmarkId {
+    /// HJM-style Monte Carlo swaption pricing.
+    Swaptions,
+    /// Streaming nearest-centroid classification.
+    StreamClassifier,
+    /// Online k-median clustering.
+    StreamCluster,
+    /// Smoothed-particle-hydrodynamics fluid simulation.
+    FluidAnimate,
+    /// Annealed-particle-filter body tracking.
+    BodyTrack,
+    /// Particle-filter face detection/tracking.
+    FaceDet,
+}
+
+impl BenchmarkId {
+    /// All six benchmarks, in the paper's figure order.
+    pub fn all() -> [BenchmarkId; 6] {
+        [
+            BenchmarkId::Swaptions,
+            BenchmarkId::StreamClassifier,
+            BenchmarkId::StreamCluster,
+            BenchmarkId::FluidAnimate,
+            BenchmarkId::BodyTrack,
+            BenchmarkId::FaceDet,
+        ]
+    }
+
+    /// The benchmark's display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchmarkId::Swaptions => "swaptions",
+            BenchmarkId::StreamClassifier => "streamclassifier",
+            BenchmarkId::StreamCluster => "streamcluster",
+            BenchmarkId::FluidAnimate => "fluidanimate",
+            BenchmarkId::BodyTrack => "bodytrack",
+            BenchmarkId::FaceDet => "facedet",
+        }
+    }
+}
+
+/// Where a benchmark's nondeterminism comes from (Figure 2 distinguishes
+/// output variability due to race conditions from variability due to
+/// pseudo-random value generators).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NondetSource {
+    /// Restored pseudo-random value generators with random seeds.
+    RandomGenerator,
+    /// Scheduling-dependent effects (modeled with a PRVG perturbation).
+    RaceCondition,
+}
+
+/// The shape of a dependence's state update, consulted by the related-work
+/// baselines (§4.4): ALTER-like techniques apply only when the state update
+/// is a reduction `var = var op value` over a plain scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DependenceShape {
+    /// `var = var op value` with an associative operator on a scalar — the
+    /// producer/consumer are single instructions and the state (a register)
+    /// is implicitly cloned by running them on different cores.
+    Reduction,
+    /// A complex data structure / object with methods: requires explicit
+    /// state cloning and auxiliary code (only STATS handles these).
+    Complex,
+}
+
+/// A model of the TLP already present in the out-of-the-box multithreaded
+/// benchmark ("Original" in Figures 3 and 12). The profiler decomposes each
+/// invocation into this many-way fork/join on the simulated platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OriginalTlp {
+    /// Fraction of an invocation's work the original threading parallelizes.
+    pub parallel_fraction: f64,
+    /// Per-invocation synchronization overhead added per extra thread,
+    /// as a fraction of the invocation's work (bodytrack's frequent
+    /// inter-thread synchronization makes this large).
+    pub sync_overhead: f64,
+    /// Threads beyond this count yield no further decomposition (e.g.
+    /// facedet's original parallelism is largely consumed by
+    /// vectorization, leaving little thread-level headroom).
+    pub max_threads: usize,
+    /// Memory-bound fraction of the work (NUMA sensitivity on two sockets).
+    pub mem_fraction: f64,
+}
+
+/// One runnable instance of a benchmark: the SDI triple.
+pub struct Instance<T: StateTransition> {
+    /// The ordered inputs.
+    pub inputs: Vec<T::Input>,
+    /// The initial state `S0`.
+    pub initial: T::State,
+    /// The transition (the `compute_output` implementation).
+    pub transition: T,
+}
+
+/// Parameters for generating a workload instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Number of inputs (frames / chunks / candidate blocks).
+    pub inputs: usize,
+    /// Generator seed (input data, ground truth trajectories, …).
+    pub seed: u64,
+    /// When false, generate the §4.6 *non-representative* variant (subject
+    /// that does not move, overlapping points, unrealistic swaption
+    /// parameters, motionless face).
+    pub representative: bool,
+    /// Work multiplier: 1 is the quick test scale; larger values mimic the
+    /// paper's extended native inputs.
+    pub scale: usize,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            inputs: 64,
+            seed: 42,
+            representative: true,
+            scale: 1,
+        }
+    }
+}
+
+/// A benchmark port: everything the profiler, autotuner, and benches need.
+pub trait Workload {
+    /// The SDI transition type.
+    type T: StateTransition;
+
+    /// Benchmark identity.
+    fn id(&self) -> BenchmarkId;
+
+    /// The tradeoffs encoded for this benchmark's auxiliary code, in the
+    /// paper's expected-payoff order (Table 1 / Figure 18). By convention
+    /// the *highest* index of each tradeoff is the highest-quality setting
+    /// (used to build oracles).
+    fn tradeoffs(&self) -> Vec<Arc<dyn TradeoffOptions>>;
+
+    /// Build a runnable instance.
+    fn instance(&self, spec: &WorkloadSpec) -> Instance<Self::T>;
+
+    /// Domain-specific distance between two output sequences (the paper's
+    /// §4.2 output-quality metrics; 0 = identical). Used both for the
+    /// Figure 2 variability study and for quality accounting.
+    fn output_distance(
+        &self,
+        a: &[<Self::T as StateTransition>::Output],
+        b: &[<Self::T as StateTransition>::Output],
+    ) -> f64;
+
+    /// Domain error of `outputs` against the instance's reference (ground
+    /// truth where the generator defines one, otherwise an oracle run).
+    /// Lower is better.
+    fn output_error(
+        &self,
+        spec: &WorkloadSpec,
+        outputs: &[<Self::T as StateTransition>::Output],
+    ) -> f64;
+
+    /// Combine the outputs of several independent runs into one
+    /// higher-quality output (the Figure 16 mode: spend saved time iterating
+    /// over the same dataset). The default keeps the first run (benchmarks
+    /// whose outputs don't average show no quality improvement, as in the
+    /// paper where only three benchmarks improve).
+    fn refine_outputs(
+        &self,
+        runs: Vec<Vec<<Self::T as StateTransition>::Output>>,
+    ) -> Vec<<Self::T as StateTransition>::Output> {
+        runs.into_iter().next().unwrap_or_default()
+    }
+
+    /// The original (out-of-the-box) TLP model.
+    fn original_tlp(&self) -> OriginalTlp;
+
+    /// Shape of the state update (baseline applicability).
+    fn dependence_shape(&self) -> DependenceShape;
+
+    /// Source of the benchmark's nondeterminism (Figure 2).
+    fn nondet_source(&self) -> NondetSource {
+        NondetSource::RandomGenerator
+    }
+
+    /// Whether the paper found a state-comparison function necessary (the
+    /// last three benchmarks of §4.2 don't need one: by construction any
+    /// speculative state is a legal original output). Informational, used in
+    /// Table 1's "LOC for the state comparison" column.
+    fn needs_state_comparison(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_unique() {
+        let names: Vec<_> = BenchmarkId::all().iter().map(|b| b.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn default_spec_is_representative() {
+        let s = WorkloadSpec::default();
+        assert!(s.representative);
+        assert!(s.inputs > 0);
+        assert_eq!(s.scale, 1);
+    }
+}

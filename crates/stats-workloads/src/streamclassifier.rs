@@ -1,0 +1,345 @@
+//! `streamclassifier`: streaming nearest-centroid classification.
+//!
+//! The paper evaluates a classification variant of streamcluster (inputs
+//! from the loop-perforation study \[72\]): the stream's points are assigned
+//! to the current model's classes and the model is updated online; updating
+//! the current solution serializes the execution exactly as in
+//! streamcluster. The model is a set of class centroids; assignment is
+//! nearest-centroid with a randomized tie-break and a stochastic learning
+//! rate — the nondeterminism source.
+//!
+//! Tradeoffs: the data type of three variables (distance, score, and
+//! learning-rate accumulators), and the maximum/minimum number of classes
+//! the model may adapt to (splitting hot classes, merging cold ones).
+//!
+//! Output quality uses the B³ clustering metric against the generator's
+//! gold labels; no state comparison is needed (§4.2).
+
+use std::sync::Arc;
+
+use stats_core::{
+    EnumeratedTradeoff, InvocationCtx, ScalarType, SpecState, StateTransition, TradeoffOptions,
+    TradeoffValue,
+};
+
+use crate::metrics::b_cubed;
+use crate::spec::{
+    BenchmarkId, DependenceShape, Instance, OriginalTlp, Workload, WorkloadSpec,
+};
+use crate::streamcluster::{dataset_with_spread, true_centers, DIM, TRUE_CLUSTERS};
+
+/// The classifier model — the dependence's state.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    /// Class centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Per-class observation counts.
+    pub counts: Vec<f64>,
+}
+
+impl Model {
+    /// The trained starting model: one centroid per known class (a real
+    /// stream classifier is bootstrapped from labeled training data; the
+    /// stream then *adapts* it). Starting every auxiliary run from the same
+    /// trained model keeps class identities consistent across speculative
+    /// groups — without it, each group would invent its own class numbering
+    /// and the global B³ would collapse.
+    pub fn trained(seed: u64) -> Self {
+        let centroids = true_centers(seed);
+        let counts = vec![4.0; centroids.len()];
+        Model { centroids, counts }
+    }
+}
+
+impl SpecState for Model {
+    fn matches_any(&self, _originals: &[Self]) -> bool {
+        true
+    }
+}
+
+/// Per-invocation input: a chunk of point indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// Indices into the dataset.
+    pub points: Vec<usize>,
+}
+
+/// The classification transition.
+pub struct StreamClassifierTransition {
+    dataset: Arc<Vec<Vec<f64>>>,
+}
+
+impl StateTransition for StreamClassifierTransition {
+    type Input = Chunk;
+    type State = Model;
+    type Output = Vec<usize>;
+
+    fn compute_output(
+        &self,
+        input: &Chunk,
+        state: &mut Model,
+        ctx: &mut InvocationCtx,
+    ) -> Vec<usize> {
+        let dist_ty = ctx.tradeoff_type("distPrecision");
+        let score_ty = ctx.tradeoff_type("scorePrecision");
+        let rate_ty = ctx.tradeoff_type("ratePrecision");
+        let kmax = ctx.tradeoff_int("maxClasses").max(2) as usize;
+        let kmin = ctx.tradeoff_int("minClasses").max(1) as usize;
+
+        let mut labels = Vec::with_capacity(input.points.len());
+        let mut work = 0.0;
+        for &pi in &input.points {
+            let p = &self.dataset[pi];
+            // Bootstrap classes until kmin is reached.
+            if state.centroids.len() < kmin {
+                state.centroids.push(p.clone());
+                state.counts.push(1.0);
+                labels.push(state.centroids.len() - 1);
+                continue;
+            }
+            // Nearest centroid (precision-limited distances; randomized
+            // tie-break within a tolerance — a nondeterminism source).
+            let mut best = (0usize, f64::INFINITY);
+            for (i, c) in state.centroids.iter().enumerate() {
+                let mut d = 0.0;
+                for (x, y) in p.iter().zip(c) {
+                    d = dist_ty.quantize(d + (x - y) * (x - y));
+                }
+                let score = score_ty.quantize(d);
+                let wins = score < best.1
+                    || (score < best.1 * 1.05 && ctx.uniform(0.0, 1.0) < 0.5);
+                if wins {
+                    best = (i, score);
+                }
+            }
+            work += (state.centroids.len() * DIM) as f64;
+            let class = best.0;
+
+            // Far outlier and room to grow: split off a new class.
+            if best.1 > 9.0 && state.centroids.len() < kmax {
+                state.centroids.push(p.clone());
+                state.counts.push(1.0);
+                labels.push(state.centroids.len() - 1);
+                continue;
+            }
+
+            // Online update with a stochastic learning rate.
+            state.counts[class] += 1.0;
+            let lr = rate_ty.quantize(
+                (1.0 / state.counts[class]) * ctx.uniform(0.7, 1.3),
+            );
+            for (cc, &px) in state.centroids[class].iter_mut().zip(p) {
+                *cc += lr * (px - *cc);
+            }
+            labels.push(class);
+        }
+
+        // Merge the two closest classes when over kmax.
+        while state.centroids.len() > kmax {
+            let mut best = (0usize, 1usize, f64::INFINITY);
+            for i in 0..state.centroids.len() {
+                for j in (i + 1)..state.centroids.len() {
+                    let d: f64 = state.centroids[i]
+                        .iter()
+                        .zip(&state.centroids[j])
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
+                    if d < best.2 {
+                        best = (i, j, d);
+                    }
+                }
+            }
+            let (i, j, _) = best;
+            let cj = state.centroids.swap_remove(j);
+            let wj = state.counts.swap_remove(j);
+            let wi = state.counts[i];
+            for (a, b) in state.centroids[i].iter_mut().zip(&cj) {
+                *a = (*a * wi + *b * wj) / (wi + wj);
+            }
+            state.counts[i] = wi + wj;
+        }
+
+        ctx.charge(work.max(input.points.len() as f64));
+        ctx.charge_mem(input.points.len() as f64 * DIM as f64 * 0.35);
+        labels
+    }
+}
+
+/// The `streamclassifier` workload.
+pub struct StreamClassifier;
+
+/// Points per chunk.
+pub const CHUNK: usize = 16;
+
+impl Workload for StreamClassifier {
+    type T = StreamClassifierTransition;
+
+    fn id(&self) -> BenchmarkId {
+        BenchmarkId::StreamClassifier
+    }
+
+    fn tradeoffs(&self) -> Vec<Arc<dyn TradeoffOptions>> {
+        let types = || {
+            vec![
+                TradeoffValue::Type(ScalarType::F32),
+                TradeoffValue::Type(ScalarType::F64),
+            ]
+        };
+        vec![
+            Arc::new(EnumeratedTradeoff::new("distPrecision", types(), 1)),
+            Arc::new(EnumeratedTradeoff::new("scorePrecision", types(), 1)),
+            Arc::new(EnumeratedTradeoff::new("ratePrecision", types(), 1)),
+            Arc::new(EnumeratedTradeoff::new(
+                "maxClasses",
+                vec![
+                    TradeoffValue::Int(6),
+                    TradeoffValue::Int(8),
+                    TradeoffValue::Int(10),
+                ],
+                1,
+            )),
+            Arc::new(EnumeratedTradeoff::new(
+                "minClasses",
+                vec![TradeoffValue::Int(2), TradeoffValue::Int(4), TradeoffValue::Int(6)],
+                2,
+            )),
+        ]
+    }
+
+    fn instance(&self, spec: &WorkloadSpec) -> Instance<StreamClassifierTransition> {
+        let chunk = CHUNK * spec.scale.max(1);
+        // Wider blobs than streamcluster's: real class boundaries overlap,
+        // so the stochastic tie-break genuinely flips boundary points (the
+        // benchmark's observable nondeterminism).
+        let data = dataset_with_spread(spec, spec.inputs * chunk, 7.0);
+        Instance {
+            inputs: (0..spec.inputs)
+                .map(|c| Chunk {
+                    points: (c * chunk..(c + 1) * chunk).collect(),
+                })
+                .collect(),
+            initial: Model::trained(spec.seed),
+            transition: StreamClassifierTransition {
+                dataset: Arc::new(data),
+            },
+        }
+    }
+
+    fn output_distance(&self, a: &[Vec<usize>], b: &[Vec<usize>]) -> f64 {
+        // Difference in B³ metrics between the two labelings.
+        let fa: Vec<usize> = a.iter().flatten().copied().collect();
+        let fb: Vec<usize> = b.iter().flatten().copied().collect();
+        1.0 - b_cubed(&fa, &fb)
+    }
+
+    fn output_error(&self, spec: &WorkloadSpec, outputs: &[Vec<usize>]) -> f64 {
+        // 1 - B³ against the generator's gold labels (point i belongs to
+        // blob i % TRUE_CLUSTERS).
+        let predicted: Vec<usize> = outputs.iter().flatten().copied().collect();
+        let gold: Vec<usize> = if spec.representative {
+            (0..predicted.len()).map(|i| i % TRUE_CLUSTERS).collect()
+        } else {
+            vec![0; predicted.len()]
+        };
+        1.0 - b_cubed(&predicted, &gold)
+    }
+
+    fn original_tlp(&self) -> OriginalTlp {
+        OriginalTlp {
+            parallel_fraction: 0.95,
+            sync_overhead: 0.003,
+            max_threads: 24,
+            mem_fraction: 0.4,
+        }
+    }
+
+    fn dependence_shape(&self) -> DependenceShape {
+        DependenceShape::Complex
+    }
+
+    fn needs_state_comparison(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stats_core::{run_protocol, SpecConfig, TradeoffBindings};
+
+    fn spec(n: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            inputs: n,
+            ..WorkloadSpec::default()
+        }
+    }
+
+    fn seq_cfg() -> SpecConfig {
+        SpecConfig {
+            orig_bindings: TradeoffBindings::defaults(&StreamClassifier.tradeoffs()),
+            ..SpecConfig::sequential()
+        }
+    }
+
+    fn run(n: usize, seed: u64, cfg: SpecConfig) -> stats_core::ProtocolResult<StreamClassifierTransition> {
+        let w = StreamClassifier;
+        let inst = w.instance(&spec(n));
+        run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, seed)
+    }
+
+    #[test]
+    fn classifies_blobs_consistently() {
+        let r = run(24, 1, seq_cfg());
+        let err = StreamClassifier.output_error(&spec(24), &r.outputs);
+        // B³ against gold labels should be decent once centroids settle.
+        assert!(err < 0.5, "1 - B3 = {err}");
+    }
+
+    #[test]
+    fn labels_are_within_class_bounds() {
+        let r = run(16, 2, seq_cfg());
+        let max_label = r.outputs.iter().flatten().max().copied().unwrap_or(0);
+        assert!(max_label < 10, "label {max_label} exceeds kmax");
+    }
+
+    #[test]
+    fn nondeterministic_labelings() {
+        let a = run(16, 1, seq_cfg()).outputs;
+        let b = run(16, 2, seq_cfg()).outputs;
+        let d = StreamClassifier.output_distance(&a, &b);
+        assert!(d > 0.0, "labelings identical across seeds");
+        assert!(d < 0.9, "labelings unrelated across seeds: {d}");
+    }
+
+    #[test]
+    fn speculation_always_commits() {
+        let w = StreamClassifier;
+        let opts = w.tradeoffs();
+        let cfg = SpecConfig {
+            group_size: 4,
+            window: 1,
+            orig_bindings: TradeoffBindings::defaults(&opts),
+            aux_bindings: TradeoffBindings::from_indices(&opts, &[0, 0, 0, 1, 2]),
+            ..SpecConfig::default()
+        };
+        let r = run(16, 3, cfg);
+        assert!(!r.report.aborted);
+        assert_eq!(r.report.committed_speculative_groups(), 3);
+    }
+
+    #[test]
+    fn overlapping_points_collapse_classes() {
+        let w = StreamClassifier;
+        let s = WorkloadSpec {
+            inputs: 8,
+            representative: false,
+            ..WorkloadSpec::default()
+        };
+        let inst = w.instance(&s);
+        let r = run_protocol(&inst.transition, &inst.inputs, &inst.initial, &seq_cfg(), 4);
+        let distinct: std::collections::HashSet<usize> =
+            r.outputs.iter().flatten().copied().collect();
+        // A single blob: the model shouldn't need many classes beyond kmin.
+        assert!(distinct.len() <= 7, "too many classes: {}", distinct.len());
+    }
+}

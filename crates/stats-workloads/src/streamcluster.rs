@@ -1,0 +1,627 @@
+//! `streamcluster`: online k-median clustering of a point stream.
+//!
+//! The PARSEC kernel "consider\[s\] adding the candidate centroids one by one
+//! depending on the status of the current solution. They update the current
+//! solution if the current centroid is added; these updates serialize the
+//! execution" (§4.2). This port implements the same structure: a stream of
+//! points arrives in chunks; each point either joins its nearest open
+//! center or — with a probability proportional to its distance cost, the
+//! classic randomized online facility-location rule — opens a new center;
+//! when too many centers are open, the closest pair merges.
+//!
+//! Tradeoffs (payoff order): the data type of three variables used to
+//! estimate the quality of the current solution (distance, gain, and weight
+//! accumulators), and the maximum and minimum number of clusters.
+//!
+//! No state-comparison function is needed: any speculative solution could
+//! have been produced by an original run (the randomized open/merge order
+//! already varies across runs), so `matches_any` is vacuously true.
+
+use std::sync::Arc;
+
+use stats_core::{
+    EnumeratedTradeoff, InvocationCtx, ScalarType, SpecState, StateTransition, TradeoffOptions,
+    TradeoffValue,
+};
+
+use crate::metrics::davies_bouldin;
+use crate::spec::{
+    BenchmarkId, DependenceShape, Instance, OriginalTlp, Workload, WorkloadSpec,
+};
+
+/// Point dimensionality.
+pub const DIM: usize = 4;
+/// Number of true generator clusters.
+pub const TRUE_CLUSTERS: usize = 6;
+
+/// One open center.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Center {
+    /// Coordinates.
+    pub coord: Vec<f64>,
+    /// Accumulated member weight.
+    pub weight: f64,
+}
+
+/// The current clustering solution — the dependence's state.
+#[derive(Debug, Clone, Default)]
+pub struct Solution {
+    /// Open centers.
+    pub centers: Vec<Center>,
+    /// Accumulated assignment cost.
+    pub cost: f64,
+}
+
+impl SpecState for Solution {
+    fn matches_any(&self, _originals: &[Self]) -> bool {
+        true
+    }
+}
+
+/// Per-invocation input: a chunk of point indices into the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// Indices into the generated dataset.
+    pub points: Vec<usize>,
+}
+
+/// Per-chunk output: the running cost and the center snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkOutput {
+    /// Solution cost after the chunk.
+    pub cost: f64,
+    /// Flattened center coordinates after the chunk.
+    pub centers: Vec<f64>,
+}
+
+/// The clustering transition.
+pub struct StreamClusterTransition {
+    dataset: Arc<Vec<Vec<f64>>>,
+    facility_cost: f64,
+}
+
+fn dist2(a: &[f64], b: &[f64], ty: ScalarType) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        acc = ty.quantize(acc + (x - y) * (x - y));
+    }
+    acc
+}
+
+impl StateTransition for StreamClusterTransition {
+    type Input = Chunk;
+    type State = Solution;
+    type Output = ChunkOutput;
+
+    fn compute_output(
+        &self,
+        input: &Chunk,
+        state: &mut Solution,
+        ctx: &mut InvocationCtx,
+    ) -> ChunkOutput {
+        let dist_ty = ctx.tradeoff_type("distPrecision");
+        let gain_ty = ctx.tradeoff_type("gainPrecision");
+        let weight_ty = ctx.tradeoff_type("weightPrecision");
+        let kmax = ctx.tradeoff_int("maxClusters").max(2) as usize;
+        let kmin = ctx.tradeoff_int("minClusters").max(1) as usize;
+
+        let mut work = 0.0_f64;
+        for &pi in &input.points {
+            let p = &self.dataset[pi];
+            // Nearest open center.
+            let (nearest, d2) = state
+                .centers
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (i, dist2(p, &c.coord, dist_ty)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(i, d)| (Some(i), d))
+                .unwrap_or((None, f64::INFINITY));
+            work += (state.centers.len() * DIM) as f64;
+
+            // Randomized facility-location rule: open a new facility with
+            // probability min(1, d^2 / f) — the benchmark's nondeterminism.
+            let open_prob = if state.centers.len() < kmin {
+                1.0
+            } else {
+                (d2 / self.facility_cost).min(1.0)
+            };
+            let gain = gain_ty.quantize(open_prob);
+            if nearest.is_none() || ctx.uniform(0.0, 1.0) < gain {
+                state.centers.push(Center {
+                    coord: p.clone(),
+                    weight: 1.0,
+                });
+            } else if let Some(i) = nearest {
+                let c = &mut state.centers[i];
+                c.weight = weight_ty.quantize(c.weight + 1.0);
+                // Online mean update of the median surrogate.
+                let lr = 1.0 / c.weight;
+                for (cc, &px) in c.coord.iter_mut().zip(p) {
+                    *cc += lr * (px - *cc);
+                }
+                state.cost += d2.sqrt();
+            }
+
+            // Contract when over budget: merge the closest pair.
+            while state.centers.len() > kmax {
+                let mut best = (0usize, 1usize, f64::INFINITY);
+                for i in 0..state.centers.len() {
+                    for j in (i + 1)..state.centers.len() {
+                        let d = dist2(&state.centers[i].coord, &state.centers[j].coord, dist_ty);
+                        if d < best.2 {
+                            best = (i, j, d);
+                        }
+                    }
+                }
+                work += (state.centers.len() * state.centers.len() * DIM / 2) as f64;
+                let (i, j, _) = best;
+                let cj = state.centers.swap_remove(j);
+                let ci = &mut state.centers[i];
+                let total = ci.weight + cj.weight;
+                for (a, b) in ci.coord.iter_mut().zip(&cj.coord) {
+                    *a = (*a * ci.weight + *b * cj.weight) / total;
+                }
+                ci.weight = total;
+            }
+        }
+
+        ctx.charge(work.max(input.points.len() as f64));
+        ctx.charge_mem(input.points.len() as f64 * DIM as f64 * 0.4);
+        ChunkOutput {
+            cost: state.cost,
+            centers: state.centers.iter().flat_map(|c| c.coord.clone()).collect(),
+        }
+    }
+}
+
+/// The `streamcluster` workload.
+pub struct StreamCluster;
+
+/// True generator centers for a seed.
+pub fn true_centers(seed: u64) -> Vec<Vec<f64>> {
+    let mut z = seed.wrapping_mul(0x6C62_272E_07BB_0142).wrapping_add(13);
+    let mut next = move || {
+        z ^= z << 13;
+        z ^= z >> 7;
+        z ^= z << 17;
+        z as f64 / u64::MAX as f64
+    };
+    (0..TRUE_CLUSTERS)
+        .map(|_| (0..DIM).map(|_| 10.0 * next()).collect())
+        .collect()
+}
+
+/// Generate the point stream (blobs around the true centers; the §4.6
+/// non-representative variant makes all "points overlap in the
+/// multidimensional space").
+pub fn dataset(spec: &WorkloadSpec, points: usize) -> Vec<Vec<f64>> {
+    dataset_with_spread(spec, points, 3.0)
+}
+
+/// [`dataset`] with an explicit blob diameter (streamclassifier uses a
+/// wider spread so class boundaries genuinely overlap).
+pub fn dataset_with_spread(spec: &WorkloadSpec, points: usize, spread: f64) -> Vec<Vec<f64>> {
+    let centers = true_centers(spec.seed);
+    let mut z = spec.seed.wrapping_mul(0x100_0000_01B3).wrapping_add(99);
+    let mut next = move || {
+        z ^= z << 13;
+        z ^= z >> 7;
+        z ^= z << 17;
+        z as f64 / u64::MAX as f64
+    };
+    (0..points)
+        .map(|i| {
+            if spec.representative {
+                let c = &centers[i % TRUE_CLUSTERS];
+                c.iter().map(|&x| x + (next() - 0.5) * spread).collect()
+            } else {
+                // Overlapping points: a single tight blob.
+                (0..DIM).map(|_| 5.0 + (next() - 0.5) * 0.05).collect()
+            }
+        })
+        .collect()
+}
+
+/// Points per chunk.
+pub const CHUNK: usize = 16;
+
+impl StreamCluster {
+    fn tradeoff_list(default_kmax_idx: i64) -> Vec<Arc<dyn TradeoffOptions>> {
+        let types = || {
+            vec![
+                TradeoffValue::Type(ScalarType::F32),
+                TradeoffValue::Type(ScalarType::F64),
+            ]
+        };
+        vec![
+            Arc::new(EnumeratedTradeoff::new("distPrecision", types(), 1)),
+            Arc::new(EnumeratedTradeoff::new("gainPrecision", types(), 1)),
+            Arc::new(EnumeratedTradeoff::new("weightPrecision", types(), 1)),
+            Arc::new(EnumeratedTradeoff::new(
+                "maxClusters",
+                vec![
+                    TradeoffValue::Int(8),
+                    TradeoffValue::Int(12),
+                    TradeoffValue::Int(16),
+                    TradeoffValue::Int(20),
+                ],
+                default_kmax_idx,
+            )),
+            Arc::new(EnumeratedTradeoff::new(
+                "minClusters",
+                vec![TradeoffValue::Int(2), TradeoffValue::Int(4), TradeoffValue::Int(6)],
+                1,
+            )),
+        ]
+    }
+}
+
+impl Workload for StreamCluster {
+    type T = StreamClusterTransition;
+
+    fn id(&self) -> BenchmarkId {
+        BenchmarkId::StreamCluster
+    }
+
+    fn tradeoffs(&self) -> Vec<Arc<dyn TradeoffOptions>> {
+        Self::tradeoff_list(2)
+    }
+
+    fn instance(&self, spec: &WorkloadSpec) -> Instance<StreamClusterTransition> {
+        let chunk = CHUNK * spec.scale.max(1);
+        let total_points = spec.inputs * chunk;
+        let data = dataset(spec, total_points);
+        let inputs = (0..spec.inputs)
+            .map(|c| Chunk {
+                points: (c * chunk..(c + 1) * chunk).collect(),
+            })
+            .collect();
+        Instance {
+            inputs,
+            initial: Solution::default(),
+            transition: StreamClusterTransition {
+                dataset: Arc::new(data),
+                facility_cost: 25.0,
+            },
+        }
+    }
+
+    fn output_distance(&self, a: &[ChunkOutput], b: &[ChunkOutput]) -> f64 {
+        // Difference of the final solutions' Davies–Bouldin-style costs,
+        // normalized by magnitude.
+        match (a.last(), b.last()) {
+            (Some(x), Some(y)) => {
+                let denom = x.cost.abs().max(y.cost.abs()).max(1e-12);
+                (x.cost - y.cost).abs() / denom
+            }
+            _ => 0.0,
+        }
+    }
+
+    fn output_error(&self, spec: &WorkloadSpec, outputs: &[ChunkOutput]) -> f64 {
+        // |DB(final clustering) - DB(true clustering)| over the dataset.
+        let Some(last) = outputs.last() else {
+            return 0.0;
+        };
+        let chunk = CHUNK * spec.scale.max(1);
+        let data = dataset(spec, spec.inputs * chunk);
+        let flat: Vec<f64> = data.iter().flatten().copied().collect();
+        let db_run = db_of_centers(&flat, &last.centers);
+        let truth: Vec<f64> = true_centers(spec.seed).into_iter().flatten().collect();
+        let db_true = db_of_centers(&flat, &truth);
+        (db_run - db_true).abs()
+    }
+
+    fn original_tlp(&self) -> OriginalTlp {
+        OriginalTlp {
+            parallel_fraction: 0.95,
+            sync_overhead: 0.0028,
+            max_threads: 24,
+            mem_fraction: 0.45,
+        }
+    }
+
+    fn dependence_shape(&self) -> DependenceShape {
+        DependenceShape::Complex
+    }
+
+    fn needs_state_comparison(&self) -> bool {
+        false
+    }
+}
+
+/// Davies–Bouldin index of assigning `flat` points (DIM-dimensional) to
+/// their nearest center in `centers` (flattened).
+pub fn db_of_centers(flat: &[f64], centers: &[f64]) -> f64 {
+    let n = flat.len() / DIM;
+    let k = centers.len() / DIM;
+    if k == 0 {
+        return f64::INFINITY;
+    }
+    let mut assignment = Vec::with_capacity(n);
+    for i in 0..n {
+        let p = &flat[i * DIM..(i + 1) * DIM];
+        let mut best = (0usize, f64::INFINITY);
+        for c in 0..k {
+            let q = &centers[c * DIM..(c + 1) * DIM];
+            let d: f64 = p.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum();
+            if d < best.1 {
+                best = (c, d);
+            }
+        }
+        assignment.push(best.0);
+    }
+    davies_bouldin(flat, &assignment, centers, DIM)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stats_core::{run_protocol, SpecConfig, TradeoffBindings};
+
+    fn spec(n: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            inputs: n,
+            ..WorkloadSpec::default()
+        }
+    }
+
+    fn seq_cfg() -> SpecConfig {
+        SpecConfig {
+            orig_bindings: TradeoffBindings::defaults(&StreamCluster.tradeoffs()),
+            ..SpecConfig::sequential()
+        }
+    }
+
+    fn run(n: usize, seed: u64, cfg: SpecConfig) -> stats_core::ProtocolResult<StreamClusterTransition> {
+        let w = StreamCluster;
+        let inst = w.instance(&spec(n));
+        run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, seed)
+    }
+
+    #[test]
+    fn clusters_the_blobs() {
+        let r = run(24, 1, seq_cfg());
+        let w = StreamCluster;
+        let err = w.output_error(&spec(24), &r.outputs);
+        // The DB index of the found clustering must be close to the true
+        // clustering's (blobs are well separated).
+        assert!(err < 2.0, "DB difference {err}");
+        let k = r.final_state.centers.len();
+        assert!((2..=16).contains(&k), "implausible center count {k}");
+    }
+
+    #[test]
+    fn nondeterministic_solutions() {
+        let a = run(16, 1, seq_cfg()).outputs;
+        let b = run(16, 2, seq_cfg()).outputs;
+        let d = StreamCluster.output_distance(&a, &b);
+        assert!(d > 0.0, "identical solutions across seeds");
+    }
+
+    #[test]
+    fn speculation_always_commits() {
+        let w = StreamCluster;
+        let opts = w.tradeoffs();
+        let cfg = SpecConfig {
+            group_size: 4,
+            window: 2,
+            orig_bindings: TradeoffBindings::defaults(&opts),
+            aux_bindings: TradeoffBindings::from_indices(&opts, &[0, 0, 0, 2, 1]),
+            ..SpecConfig::default()
+        };
+        let r = run(16, 3, cfg);
+        assert!(!r.report.aborted);
+        assert_eq!(r.report.committed_speculative_groups(), 3);
+    }
+
+    #[test]
+    fn kmax_bounds_center_count() {
+        let w = StreamCluster;
+        let opts = w.tradeoffs();
+        let cfg = SpecConfig {
+            orig_bindings: TradeoffBindings::from_indices(&opts, &[1, 1, 1, 0, 0]), // kmax 8
+            ..SpecConfig::sequential()
+        };
+        let r = run(16, 4, cfg);
+        assert!(r.final_state.centers.len() <= 8);
+    }
+
+    #[test]
+    fn overlapping_points_variant() {
+        let w = StreamCluster;
+        let s = WorkloadSpec {
+            inputs: 8,
+            representative: false,
+            ..WorkloadSpec::default()
+        };
+        let inst = w.instance(&s);
+        let r = run_protocol(&inst.transition, &inst.inputs, &inst.initial, &seq_cfg(), 6);
+        // A single tight blob: very few centers open.
+        assert!(r.final_state.centers.len() <= 6);
+    }
+
+    #[test]
+    fn db_of_centers_prefers_truth() {
+        let s = spec(16);
+        let data = dataset(&s, 16 * CHUNK);
+        let flat: Vec<f64> = data.iter().flatten().copied().collect();
+        let truth: Vec<f64> = true_centers(s.seed).into_iter().flatten().collect();
+        let db_true = db_of_centers(&flat, &truth);
+        // One center at the origin is a terrible clustering (infinite or
+        // degenerate DB treated as 0 for k=1), two arbitrary centers are bad.
+        let bad = vec![0.0; 2 * DIM];
+        let db_bad = db_of_centers(&flat, &bad);
+        assert!(db_true < db_bad || db_bad == 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(8, 7, seq_cfg()).outputs;
+        let b = run(8, 7, seq_cfg()).outputs;
+        assert_eq!(a, b);
+    }
+}
+
+// ------------------------------------------------------------- Refinement
+//
+// PARSEC's streamcluster has a second serializing update loop (Table 1
+// lists two state dependences for it): after the online pass assembles a
+// candidate solution, a k-median local search refines it — each round
+// proposes swapping a center with a random point and keeps the swap when it
+// lowers the assignment cost ("pgain"). Round i+1 consumes round i's
+// solution: the same Input x State -> Output x State' pattern.
+
+/// Input of the refinement dependence: one local-search round (the round
+/// index selects the proposal PRVG stream only).
+pub type RefineRound = usize;
+
+/// The refinement transition: swap-based k-median local search over the
+/// same dataset. The state is the [`Solution`] being refined.
+pub struct RefineTransition {
+    dataset: Arc<Vec<Vec<f64>>>,
+    /// Swap proposals per round.
+    pub proposals: usize,
+}
+
+impl RefineTransition {
+    /// Build a refinement pass over the same dataset as a clustering
+    /// transition for `spec`.
+    pub fn for_spec(spec: &WorkloadSpec, proposals: usize) -> Self {
+        let chunk = CHUNK * spec.scale.max(1);
+        RefineTransition {
+            dataset: Arc::new(dataset(spec, spec.inputs * chunk)),
+            proposals,
+        }
+    }
+
+    fn assignment_cost(&self, centers: &[Center]) -> f64 {
+        let mut total = 0.0;
+        for p in self.dataset.iter() {
+            let mut best = f64::INFINITY;
+            for c in centers {
+                let d: f64 = p
+                    .iter()
+                    .zip(&c.coord)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                best = best.min(d);
+            }
+            total += best.sqrt();
+        }
+        total
+    }
+}
+
+impl StateTransition for RefineTransition {
+    type Input = RefineRound;
+    type State = Solution;
+    type Output = f64;
+
+    fn compute_output(
+        &self,
+        _round: &RefineRound,
+        state: &mut Solution,
+        ctx: &mut InvocationCtx,
+    ) -> f64 {
+        let n = self.dataset.len();
+        if state.centers.is_empty() {
+            // Bootstrap from a random point so refinement is total.
+            let p = self.dataset[ctx.index(n)].clone();
+            state.centers.push(Center { coord: p, weight: 1.0 });
+        }
+        let mut cost = self.assignment_cost(&state.centers);
+        for _ in 0..self.proposals {
+            // Propose replacing a random center with a random point
+            // (randomized: the dependence's nondeterminism).
+            let ci = ctx.index(state.centers.len());
+            let pi = ctx.index(n);
+            let saved = state.centers[ci].coord.clone();
+            state.centers[ci].coord = self.dataset[pi].clone();
+            let candidate = self.assignment_cost(&state.centers);
+            if candidate < cost {
+                cost = candidate;
+            } else {
+                state.centers[ci].coord = saved;
+            }
+            ctx.charge((n * state.centers.len() * DIM) as f64 * 2.0);
+            ctx.charge_mem((n * DIM) as f64 * 0.5);
+        }
+        state.cost = cost;
+        cost
+    }
+}
+
+#[cfg(test)]
+mod refine_tests {
+    use super::*;
+    use stats_core::{run_protocol, SpecConfig, TradeoffBindings};
+
+    fn initial_solution(spec: &WorkloadSpec) -> Solution {
+        // Start refinement from the online pass's output — the two
+        // dependences chain exactly as in the benchmark.
+        let w = StreamCluster;
+        let inst = w.instance(spec);
+        let cfg = SpecConfig {
+            orig_bindings: TradeoffBindings::defaults(&w.tradeoffs()),
+            ..SpecConfig::sequential()
+        };
+        run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, 11).final_state
+    }
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            inputs: 6,
+            ..WorkloadSpec::default()
+        }
+    }
+
+    #[test]
+    fn refinement_monotonically_improves_cost() {
+        let s = spec();
+        let t = RefineTransition::for_spec(&s, 4);
+        let initial = initial_solution(&s);
+        let rounds: Vec<usize> = (0..6).collect();
+        let cfg = SpecConfig::sequential();
+        let r = run_protocol(&t, &rounds, &initial, &cfg, 5);
+        // Costs never increase round over round (hill descent).
+        for w in r.outputs.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "cost went up: {:?}", r.outputs);
+        }
+        assert!(r.final_state.cost <= r.outputs[0]);
+    }
+
+    #[test]
+    fn refinement_speculation_commits() {
+        // Any speculative solution is a legal original (same vacuous match
+        // as the first dependence), and because local search is monotone,
+        // committed groups still end below their speculative start.
+        let s = spec();
+        let t = RefineTransition::for_spec(&s, 2);
+        let initial = initial_solution(&s);
+        let rounds: Vec<usize> = (0..12).collect();
+        let cfg = SpecConfig {
+            group_size: 4,
+            window: 1,
+            ..SpecConfig::default()
+        };
+        let r = run_protocol(&t, &rounds, &initial, &cfg, 6);
+        assert!(!r.report.aborted);
+        assert_eq!(r.report.committed_speculative_groups(), 2);
+        assert_eq!(r.outputs.len(), 12);
+    }
+
+    #[test]
+    fn refinement_is_nondeterministic() {
+        // From a cold start (bootstrap center drawn at random), different
+        // seeds explore different swap sequences and descend differently.
+        let s = spec();
+        let t = RefineTransition::for_spec(&s, 3);
+        let rounds: Vec<usize> = (0..5).collect();
+        let cfg = SpecConfig::sequential();
+        let a = run_protocol(&t, &rounds, &Solution::default(), &cfg, 1).outputs;
+        let b = run_protocol(&t, &rounds, &Solution::default(), &cfg, 2).outputs;
+        assert_ne!(a, b, "different seeds explored identical swaps");
+    }
+}

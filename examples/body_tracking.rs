@@ -1,0 +1,80 @@
+//! The paper's flagship scenario end-to-end: autotune and run `bodytrack`.
+//!
+//! ```text
+//! cargo run --release --example body_tracking
+//! ```
+//!
+//! Reproduces the §2.2 story: the analysis of camera quadruple `i+1` waits
+//! for the body model produced by quadruple `i`; STATS generates auxiliary
+//! code (a cheaper, re-tuned clone of the annealed particle filter) to
+//! produce speculative models so blocks of frames overlap. The autotuner
+//! explores the state space; the runtime validates every speculative model
+//! against original nondeterministic results.
+
+use stats::autotune::Objective;
+use stats::profiler::{measure, tune, Mode, RunSettings};
+use stats::workloads::bodytrack::BodyTrack;
+use stats::workloads::{Workload, WorkloadSpec};
+
+fn main() {
+    let workload = BodyTrack;
+    let spec = WorkloadSpec {
+        inputs: 96, // camera quadruples
+        ..WorkloadSpec::default()
+    };
+    let threads = 28;
+
+    // Reference points: single-threaded and out-of-the-box parallel.
+    let sequential = measure(
+        &workload,
+        &spec,
+        &RunSettings::for_mode(&workload, Mode::Sequential, 1),
+    );
+    let original = measure(
+        &workload,
+        &spec,
+        &RunSettings::for_mode(&workload, Mode::Original, threads),
+    );
+    println!(
+        "sequential: {:.3}s   original ({} threads): {:.3}s ({:.2}x)",
+        sequential.time_s,
+        threads,
+        original.time_s,
+        sequential.time_s / original.time_s
+    );
+
+    // Autotune the state space (tradeoff indices, group size, auxiliary
+    // window, re-execution budget, thread split).
+    let result = tune(&workload, &spec, threads, Objective::Time, 48, 7);
+    let best = &result.best_measurement;
+    println!(
+        "Par. STATS (autotuned): {:.3}s ({:.2}x over sequential, {:.2}x over original)",
+        best.time_s,
+        sequential.time_s / best.time_s,
+        original.time_s / best.time_s
+    );
+    println!(
+        "best config: speculate={} group={} window={} reexec={} rollback={} t_orig={}",
+        result.best.spec_config.speculate,
+        result.best.spec_config.group_size,
+        result.best.spec_config.window,
+        result.best.spec_config.max_reexec,
+        result.best.spec_config.rollback,
+        result.best.t_orig,
+    );
+    println!(
+        "speculation: {}/{} groups committed, {} re-executions, aborted={}",
+        best.report.committed_speculative_groups(),
+        best.report.groups.len().saturating_sub(1),
+        best.report.reexecutions,
+        best.report.aborted,
+    );
+
+    // Output quality is preserved by the run-time checks: the tracking
+    // error of the STATS run stays within the nondeterministic envelope.
+    println!(
+        "tracking error (relative MSE): sequential {:.5}, STATS {:.5}",
+        sequential.output_error, best.output_error
+    );
+    let _ = workload.tradeoffs();
+}

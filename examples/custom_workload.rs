@@ -1,0 +1,194 @@
+//! Bring your own application: implement [`Workload`] for a custom
+//! nondeterministic computation and let the whole STATS pipeline —
+//! profiler, autotuner, platform model — work on it.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+//!
+//! The application here is a randomized Kalman-style channel estimator: a
+//! stream of radio frames updates a channel gain estimate; each update
+//! consults the previous estimate (the state dependence) and uses
+//! randomized probing (the nondeterminism). The estimate forgets old frames
+//! exponentially — the §4.8 "short memory" property — so it is a good
+//! STATS fit.
+
+use std::sync::Arc;
+
+use stats::autotune::Objective;
+use stats::core::{
+    EnumeratedTradeoff, InvocationCtx, SpecState, StateTransition, TradeoffOptions,
+    TradeoffValue,
+};
+use stats::profiler::{measure, tune, Mode, RunSettings};
+use stats::workloads::{
+    between_originals, BenchmarkId, DependenceShape, Instance, OriginalTlp, Workload,
+    WorkloadSpec,
+};
+
+/// The channel estimate (the dependence's state).
+#[derive(Clone, Debug)]
+struct Channel {
+    gain: f64,
+    confidence: f64,
+}
+
+impl SpecState for Channel {
+    fn matches_any(&self, originals: &[Self]) -> bool {
+        if originals.len() == 1 {
+            return (self.gain - originals[0].gain).abs() < 0.05;
+        }
+        between_originals(self, originals, |a, b| (a.gain - b.gain).abs())
+    }
+}
+
+/// One frame's processing: probe the channel `probes` times, blend into the
+/// running estimate.
+struct Estimator {
+    true_gains: Arc<Vec<f64>>,
+}
+
+impl StateTransition for Estimator {
+    type Input = usize;
+    type State = Channel;
+    type Output = f64;
+
+    fn compute_output(
+        &self,
+        frame: &usize,
+        state: &mut Channel,
+        ctx: &mut InvocationCtx,
+    ) -> f64 {
+        let probes = ctx.tradeoff_int("numProbes").max(1) as usize;
+        let truth = self.true_gains[*frame];
+        let mut measured = 0.0;
+        for _ in 0..probes {
+            measured += truth + ctx.normal(0.0, 0.05);
+        }
+        measured /= probes as f64;
+        let alpha = 0.6; // exponential forgetting: short memory
+        state.gain = alpha * measured + (1.0 - alpha) * state.gain;
+        state.confidence = probes as f64;
+        ctx.charge(probes as f64 * 20.0);
+        state.gain
+    }
+}
+
+/// The Workload glue: tradeoffs, generators, metrics, TLP model.
+struct ChannelEstimation;
+
+fn true_gains(spec: &WorkloadSpec) -> Vec<f64> {
+    (0..spec.inputs)
+        .map(|t| 1.0 + 0.4 * ((t as f64) * 0.2 + spec.seed as f64).sin())
+        .collect()
+}
+
+impl Workload for ChannelEstimation {
+    type T = Estimator;
+
+    fn id(&self) -> BenchmarkId {
+        // Custom workloads reuse an existing id slot only for display
+        // purposes in shared tooling; everything else is our own.
+        BenchmarkId::Swaptions
+    }
+
+    fn tradeoffs(&self) -> Vec<Arc<dyn TradeoffOptions>> {
+        vec![Arc::new(EnumeratedTradeoff::new(
+            "numProbes",
+            vec![
+                TradeoffValue::Int(2),
+                TradeoffValue::Int(4),
+                TradeoffValue::Int(8),
+                TradeoffValue::Int(16),
+            ],
+            2,
+        ))]
+    }
+
+    fn instance(&self, spec: &WorkloadSpec) -> Instance<Estimator> {
+        Instance {
+            inputs: (0..spec.inputs).collect(),
+            initial: Channel {
+                gain: 1.0,
+                confidence: 0.0,
+            },
+            transition: Estimator {
+                true_gains: Arc::new(true_gains(spec)),
+            },
+        }
+    }
+
+    fn output_distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .sum::<f64>()
+            / a.len().max(1) as f64
+    }
+
+    fn output_error(&self, spec: &WorkloadSpec, outputs: &[f64]) -> f64 {
+        let truth = true_gains(spec);
+        outputs
+            .iter()
+            .zip(&truth)
+            .map(|(o, t)| (o - t).abs())
+            .sum::<f64>()
+            / outputs.len().max(1) as f64
+    }
+
+    fn original_tlp(&self) -> OriginalTlp {
+        // The app has no internal threading: all TLP must come from STATS.
+        OriginalTlp {
+            parallel_fraction: 0.0,
+            sync_overhead: 0.0,
+            max_threads: 1,
+            mem_fraction: 0.1,
+        }
+    }
+
+    fn dependence_shape(&self) -> DependenceShape {
+        DependenceShape::Complex
+    }
+}
+
+fn main() {
+    let workload = ChannelEstimation;
+    let spec = WorkloadSpec {
+        inputs: 96,
+        ..WorkloadSpec::default()
+    };
+    let threads = 16;
+
+    let seq = measure(
+        &workload,
+        &spec,
+        &RunSettings::for_mode(&workload, Mode::Sequential, 1),
+    );
+    println!(
+        "sequential: {:.4}s, estimation error {:.4}",
+        seq.time_s, seq.output_error
+    );
+
+    let result = tune(&workload, &spec, threads, Objective::Time, 32, 1);
+    let m = &result.best_measurement;
+    println!(
+        "autotuned STATS ({} threads): {:.4}s ({:.2}x), error {:.4}",
+        threads,
+        m.time_s,
+        seq.time_s / m.time_s,
+        m.output_error
+    );
+    println!(
+        "config: group={} window={} probes(aux)={:?}",
+        result.best.spec_config.group_size,
+        result.best.spec_config.window,
+        result
+            .best
+            .spec_config
+            .aux_bindings
+            .get("numProbes")
+            .and_then(|v| v.as_int()),
+    );
+    println!("speculation: {}", m.report);
+    assert!(m.time_s < seq.time_s, "STATS should beat sequential here");
+}

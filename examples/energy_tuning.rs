@@ -1,0 +1,55 @@
+//! STATS in energy mode (paper Figure 15): retarget the autotuner from
+//! performance to energy and reuse the exploration database.
+//!
+//! ```text
+//! cargo run --release --example energy_tuning
+//! ```
+
+use stats::autotune::Objective;
+use stats::profiler::{measure, retune, tune, Mode, RunSettings};
+use stats::workloads::streamcluster::StreamCluster;
+use stats::workloads::WorkloadSpec;
+
+fn main() {
+    let workload = StreamCluster;
+    let spec = WorkloadSpec {
+        inputs: 64,
+        ..WorkloadSpec::default()
+    };
+    let threads = 28;
+
+    let original = measure(
+        &workload,
+        &spec,
+        &RunSettings::for_mode(&workload, Mode::Original, threads),
+    );
+    println!(
+        "original ({} threads): {:.3}s, {:.0} J",
+        threads, original.time_s, original.energy_j
+    );
+
+    // Performance mode: finish earlier, save energy as a side effect.
+    let perf = tune(&workload, &spec, threads, Objective::Time, 48, 11);
+    println!(
+        "STATS perf mode:   {:.3}s, {:.0} J ({:.1}% of original energy)",
+        perf.best_measurement.time_s,
+        perf.best_measurement.energy_j,
+        perf.best_measurement.energy_j / original.energy_j * 100.0
+    );
+
+    // Energy mode: also avoid cores whose marginal speedup is not worth
+    // their power. The profiler measured both time and energy on every
+    // trial, so the exploration database transfers between objectives
+    // without re-profiling (§3.2).
+    let energy = retune(&workload, &spec, threads, Objective::Energy, 48, 11, &perf);
+    println!(
+        "STATS energy mode: {:.3}s, {:.0} J ({:.1}% of original energy)",
+        energy.best_measurement.time_s,
+        energy.best_measurement.energy_j,
+        energy.best_measurement.energy_j / original.energy_j * 100.0
+    );
+    println!(
+        "energy-mode thread split: t_orig = {} of {} threads",
+        energy.best.t_orig, threads
+    );
+}

@@ -1,0 +1,24 @@
+//! `stats` — facade crate for the STATS reproduction.
+//!
+//! STATS (STAte Transition Speculator, ASPLOS 2018) parallelizes
+//! nondeterministic programs by satisfying *state dependences* with
+//! compiler-generated *auxiliary code*, validated at run time against a set
+//! of original nondeterministic results.
+//!
+//! This crate re-exports the workspace's public API:
+//!
+//! - [`core`] — the SDI/TI interfaces, speculation protocol, and runtime
+//! - [`compiler`] — front-end DSL, IR, middle-end cloning, back-end instantiation
+//! - [`sim`] — the simulated 28-core platform and energy model
+//! - [`autotune`] — the OpenTuner-style state-space search
+//! - [`profiler`] — configuration measurement (time / energy / quality)
+//! - [`workloads`] — the six nondeterministic benchmarks
+//! - [`baselines`] — ALTER-like, QuickStep-like, HELIX-UP-like, Fast Track
+
+pub use stats_autotune as autotune;
+pub use stats_baselines as baselines;
+pub use stats_compiler as compiler;
+pub use stats_core as core;
+pub use stats_profiler as profiler;
+pub use stats_sim as sim;
+pub use stats_workloads as workloads;

@@ -1,0 +1,140 @@
+//! Integration tests asserting the *shape* of the paper's headline results
+//! on the full pipeline (workloads + profiler + autotuner + simulator).
+
+use stats::autotune::Objective;
+use stats::profiler::{measure, retune, tune, Mode, RunSettings};
+use stats::workloads::{with_workload, BenchmarkId, WorkloadSpec};
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        inputs: 48,
+        ..WorkloadSpec::default()
+    }
+}
+
+fn sequential_time(id: BenchmarkId) -> f64 {
+    with_workload!(id, |w| measure(
+        &w,
+        &spec(),
+        &RunSettings::for_mode(&w, Mode::Sequential, 1)
+    )
+    .time_s)
+}
+
+/// §4.3 headline: STATS increases performance beyond the original TLP for
+/// every benchmark where a usable state dependence exists (all but
+/// fluidanimate).
+#[test]
+fn stats_beats_original_where_applicable() {
+    let threads = 28;
+    for id in BenchmarkId::all() {
+        if id == BenchmarkId::FluidAnimate {
+            continue;
+        }
+        let seq = sequential_time(id);
+        let (orig, stats_time) = with_workload!(id, |w| {
+            let orig = measure(&w, &spec(), &RunSettings::for_mode(&w, Mode::Original, threads));
+            let tuned = tune(&w, &spec(), threads, Objective::Time, 24, 1);
+            (orig.time_s, tuned.best_measurement.time_s)
+        });
+        assert!(
+            stats_time < orig,
+            "{}: STATS {:.4}s not faster than original {:.4}s (seq {:.4}s)",
+            id.name(),
+            stats_time,
+            orig,
+            seq
+        );
+    }
+}
+
+/// §4.8: fluidanimate's dependence lacks the short-memory property; the
+/// autotuner must fall back near the original TLP, never far below it.
+#[test]
+fn fluidanimate_falls_back_gracefully() {
+    let threads = 16;
+    let id = BenchmarkId::FluidAnimate;
+    let (orig, tuned) = with_workload!(id, |w| {
+        let orig = measure(&w, &spec(), &RunSettings::for_mode(&w, Mode::Original, threads));
+        let tuned = tune(&w, &spec(), threads, Objective::Time, 24, 2);
+        (orig.time_s, tuned.best_measurement.time_s)
+    });
+    assert!(tuned <= orig * 1.1, "tuned {tuned} much worse than original {orig}");
+}
+
+/// The run-time quality guarantee: for every benchmark, the tuned STATS
+/// run's domain error stays within the nondeterministic envelope of the
+/// sequential program (3x its error plus metric noise floor).
+#[test]
+fn output_quality_preserved_everywhere() {
+    for id in BenchmarkId::all() {
+        let (seq_err, stats_err) = with_workload!(id, |w| {
+            let seq = measure(&w, &spec(), &RunSettings::for_mode(&w, Mode::Sequential, 1));
+            let tuned = tune(&w, &spec(), 16, Objective::Time, 16, 3);
+            (seq.output_error, tuned.best_measurement.output_error)
+        });
+        assert!(
+            stats_err <= seq_err * 3.0 + 0.1,
+            "{}: STATS error {stats_err} vs sequential {seq_err}",
+            id.name()
+        );
+    }
+}
+
+/// Figure 15's mechanism: finishing earlier on the same machine saves
+/// system-wide energy; the energy objective never loses to the time
+/// objective on energy.
+#[test]
+fn energy_savings_shape() {
+    let id = BenchmarkId::BodyTrack;
+    let (orig_e, perf_e, energy_e) = with_workload!(id, |w| {
+        let orig = measure(&w, &spec(), &RunSettings::for_mode(&w, Mode::Original, 28));
+        let perf = tune(&w, &spec(), 28, Objective::Time, 24, 4);
+        let energy = retune(&w, &spec(), 28, Objective::Energy, 24, 4, &perf);
+        (
+            orig.energy_j,
+            perf.best_measurement.energy_j,
+            energy.best_measurement.energy_j,
+        )
+    });
+    assert!(perf_e < orig_e, "perf-mode energy {perf_e} >= original {orig_e}");
+    assert!(energy_e <= perf_e * 1.01);
+}
+
+/// The real-thread runtime and the profiler's protocol agree on outputs
+/// for an actual benchmark (not just toys).
+#[test]
+fn real_threads_match_reference_on_bodytrack() {
+    use stats::core::{run_protocol, SpecConfig, StateDependence, ThreadPool, TradeoffBindings};
+    use stats::workloads::bodytrack::BodyTrack;
+    use stats::workloads::Workload;
+    use std::sync::Arc;
+
+    let w = BodyTrack;
+    let s = WorkloadSpec {
+        inputs: 20,
+        ..WorkloadSpec::default()
+    };
+    let opts = w.tradeoffs();
+    let cfg = SpecConfig {
+        group_size: 5,
+        window: 2,
+        orig_bindings: TradeoffBindings::defaults(&opts),
+        aux_bindings: TradeoffBindings::defaults(&opts),
+        ..SpecConfig::default()
+    };
+    let inst = w.instance(&s);
+    let reference = run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, 9);
+
+    let inst2 = w.instance(&s);
+    let dep = StateDependence::with_pool(
+        inst2.inputs,
+        inst2.initial,
+        inst2.transition,
+        Arc::new(ThreadPool::new(4)),
+    )
+    .with_config(cfg);
+    let outcome = dep.run(9);
+    assert_eq!(outcome.outputs, reference.outputs);
+    assert_eq!(outcome.report.aborted, reference.report.aborted);
+}

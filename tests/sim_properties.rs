@@ -1,0 +1,109 @@
+//! Property-based tests of the platform simulator's scheduling invariants.
+
+use proptest::prelude::*;
+use stats::sim::{simulate, Platform, TaskGraph};
+
+/// Random DAG: each task may depend on a subset of earlier tasks.
+fn arb_graph() -> impl Strategy<Value = TaskGraph> {
+    proptest::collection::vec((0.1f64..100.0, 0.0f64..1.0, any::<u64>()), 1..40).prop_map(
+        |tasks| {
+            let mut g = TaskGraph::new();
+            let mut ids = Vec::new();
+            for (i, (cost, mem, depmask)) in tasks.into_iter().enumerate() {
+                let deps: Vec<_> = ids
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| i > 0 && (depmask >> (j % 48)) & 1 == 1)
+                    .map(|(_, &id)| id)
+                    .collect();
+                ids.push(g.add_task(cost, mem, &deps));
+            }
+            g
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The makespan never beats the critical path (at best-case speed) nor
+    /// the total-work bound.
+    #[test]
+    fn makespan_lower_bounds(graph in arb_graph(), threads in 1usize..64) {
+        let p = Platform::haswell_r730();
+        let s = simulate(&graph, &p, threads);
+        prop_assert!(s.makespan_work() + 1e-6 >= graph.critical_path());
+        let alloc = p.place(threads).threads() as f64;
+        prop_assert!(s.makespan_work() * alloc + 1e-6 >= graph.total_work());
+    }
+
+    /// Dependences are respected in the schedule.
+    #[test]
+    fn dependences_respected(graph in arb_graph(), threads in 1usize..32) {
+        let p = Platform::haswell_r730();
+        let s = simulate(&graph, &p, threads);
+        let placements = s.placements();
+        for (id, task) in graph.iter() {
+            for d in &task.deps {
+                prop_assert!(placements[d.0].finish <= placements[id.0].start + 1e-9);
+            }
+        }
+    }
+
+    /// No thread runs two tasks at once.
+    #[test]
+    fn no_thread_overlap(graph in arb_graph(), threads in 1usize..16) {
+        let p = Platform::haswell_single_socket();
+        let s = simulate(&graph, &p, threads);
+        let mut by_thread: std::collections::HashMap<usize, Vec<(f64, f64)>> =
+            std::collections::HashMap::new();
+        for pl in s.placements() {
+            by_thread.entry(pl.thread).or_default().push((pl.start, pl.finish));
+        }
+        for intervals in by_thread.values_mut() {
+            intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in intervals.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0 + 1e-9, "{w:?}");
+            }
+        }
+    }
+
+    /// Busy time equals executed durations; utilization is in (0, 1].
+    #[test]
+    fn busy_time_consistent(graph in arb_graph(), threads in 1usize..32) {
+        let p = Platform::haswell_r730();
+        let s = simulate(&graph, &p, threads);
+        let busy: f64 = s.thread_busy().iter().sum();
+        let durations: f64 = s.placements().iter().map(|pl| pl.finish - pl.start).sum();
+        prop_assert!((busy - durations).abs() < 1e-6);
+        prop_assert!(s.utilization() > 0.0 && s.utilization() <= 1.0 + 1e-9);
+    }
+
+    /// Determinism: same graph, same platform, same schedule.
+    #[test]
+    fn schedule_deterministic(graph in arb_graph(), threads in 1usize..32) {
+        let p = Platform::haswell_r730();
+        let a = simulate(&graph, &p, threads);
+        let b = simulate(&graph, &p, threads);
+        prop_assert_eq!(a.makespan_work(), b.makespan_work());
+        for (x, y) in a.placements().iter().zip(b.placements()) {
+            prop_assert_eq!(x.thread, y.thread);
+            prop_assert_eq!(x.start, y.start);
+        }
+    }
+
+    /// Energy is positive, finite, and monotone in makespan for a fixed
+    /// allocation.
+    #[test]
+    fn energy_sane(graph in arb_graph(), threads in 1usize..32) {
+        let p = Platform::haswell_r730();
+        let m = stats::sim::EnergyModel::haswell_r730();
+        let s = simulate(&graph, &p, threads);
+        let e = m.energy(&s, &p);
+        prop_assert!(e.joules.is_finite());
+        prop_assert!(e.joules >= 0.0);
+        if s.makespan_seconds() > 0.0 {
+            prop_assert!(e.avg_power_w >= m.baseline_w - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the six benchmark ports: algorithmic invariants
+//! that must hold for every seed and every legal speculation configuration.
+
+use proptest::prelude::*;
+use stats::core::{run_protocol, SpecConfig, TradeoffBindings};
+use stats::workloads::{with_workload, BenchmarkId, Workload, WorkloadSpec};
+
+fn arb_spec_config() -> impl Strategy<Value = (usize, usize, usize, usize, bool)> {
+    (2usize..10, 0usize..5, 0usize..3, 1usize..4, any::<bool>())
+}
+
+fn spec(n: usize, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        inputs: n,
+        seed,
+        ..WorkloadSpec::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every benchmark, every config: the committed outputs are complete
+    /// and the output error is finite (the quality metric never blows up,
+    /// whatever the speculation outcome was).
+    #[test]
+    fn outputs_complete_and_error_finite(
+        bench_idx in 0usize..6,
+        (g, w_, r, d, speculate) in arb_spec_config(),
+        gen_seed in 1u64..500,
+        run_seed in any::<u64>(),
+    ) {
+        let bench = BenchmarkId::all()[bench_idx];
+        let s = spec(12, gen_seed);
+        with_workload!(bench, |w| {
+            let opts = w.tradeoffs();
+            let cfg = SpecConfig {
+                group_size: g,
+                window: w_,
+                max_reexec: r,
+                rollback: d,
+                speculate,
+                orig_bindings: TradeoffBindings::defaults(&opts),
+                aux_bindings: TradeoffBindings::defaults(&opts),
+                ..SpecConfig::default()
+            };
+            let inst = w.instance(&s);
+            let out = run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, run_seed);
+            prop_assert_eq!(out.outputs.len(), 12);
+            let err = w.output_error(&s, &out.outputs);
+            prop_assert!(err.is_finite(), "{}: error {err}", bench.name());
+            prop_assert!(err >= 0.0);
+            let d = w.output_distance(&out.outputs, &out.outputs);
+            prop_assert!(d.abs() < 1e-9, "self-distance {d}");
+        });
+    }
+
+    /// Aux tradeoff indices anywhere in range never break completeness or
+    /// produce non-finite outputs (the runtime guards quality; the metrics
+    /// guard sanity).
+    #[test]
+    fn arbitrary_aux_bindings_are_safe(
+        bench_idx in 0usize..6,
+        indices in proptest::collection::vec(0i64..16, 0..8),
+        run_seed in any::<u64>(),
+    ) {
+        let bench = BenchmarkId::all()[bench_idx];
+        let s = spec(10, 7);
+        with_workload!(bench, |w| {
+            let opts = w.tradeoffs();
+            let cfg = SpecConfig {
+                group_size: 4,
+                window: 2,
+                max_reexec: 1,
+                rollback: 1,
+                orig_bindings: TradeoffBindings::defaults(&opts),
+                aux_bindings: TradeoffBindings::from_indices(&opts, &indices),
+                ..SpecConfig::default()
+            };
+            let inst = w.instance(&s);
+            let out = run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, run_seed);
+            prop_assert_eq!(out.outputs.len(), 10);
+            prop_assert!(w.output_error(&s, &out.outputs).is_finite());
+        });
+    }
+
+    /// Workload instances are deterministic in the generator seed: the same
+    /// spec yields identical inputs/initial-state behavior under the same
+    /// run seed.
+    #[test]
+    fn generators_are_deterministic(
+        bench_idx in 0usize..6,
+        gen_seed in 1u64..1000,
+    ) {
+        let bench = BenchmarkId::all()[bench_idx];
+        let s = spec(8, gen_seed);
+        with_workload!(bench, |w| {
+            let cfg = SpecConfig {
+                orig_bindings: TradeoffBindings::defaults(&w.tradeoffs()),
+                ..SpecConfig::sequential()
+            };
+            let a = {
+                let inst = w.instance(&s);
+                run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, 3).outputs
+            };
+            let b = {
+                let inst = w.instance(&s);
+                run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, 3).outputs
+            };
+            prop_assert!(w.output_distance(&a, &b).abs() < 1e-12);
+        });
+    }
+
+    /// Work accounting is strictly positive and scales with input count —
+    /// the cost model feeding the platform simulator is monotone.
+    #[test]
+    fn work_monotone_in_inputs(
+        bench_idx in 0usize..6,
+        gen_seed in 1u64..200,
+    ) {
+        let bench = BenchmarkId::all()[bench_idx];
+        with_workload!(bench, |w| {
+            let cfg = SpecConfig {
+                orig_bindings: TradeoffBindings::defaults(&w.tradeoffs()),
+                ..SpecConfig::sequential()
+            };
+            let work = |n: usize| {
+                let s = spec(n, gen_seed);
+                let inst = w.instance(&s);
+                run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, 1)
+                    .trace
+                    .total_work()
+            };
+            let w4 = work(4);
+            let w12 = work(12);
+            prop_assert!(w4 > 0.0);
+            prop_assert!(w12 > w4, "{}: {w12} !> {w4}", bench.name());
+        });
+    }
+}
