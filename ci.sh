@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, and the full test suite — all offline.
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test --offline --workspace -q
+
+echo "== stats-lint corpus smoke"
+cargo build --offline -q --bin stats-lint
+./target/debug/stats-lint --quiet examples/dsl/*.stats
+if ./target/debug/stats-lint --quiet examples/dsl/violations/*.stats; then
+    echo "error: violation corpus unexpectedly passed stats-lint" >&2
+    exit 1
+fi
+
+echo "CI OK"

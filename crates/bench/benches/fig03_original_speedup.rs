@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn run(c: &mut Criterion) {
     let settings = Settings::tiny();
-    c.bench_function("fig03_original_speedup", |b| b.iter(|| experiments::fig03(&settings)));
+    c.bench_function("fig03_original_speedup", |b| {
+        b.iter(|| experiments::fig03(&settings))
+    });
 }
 
 criterion_group! {

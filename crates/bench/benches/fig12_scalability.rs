@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn run(c: &mut Criterion) {
     let settings = Settings::tiny();
-    c.bench_function("fig12_scalability", |b| b.iter(|| experiments::fig12(&settings, stats_workloads::BenchmarkId::BodyTrack)));
+    c.bench_function("fig12_scalability", |b| {
+        b.iter(|| experiments::fig12(&settings, stats_workloads::BenchmarkId::BodyTrack))
+    });
 }
 
 criterion_group! {

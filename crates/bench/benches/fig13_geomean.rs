@@ -5,7 +5,15 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn run(c: &mut Criterion) {
     let settings = Settings::tiny();
-    c.bench_function("fig13_geomean", |b| b.iter(|| { let c: Vec<_> = stats_workloads::BenchmarkId::all().into_iter().map(|id| experiments::fig12(&settings, id)).collect(); experiments::fig13(&c) }));
+    c.bench_function("fig13_geomean", |b| {
+        b.iter(|| {
+            let c: Vec<_> = stats_workloads::BenchmarkId::all()
+                .into_iter()
+                .map(|id| experiments::fig12(&settings, id))
+                .collect();
+            experiments::fig13(&c)
+        })
+    });
 }
 
 criterion_group! {

@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn run(c: &mut Criterion) {
     let settings = Settings::tiny();
-    c.bench_function("fig14_hyperthreading", |b| b.iter(|| experiments::fig14(&settings)));
+    c.bench_function("fig14_hyperthreading", |b| {
+        b.iter(|| experiments::fig14(&settings))
+    });
 }
 
 criterion_group! {

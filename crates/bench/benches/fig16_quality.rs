@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn run(c: &mut Criterion) {
     let settings = Settings::tiny();
-    c.bench_function("fig16_quality", |b| b.iter(|| experiments::fig16(&settings)));
+    c.bench_function("fig16_quality", |b| {
+        b.iter(|| experiments::fig16(&settings))
+    });
 }
 
 criterion_group! {

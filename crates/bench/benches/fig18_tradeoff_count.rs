@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn run(c: &mut Criterion) {
     let settings = Settings::tiny();
-    c.bench_function("fig18_tradeoff_count", |b| b.iter(|| experiments::fig18(&settings)));
+    c.bench_function("fig18_tradeoff_count", |b| {
+        b.iter(|| experiments::fig18(&settings))
+    });
 }
 
 criterion_group! {

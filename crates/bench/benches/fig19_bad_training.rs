@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn run(c: &mut Criterion) {
     let settings = Settings::tiny();
-    c.bench_function("fig19_bad_training", |b| b.iter(|| experiments::fig19(&settings)));
+    c.bench_function("fig19_bad_training", |b| {
+        b.iter(|| experiments::fig19(&settings))
+    });
 }
 
 criterion_group! {

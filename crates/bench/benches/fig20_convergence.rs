@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn run(c: &mut Criterion) {
     let settings = Settings::tiny();
-    c.bench_function("fig20_convergence", |b| b.iter(|| experiments::fig20(&settings, 1)));
+    c.bench_function("fig20_convergence", |b| {
+        b.iter(|| experiments::fig20(&settings, 1))
+    });
 }
 
 criterion_group! {

@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn run(c: &mut Criterion) {
     let settings = Settings::tiny();
-    c.bench_function("table1_developer_effort", |b| b.iter(|| experiments::table1(&settings)));
+    c.bench_function("table1_developer_effort", |b| {
+        b.iter(|| experiments::table1(&settings))
+    });
 }
 
 criterion_group! {

@@ -39,8 +39,21 @@ fn main() {
     }
     let targets: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
         vec![
-            "fig2", "fig3", "table1", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-            "fig18", "fig19", "fig20", "ablation", "multisocket", "summary",
+            "fig2",
+            "fig3",
+            "table1",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "fig19",
+            "fig20",
+            "ablation",
+            "multisocket",
+            "summary",
         ]
     } else {
         targets

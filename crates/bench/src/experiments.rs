@@ -73,12 +73,30 @@ fn sequential_time(id: BenchmarkId, spec: &WorkloadSpec) -> f64 {
 
 fn original_time(id: BenchmarkId, spec: &WorkloadSpec, threads: usize) -> f64 {
     with_workload!(id, |w| {
-        measure(&w, spec, &RunSettings::for_mode(&w, Mode::Original, threads)).time_s
+        measure(
+            &w,
+            spec,
+            &RunSettings::for_mode(&w, Mode::Original, threads),
+        )
+        .time_s
     })
 }
 
-fn tuned(id: BenchmarkId, spec: &WorkloadSpec, threads: usize, budget: usize, seed: u64) -> TuneResult {
-    with_workload!(id, |w| tune(&w, spec, threads, Objective::Time, budget, seed))
+fn tuned(
+    id: BenchmarkId,
+    spec: &WorkloadSpec,
+    threads: usize,
+    budget: usize,
+    seed: u64,
+) -> TuneResult {
+    with_workload!(id, |w| tune(
+        &w,
+        spec,
+        threads,
+        Objective::Time,
+        budget,
+        seed
+    ))
 }
 
 fn measure_decoded(
@@ -130,8 +148,7 @@ pub fn fig02(settings: &Settings) -> Vec<VariabilityRow> {
                 };
                 let runs: Vec<_> = (0..settings.seeds as u64)
                     .map(|s| {
-                        run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, s)
-                            .outputs
+                        run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, s).outputs
                     })
                     .collect();
                 let mut total = 0.0;
@@ -311,10 +328,7 @@ pub fn fig14(settings: &Settings) -> Vec<HyperThreadingRow> {
                 })
             };
             let best_over = |counts: &[usize], mode: Mode| -> f64 {
-                counts
-                    .iter()
-                    .map(|&t| run(t, mode))
-                    .fold(1.0_f64, f64::max)
+                counts.iter().map(|&t| run(t, mode)).fold(1.0_f64, f64::max)
             };
             HyperThreadingRow {
                 bench,
@@ -448,8 +462,7 @@ pub fn fig16(settings: &Settings) -> Vec<QualityRow> {
                 for rep in 0..reps {
                     let base = 100 + rep * 1000;
                     let single_err = w.output_error(&spec, &run_once(base)).max(1e-12);
-                    let runs: Vec<_> =
-                        (0..iterations as u64).map(|i| run_once(base + i)).collect();
+                    let runs: Vec<_> = (0..iterations as u64).map(|i| run_once(base + i)).collect();
                     let refined = w.refine_outputs(runs);
                     let refined_err = w.output_error(&spec, &refined).max(1e-12);
                     ratios.push(single_err / refined_err);
@@ -564,9 +577,7 @@ pub fn fig18(settings: &Settings) -> Vec<f64> {
     }
 
     (0..=max_tradeoffs)
-        .map(|i| {
-            geometric_mean(&relative.iter().map(|r| r[i]).collect::<Vec<_>>()) * 100.0
-        })
+        .map(|i| geometric_mean(&relative.iter().map(|r| r[i]).collect::<Vec<_>>()) * 100.0)
         .collect()
 }
 
@@ -691,9 +702,8 @@ pub fn table1(settings: &Settings) -> Vec<Table1Row> {
     BenchmarkId::all()
         .into_iter()
         .map(|bench| {
-            let (tradeoffs, needs_cmp) = with_workload!(bench, |w| {
-                (w.tradeoffs(), w.needs_state_comparison())
-            });
+            let (tradeoffs, needs_cmp) =
+                with_workload!(bench, |w| (w.tradeoffs(), w.needs_state_comparison()));
             let source = stats_compiler::frontend::synthesize_source(bench.name(), &tradeoffs);
             let compiled =
                 stats_compiler::frontend::compile(&source).expect("synthesized source compiles");
@@ -704,13 +714,23 @@ pub fn table1(settings: &Settings) -> Vec<Table1Row> {
             )
             .expect("midend succeeds");
 
-            let best = tuned(bench, &spec, settings.max_threads, settings.tune_budget / 2, 8);
+            let best = tuned(
+                bench,
+                &spec,
+                settings.max_threads,
+                settings.tune_budget / 2,
+                8,
+            );
             Table1Row {
                 bench,
                 original_loc: workload_loc(bench),
                 // streamcluster carries a second dependence (the k-median
                 // refinement pass), as in the paper's Table 1.
-                state_dependences: if bench == BenchmarkId::StreamCluster { 2 } else { 1 },
+                state_dependences: if bench == BenchmarkId::StreamCluster {
+                    2
+                } else {
+                    1
+                },
                 tradeoffs: tradeoffs.len(),
                 state_comparison_loc: if needs_cmp { 5 } else { 0 },
                 generated_loc,
@@ -790,8 +810,14 @@ mod tests {
         let c = fig12(&quick(), BenchmarkId::FluidAnimate);
         let (orig, _seq, par) = c.maxima();
         // The autotuner falls back to the original TLP: comparable maxima.
-        assert!(par >= orig * 0.7, "par {par} collapsed below original {orig}");
-        assert!(par <= orig * 1.5, "par {par} implausibly above original {orig}");
+        assert!(
+            par >= orig * 0.7,
+            "par {par} collapsed below original {orig}"
+        );
+        assert!(
+            par <= orig * 1.5,
+            "par {par} implausibly above original {orig}"
+        );
     }
 
     #[test]
@@ -897,8 +923,7 @@ pub fn ablation(settings: &Settings, bench: BenchmarkId) -> Ablation {
             AblationPoint {
                 value: 0,
                 speedup: seq / m.time_s,
-                commit_rate: m.report.committed_speculative_groups() as f64
-                    / spec_groups as f64,
+                commit_rate: m.report.committed_speculative_groups() as f64 / spec_groups as f64,
                 reexec_rate: m.report.reexecutions as f64 / spec_groups as f64,
             }
         })
@@ -1027,7 +1052,12 @@ pub fn summary(settings: &Settings) -> Summary {
         original.push(best_orig);
         let tuned_result = tuned(bench, &spec, settings.max_threads, settings.tune_budget, 12);
         par.push(seq / tuned_result.best_measurement.time_s);
-        if tuned_result.best_measurement.report.committed_speculative_groups() > 0 {
+        if tuned_result
+            .best_measurement
+            .report
+            .committed_speculative_groups()
+            > 0
+        {
             speculating += 1;
         }
         let orig_energy = with_workload!(bench, |w| {
@@ -1040,7 +1070,12 @@ pub fn summary(settings: &Settings) -> Summary {
                     t_best = t;
                 }
             }
-            measure(&w, &spec, &RunSettings::for_mode(&w, Mode::Original, t_best)).energy_j
+            measure(
+                &w,
+                &spec,
+                &RunSettings::for_mode(&w, Mode::Original, t_best),
+            )
+            .energy_j
         });
         energy_rel.push(tuned_result.best_measurement.energy_j / orig_energy);
     }

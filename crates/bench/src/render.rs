@@ -5,7 +5,10 @@ use crate::experiments::*;
 use stats_workloads::NondetSource;
 
 fn hr(title: &str) -> String {
-    format!("\n==== {title} {}\n", "=".repeat(66_usize.saturating_sub(title.len())))
+    format!(
+        "\n==== {title} {}\n",
+        "=".repeat(66_usize.saturating_sub(title.len()))
+    )
 }
 
 /// Render Figure 2.
@@ -58,16 +61,17 @@ pub fn fig12_text(c: &ScalabilityCurves) -> String {
         ));
     }
     let (o, s, p) = c.maxima();
-    out.push_str(&format!(
-        "max      {o:>9.2}x {s:>10.2}x {p:>10.2}x\n"
-    ));
+    out.push_str(&format!("max      {o:>9.2}x {s:>10.2}x {p:>10.2}x\n"));
     out
 }
 
 /// Render Figure 13.
 pub fn fig13_text(threads: &[usize], original: &[f64], par: &[f64]) -> String {
     let mut out = hr("Figure 13: geometric mean of the Figure 12 speedups");
-    out.push_str(&format!("{:>8} {:>10} {:>11}\n", "threads", "Original", "Par. STATS"));
+    out.push_str(&format!(
+        "{:>8} {:>10} {:>11}\n",
+        "threads", "Original", "Par. STATS"
+    ));
     for (i, &t) in threads.iter().enumerate() {
         out.push_str(&format!(
             "{:>8} {:>9.2}x {:>10.2}x\n",
@@ -149,11 +153,7 @@ pub fn fig15_text(rows: &[EnergyRow]) -> String {
 pub fn fig16_text(rows: &[QualityRow]) -> String {
     let mut out = hr("Figure 16: output-quality improvement at iso-time");
     for r in rows {
-        out.push_str(&format!(
-            "{:<18} {:>7.2}x\n",
-            r.bench.name(),
-            r.improvement
-        ));
+        out.push_str(&format!("{:<18} {:>7.2}x\n", r.bench.name(), r.improvement));
     }
     out.push_str("(paper: three benchmarks improve, 6.84x-33.27x; the rest ~1x)\n");
     out
@@ -182,7 +182,10 @@ pub fn fig17_text(rows: &[RelatedWorkRow]) -> String {
 pub fn fig18_text(curve: &[f64]) -> String {
     let mut out = hr("Figure 18: relative speedup vs number of tradeoffs encoded");
     for (k, v) in curve.iter().enumerate() {
-        out.push_str(&format!("{k:>3} tradeoffs: {v:>6.1}%  {}\n", bar(*v, 100.0)));
+        out.push_str(&format!(
+            "{k:>3} tradeoffs: {v:>6.1}%  {}\n",
+            bar(*v, 100.0)
+        ));
     }
     out.push_str("(paper: 1 tradeoff ~55%, 2 tradeoffs ~95% of the full speedup)\n");
     out
@@ -263,6 +266,83 @@ fn bar(value: f64, max: f64) -> String {
     let width = 30.0;
     let n = ((value / max) * width).round().clamp(0.0, width) as usize;
     "#".repeat(n)
+}
+
+/// Render an ablation study.
+pub fn ablation_text(a: &Ablation) -> String {
+    let mut out = hr(&format!(
+        "Ablation: execution-model dimensions — {}",
+        a.bench.name()
+    ));
+    let section = |title: &str, points: &[AblationPoint]| -> String {
+        let mut s = format!(
+            "{title:<28} {:>8} {:>12} {:>12}\n",
+            "speedup", "commit rate", "reexec/group"
+        );
+        for p in points {
+            s.push_str(&format!(
+                "  {:<26} {:>7.2}x {:>11.0}% {:>12.2}\n",
+                p.value,
+                p.speedup,
+                p.commit_rate * 100.0,
+                p.reexec_rate
+            ));
+        }
+        s
+    };
+    out.push_str(&section("auxiliary window W", &a.window));
+    out.push_str(&section("re-execution budget R", &a.reexec));
+    out.push_str(&section("group cardinality G", &a.group));
+    out
+}
+
+/// Render the multi-socket study.
+pub fn multisocket_text(rows: &[MultiSocketRow]) -> String {
+    let mut out = hr("Multi-socket effect (§4.3): NUMA limits cross-socket scaling");
+    out.push_str(&format!(
+        "{:<18} {:>10} {:>11} {:>17}\n",
+        "benchmark", "1 socket", "2 sockets", "2 sockets no-NUMA"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:>9.2}x {:>10.2}x {:>16.2}x\n",
+            r.bench.name(),
+            r.one_socket,
+            r.two_sockets,
+            r.two_sockets_no_numa
+        ));
+    }
+    out.push_str(
+        "(paper: near-linear within a socket, sub-linear across two; \
+         VTune attributes the gap to NUMA)\n",
+    );
+    out
+}
+
+/// Render the headline summary.
+pub fn summary_text(s: &Summary) -> String {
+    let mut out = hr("Headline: the abstract's claims, recomputed");
+    out.push_str(&format!(
+        "original geomean speedup:   {:>6.2}x   (paper: 7.75x)\n",
+        s.original_geomean
+    ));
+    out.push_str(&format!(
+        "Par. STATS geomean speedup: {:>6.2}x   (paper: 20.01x)\n",
+        s.par_stats_geomean
+    ));
+    out.push_str(&format!(
+        "performance improvement:    {:>+6.1}%  (paper: +158.2%)\n",
+        s.improvement_pct
+    ));
+    out.push_str(&format!(
+        "STATS energy vs original:   {:>6.1}%  (paper perf mode: 38.0%)\n",
+        s.energy_relative * 100.0
+    ));
+    out.push_str(&format!(
+        "benchmarks speculating:     {:>6}/6 (fluidanimate aborts by design)\n",
+        s.benchmarks_speculating
+    ));
+    out
 }
 
 #[cfg(test)]
@@ -375,81 +455,4 @@ mod tests {
         assert!(text.contains("group cardinality G"));
         assert!(text.contains("100%"));
     }
-}
-
-/// Render an ablation study.
-pub fn ablation_text(a: &Ablation) -> String {
-    let mut out = hr(&format!(
-        "Ablation: execution-model dimensions — {}",
-        a.bench.name()
-    ));
-    let section = |title: &str, points: &[AblationPoint]| -> String {
-        let mut s = format!(
-            "{title:<28} {:>8} {:>12} {:>12}\n",
-            "speedup", "commit rate", "reexec/group"
-        );
-        for p in points {
-            s.push_str(&format!(
-                "  {:<26} {:>7.2}x {:>11.0}% {:>12.2}\n",
-                p.value,
-                p.speedup,
-                p.commit_rate * 100.0,
-                p.reexec_rate
-            ));
-        }
-        s
-    };
-    out.push_str(&section("auxiliary window W", &a.window));
-    out.push_str(&section("re-execution budget R", &a.reexec));
-    out.push_str(&section("group cardinality G", &a.group));
-    out
-}
-
-/// Render the multi-socket study.
-pub fn multisocket_text(rows: &[MultiSocketRow]) -> String {
-    let mut out = hr("Multi-socket effect (§4.3): NUMA limits cross-socket scaling");
-    out.push_str(&format!(
-        "{:<18} {:>10} {:>11} {:>17}\n",
-        "benchmark", "1 socket", "2 sockets", "2 sockets no-NUMA"
-    ));
-    for r in rows {
-        out.push_str(&format!(
-            "{:<18} {:>9.2}x {:>10.2}x {:>16.2}x\n",
-            r.bench.name(),
-            r.one_socket,
-            r.two_sockets,
-            r.two_sockets_no_numa
-        ));
-    }
-    out.push_str(
-        "(paper: near-linear within a socket, sub-linear across two; \
-         VTune attributes the gap to NUMA)\n",
-    );
-    out
-}
-
-/// Render the headline summary.
-pub fn summary_text(s: &Summary) -> String {
-    let mut out = hr("Headline: the abstract's claims, recomputed");
-    out.push_str(&format!(
-        "original geomean speedup:   {:>6.2}x   (paper: 7.75x)\n",
-        s.original_geomean
-    ));
-    out.push_str(&format!(
-        "Par. STATS geomean speedup: {:>6.2}x   (paper: 20.01x)\n",
-        s.par_stats_geomean
-    ));
-    out.push_str(&format!(
-        "performance improvement:    {:>+6.1}%  (paper: +158.2%)\n",
-        s.improvement_pct
-    ));
-    out.push_str(&format!(
-        "STATS energy vs original:   {:>6.1}%  (paper perf mode: 38.0%)\n",
-        s.energy_relative * 100.0
-    ));
-    out.push_str(&format!(
-        "benchmarks speculating:     {:>6}/6 (fluidanimate aborts by design)\n",
-        s.benchmarks_speculating
-    ));
-    out
 }

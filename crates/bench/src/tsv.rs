@@ -57,8 +57,7 @@ pub fn fig13(dir: &Path, threads: &[usize], original: &[f64], par: &[f64]) -> io
 
 /// Write Figure 14.
 pub fn fig14(dir: &Path, rows: &[HyperThreadingRow]) -> io::Result<()> {
-    let mut s =
-        String::from("benchmark\toriginal\toriginal_ht\tpar_stats\tpar_stats_ht\n");
+    let mut s = String::from("benchmark\toriginal\toriginal_ht\tpar_stats\tpar_stats_ht\n");
     for r in rows {
         s.push_str(&format!(
             "{}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\n",
@@ -173,40 +172,6 @@ pub fn table1(dir: &Path, rows: &[Table1Row]) -> io::Result<()> {
     write(dir, "table1.tsv", s)
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use stats_workloads::{BenchmarkId, NondetSource};
-
-    #[test]
-    fn writes_parseable_tsv() {
-        let dir = std::env::temp_dir().join("stats_tsv_test");
-        let rows = vec![VariabilityRow {
-            bench: BenchmarkId::Swaptions,
-            variability: 0.25,
-            source: NondetSource::RandomGenerator,
-        }];
-        fig02(&dir, &rows).unwrap();
-        let text = std::fs::read_to_string(dir.join("fig02.tsv")).unwrap();
-        let mut lines = text.lines();
-        assert_eq!(lines.next().unwrap().split('\t').count(), 3);
-        let row = lines.next().unwrap();
-        let cols: Vec<&str> = row.split('\t').collect();
-        assert_eq!(cols[0], "swaptions");
-        assert!(cols[1].parse::<f64>().is_ok());
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn fig18_round_trips() {
-        let dir = std::env::temp_dir().join("stats_tsv_test_fig18");
-        fig18(&dir, &[30.0, 95.0, 100.0]).unwrap();
-        let text = std::fs::read_to_string(dir.join("fig18.tsv")).unwrap();
-        assert_eq!(text.lines().count(), 4);
-        std::fs::remove_dir_all(&dir).ok();
-    }
-}
-
 /// Write an ablation study (three sweeps in one file).
 pub fn ablation(dir: &Path, a: &Ablation) -> io::Result<()> {
     let mut s = String::from("sweep\tvalue\tspeedup\tcommit_rate\treexec_per_group\n");
@@ -252,4 +217,38 @@ pub fn summary(dir: &Path, s: &Summary) -> io::Result<()> {
         s.benchmarks_speculating
     );
     write(dir, "summary.tsv", text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stats_workloads::{BenchmarkId, NondetSource};
+
+    #[test]
+    fn writes_parseable_tsv() {
+        let dir = std::env::temp_dir().join("stats_tsv_test");
+        let rows = vec![VariabilityRow {
+            bench: BenchmarkId::Swaptions,
+            variability: 0.25,
+            source: NondetSource::RandomGenerator,
+        }];
+        fig02(&dir, &rows).unwrap();
+        let text = std::fs::read_to_string(dir.join("fig02.tsv")).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next().unwrap().split('\t').count(), 3);
+        let row = lines.next().unwrap();
+        let cols: Vec<&str> = row.split('\t').collect();
+        assert_eq!(cols[0], "swaptions");
+        assert!(cols[1].parse::<f64>().is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fig18_round_trips() {
+        let dir = std::env::temp_dir().join("stats_tsv_test_fig18");
+        fig18(&dir, &[30.0, 95.0, 100.0]).unwrap();
+        let text = std::fs::read_to_string(dir.join("fig18.tsv")).unwrap();
+        assert_eq!(text.lines().count(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

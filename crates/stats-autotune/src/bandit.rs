@@ -29,7 +29,10 @@ impl AucBandit {
     /// Build a bandit over `techniques` with OpenTuner's defaults
     /// (window of 100 trials, exploration weight `C = 0.05`).
     pub fn new(techniques: Vec<Box<dyn Technique>>) -> Self {
-        assert!(!techniques.is_empty(), "bandit needs at least one technique");
+        assert!(
+            !techniques.is_empty(),
+            "bandit needs at least one technique"
+        );
         let n = techniques.len();
         AucBandit {
             techniques,

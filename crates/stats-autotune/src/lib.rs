@@ -31,11 +31,10 @@ mod technique;
 mod tuner;
 
 pub use bandit::AucBandit;
-pub use importance::{parameter_importance, DimensionImportance};
 pub use history::{History, Measurement, ResultsDatabase};
+pub use importance::{parameter_importance, DimensionImportance};
 pub use param::{Configuration, IntegerParameter, SearchSpace};
 pub use technique::{
-    DifferentialEvolution, GeneticAlgorithm, GreedyMutation, PatternSearch, RandomSearch,
-    Technique,
+    DifferentialEvolution, GeneticAlgorithm, GreedyMutation, PatternSearch, RandomSearch, Technique,
 };
 pub use tuner::{Objective, Tuner, TuningOutcome};

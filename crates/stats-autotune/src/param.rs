@@ -169,7 +169,11 @@ mod tests {
     fn saturating_cardinality() {
         let mut s = SearchSpace::new();
         for i in 0..10 {
-            s.push(IntegerParameter::new(format!("p{i}"), i64::MIN / 2, i64::MAX / 2));
+            s.push(IntegerParameter::new(
+                format!("p{i}"),
+                i64::MIN / 2,
+                i64::MAX / 2,
+            ));
         }
         assert_eq!(s.cardinality(), u64::MAX);
     }

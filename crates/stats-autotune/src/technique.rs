@@ -217,7 +217,6 @@ impl Technique for DifferentialEvolution {
     }
 }
 
-
 /// Coordinate pattern search (Hooke–Jeeves on the integer lattice): probe
 /// ±step along one dimension of the best point at a time, halving the step
 /// when a full sweep brings no improvement. OpenTuner ships the same idea
@@ -316,7 +315,11 @@ mod tests {
         let mut best = f64::INFINITY;
         for _ in 0..trials {
             let cfg = technique.propose(&s, &mut rng);
-            assert!(s.contains(&cfg), "{} proposed illegal {cfg:?}", technique.name());
+            assert!(
+                s.contains(&cfg),
+                "{} proposed illegal {cfg:?}",
+                technique.name()
+            );
             let o = objective(&cfg);
             technique.report(&cfg, o);
             best = best.min(o);

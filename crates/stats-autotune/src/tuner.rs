@@ -7,8 +7,7 @@ use crate::bandit::AucBandit;
 use crate::history::{History, Measurement, ResultsDatabase};
 use crate::param::{Configuration, SearchSpace};
 use crate::technique::{
-    DifferentialEvolution, GeneticAlgorithm, GreedyMutation, PatternSearch, RandomSearch,
-    Technique,
+    DifferentialEvolution, GeneticAlgorithm, GreedyMutation, PatternSearch, RandomSearch, Technique,
 };
 
 /// What the tuner minimizes.
@@ -131,9 +130,7 @@ impl Tuner {
             self.bandit.report(&cfg, o);
             history.record(cfg, m, o);
         }
-        let (best, best_m, _) = history
-            .best()
-            .expect("budget must be at least one trial");
+        let (best, best_m, _) = history.best().expect("budget must be at least one trial");
         let outcome = TuningOutcome {
             best: best.clone(),
             best_measurement: best_m.clone(),
@@ -229,7 +226,11 @@ mod tests {
         let tuner = Tuner::new(space(), Objective::Time, 5)
             .with_seed_configs(vec![vec![13, 27], vec![0, 0]]);
         let (outcome, _) = tuner.run(10, measure);
-        let trials: Vec<_> = outcome.history.trials().map(|(c, _, _)| c.clone()).collect();
+        let trials: Vec<_> = outcome
+            .history
+            .trials()
+            .map(|(c, _, _)| c.clone())
+            .collect();
         assert_eq!(trials[0], vec![13, 27]);
         assert_eq!(trials[1], vec![0, 0]);
         // The optimum was seeded: the tuner can't do worse.
@@ -241,6 +242,9 @@ mod tests {
         let (o1, _) = Tuner::new(space(), Objective::Time, 7).run(60, measure);
         let (o2, _) = Tuner::new(space(), Objective::Time, 7).run(60, measure);
         assert_eq!(o1.best, o2.best);
-        assert_eq!(o1.history.best_so_far_curve(), o2.history.best_so_far_curve());
+        assert_eq!(
+            o1.history.best_so_far_curve(),
+            o2.history.best_so_far_curve()
+        );
     }
 }

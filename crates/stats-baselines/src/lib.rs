@@ -146,8 +146,7 @@ fn sim_trace_time(
     settings: &RunSettings,
 ) -> f64 {
     let graph = expand_trace(trace, tlp, t_orig);
-    simulate(&graph, &settings.platform, settings.threads)
-        .makespan_seconds()
+    simulate(&graph, &settings.platform, settings.threads).makespan_seconds()
 }
 
 /// Measure `baseline` applied to `workload`'s state dependence.
@@ -363,13 +362,10 @@ mod tests {
     #[test]
     fn helix_up_matches_quickstep_applicability() {
         let s = spec(24);
-        for (w, expect) in [(BaselineId::HelixUpLike, true)] {
-            let _ = w;
-            let sw = measure_baseline(&Swaptions, &s, BaselineId::HelixUpLike, 16, false);
-            assert_eq!(sw.applicable, expect);
-            let bt = measure_baseline(&BodyTrack, &s, BaselineId::HelixUpLike, 16, false);
-            assert!(!bt.applicable);
-        }
+        let sw = measure_baseline(&Swaptions, &s, BaselineId::HelixUpLike, 16, false);
+        assert!(sw.applicable);
+        let bt = measure_baseline(&BodyTrack, &s, BaselineId::HelixUpLike, 16, false);
+        assert!(!bt.applicable);
     }
 
     #[test]
@@ -401,7 +397,11 @@ mod tests {
         // long enough for the variability estimate to stabilize.)
         let s = spec(32);
         for bench in BenchmarkId::all() {
-            for id in [BaselineId::AlterLike, BaselineId::QuickStepLike, BaselineId::HelixUpLike] {
+            for id in [
+                BaselineId::AlterLike,
+                BaselineId::QuickStepLike,
+                BaselineId::HelixUpLike,
+            ] {
                 let applicable = with_workload!(bench, |w| {
                     measure_baseline(&w, &s, id, 8, false).applicable
                 });
@@ -445,6 +445,9 @@ mod tests {
         let s = spec(32);
         let seq_fb = measure_baseline(&BodyTrack, &s, BaselineId::QuickStepLike, 16, false);
         let par_fb = measure_baseline(&BodyTrack, &s, BaselineId::QuickStepLike, 16, true);
-        assert!(par_fb.time_s < seq_fb.time_s, "parallel fallback not faster");
+        assert!(
+            par_fb.time_s < seq_fb.time_s,
+            "parallel fallback not faster"
+        );
     }
 }

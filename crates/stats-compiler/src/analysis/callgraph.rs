@@ -1,0 +1,185 @@
+//! Call graph construction and state-escape analysis.
+//!
+//! The call graph records, for every function, which module functions it
+//! may transfer control to: direct `Call` targets plus — because a
+//! function tradeoff dispatches to any of its candidates at configuration
+//! time — every candidate of every tradeoff the function references
+//! through `CallTradeoff` or a `cast .. to tradeoff<f>` placeholder.
+//!
+//! On top of reachability the module computes *state escape*: the set of
+//! cross-invocation state variables a function's whole reachable set may
+//! read or write. A state variable "escapes" a dependence's clone set when
+//! any transitively callable function touches it; this is the input to the
+//! race check ([`super::races`]) and the purity check ([`super::purity`]).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ir::{Inst, Module, TyRef};
+use crate::metadata::TradeoffValues;
+
+/// A module's call graph, including function-tradeoff candidate edges.
+#[derive(Debug)]
+pub struct CallGraph {
+    edges: HashMap<String, Vec<String>>,
+}
+
+impl CallGraph {
+    /// Build the call graph of `module`. Only edges to functions defined in
+    /// the module are recorded (intrinsics have no bodies to analyze).
+    pub fn build(module: &Module) -> Self {
+        let mut edges: HashMap<String, Vec<String>> = HashMap::new();
+        for f in module.functions() {
+            let mut out: Vec<String> = Vec::new();
+            let mut add = |name: &str| {
+                if module.function(name).is_some() && !out.iter().any(|c| c == name) {
+                    out.push(name.to_string());
+                }
+            };
+            for inst in f.insts() {
+                match inst {
+                    Inst::Call { callee, .. } => add(callee),
+                    Inst::CallTradeoff { tradeoff, .. }
+                    | Inst::Cast {
+                        to: TyRef::Tradeoff(tradeoff),
+                        ..
+                    } => {
+                        if let Some(row) = module.metadata.tradeoff(tradeoff) {
+                            if let TradeoffValues::Functions(candidates) = &row.values {
+                                for c in candidates {
+                                    add(c);
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            edges.insert(f.name.clone(), out);
+        }
+        CallGraph { edges }
+    }
+
+    /// Direct callees of `name` (empty for unknown functions).
+    pub fn callees(&self, name: &str) -> &[String] {
+        self.edges.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All functions reachable from `root`, including `root` itself (when
+    /// it is defined in the module).
+    pub fn reachable(&self, root: &str) -> HashSet<String> {
+        let mut seen = HashSet::new();
+        if !self.edges.contains_key(root) {
+            return seen;
+        }
+        let mut stack = vec![root.to_string()];
+        while let Some(name) = stack.pop() {
+            if !seen.insert(name.clone()) {
+                continue;
+            }
+            for callee in self.callees(&name) {
+                if !seen.contains(callee) {
+                    stack.push(callee.clone());
+                }
+            }
+        }
+        seen
+    }
+
+    /// All functions reachable from any of `roots`.
+    pub fn reachable_from_all<'a>(
+        &self,
+        roots: impl IntoIterator<Item = &'a str>,
+    ) -> HashSet<String> {
+        let mut seen = HashSet::new();
+        for root in roots {
+            seen.extend(self.reachable(root));
+        }
+        seen
+    }
+}
+
+/// The state variables that escape a root function: everything its whole
+/// reachable set may read or write across invocations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StateEscape {
+    /// State variables some reachable function loads.
+    pub reads: HashSet<String>,
+    /// State variables some reachable function stores.
+    pub writes: HashSet<String>,
+}
+
+impl StateEscape {
+    /// Variables both read and written somewhere in the reachable set —
+    /// candidates for cross-invocation carried state.
+    pub fn read_write(&self) -> HashSet<String> {
+        self.reads.intersection(&self.writes).cloned().collect()
+    }
+}
+
+/// Compute the state escaping `root` through `cg` over `module`.
+pub fn state_escape(module: &Module, cg: &CallGraph, root: &str) -> StateEscape {
+    let mut esc = StateEscape::default();
+    for name in cg.reachable(root) {
+        if let Some(f) = module.function(&name) {
+            let (reads, writes) = f.state_accesses();
+            esc.reads.extend(reads);
+            esc.writes.extend(writes);
+        }
+    }
+    esc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::compile;
+
+    #[test]
+    fn direct_and_tradeoff_edges() {
+        let m = compile(
+            "tradeoff impl { functions = [fast, slow]; default_index = 0; }
+             fn fast(x) { return x; }
+             fn slow(x) { return x * 2; }
+             fn helper(x) { return x + 1; }
+             fn top(x) { return helper(choose impl(x)); }",
+        )
+        .unwrap()
+        .module;
+        let cg = CallGraph::build(&m);
+        let mut callees = cg.callees("top").to_vec();
+        callees.sort();
+        assert_eq!(callees, ["fast", "helper", "slow"]);
+        let reach = cg.reachable("top");
+        assert!(reach.contains("top") && reach.contains("fast") && reach.contains("slow"));
+        assert!(cg.reachable("helper").len() == 1);
+    }
+
+    #[test]
+    fn escape_is_transitive() {
+        let m = compile(
+            "state acc = 0;
+             state other = 1;
+             fn leaf(x) { acc = acc + x; return acc; }
+             fn mid(x) { return leaf(x); }
+             fn top(x) { return mid(x) + other; }",
+        )
+        .unwrap()
+        .module;
+        let cg = CallGraph::build(&m);
+        let esc = state_escape(&m, &cg, "top");
+        assert!(esc.reads.contains("acc") && esc.reads.contains("other"));
+        assert_eq!(esc.writes, ["acc".to_string()].into_iter().collect());
+        assert_eq!(esc.read_write(), ["acc".to_string()].into_iter().collect());
+        // The leaf alone never touches `other`.
+        let leaf = state_escape(&m, &cg, "leaf");
+        assert!(!leaf.reads.contains("other"));
+    }
+
+    #[test]
+    fn unknown_root_is_empty() {
+        let m = compile("fn f(x) { return x; }").unwrap().module;
+        let cg = CallGraph::build(&m);
+        assert!(cg.reachable("ghost").is_empty());
+        assert_eq!(state_escape(&m, &cg, "ghost"), StateEscape::default());
+    }
+}

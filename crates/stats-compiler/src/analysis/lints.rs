@@ -1,0 +1,151 @@
+//! Dead-code lints: unused tradeoffs and unreachable functions.
+//!
+//! - **Unused tradeoff**: a source tradeoff row (not a middle-end clone)
+//!   that no instruction in the module references. It contributes nothing
+//!   but still enlarges every dependence's configuration space.
+//! - **Unreachable function**: when the program defines state dependences,
+//!   the analysis roots are the dependence entry points (compute and aux
+//!   functions), `getValue` functions of referenced tradeoffs, and
+//!   function-tradeoff candidates. A defined function reachable from none
+//!   of them can never execute. Programs without dependences are skipped —
+//!   they have no well-defined entry points (any function may be the
+//!   driver's entry).
+
+use std::collections::HashSet;
+
+use crate::ir::Module;
+use crate::metadata::TradeoffValues;
+
+use super::callgraph::CallGraph;
+use super::{Diagnostic, LintKind, Severity};
+
+/// Report source tradeoff rows never referenced by any instruction.
+pub fn unused_tradeoffs(module: &Module) -> Vec<Diagnostic> {
+    let mut referenced: HashSet<String> = HashSet::new();
+    for f in module.functions() {
+        referenced.extend(f.tradeoff_refs());
+    }
+    module
+        .metadata
+        .tradeoffs
+        .iter()
+        .filter(|row| row.cloned_from.is_none() && !referenced.contains(&row.name))
+        .map(|row| Diagnostic {
+            lint: LintKind::UnusedTradeoff,
+            severity: Severity::Warning,
+            message: format!(
+                "tradeoff `{}` is declared but never referenced; it only \
+                 enlarges the configuration space",
+                row.name
+            ),
+            location: None,
+        })
+        .collect()
+}
+
+/// Report functions unreachable from every dependence entry point. Empty
+/// when the module declares no state dependences.
+pub fn unreachable_functions(module: &Module, cg: &CallGraph) -> Vec<Diagnostic> {
+    if module.metadata.state_deps.is_empty() {
+        return Vec::new();
+    }
+    let mut roots: Vec<&str> = Vec::new();
+    for dep in &module.metadata.state_deps {
+        roots.push(&dep.compute_fn);
+        if let Some(aux) = &dep.aux_fn {
+            roots.push(aux);
+        }
+    }
+    // Tradeoff machinery is reachable at configuration time: getValue
+    // functions run in the dynamic-compilation step, and every candidate
+    // of a referenced function tradeoff may be selected.
+    let referenced: HashSet<String> = module
+        .functions()
+        .iter()
+        .flat_map(|f| f.tradeoff_refs())
+        .collect();
+    for row in &module.metadata.tradeoffs {
+        if !referenced.contains(&row.name) {
+            continue;
+        }
+        match &row.values {
+            TradeoffValues::Computed { get_value_fn } => roots.push(get_value_fn),
+            TradeoffValues::Functions(fs) => roots.extend(fs.iter().map(String::as_str)),
+            _ => {}
+        }
+    }
+    let live = cg.reachable_from_all(roots.iter().copied());
+    module
+        .functions()
+        .iter()
+        .filter(|f| !live.contains(&f.name))
+        .map(|f| Diagnostic {
+            lint: LintKind::UnreachableFunction,
+            severity: Severity::Warning,
+            message: format!(
+                "function `{}` is unreachable from every dependence entry \
+                 point and tradeoff candidate",
+                f.name
+            ),
+            location: None,
+        })
+        .collect()
+}
+
+/// Run both dead-code lints.
+pub fn check(module: &Module, cg: &CallGraph) -> Vec<Diagnostic> {
+    let mut diags = unused_tradeoffs(module);
+    diags.extend(unreachable_functions(module, cg));
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::compile;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let m = compile(src).unwrap().module;
+        let cg = CallGraph::build(&m);
+        check(&m, &cg)
+    }
+
+    #[test]
+    fn unused_tradeoff_is_flagged() {
+        let diags = run("tradeoff dead { values = [1, 2]; default_index = 0; }
+             state_dependence d { compute = f; }
+             fn f(x) { return x; }");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].lint, LintKind::UnusedTradeoff);
+        assert!(diags[0].message.contains("`dead`"));
+    }
+
+    #[test]
+    fn unreachable_function_is_flagged() {
+        let diags = run("state_dependence d { compute = f; }
+             fn f(x) { return x; }
+             fn orphan(x) { return x * 2; }");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].lint, LintKind::UnreachableFunction);
+        assert!(diags[0].message.contains("`orphan`"));
+    }
+
+    #[test]
+    fn tradeoff_machinery_counts_as_reachable() {
+        let diags = run(
+            "tradeoff impl { functions = [fast, slow]; default_index = 0; }
+             tradeoff k { max_index = 3; default_index = 0; value(i) = i * 2; }
+             state_dependence d { compute = f; }
+             fn fast(x) { return x; }
+             fn slow(x) { return x * 2; }
+             fn f(x) { return choose impl(x) + tradeoff k; }",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn programs_without_dependences_are_not_linted_for_reachability() {
+        let diags = run("fn lonely(x) { return x; }");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

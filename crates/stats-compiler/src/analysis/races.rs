@@ -1,0 +1,204 @@
+//! Undeclared-state-dependence detection (race check).
+//!
+//! Under STATS, each state dependence's compute function is re-executed
+//! speculatively: invocation *i+1*'s clone runs concurrently with
+//! invocation *i*'s. Any cross-invocation flow through a state variable is
+//! therefore a data race **unless the dependence declares that variable**
+//! (`state = [..];`), which tells the runtime to predict and validate it.
+//!
+//! The rule, per dependence *d* with transitive state reads `R_d` and
+//! writes `W_d` (from [`super::callgraph::state_escape`]), and `R_all` /
+//! `W_all` the unions over *all* dependences:
+//!
+//! ```text
+//! required_d = (R_d ∩ W_all) ∪ (W_d ∩ R_all)
+//! ```
+//!
+//! i.e. a variable *d* reads that anyone (including *d* itself) writes, or
+//! writes that anyone reads, carries a cross-invocation flow. Every
+//! variable in `required_d` not listed in *d*'s `declared_state` is a hard
+//! error. A declared variable the dependence never touches is reported as
+//! a warning (stale declaration).
+
+use std::collections::HashSet;
+
+use crate::ir::{Inst, Module};
+
+use super::callgraph::{state_escape, CallGraph, StateEscape};
+use super::{Diagnostic, LintKind, Severity};
+
+/// Locate the first access (load or store) of `state` in any function of
+/// `set`, for diagnostics. Deterministic: scans functions in module order.
+fn first_access(
+    module: &Module,
+    cg: &CallGraph,
+    root: &str,
+    state: &str,
+) -> Option<crate::verify::Location> {
+    let reachable = cg.reachable(root);
+    for f in module.functions() {
+        if !reachable.contains(&f.name) {
+            continue;
+        }
+        for (i, inst) in f.insts().enumerate() {
+            match inst {
+                Inst::LoadState { state: s, .. } | Inst::StoreState { state: s, .. }
+                    if s == state =>
+                {
+                    return Some(crate::verify::Location::new(&f.name, i));
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Run the race check over every state dependence of `module`.
+pub fn check(module: &Module, cg: &CallGraph) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let deps = &module.metadata.state_deps;
+    if deps.is_empty() {
+        return diags;
+    }
+
+    let escapes: Vec<StateEscape> = deps
+        .iter()
+        .map(|d| state_escape(module, cg, &d.compute_fn))
+        .collect();
+    let mut all_reads: HashSet<&str> = HashSet::new();
+    let mut all_writes: HashSet<&str> = HashSet::new();
+    for esc in &escapes {
+        all_reads.extend(esc.reads.iter().map(String::as_str));
+        all_writes.extend(esc.writes.iter().map(String::as_str));
+    }
+
+    for (dep, esc) in deps.iter().zip(&escapes) {
+        let declared: HashSet<&str> = dep.declared_state.iter().map(String::as_str).collect();
+        let mut required: Vec<&String> = esc
+            .reads
+            .iter()
+            .filter(|s| all_writes.contains(s.as_str()))
+            .chain(esc.writes.iter().filter(|s| all_reads.contains(s.as_str())))
+            .collect();
+        required.sort();
+        required.dedup();
+
+        for state in required {
+            if declared.contains(state.as_str()) {
+                continue;
+            }
+            let role = match (esc.reads.contains(state), esc.writes.contains(state)) {
+                (true, true) => "reads and writes",
+                (true, false) => "reads",
+                _ => "writes",
+            };
+            diags.push(Diagnostic {
+                lint: LintKind::UndeclaredStateRace,
+                severity: Severity::Error,
+                message: format!(
+                    "dependence `{}` {role} state variable `{state}` carrying a \
+                     cross-invocation flow, but does not declare it; this is a data \
+                     race under speculative execution (add `state = [{state}];`)",
+                    dep.name
+                ),
+                location: first_access(module, cg, &dep.compute_fn, state),
+            });
+        }
+
+        for state in &dep.declared_state {
+            if !esc.reads.contains(state) && !esc.writes.contains(state) {
+                diags.push(Diagnostic {
+                    lint: LintKind::UndeclaredStateRace,
+                    severity: Severity::Warning,
+                    message: format!(
+                        "dependence `{}` declares state variable `{state}` but its \
+                         compute function never accesses it",
+                        dep.name
+                    ),
+                    location: None,
+                });
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::compile;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let m = compile(src).unwrap().module;
+        let cg = CallGraph::build(&m);
+        check(&m, &cg)
+    }
+
+    #[test]
+    fn undeclared_carried_state_is_error() {
+        let diags = run("state acc = 0;
+             state_dependence d { compute = step; }
+             fn step(x) { acc = acc + x; return acc; }");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].message.contains("`acc`"));
+        assert!(diags[0].location.is_some());
+    }
+
+    #[test]
+    fn declared_carried_state_is_clean() {
+        let diags = run("state acc = 0;
+             state_dependence d { compute = step; state = [acc]; }
+             fn step(x) { acc = acc + x; return acc; }");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn cross_dependence_flow_requires_declaration_on_both_sides() {
+        // d1 writes `shared`, d2 reads it: both carry the flow.
+        let diags = run("state shared = 0;
+             state_dependence d1 { compute = producer; }
+             state_dependence d2 { compute = consumer; }
+             fn producer(x) { shared = x; return x; }
+             fn consumer(x) { return shared + x; }");
+        let errors: Vec<_> = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        assert_eq!(errors.len(), 2);
+        assert!(errors.iter().any(|d| d.message.contains("`d1` writes")));
+        assert!(errors.iter().any(|d| d.message.contains("`d2` reads")));
+    }
+
+    #[test]
+    fn write_only_private_state_is_not_a_race() {
+        // Written but never read by anyone: no cross-invocation flow.
+        let diags = run("state log = 0;
+             state_dependence d { compute = step; }
+             fn step(x) { log = x; return x; }");
+        assert!(diags.iter().all(|d| d.severity != Severity::Error));
+    }
+
+    #[test]
+    fn stale_declaration_is_warning() {
+        let diags = run("state acc = 0;
+             state_dependence d { compute = step; state = [acc]; }
+             fn step(x) { return x; }");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(diags[0].message.contains("never accesses"));
+    }
+
+    #[test]
+    fn transitive_access_through_helper_is_found() {
+        let diags = run("state acc = 0;
+             state_dependence d { compute = step; }
+             fn bump(x) { acc = acc + x; return acc; }
+             fn step(x) { return bump(x); }");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Error);
+        // Location points into the helper that performs the access.
+        assert_eq!(diags[0].location.as_ref().unwrap().function, "bump");
+    }
+}

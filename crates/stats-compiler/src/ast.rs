@@ -131,6 +131,21 @@ pub struct StateDepDef {
     pub name: String,
     /// The `compute_output` function's name.
     pub compute: String,
+    /// The state variables this dependence declares it carries between
+    /// invocations (`state = [a, b];`). The speculation-safety analysis
+    /// checks the compute function's actual state accesses against this set.
+    pub state: Vec<String>,
+}
+
+/// A cross-invocation state variable (`state NAME = <literal>;`) — the
+/// paper's `State` made explicit so the static analysis can see which
+/// invocation-to-invocation flows exist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateDef {
+    /// Variable name.
+    pub name: String,
+    /// Initial value (a numeric literal, possibly negated).
+    pub init: Expr,
 }
 
 /// A complete parsed program.
@@ -138,6 +153,8 @@ pub struct StateDepDef {
 pub struct Program {
     /// Tradeoff declarations, in source order.
     pub tradeoffs: Vec<TradeoffDef>,
+    /// State-variable declarations, in source order.
+    pub states: Vec<StateDef>,
     /// State-dependence declarations, in source order.
     pub state_deps: Vec<StateDepDef>,
     /// Function definitions, in source order.
@@ -153,5 +170,10 @@ impl Program {
     /// Look up a tradeoff by name.
     pub fn tradeoff(&self, name: &str) -> Option<&TradeoffDef> {
         self.tradeoffs.iter().find(|t| t.name == name)
+    }
+
+    /// Look up a state variable by name.
+    pub fn state(&self, name: &str) -> Option<&StateDef> {
+        self.states.iter().find(|s| s.name == name)
     }
 }

@@ -42,9 +42,7 @@ pub fn instantiate(module: &Module, config: &DepConfig) -> Result<Module, Compil
             .state_dep(&dep)
             .and_then(|d| d.aux_tradeoffs.iter().position(|t| *t == row.name));
         let index = match (config.get(&dep), position) {
-            (Some(indices), Some(pos)) => {
-                indices.get(pos).copied().unwrap_or(row.default_index)
-            }
+            (Some(indices), Some(pos)) => indices.get(pos).copied().unwrap_or(row.default_index),
             _ => row.default_index,
         };
         let value = tradeoff_value_at(&out, row, index)?;
@@ -60,11 +58,7 @@ pub fn instantiate(module: &Module, config: &DepConfig) -> Result<Module, Compil
 
 /// Execute a function of an instantiated module (the interpreter plays the
 /// role of running the generated binary).
-pub fn call(
-    module: &Module,
-    function: &str,
-    args: &[Value],
-) -> Result<Option<Value>, ExecError> {
+pub fn call(module: &Module, function: &str, args: &[Value]) -> Result<Option<Value>, ExecError> {
     Interp::new(module).call(function, args)
 }
 
@@ -197,7 +191,12 @@ mod tests {
                 rhs: crate::ir::Operand::ImmFloat(2.0),
             },
         );
-        half.push(BlockId(0), Inst::Ret { value: Some(dst.into()) });
+        half.push(
+            BlockId(0),
+            Inst::Ret {
+                value: Some(dst.into()),
+            },
+        );
         m.add_function(half);
 
         let mut step = Function::new("step__aux_d", 1);
@@ -211,14 +210,24 @@ mod tests {
                 args: vec![p.into()],
             },
         );
-        step.push(BlockId(0), Inst::Ret { value: Some(dst.into()) });
+        step.push(
+            BlockId(0),
+            Inst::Ret {
+                value: Some(dst.into()),
+            },
+        );
         m.add_function(step);
 
         // The original compute function the metadata row points at (the
         // module verifier checks referential integrity).
         let mut orig = Function::new("step", 1);
         let po = orig.params[0];
-        orig.push(BlockId(0), Inst::Ret { value: Some(po.into()) });
+        orig.push(
+            BlockId(0),
+            Inst::Ret {
+                value: Some(po.into()),
+            },
+        );
         m.add_function(orig);
 
         m.metadata.tradeoffs.push(TradeoffMeta {
@@ -234,16 +243,21 @@ mod tests {
             compute_fn: "step".into(),
             aux_fn: Some("step__aux_d".into()),
             aux_tradeoffs: vec!["sqrtVersion__aux_d".into()],
+            declared_state: vec![],
         });
 
         let cfg: DepConfig = [("d".to_string(), vec![1])].into_iter().collect();
         let binary = instantiate(&m, &cfg).unwrap();
-        let out = call(&binary, "step__aux_d", &[8.0.into()]).unwrap().unwrap();
+        let out = call(&binary, "step__aux_d", &[8.0.into()])
+            .unwrap()
+            .unwrap();
         assert_eq!(out.as_float(), 4.0);
 
         let cfg0: DepConfig = [("d".to_string(), vec![0])].into_iter().collect();
         let binary0 = instantiate(&m, &cfg0).unwrap();
-        let out0 = call(&binary0, "step__aux_d", &[9.0.into()]).unwrap().unwrap();
+        let out0 = call(&binary0, "step__aux_d", &[9.0.into()])
+            .unwrap()
+            .unwrap();
         assert_eq!(out0.as_float(), 3.0);
     }
 
@@ -262,7 +276,7 @@ mod tests {
         let b1 = instantiate(&m, &cfg1).unwrap();
         let out = call(&b1, "step__aux_d", &[8.into()]).unwrap().unwrap();
         assert_eq!(out.as_int(), Some(5)); // half(8) + 1
-        // Original code pins to the default (exact_like).
+                                           // Original code pins to the default (exact_like).
         let out = call(&b1, "step", &[8.into()]).unwrap().unwrap();
         assert_eq!(out.as_int(), Some(9));
     }
@@ -305,5 +319,4 @@ mod tests {
         let m = module();
         assert!(core_bindings(&m, "ghost", &[]).is_err());
     }
-
 }

@@ -84,7 +84,10 @@ impl fmt::Display for ExecError {
         match self {
             ExecError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
             ExecError::UnresolvedTradeoff(n) => {
-                write!(f, "unresolved tradeoff placeholder `{n}` (run the back-end first)")
+                write!(
+                    f,
+                    "unresolved tradeoff placeholder `{n}` (run the back-end first)"
+                )
             }
             ExecError::ArityMismatch {
                 function,
@@ -100,9 +103,17 @@ impl fmt::Display for ExecError {
 impl std::error::Error for ExecError {}
 
 /// Interpreter over a module, with a fuel budget shared across calls.
+///
+/// Cross-invocation state variables (`state NAME = ..;` declarations) live
+/// in the interpreter, seeded from the module's state table, and persist
+/// across [`Interp::call`]s — one `Interp` models one sequential stream of
+/// invocations, matching the paper's `State` that `computeOutput` carries
+/// from invocation to invocation.
 pub struct Interp<'m> {
     module: &'m Module,
     fuel: u64,
+    /// Cross-invocation state, persisting across `call`s.
+    state: HashMap<String, Value>,
     /// Host intrinsics callable from IR (e.g. `sqrt` variants used by
     /// function tradeoffs in tests and workload descriptors).
     intrinsics: HashMap<String, fn(&[Value]) -> Value>,
@@ -134,7 +145,13 @@ impl<'m> Interp<'m> {
             Value::Float(args.first().map(|v| v.as_float()).unwrap_or(0.0).exp())
         });
         intrinsics.insert("ln".into(), |args| {
-            Value::Float(args.first().map(|v| v.as_float()).unwrap_or(0.0).max(f64::MIN_POSITIVE).ln())
+            Value::Float(
+                args.first()
+                    .map(|v| v.as_float())
+                    .unwrap_or(0.0)
+                    .max(f64::MIN_POSITIVE)
+                    .ln(),
+            )
         });
         intrinsics.insert("pow".into(), |args| {
             let a = args.first().map(|v| v.as_float()).unwrap_or(0.0);
@@ -144,9 +161,22 @@ impl<'m> Interp<'m> {
         intrinsics.insert("floor".into(), |args| {
             Value::Int(args.first().map(|v| v.as_float()).unwrap_or(0.0).floor() as i64)
         });
+        let state = module
+            .metadata
+            .state_vars
+            .iter()
+            .map(|v| {
+                let init = match v.init {
+                    crate::metadata::StateInit::Int(i) => Value::Int(i),
+                    crate::metadata::StateInit::Float(f) => Value::Float(f),
+                };
+                (v.name.clone(), init)
+            })
+            .collect();
         Interp {
             module,
             fuel: 1_000_000,
+            state,
             intrinsics,
         }
     }
@@ -155,6 +185,16 @@ impl<'m> Interp<'m> {
     pub fn with_fuel(mut self, fuel: u64) -> Self {
         self.fuel = fuel;
         self
+    }
+
+    /// The current value of a state variable.
+    pub fn state_value(&self, name: &str) -> Option<Value> {
+        self.state.get(name).copied()
+    }
+
+    /// Overwrite a state variable (e.g. to restore a checkpoint).
+    pub fn set_state(&mut self, name: impl Into<String>, value: Value) {
+        self.state.insert(name.into(), value);
     }
 
     /// Register a host intrinsic callable from IR.
@@ -214,6 +254,14 @@ impl<'m> Interp<'m> {
                 }
                 Inst::TradeoffRef { tradeoff, .. } => {
                     return Err(ExecError::UnresolvedTradeoff(tradeoff.clone()))
+                }
+                Inst::LoadState { dst, state } => {
+                    let v = self.state.get(state).copied().unwrap_or(Value::Int(0));
+                    regs.insert(*dst, v);
+                }
+                Inst::StoreState { state, src } => {
+                    let v = read(&regs, *src);
+                    self.state.insert(state.clone(), v);
                 }
                 Inst::CallTradeoff { tradeoff, .. } => {
                     return Err(ExecError::UnresolvedTradeoff(tradeoff.clone()))
@@ -340,7 +388,11 @@ mod tests {
     #[test]
     fn arithmetic() {
         assert_eq!(
-            run("fn f(a, b) { return a * b + 2; }", "f", &[3.into(), 4.into()]),
+            run(
+                "fn f(a, b) { return a * b + 2; }",
+                "f",
+                &[3.into(), 4.into()]
+            ),
             Value::Int(14)
         );
     }
@@ -415,11 +467,19 @@ mod tests {
         );
         // Empty and reversed ranges run zero iterations.
         assert_eq!(
-            run("fn f() { let c = 0; for i in 5..5 { c = c + 1; } return c; }", "f", &[]),
+            run(
+                "fn f() { let c = 0; for i in 5..5 { c = c + 1; } return c; }",
+                "f",
+                &[]
+            ),
             Value::Int(0)
         );
         assert_eq!(
-            run("fn f() { let c = 0; for i in 7..2 { c = c + 1; } return c; }", "f", &[]),
+            run(
+                "fn f() { let c = 0; for i in 7..2 { c = c + 1; } return c; }",
+                "f",
+                &[]
+            ),
             Value::Int(0)
         );
     }
@@ -439,11 +499,17 @@ mod tests {
     #[test]
     fn math_intrinsics() {
         assert_eq!(
-            run("fn f(x) { return exp(ln(x)); }", "f", &[5.0.into()]).as_float().round(),
+            run("fn f(x) { return exp(ln(x)); }", "f", &[5.0.into()])
+                .as_float()
+                .round(),
             5.0
         );
         assert_eq!(
-            run("fn f(a, b) { return pow(a, b); }", "f", &[2.0.into(), 10.0.into()]),
+            run(
+                "fn f(a, b) { return pow(a, b); }",
+                "f",
+                &[2.0.into(), 10.0.into()]
+            ),
             Value::Float(1024.0)
         );
         assert_eq!(
@@ -455,7 +521,10 @@ mod tests {
     #[test]
     fn fuel_limits_runaway_loops() {
         let m = module_of("fn spin() { let i = 0; while (i < 100) { i = i; } return i; }");
-        let err = Interp::new(&m).with_fuel(1000).call("spin", &[]).unwrap_err();
+        let err = Interp::new(&m)
+            .with_fuel(1000)
+            .call("spin", &[])
+            .unwrap_err();
         assert_eq!(err, ExecError::OutOfFuel);
     }
 

@@ -162,6 +162,23 @@ pub enum Inst {
         /// The tradeoff's name.
         tradeoff: String,
     },
+    /// `dst = load_state <name>` — read a declared cross-invocation state
+    /// variable (the paper's `State` that `computeOutput` carries between
+    /// invocations). State variables live in the module-level state table
+    /// and persist across interpreter calls.
+    LoadState {
+        /// Destination register.
+        dst: Reg,
+        /// The state variable's name.
+        state: String,
+    },
+    /// `store_state <name>, src` — write a cross-invocation state variable.
+    StoreState {
+        /// The state variable's name.
+        state: String,
+        /// The value written.
+        src: Operand,
+    },
     /// Unconditional jump.
     Jmp {
         /// Target block.
@@ -283,6 +300,27 @@ impl Function {
             }
         }
         out
+    }
+
+    /// Names of state variables this function reads and writes *directly*
+    /// (not through callees): `(reads, writes)`, each deduplicated in first
+    /// occurrence order. Transitive access sets are the call-graph
+    /// analysis's job ([`crate::analysis`]).
+    pub fn state_accesses(&self) -> (Vec<String>, Vec<String>) {
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        for inst in self.insts() {
+            match inst {
+                Inst::LoadState { state, .. } if !reads.contains(state) => {
+                    reads.push(state.clone());
+                }
+                Inst::StoreState { state, .. } if !writes.contains(state) => {
+                    writes.push(state.clone());
+                }
+                _ => {}
+            }
+        }
+        (reads, writes)
     }
 }
 

@@ -8,6 +8,7 @@ pub enum Token {
     // Keywords.
     Tradeoff,
     StateDependence,
+    State,
     Fn,
     Let,
     If,
@@ -176,6 +177,7 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, LexError> {
                 let token = match ident.as_str() {
                     "tradeoff" => Token::Tradeoff,
                     "state_dependence" => Token::StateDependence,
+                    "state" => Token::State,
                     "fn" => Token::Fn,
                     "let" => Token::Let,
                     "if" => Token::If,
@@ -338,7 +340,11 @@ mod tests {
     fn comments_ignored() {
         assert_eq!(
             toks("a // b c\n# d\ne"),
-            vec![Token::Ident("a".into()), Token::Ident("e".into()), Token::Eof]
+            vec![
+                Token::Ident("a".into()),
+                Token::Ident("e".into()),
+                Token::Eof
+            ]
         );
     }
 
@@ -352,10 +358,7 @@ mod tests {
 
     #[test]
     fn negative_numbers_are_minus_then_literal() {
-        assert_eq!(
-            toks("-5"),
-            vec![Token::Minus, Token::Int(5), Token::Eof]
-        );
+        assert_eq!(toks("-5"), vec![Token::Minus, Token::Int(5), Token::Eof]);
     }
 
     #[test]

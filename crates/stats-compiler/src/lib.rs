@@ -54,6 +54,7 @@
 
 #![deny(missing_docs)]
 
+pub mod analysis;
 pub mod ast;
 pub mod backend;
 pub mod frontend;

@@ -3,7 +3,7 @@
 //! Registers are mutable slots (the IR is not SSA), so loops need no phi
 //! nodes: an assignment writes the variable's register in place.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use crate::ast;
@@ -33,6 +33,9 @@ fn err<T>(message: impl Into<String>) -> Result<T, LowerError> {
 struct Lowerer {
     f: Function,
     vars: HashMap<String, Reg>,
+    /// Cross-invocation state variables visible to this function. Locals
+    /// (params and `let` bindings) shadow them.
+    globals: HashSet<String>,
     current: BlockId,
 }
 
@@ -69,6 +72,14 @@ impl Lowerer {
             }
             ast::Expr::Var(name) => match self.vars.get(name) {
                 Some(&r) => Ok(r),
+                None if self.globals.contains(name) => {
+                    let dst = self.f.fresh_reg();
+                    self.emit(Inst::LoadState {
+                        dst,
+                        state: name.clone(),
+                    });
+                    Ok(dst)
+                }
                 None => err(format!("undefined variable `{name}`")),
             },
             ast::Expr::TradeoffRef(name) => {
@@ -258,6 +269,13 @@ impl Lowerer {
                         self.emit(Inst::Const { dst, value: v });
                         Ok(())
                     }
+                    None if self.globals.contains(name) => {
+                        self.emit(Inst::StoreState {
+                            state: name.clone(),
+                            src: v,
+                        });
+                        Ok(())
+                    }
                     None => err(format!("assignment to undefined variable `{name}`")),
                 }
             }
@@ -352,8 +370,18 @@ impl Lowerer {
     }
 }
 
-/// Lower one AST function to IR.
+/// Lower one AST function to IR, with no state variables in scope.
 pub fn lower_fn(def: &ast::FnDef) -> Result<Function, LowerError> {
+    lower_fn_with_globals(def, &HashSet::new())
+}
+
+/// Lower one AST function to IR. Free variables named in `globals` become
+/// [`Inst::LoadState`]/[`Inst::StoreState`] accesses to cross-invocation
+/// state; locals (params and `let` bindings) shadow them.
+pub fn lower_fn_with_globals(
+    def: &ast::FnDef,
+    globals: &HashSet<String>,
+) -> Result<Function, LowerError> {
     let f = Function::new(def.name.clone(), def.params.len());
     let vars = def
         .params
@@ -364,6 +392,7 @@ pub fn lower_fn(def: &ast::FnDef) -> Result<Function, LowerError> {
     let mut l = Lowerer {
         f,
         vars,
+        globals: globals.clone(),
         current: BlockId(0),
     };
     l.stmts(&def.body)?;
@@ -376,7 +405,11 @@ pub fn lower_fn(def: &ast::FnDef) -> Result<Function, LowerError> {
 
 /// Lower a computed tradeoff rule `value(i) = expr` into a `getValue`
 /// function named `T_<tradeoff>_getValue`.
-pub fn lower_get_value(tradeoff: &str, param: &str, expr: &ast::Expr) -> Result<Function, LowerError> {
+pub fn lower_get_value(
+    tradeoff: &str,
+    param: &str,
+    expr: &ast::Expr,
+) -> Result<Function, LowerError> {
     let def = ast::FnDef {
         name: get_value_fn_name(tradeoff),
         params: vec![param.to_string()],
@@ -455,8 +488,8 @@ mod tests {
 
     #[test]
     fn get_value_fn_lowering() {
-        let p = parse("tradeoff t { max_index = 10; default_index = 0; value(i) = i * 3; }")
-            .unwrap();
+        let p =
+            parse("tradeoff t { max_index = 10; default_index = 0; value(i) = i * 3; }").unwrap();
         if let crate::ast::TradeoffKind::Computed { param, expr } = &p.tradeoffs[0].kind {
             let f = lower_get_value("t", param, expr).unwrap();
             assert_eq!(f.name, "T_t_getValue");

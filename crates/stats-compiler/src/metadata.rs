@@ -54,6 +54,30 @@ pub struct StateDepMeta {
     /// Names of the cloned tradeoffs owned by this dependence's auxiliary
     /// code, in declaration order — the order of configuration indices.
     pub aux_tradeoffs: Vec<String>,
+    /// State variables this dependence *declares* it carries between
+    /// invocations (the `state = [..];` field). The speculation-safety
+    /// analysis checks the compute function's actual accesses against this
+    /// set — an undeclared access is a race under speculative execution.
+    pub declared_state: Vec<String>,
+}
+
+/// One row of the state-variable table: a cross-invocation global declared
+/// with `state NAME = <literal>;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVarMeta {
+    /// State variable name, as referenced by IR instructions.
+    pub name: String,
+    /// Initial value before the first invocation.
+    pub init: StateInit,
+}
+
+/// The initial value of a state variable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StateInit {
+    /// Integer initializer.
+    Int(i64),
+    /// Float initializer.
+    Float(f64),
 }
 
 /// The metadata tables of a module.
@@ -63,6 +87,8 @@ pub struct Metadata {
     pub tradeoffs: Vec<TradeoffMeta>,
     /// State-dependence table.
     pub state_deps: Vec<StateDepMeta>,
+    /// State-variable table (cross-invocation globals).
+    pub state_vars: Vec<StateVarMeta>,
 }
 
 impl Metadata {
@@ -74,6 +100,11 @@ impl Metadata {
     /// Look up a state dependence row by name.
     pub fn state_dep(&self, name: &str) -> Option<&StateDepMeta> {
         self.state_deps.iter().find(|d| d.name == name)
+    }
+
+    /// Look up a state variable row by name.
+    pub fn state_var(&self, name: &str) -> Option<&StateVarMeta> {
+        self.state_vars.iter().find(|v| v.name == name)
     }
 
     /// Remove a tradeoff row (the middle-end deletes rows of tradeoffs it

@@ -24,12 +24,19 @@ pub struct MidendOptions {
     /// Maximum total instructions cloned per `compute_output` (the paper's
     /// budget that balances generated-code size against degrees of freedom).
     pub max_clone_insts: usize,
+    /// Run the speculation-safety analysis ([`crate::analysis`]) over the
+    /// generated module and refuse codegen when it finds hard errors
+    /// (undeclared state races, impure auxiliary clones). On by default;
+    /// disable to inspect or execute known-unsafe programs (`stats-lint`
+    /// does this to report *all* findings instead of stopping).
+    pub enforce_analysis: bool,
 }
 
 impl Default for MidendOptions {
     fn default() -> Self {
         MidendOptions {
             max_clone_insts: 4096,
+            enforce_analysis: true,
         }
     }
 }
@@ -54,6 +61,13 @@ pub fn run_with(compiled: Compiled, options: MidendOptions) -> Result<Module, Co
     }
 
     pin_global_tradeoffs_to_defaults(&mut module)?;
+
+    if options.enforce_analysis {
+        let diags = crate::analysis::analyze(&module);
+        if crate::analysis::has_errors(&diags) {
+            return Err(CompileError::Analysis(diags));
+        }
+    }
     Ok(module)
 }
 
@@ -92,7 +106,9 @@ fn tradeoff_carrying(module: &Module, roots: &[String]) -> HashSet<String> {
             if carrying.contains(name) {
                 continue;
             }
-            let Some(f) = module.function(name) else { continue };
+            let Some(f) = module.function(name) else {
+                continue;
+            };
             let direct = !f.tradeoff_refs().is_empty();
             let via_callee = f.callees().iter().any(|c| carrying.contains(c));
             if direct || via_callee {
@@ -136,10 +152,7 @@ fn generate_aux(
         if name == &compute_fn || !carrying.contains(name) {
             continue;
         }
-        let cost = module
-            .function(name)
-            .map(Function::inst_count)
-            .unwrap_or(0);
+        let cost = module.function(name).map(Function::inst_count).unwrap_or(0);
         if cost <= budget {
             budget -= cost;
             clone_set.push(name.clone());
@@ -163,7 +176,9 @@ fn generate_aux(
     // Clone the functions, rewriting intra-set calls and tradeoff names.
     let in_set: HashSet<&String> = clone_set.iter().collect();
     for name in &clone_set {
-        let Some(original) = module.function(name) else { continue };
+        let Some(original) = module.function(name) else {
+            continue;
+        };
         let mut clone = original.clone();
         clone.name = format!("{name}{suffix}");
         for inst in clone.insts_mut() {
@@ -228,9 +243,7 @@ pub(crate) fn tradeoff_value_at(
         TradeoffValues::Computed { get_value_fn } => {
             let out = Interp::new(module)
                 .call(get_value_fn, &[Value::Int(index)])
-                .map_err(|e| {
-                    CompileError::Semantic(format!("evaluating `{get_value_fn}`: {e}"))
-                })?
+                .map_err(|e| CompileError::Semantic(format!("evaluating `{get_value_fn}`: {e}")))?
                 .ok_or_else(|| {
                     CompileError::Semantic(format!("`{get_value_fn}` returned nothing"))
                 })?;
@@ -288,7 +301,10 @@ pub(crate) fn substitute(
                             continue;
                         }
                     };
-                    *inst = Inst::Const { dst: *dst, value: imm };
+                    *inst = Inst::Const {
+                        dst: *dst,
+                        value: imm,
+                    };
                 }
                 Inst::CallTradeoff {
                     dst,
@@ -476,6 +492,7 @@ mod tests {
             compiled,
             MidendOptions {
                 max_clone_insts: 1, // only compute_output itself fits
+                ..MidendOptions::default()
             },
         )
         .unwrap();
@@ -503,6 +520,37 @@ mod tests {
         assert!(m.function("f__aux_b").is_some());
         assert!(m.metadata.tradeoff("k__aux_a").is_some());
         assert!(m.metadata.tradeoff("k__aux_b").is_some());
+    }
+
+    #[test]
+    fn gate_rejects_undeclared_state_race() {
+        let src = r#"
+            state acc = 0;
+            state_dependence d { compute = step; }
+            fn step(x) { acc = acc + x; return acc; }
+        "#;
+        let err = run(compile(src).unwrap()).unwrap_err();
+        match err {
+            CompileError::Analysis(diags) => {
+                assert!(crate::analysis::has_errors(&diags));
+                assert!(diags
+                    .iter()
+                    .any(|d| d.lint == crate::analysis::LintKind::UndeclaredStateRace));
+            }
+            other => panic!("expected analysis rejection, got {other:?}"),
+        }
+        // The same program passes once the dependence declares the state…
+        let declared = src.replace("compute = step;", "compute = step; state = [acc];");
+        run(compile(&declared).unwrap()).unwrap();
+        // …or when the gate is explicitly disabled.
+        run_with(
+            compile(src).unwrap(),
+            MidendOptions {
+                enforce_analysis: false,
+                ..MidendOptions::default()
+            },
+        )
+        .unwrap();
     }
 
     #[test]

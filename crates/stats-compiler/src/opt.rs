@@ -142,8 +142,17 @@ fn fold_constants(f: &mut Function) -> bool {
                     }
                 }
                 Inst::Cast { dst, .. }
-                | Inst::TradeoffRef { dst, .. } => {
+                | Inst::TradeoffRef { dst, .. }
+                | Inst::LoadState { dst, .. } => {
                     env.remove(dst);
+                }
+                Inst::StoreState { src, .. } => {
+                    if let Operand::Reg(r) = src {
+                        if let Some(v) = env.get(r).copied() {
+                            *src = to_operand(v);
+                            changed = true;
+                        }
+                    }
                 }
                 Inst::Call { dst, args, .. } | Inst::CallTradeoff { dst, args, .. } => {
                     for a in args.iter_mut() {
@@ -281,7 +290,8 @@ fn eliminate_dead_stores(f: &mut Function) {
                     mark(v);
                 }
             }
-            Inst::TradeoffRef { .. } | Inst::Jmp { .. } => {}
+            Inst::StoreState { src, .. } => mark(src),
+            Inst::TradeoffRef { .. } | Inst::LoadState { .. } | Inst::Jmp { .. } => {}
         }
     }
     for block in f.blocks.iter_mut() {
@@ -298,10 +308,13 @@ fn eliminate_dead_stores(f: &mut Function) {
                     || matches!(rhs, Operand::ImmFloat(v) if *v != 0.0);
                 read.contains(dst) || !provably_nonzero
             }
-            Inst::Const { dst, .. } | Inst::Bin { dst, .. } | Inst::Cast { dst, .. } => {
-                read.contains(dst)
-            }
-            // Calls may have effects; keep them. Terminators always stay.
+            // A state load is a pure read: dead when its result is unread.
+            Inst::Const { dst, .. }
+            | Inst::Bin { dst, .. }
+            | Inst::Cast { dst, .. }
+            | Inst::LoadState { dst, .. } => read.contains(dst),
+            // Calls may have effects and state stores always do; keep them.
+            // Terminators always stay.
             _ => true,
         });
     }
@@ -341,14 +354,16 @@ mod tests {
 
     #[test]
     fn simplifies_constant_branches_and_drops_dead_blocks() {
-        let mut m = compiled_module(
-            "fn f(x) { if (1 < 2) { return x + 1; } else { return x - 1; } }",
-        );
+        let mut m =
+            compiled_module("fn f(x) { if (1 < 2) { return x + 1; } else { return x - 1; } }");
         let before_blocks = m.function("f").unwrap().blocks.len();
         optimize(&mut m);
         let after_blocks = m.function("f").unwrap().blocks.len();
         assert!(after_blocks < before_blocks);
-        let out = Interp::new(&m).call("f", &[Value::Int(9)]).unwrap().unwrap();
+        let out = Interp::new(&m)
+            .call("f", &[Value::Int(9)])
+            .unwrap()
+            .unwrap();
         assert_eq!(out, Value::Int(10));
     }
 
@@ -395,7 +410,10 @@ mod tests {
         optimize(&mut m);
         let after = m.function("f").unwrap().inst_count();
         assert!(after < before);
-        let out = Interp::new(&m).call("f", &[Value::Int(4)]).unwrap().unwrap();
+        let out = Interp::new(&m)
+            .call("f", &[Value::Int(4)])
+            .unwrap()
+            .unwrap();
         assert_eq!(out, Value::Int(4));
     }
 

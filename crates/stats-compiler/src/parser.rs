@@ -105,6 +105,7 @@ impl Parser {
                 Token::Eof => break,
                 Token::Tradeoff => program.tradeoffs.push(self.tradeoff_def()?),
                 Token::StateDependence => program.state_deps.push(self.state_dep_def()?),
+                Token::State => program.states.push(self.state_def()?),
                 Token::Fn => program.functions.push(self.fn_def()?),
                 other => return self.err(format!("expected a declaration, found {other}")),
             }
@@ -249,7 +250,17 @@ impl Parser {
         let name = self.ident()?;
         self.expect(Token::LBrace)?;
         let mut compute: Option<String> = None;
+        let mut state: Vec<String> = Vec::new();
         while *self.peek() != Token::RBrace {
+            // `state` lexes as a keyword, so the field name is either an
+            // identifier or the `state` token itself.
+            if *self.peek() == Token::State {
+                self.next();
+                self.expect(Token::Assign)?;
+                state = self.ident_list()?;
+                self.expect(Token::Semi)?;
+                continue;
+            }
             let field = self.ident()?;
             self.expect(Token::Assign)?;
             match field.as_str() {
@@ -260,9 +271,41 @@ impl Parser {
         }
         self.expect(Token::RBrace)?;
         match compute {
-            Some(compute) => Ok(StateDepDef { name, compute }),
+            Some(compute) => Ok(StateDepDef {
+                name,
+                compute,
+                state,
+            }),
             None => self.err(format!("state_dependence `{name}` needs compute")),
         }
+    }
+
+    /// `state NAME = <numeric literal>;` — a cross-invocation global.
+    fn state_def(&mut self) -> Result<StateDef, ParseError> {
+        self.expect(Token::State)?;
+        let name = self.ident()?;
+        self.expect(Token::Assign)?;
+        let neg = if *self.peek() == Token::Minus {
+            self.next();
+            true
+        } else {
+            false
+        };
+        let line = self.line();
+        let init = match self.next() {
+            Token::Int(v) => Expr::Int(if neg { -v } else { v }),
+            Token::Float(v) => Expr::Float(if neg { -v } else { v }),
+            other => {
+                return Err(ParseError {
+                    message: format!(
+                        "state `{name}` initializer must be a numeric literal, found {other}"
+                    ),
+                    line,
+                })
+            }
+        };
+        self.expect(Token::Semi)?;
+        Ok(StateDef { name, init })
     }
 
     fn fn_def(&mut self) -> Result<FnDef, ParseError> {

@@ -21,7 +21,12 @@ impl fmt::Display for Function {
             for inst in &block.insts {
                 let line = match inst {
                     Inst::Const { dst, value } => format!("{dst} = {}", op(value)),
-                    Inst::Bin { op: o, dst, lhs, rhs } => {
+                    Inst::Bin {
+                        op: o,
+                        dst,
+                        lhs,
+                        rhs,
+                    } => {
                         format!("{dst} = {o:?} {}, {}", op(lhs), op(rhs))
                     }
                     Inst::Cast { dst, src, to } => {
@@ -38,7 +43,11 @@ impl fmt::Display for Function {
                             None => format!("call {callee}({})", a.join(", ")),
                         }
                     }
-                    Inst::CallTradeoff { dst, tradeoff, args } => {
+                    Inst::CallTradeoff {
+                        dst,
+                        tradeoff,
+                        args,
+                    } => {
                         let a: Vec<String> = args.iter().map(op).collect();
                         match dst {
                             Some(d) => {
@@ -49,6 +58,12 @@ impl fmt::Display for Function {
                     }
                     Inst::TradeoffRef { dst, tradeoff } => {
                         format!("{dst} = tradeoff<{tradeoff}>")
+                    }
+                    Inst::LoadState { dst, state } => {
+                        format!("{dst} = load_state {state}")
+                    }
+                    Inst::StoreState { state, src } => {
+                        format!("store_state {state}, {}", op(src))
                     }
                     Inst::Jmp { target } => format!("jmp bb{}", target.0),
                     Inst::Br {

@@ -23,48 +23,139 @@ use crate::ir::{Function, Inst, Module};
 /// without a module definition).
 pub const INTRINSICS: &[&str] = &["sqrt", "abs", "min", "max", "exp", "ln", "pow", "floor"];
 
-/// A verification failure, with the offending item named.
+/// A precise code location: a function plus a flat instruction index (the
+/// position in [`Function::insts`] iteration order). Shared by verification
+/// errors and the [`crate::analysis`] lint diagnostics so every finding can
+/// point at the offending instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Location {
+    /// The containing function's name.
+    pub function: String,
+    /// Flat instruction index within the function (0-based, in
+    /// [`Function::insts`] order).
+    pub inst: usize,
+}
+
+impl Location {
+    /// Build a location.
+    pub fn new(function: impl Into<String>, inst: usize) -> Self {
+        Location {
+            function: function.into(),
+            inst,
+        }
+    }
+}
+
+impl std::fmt::Display for Location {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.function, self.inst)
+    }
+}
+
+/// A verification failure, with the offending item named and (for
+/// per-instruction failures) located.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VerifyError {
     /// Human-readable description.
     pub message: String,
+    /// The offending instruction, when the failure is inside a function
+    /// body (metadata-table failures carry no location).
+    pub location: Option<Location>,
 }
 
 impl std::fmt::Display for VerifyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "verify: {}", self.message)
+        match &self.location {
+            Some(loc) => write!(f, "verify: {} (at {loc})", self.message),
+            None => write!(f, "verify: {}", self.message),
+        }
     }
 }
 
 impl std::error::Error for VerifyError {}
 
 fn err(message: String) -> VerifyError {
-    VerifyError { message }
+    VerifyError {
+        message,
+        location: None,
+    }
 }
 
-fn check_calls(module: &Module, f: &Function) -> Result<(), VerifyError> {
-    for inst in f.insts() {
-        if let Inst::Call { callee, args, .. } = inst {
-            if INTRINSICS.contains(&callee.as_str()) {
-                continue;
+fn err_at(message: String, location: Location) -> VerifyError {
+    VerifyError {
+        message,
+        location: Some(location),
+    }
+}
+
+/// Per-instruction checks: calls resolve with matching arity, tradeoff
+/// references have metadata rows, state accesses name declared variables.
+fn check_insts(
+    module: &Module,
+    f: &Function,
+    tradeoff_names: &HashSet<&str>,
+    state_names: &HashSet<&str>,
+) -> Result<(), VerifyError> {
+    for (i, inst) in f.insts().enumerate() {
+        let at = || Location::new(&f.name, i);
+        match inst {
+            Inst::Call { callee, args, .. } => {
+                if INTRINSICS.contains(&callee.as_str()) {
+                    continue;
+                }
+                match module.function(callee) {
+                    None => {
+                        return Err(err_at(
+                            format!("`{}` calls undefined function `{callee}`", f.name),
+                            at(),
+                        ))
+                    }
+                    Some(target) if target.params.len() != args.len() => {
+                        return Err(err_at(
+                            format!(
+                                "`{}` calls `{callee}` with {} arguments; it takes {}",
+                                f.name,
+                                args.len(),
+                                target.params.len()
+                            ),
+                            at(),
+                        ))
+                    }
+                    Some(_) => {}
+                }
             }
-            match module.function(callee) {
-                None => {
-                    return Err(err(format!(
-                        "`{}` calls undefined function `{callee}`",
+            Inst::TradeoffRef { tradeoff, .. } | Inst::CallTradeoff { tradeoff, .. }
+                if !tradeoff_names.contains(tradeoff.as_str()) =>
+            {
+                return Err(err_at(
+                    format!(
+                        "`{}` references tradeoff `{tradeoff}` with no metadata row",
                         f.name
-                    )))
-                }
-                Some(target) if target.params.len() != args.len() => {
-                    return Err(err(format!(
-                        "`{}` calls `{callee}` with {} arguments; it takes {}",
-                        f.name,
-                        args.len(),
-                        target.params.len()
-                    )))
-                }
-                Some(_) => {}
+                    ),
+                    at(),
+                ));
             }
+            Inst::Cast {
+                to: crate::ir::TyRef::Tradeoff(t),
+                ..
+            } if !tradeoff_names.contains(t.as_str()) => {
+                return Err(err_at(
+                    format!(
+                        "`{}` references tradeoff `{t}` with no metadata row",
+                        f.name
+                    ),
+                    at(),
+                ));
+            }
+            Inst::LoadState { state, .. } | Inst::StoreState { state, .. }
+                if !state_names.contains(state.as_str()) =>
+            {
+                return Err(err_at(
+                    format!("`{}` accesses undeclared state variable `{state}`", f.name),
+                    at(),
+                ));
+            }
+            _ => {}
         }
     }
     Ok(())
@@ -79,19 +170,16 @@ pub fn verify(module: &Module) -> Result<(), VerifyError> {
         .iter()
         .map(|t| t.name.as_str())
         .collect();
+    let state_names: HashSet<&str> = module
+        .metadata
+        .state_vars
+        .iter()
+        .map(|v| v.name.as_str())
+        .collect();
 
     for f in module.functions() {
-        crate::lower::validate(f)
-            .map_err(|e| err(format!("{}: {e}", f.name)))?;
-        check_calls(module, f)?;
-        for t in f.tradeoff_refs() {
-            if !tradeoff_names.contains(t.as_str()) {
-                return Err(err(format!(
-                    "`{}` references tradeoff `{t}` with no metadata row",
-                    f.name
-                )));
-            }
-        }
+        crate::lower::validate(f).map_err(|e| err(format!("{}: {e}", f.name)))?;
+        check_insts(module, f, &tradeoff_names, &state_names)?;
     }
 
     for row in &module.metadata.tradeoffs {
@@ -150,6 +238,14 @@ pub fn verify(module: &Module) -> Result<(), VerifyError> {
             if !tradeoff_names.contains(t.as_str()) {
                 return Err(err(format!(
                     "dependence `{}` lists unknown auxiliary tradeoff `{t}`",
+                    dep.name
+                )));
+            }
+        }
+        for s in &dep.declared_state {
+            if !state_names.contains(s.as_str()) {
+                return Err(err(format!(
+                    "dependence `{}` declares unknown state variable `{s}`",
                     dep.name
                 )));
             }
@@ -264,6 +360,7 @@ mod tests {
             compute_fn: "missing".into(),
             aux_fn: None,
             aux_tradeoffs: vec![],
+            declared_state: vec![],
         });
         let e = verify(&m).unwrap_err();
         assert!(e.message.contains("missing"));
@@ -282,7 +379,12 @@ mod tests {
                 tradeoff: "nowhere".into(),
             },
         );
-        f.push(BlockId(0), Inst::Ret { value: Some(dst.into()) });
+        f.push(
+            BlockId(0),
+            Inst::Ret {
+                value: Some(dst.into()),
+            },
+        );
         m.add_function(f);
         let e = verify(&m).unwrap_err();
         assert!(e.message.contains("nowhere"));

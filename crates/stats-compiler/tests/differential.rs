@@ -15,7 +15,11 @@ use stats_compiler::opt;
 fn eval_expr(e: &Expr, env: &std::collections::HashMap<String, i64>) -> Option<i64> {
     Some(match e {
         Expr::Int(v) => *v,
-        Expr::Float(_) | Expr::TradeoffRef(_) | Expr::Call(..) | Expr::TradeoffCall(..) | Expr::TradeoffCast(..) => return None,
+        Expr::Float(_)
+        | Expr::TradeoffRef(_)
+        | Expr::Call(..)
+        | Expr::TradeoffCall(..)
+        | Expr::TradeoffCast(..) => return None,
         Expr::Var(n) => *env.get(n)?,
         Expr::Neg(x) => 0i64.wrapping_sub(eval_expr(x, env)?),
         Expr::Not(x) => (eval_expr(x, env)? == 0) as i64,
@@ -171,29 +175,21 @@ fn arb_body() -> impl Strategy<Value = Vec<Stmt>> {
                 Expr::Int(n),
                 vec![Stmt::Let(
                     "x".into(),
-                    Expr::Bin(
-                        BinOp::Add,
-                        Box::new(Expr::Var("x".into())),
-                        Box::new(body),
-                    ),
+                    Expr::Bin(BinOp::Add, Box::new(Expr::Var("x".into())), Box::new(body)),
                 )],
             )
         }),
     ];
-    (
-        proptest::collection::vec(stmt, 0..6),
-        arb_expr(3),
-    )
-        .prop_map(|(mut body, ret)| {
-            // Make x/y defined before any use.
-            let mut stmts = vec![
-                Stmt::Let("x".into(), Expr::Int(1)),
-                Stmt::Let("y".into(), Expr::Int(2)),
-            ];
-            stmts.append(&mut body);
-            stmts.push(Stmt::Return(ret_with_xy(ret)));
-            stmts
-        })
+    (proptest::collection::vec(stmt, 0..6), arb_expr(3)).prop_map(|(mut body, ret)| {
+        // Make x/y defined before any use.
+        let mut stmts = vec![
+            Stmt::Let("x".into(), Expr::Int(1)),
+            Stmt::Let("y".into(), Expr::Int(2)),
+        ];
+        stmts.append(&mut body);
+        stmts.push(Stmt::Return(ret_with_xy(ret)));
+        stmts
+    })
 }
 
 fn ret_with_xy(e: Expr) -> Expr {
@@ -209,7 +205,11 @@ fn ret_with_xy(e: Expr) -> Expr {
     )
 }
 
-fn run_ir(module: &Module, a: i64, b: i64) -> Result<Option<Value>, stats_compiler::interp::ExecError> {
+fn run_ir(
+    module: &Module,
+    a: i64,
+    b: i64,
+) -> Result<Option<Value>, stats_compiler::interp::ExecError> {
     Interp::new(module)
         .with_fuel(100_000)
         .call("f", &[Value::Int(a), Value::Int(b)])

@@ -175,9 +175,8 @@ mod tests {
     use std::sync::Arc;
 
     fn ctx() -> InvocationCtx {
-        let opts: Vec<Arc<dyn TradeoffOptions>> = vec![Arc::new(
-            EnumeratedTradeoff::int_range("layers", 1, 10, 5),
-        )];
+        let opts: Vec<Arc<dyn TradeoffOptions>> =
+            vec![Arc::new(EnumeratedTradeoff::int_range("layers", 1, 10, 5))];
         InvocationCtx::new(7, TradeoffBindings::defaults(&opts), false)
     }
 

@@ -75,8 +75,8 @@ mod tradeoff;
 pub use ctx::{InvocationCtx, WorkMeter};
 pub use pool::ThreadPool;
 pub use protocol::{
-    run_protocol, run_protocol_segmented, GroupRecord, GroupResolution, ProtocolResult, SpecConfig, SpecReport,
-    SpecTrace, TraceNode, TraceNodeKind,
+    run_protocol, run_protocol_segmented, GroupRecord, GroupResolution, ProtocolResult, SpecConfig,
+    SpecReport, SpecTrace, TraceNode, TraceNodeKind,
 };
 pub use runtime::{SpecOutcome, StateDependence};
 pub use sdi::{ExactState, SpecState, StateTransition};

@@ -167,10 +167,10 @@ fn worker_loop(idx: usize, local: Worker<Job>, shared: Arc<PoolShared>) {
         if state.shutdown && state.pending == 0 {
             return;
         }
-        if state.pending == 0
-            || (find_nothing_hint(&shared) && !state.shutdown)
-        {
-            shared.wake.wait_for(&mut state, std::time::Duration::from_millis(1));
+        if state.pending == 0 || (find_nothing_hint(&shared) && !state.shutdown) {
+            shared
+                .wake
+                .wait_for(&mut state, std::time::Duration::from_millis(1));
         }
         if state.shutdown && state.pending == 0 {
             return;

@@ -91,9 +91,8 @@ impl SpecConfig {
     pub fn lint(&self) -> Vec<String> {
         let mut warnings = Vec::new();
         if self.speculate && self.group_size <= 1 {
-            warnings.push(
-                "group_size <= 1 disables speculation despite speculate=true".to_string(),
-            );
+            warnings
+                .push("group_size <= 1 disables speculation despite speculate=true".to_string());
         }
         if self.speculate && self.window == 0 {
             warnings.push(
@@ -331,7 +330,12 @@ pub(crate) fn execute_group<T: StateTransition>(
     run_seed: u64,
     spec: GroupSpec,
 ) -> GroupData<T> {
-    let GroupSpec { k, start, end, speculative } = spec;
+    let GroupSpec {
+        k,
+        start,
+        end,
+        speculative,
+    } = spec;
     let len = end - start;
     let rollback = config.rollback.clamp(1, len);
 
@@ -489,7 +493,12 @@ where
 
     let mut runs: Vec<GroupRun<T>> = Vec::with_capacity(specs.len());
     for d in data {
-        let GroupSpec { k, start, end, speculative } = d.spec;
+        let GroupSpec {
+            k,
+            start,
+            end,
+            speculative,
+        } = d.spec;
         let mut deps: Vec<usize> = Vec::new();
         let mut chain_nodes: Vec<usize> = Vec::new();
         if let Some(aux_work) = d.aux_work {
@@ -548,7 +557,9 @@ where
             .clone()
             .expect("speculative group has a start state");
         let aux_node = runs[k].chain_nodes[0];
-        let rollback = config.rollback.clamp(1, runs[k - 1].end - runs[k - 1].start);
+        let rollback = config
+            .rollback
+            .clamp(1, runs[k - 1].end - runs[k - 1].start);
 
         let mut originals = vec![runs[k - 1].final_state.clone()];
         let mut val_deps = vec![runs[k - 1].last_node, aux_node];
@@ -556,7 +567,10 @@ where
             val_deps.push(gate);
         }
         let mut val_node = trace.push(
-            TraceNodeKind::Validation { group: k, attempt: 0 },
+            TraceNodeKind::Validation {
+                group: k,
+                attempt: 0,
+            },
             WorkMeter {
                 total: config.validation_cost,
                 memory: 0.0,
@@ -711,11 +725,7 @@ where
         }
     }
 
-    let final_state = runs
-        .last()
-        .expect("at least one group")
-        .final_state
-        .clone();
+    let final_state = runs.last().expect("at least one group").final_state.clone();
     let outputs: Vec<T::Output> = outputs
         .into_iter()
         .map(|o| o.expect("every input has a committed output"))
@@ -724,6 +734,91 @@ where
     ProtocolResult {
         outputs,
         final_state,
+        report,
+        trace,
+    }
+}
+
+impl fmt::Display for SpecReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let spec_groups = self.groups.len().saturating_sub(1);
+        write!(
+            f,
+            "{} groups ({} speculative, {} committed), {} re-executions, \
+             {} validations, aborted: {}, work: {:.0} original + {:.0} auxiliary \
+             committed, {:.0} squashed",
+            self.groups.len(),
+            spec_groups,
+            self.committed_speculative_groups(),
+            self.reexecutions,
+            self.validations,
+            self.aborted,
+            self.committed_original_work,
+            self.committed_aux_work,
+            self.squashed_work,
+        )
+    }
+}
+
+/// Run the execution model over `inputs` in consecutive segments of
+/// `segment` inputs each, carrying the committed final state across
+/// segments.
+///
+/// §3.1's abort rule says "no other speculation is performed until all the
+/// *current* inputs are processed": in a long-running program the state
+/// dependence is re-entered per batch (a video chunk, a stream window), so
+/// an abort disables speculation only for the rest of its own segment —
+/// the next segment speculates afresh. This helper models that usage;
+/// reports are merged (group indices keep segment-local numbering).
+pub fn run_protocol_segmented<T: StateTransition>(
+    transition: &T,
+    inputs: &[T::Input],
+    initial: &T::State,
+    config: &SpecConfig,
+    run_seed: u64,
+    segment: usize,
+) -> ProtocolResult<T> {
+    let segment = segment.max(1);
+    let mut state = initial.clone();
+    let mut outputs = Vec::with_capacity(inputs.len());
+    let mut report = SpecReport::default();
+    let mut trace = SpecTrace::default();
+    for (seg_idx, chunk) in inputs.chunks(segment).enumerate() {
+        let r = run_protocol(
+            transition,
+            chunk,
+            &state,
+            config,
+            run_seed ^ (seg_idx as u64) << 32,
+        );
+        state = r.final_state;
+        let offset = outputs.len();
+        outputs.extend(r.outputs);
+        // Merge the report, shifting group input ranges by the offset.
+        for mut g in r.report.groups {
+            g.start += offset;
+            g.end += offset;
+            report.groups.push(g);
+        }
+        report.reexecutions += r.report.reexecutions;
+        report.validations += r.report.validations;
+        report.aborted |= r.report.aborted;
+        report.committed_original_work += r.report.committed_original_work;
+        report.committed_aux_work += r.report.committed_aux_work;
+        report.squashed_work += r.report.squashed_work;
+        // Chain the trace: the next segment's nodes depend on nothing from
+        // the previous (inputs are available), but the state chain runs
+        // through the previous segment's committed final node; encode by
+        // shifting dependence indices.
+        let base = trace.nodes.len();
+        for mut node in r.trace.nodes {
+            node.deps.iter_mut().for_each(|d| *d += base);
+            trace.nodes.push(node);
+        }
+    }
+    ProtocolResult {
+        outputs,
+        final_state: state,
         report,
         trace,
     }
@@ -1033,9 +1128,16 @@ mod tests {
             .trace
             .nodes
             .iter()
-            .position(
-                |n| matches!(n.kind, TraceNodeKind::Invocation { group: 1, index: 4, .. }),
-            )
+            .position(|n| {
+                matches!(
+                    n.kind,
+                    TraceNodeKind::Invocation {
+                        group: 1,
+                        index: 4,
+                        ..
+                    }
+                )
+            })
             .expect("first invocation of group 1");
         assert_eq!(r.trace.nodes[first_g1].deps, vec![aux_idx]);
     }
@@ -1144,9 +1246,7 @@ mod tests {
     }
 
     fn assert_work_partitions(total: f64, report: &SpecReport) {
-        let sum = report.committed_original_work
-            + report.committed_aux_work
-            + report.squashed_work;
+        let sum = report.committed_original_work + report.committed_aux_work + report.squashed_work;
         assert!((total - sum).abs() < 1e-9, "total {total} != parts {sum}");
     }
 
@@ -1174,84 +1274,5 @@ mod tests {
         };
         let r = run_protocol(&SumNever, &ins, &NeverMatch(0), &cfg, 5);
         assert_work_partitions(r.trace.total_work(), &r.report);
-    }
-}
-
-impl fmt::Display for SpecReport {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let spec_groups = self.groups.len().saturating_sub(1);
-        write!(
-            f,
-            "{} groups ({} speculative, {} committed), {} re-executions, \
-             {} validations, aborted: {}, work: {:.0} original + {:.0} auxiliary \
-             committed, {:.0} squashed",
-            self.groups.len(),
-            spec_groups,
-            self.committed_speculative_groups(),
-            self.reexecutions,
-            self.validations,
-            self.aborted,
-            self.committed_original_work,
-            self.committed_aux_work,
-            self.squashed_work,
-        )
-    }
-}
-
-/// Run the execution model over `inputs` in consecutive segments of
-/// `segment` inputs each, carrying the committed final state across
-/// segments.
-///
-/// §3.1's abort rule says "no other speculation is performed until all the
-/// *current* inputs are processed": in a long-running program the state
-/// dependence is re-entered per batch (a video chunk, a stream window), so
-/// an abort disables speculation only for the rest of its own segment —
-/// the next segment speculates afresh. This helper models that usage;
-/// reports are merged (group indices keep segment-local numbering).
-pub fn run_protocol_segmented<T: StateTransition>(
-    transition: &T,
-    inputs: &[T::Input],
-    initial: &T::State,
-    config: &SpecConfig,
-    run_seed: u64,
-    segment: usize,
-) -> ProtocolResult<T> {
-    let segment = segment.max(1);
-    let mut state = initial.clone();
-    let mut outputs = Vec::with_capacity(inputs.len());
-    let mut report = SpecReport::default();
-    let mut trace = SpecTrace::default();
-    for (seg_idx, chunk) in inputs.chunks(segment).enumerate() {
-        let r = run_protocol(transition, chunk, &state, config, run_seed ^ (seg_idx as u64) << 32);
-        state = r.final_state;
-        let offset = outputs.len();
-        outputs.extend(r.outputs);
-        // Merge the report, shifting group input ranges by the offset.
-        for mut g in r.report.groups {
-            g.start += offset;
-            g.end += offset;
-            report.groups.push(g);
-        }
-        report.reexecutions += r.report.reexecutions;
-        report.validations += r.report.validations;
-        report.aborted |= r.report.aborted;
-        report.committed_original_work += r.report.committed_original_work;
-        report.committed_aux_work += r.report.committed_aux_work;
-        report.squashed_work += r.report.squashed_work;
-        // Chain the trace: the next segment's nodes depend on nothing from
-        // the previous (inputs are available), but the state chain runs
-        // through the previous segment's committed final node; encode by
-        // shifting dependence indices.
-        let base = trace.nodes.len();
-        for mut node in r.trace.nodes {
-            node.deps.iter_mut().for_each(|d| *d += base);
-            trace.nodes.push(node);
-        }
-    }
-    ProtocolResult {
-        outputs,
-        final_state: state,
-        report,
-        trace,
     }
 }

@@ -84,7 +84,12 @@ impl<T: StateTransition> StateDependence<T> {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        Self::with_pool(inputs, initial, transition, Arc::new(ThreadPool::new(threads)))
+        Self::with_pool(
+            inputs,
+            initial,
+            transition,
+            Arc::new(ThreadPool::new(threads)),
+        )
     }
 
     /// Like [`StateDependence::new`], but sharing an existing thread pool —
@@ -226,12 +231,7 @@ mod tests {
         type Input = f64;
         type State = Noisy;
         type Output = f64;
-        fn compute_output(
-            &self,
-            input: &f64,
-            state: &mut Noisy,
-            ctx: &mut InvocationCtx,
-        ) -> f64 {
+        fn compute_output(&self, input: &f64, state: &mut Noisy, ctx: &mut InvocationCtx) -> f64 {
             ctx.charge(5.0);
             state.0 = *input + ctx.uniform(-0.1, 0.1);
             state.0

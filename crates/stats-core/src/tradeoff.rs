@@ -126,11 +126,7 @@ impl EnumeratedTradeoff {
     /// # Panics
     ///
     /// Panics if `values` is empty or `default_index` is out of range.
-    pub fn new(
-        name: impl Into<String>,
-        values: Vec<TradeoffValue>,
-        default_index: i64,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, values: Vec<TradeoffValue>, default_index: i64) -> Self {
         assert!(!values.is_empty(), "a tradeoff needs at least one value");
         assert!(
             (0..values.len() as i64).contains(&default_index),
@@ -306,10 +302,7 @@ mod tests {
         ];
         let b = TradeoffBindings::from_indices(&opts, &[0]);
         assert_eq!(b.get("numAnnealingLayers").unwrap().as_int(), Some(1));
-        assert_eq!(
-            b.get("precision").unwrap().as_type(),
-            Some(ScalarType::F64)
-        );
+        assert_eq!(b.get("precision").unwrap().as_type(), Some(ScalarType::F64));
     }
 
     #[test]

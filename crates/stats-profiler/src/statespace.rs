@@ -8,8 +8,8 @@
 //! available in the original program."
 
 use stats_autotune::{
-    Configuration, IntegerParameter, Measurement, Objective, ResultsDatabase, SearchSpace,
-    Tuner, TuningOutcome,
+    Configuration, IntegerParameter, Measurement, Objective, ResultsDatabase, SearchSpace, Tuner,
+    TuningOutcome,
 };
 use stats_core::{SpecConfig, TradeoffBindings};
 use stats_workloads::{Workload, WorkloadSpec};
@@ -32,7 +32,11 @@ pub fn search_space<W: Workload>(
 ) -> SearchSpace {
     let mut space = SearchSpace::new()
         .with(IntegerParameter::new("speculate", 0, 1))
-        .with(IntegerParameter::new("group", 0, GROUP_SIZES.len() as i64 - 1))
+        .with(IntegerParameter::new(
+            "group",
+            0,
+            GROUP_SIZES.len() as i64 - 1,
+        ))
         .with(IntegerParameter::new("window", 1, 6))
         .with(IntegerParameter::new("reexec", 0, 3))
         .with(IntegerParameter::new("rollback", 1, 4))
@@ -208,8 +212,12 @@ pub fn tune_with_prefix<W: Workload>(
     let mut original_half = vec![0, 2, 2, 2, 2, (t / 2).max(1), (t / 2).max(1)];
     original_half.extend(defaults);
     debug_assert_eq!(original_seed.len(), 7 + n_tradeoffs);
-    let tuner = Tuner::new(space, objective, search_seed)
-        .with_seed_configs(vec![original_seed, par_seed, spec_seed, original_half]);
+    let tuner = Tuner::new(space, objective, search_seed).with_seed_configs(vec![
+        original_seed,
+        par_seed,
+        spec_seed,
+        original_half,
+    ]);
     let base_settings = RunSettings::for_mode(workload, crate::Mode::ParStats, threads);
     let (outcome, database) = tuner.run(budget, |cfg| {
         let decoded = decode(workload, cfg);
@@ -339,9 +347,6 @@ mod tests {
         // The re-targeted search started from everything already explored.
         assert!(second.database.len() >= explored);
         // And cannot be worse on energy than the time-mode winner.
-        assert!(
-            second.best_measurement.energy_j
-                <= first.best_measurement.energy_j * 1.0001
-        );
+        assert!(second.best_measurement.energy_j <= first.best_measurement.energy_j * 1.0001);
     }
 }

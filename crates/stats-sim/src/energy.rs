@@ -153,9 +153,7 @@ mod tests {
         let m = EnergyModel::haswell_r730();
         let g = chain(3, 5.0e5);
         let e = m.energy(&simulate(&g, &p, 28), &p);
-        let max_power = m.baseline_w
-            + 2.0 * m.socket_w
-            + 28.0 * m.core_active_w.max(m.core_idle_w);
+        let max_power = m.baseline_w + 2.0 * m.socket_w + 28.0 * m.core_active_w.max(m.core_idle_w);
         assert!(e.avg_power_w <= max_power);
         assert!(e.avg_power_w >= m.baseline_w);
     }

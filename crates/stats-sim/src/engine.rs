@@ -232,6 +232,36 @@ pub fn simulate_with_policy(
     }
 }
 
+impl Schedule {
+    /// A textual Gantt chart of the schedule: one row per software thread,
+    /// `width` columns of time buckets, `#` where the thread is busy.
+    /// Intended for debugging and examples, not parsing.
+    pub fn gantt(&self, width: usize) -> String {
+        let width = width.max(1);
+        let mut rows = vec![vec![b' '; width]; self.busy.len()];
+        if self.makespan > 0.0 {
+            for p in &self.placements {
+                if p.finish <= p.start {
+                    continue;
+                }
+                let a = ((p.start / self.makespan) * width as f64) as usize;
+                let b = (((p.finish / self.makespan) * width as f64).ceil() as usize)
+                    .clamp(a + 1, width);
+                for c in rows[p.thread][a..b].iter_mut() {
+                    *c = b'#';
+                }
+            }
+        }
+        let mut out = String::new();
+        for (t, row) in rows.iter().enumerate() {
+            out.push_str(&format!("t{t:<3}|"));
+            out.push_str(std::str::from_utf8(row).expect("ascii"));
+            out.push_str("|\n");
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,36 +421,5 @@ mod tests {
         let s = simulate(&g, &Platform::haswell_single_socket(), 3);
         let busy: f64 = s.thread_busy().iter().sum();
         assert!((busy - g.total_work()).abs() < 1e-9);
-    }
-}
-
-impl Schedule {
-    /// A textual Gantt chart of the schedule: one row per software thread,
-    /// `width` columns of time buckets, `#` where the thread is busy.
-    /// Intended for debugging and examples, not parsing.
-    pub fn gantt(&self, width: usize) -> String {
-        let width = width.max(1);
-        let mut rows =
-            vec![vec![b' '; width]; self.busy.len()];
-        if self.makespan > 0.0 {
-            for p in &self.placements {
-                if p.finish <= p.start {
-                    continue;
-                }
-                let a = ((p.start / self.makespan) * width as f64) as usize;
-                let b = (((p.finish / self.makespan) * width as f64).ceil() as usize)
-                    .clamp(a + 1, width);
-                for c in rows[p.thread][a..b].iter_mut() {
-                    *c = b'#';
-                }
-            }
-        }
-        let mut out = String::new();
-        for (t, row) in rows.iter().enumerate() {
-            out.push_str(&format!("t{t:<3}|"));
-            out.push_str(std::str::from_utf8(row).expect("ascii"));
-            out.push_str("|\n");
-        }
-        out
     }
 }

@@ -26,8 +26,7 @@ fn escape(s: &str) -> String {
 /// Render `schedule` (of `graph`) as a Chrome trace-event JSON document.
 /// Timestamps are microseconds of simulated time.
 pub fn chrome_trace(graph: &TaskGraph, schedule: &Schedule) -> String {
-    let scale = 1.0e6 / schedule.makespan_work().max(1e-12)
-        * schedule.makespan_seconds().max(0.0);
+    let scale = 1.0e6 / schedule.makespan_work().max(1e-12) * schedule.makespan_seconds().max(0.0);
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
     for (id, task) in graph.iter() {
@@ -93,12 +92,7 @@ mod tests {
         let json = chrome_trace(&g, &s);
         // crude structural check: every dur field parses and is >= 0
         for part in json.split("\"dur\":").skip(1) {
-            let num: f64 = part
-                .split(',')
-                .next()
-                .unwrap()
-                .parse()
-                .expect("dur parses");
+            let num: f64 = part.split(',').next().unwrap().parse().expect("dur parses");
             assert!(num >= 0.0);
         }
     }

@@ -81,7 +81,11 @@ impl Platform {
             let speed = if occupants > 1 { self.smt_factor } else { 1.0 };
             speeds.push(speed);
         }
-        let numa_multiplier = if sockets_used > 1 { self.numa_penalty } else { 1.0 };
+        let numa_multiplier = if sockets_used > 1 {
+            self.numa_penalty
+        } else {
+            1.0
+        };
         Placement {
             thread_speeds: speeds,
             sockets_used,

@@ -50,10 +50,17 @@ impl TaskGraph {
         deps: &[TaskId],
         label: String,
     ) -> TaskId {
-        assert!(cost.is_finite() && cost >= 0.0, "task cost must be finite and >= 0");
+        assert!(
+            cost.is_finite() && cost >= 0.0,
+            "task cost must be finite and >= 0"
+        );
         let id = TaskId(self.tasks.len());
         for d in deps {
-            assert!(d.0 < id.0, "dependence {:?} refers to a task not yet added", d);
+            assert!(
+                d.0 < id.0,
+                "dependence {:?} refers to a task not yet added",
+                d
+            );
         }
         self.tasks.push(Task {
             cost,
@@ -94,11 +101,7 @@ impl TaskGraph {
     pub fn critical_path(&self) -> f64 {
         let mut finish = vec![0.0_f64; self.tasks.len()];
         for (i, t) in self.tasks.iter().enumerate() {
-            let ready = t
-                .deps
-                .iter()
-                .map(|d| finish[d.0])
-                .fold(0.0_f64, f64::max);
+            let ready = t.deps.iter().map(|d| finish[d.0]).fold(0.0_f64, f64::max);
             finish[i] = ready + t.cost;
         }
         finish.iter().copied().fold(0.0, f64::max)

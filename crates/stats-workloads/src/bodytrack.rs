@@ -26,9 +26,7 @@ use stats_core::{
 
 use crate::match_rule::between_originals;
 use crate::metrics::{avg_point_distance, relative_mse};
-use crate::spec::{
-    BenchmarkId, DependenceShape, Instance, OriginalTlp, Workload, WorkloadSpec,
-};
+use crate::spec::{BenchmarkId, DependenceShape, Instance, OriginalTlp, Workload, WorkloadSpec};
 
 /// Number of tracked body parts.
 pub const BODY_PARTS: usize = 5;
@@ -269,7 +267,10 @@ pub fn ground_truth(frame: usize, representative: bool) -> Vec<f64> {
 fn observations(spec: &WorkloadSpec) -> Vec<Vec<f64>> {
     // Observation noise from a generator-owned stream (distinct from the
     // invocation PRVGs, which belong to the algorithm).
-    let mut z = spec.seed.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(1);
+    let mut z = spec
+        .seed
+        .wrapping_mul(0x2545_F491_4F6C_DD1D)
+        .wrapping_add(1);
     let mut next = move || {
         z ^= z << 13;
         z ^= z >> 7;
@@ -296,7 +297,12 @@ impl Workload for BodyTrack {
     fn tradeoffs(&self) -> Vec<Arc<dyn TradeoffOptions>> {
         vec![
             // Figure 10's tradeoff: annealing layers 1..=10, default 5.
-            Arc::new(EnumeratedTradeoff::int_range("numAnnealingLayers", 1, 10, 5)),
+            Arc::new(EnumeratedTradeoff::int_range(
+                "numAnnealingLayers",
+                1,
+                10,
+                5,
+            )),
             Arc::new(EnumeratedTradeoff::new(
                 "annealingPrecision",
                 vec![

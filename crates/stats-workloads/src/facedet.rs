@@ -15,15 +15,12 @@
 use std::sync::Arc;
 
 use stats_core::{
-    EnumeratedTradeoff, InvocationCtx, SpecState, StateTransition, TradeoffOptions,
-    TradeoffValue,
+    EnumeratedTradeoff, InvocationCtx, SpecState, StateTransition, TradeoffOptions, TradeoffValue,
 };
 
 use crate::match_rule::between_originals;
 use crate::metrics::avg_point_distance;
-use crate::spec::{
-    BenchmarkId, DependenceShape, Instance, OriginalTlp, Workload, WorkloadSpec,
-};
+use crate::spec::{BenchmarkId, DependenceShape, Instance, OriginalTlp, Workload, WorkloadSpec};
 
 /// A face hypothesis: center and scale.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -229,7 +226,10 @@ pub fn ground_truth(frame: usize, representative: bool) -> FaceBox {
 }
 
 fn detections(spec: &WorkloadSpec) -> Vec<FaceBox> {
-    let mut z = spec.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(7);
+    let mut z = spec
+        .seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(7);
     let mut next = move || {
         z ^= z << 13;
         z ^= z >> 7;

@@ -188,11 +188,7 @@ impl StateTransition for FluidTransition {
             for dx in -1i64..=1 {
                 for dy in -1i64..=1 {
                     for dz in -1i64..=1 {
-                        let cc = [
-                            c[0] as i64 + dx,
-                            c[1] as i64 + dy,
-                            c[2] as i64 + dz,
-                        ];
+                        let cc = [c[0] as i64 + dx, c[1] as i64 + dy, c[2] as i64 + dz];
                         if cc.iter().any(|&v| v < 0)
                             || cc[0] >= dims[0] as i64
                             || cc[1] >= dims[1] as i64
@@ -205,11 +201,7 @@ impl StateTransition for FluidTransition {
                                 continue;
                             }
                             let pj = &pos[3 * j..3 * j + 3];
-                            let d2: f64 = pi
-                                .iter()
-                                .zip(pj)
-                                .map(|(a, b)| (a - b) * (a - b))
-                                .sum();
+                            let d2: f64 = pi.iter().zip(pj).map(|(a, b)| (a - b) * (a - b)).sum();
                             *work += 1.0;
                             if d2 < H * H {
                                 out.push((j, d2));

@@ -46,8 +46,7 @@ pub fn relative_mse(estimate: &[f64], reference: &[f64]) -> f64 {
         .map(|(e, r)| (e - r) * (e - r))
         .sum::<f64>()
         / estimate.len() as f64;
-    let ref_power: f64 =
-        reference.iter().map(|r| r * r).sum::<f64>() / reference.len() as f64;
+    let ref_power: f64 = reference.iter().map(|r| r * r).sum::<f64>() / reference.len() as f64;
     if ref_power > 0.0 {
         mse / ref_power
     } else {
@@ -75,12 +74,7 @@ pub fn avg_relative_diff(a: &[f64], b: &[f64]) -> f64 {
 /// ratio `(s_i + s_j) / d(c_i, c_j)`; lower is better. `points` are
 /// flattened `dim`-dimensional coordinates, `assignment[i]` is point `i`'s
 /// cluster, `centers` are flattened cluster centers.
-pub fn davies_bouldin(
-    points: &[f64],
-    assignment: &[usize],
-    centers: &[f64],
-    dim: usize,
-) -> f64 {
+pub fn davies_bouldin(points: &[f64], assignment: &[usize], centers: &[f64], dim: usize) -> f64 {
     let k = centers.len() / dim;
     if k < 2 {
         return 0.0;
@@ -115,7 +109,10 @@ pub fn davies_bouldin(
             if i == j || count[j] == 0 {
                 continue;
             }
-            let d = euclidean(&centers[i * dim..(i + 1) * dim], &centers[j * dim..(j + 1) * dim]);
+            let d = euclidean(
+                &centers[i * dim..(i + 1) * dim],
+                &centers[j * dim..(j + 1) * dim],
+            );
             if d > 0.0 {
                 worst = worst.max((scatter[i] + scatter[j]) / d);
             }

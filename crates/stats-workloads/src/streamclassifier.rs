@@ -23,9 +23,7 @@ use stats_core::{
 };
 
 use crate::metrics::b_cubed;
-use crate::spec::{
-    BenchmarkId, DependenceShape, Instance, OriginalTlp, Workload, WorkloadSpec,
-};
+use crate::spec::{BenchmarkId, DependenceShape, Instance, OriginalTlp, Workload, WorkloadSpec};
 use crate::streamcluster::{dataset_with_spread, true_centers, DIM, TRUE_CLUSTERS};
 
 /// The classifier model — the dependence's state.
@@ -106,8 +104,7 @@ impl StateTransition for StreamClassifierTransition {
                     d = dist_ty.quantize(d + (x - y) * (x - y));
                 }
                 let score = score_ty.quantize(d);
-                let wins = score < best.1
-                    || (score < best.1 * 1.05 && ctx.uniform(0.0, 1.0) < 0.5);
+                let wins = score < best.1 || (score < best.1 * 1.05 && ctx.uniform(0.0, 1.0) < 0.5);
                 if wins {
                     best = (i, score);
                 }
@@ -125,9 +122,7 @@ impl StateTransition for StreamClassifierTransition {
 
             // Online update with a stochastic learning rate.
             state.counts[class] += 1.0;
-            let lr = rate_ty.quantize(
-                (1.0 / state.counts[class]) * ctx.uniform(0.7, 1.3),
-            );
+            let lr = rate_ty.quantize((1.0 / state.counts[class]) * ctx.uniform(0.7, 1.3));
             for (cc, &px) in state.centroids[class].iter_mut().zip(p) {
                 *cc += lr * (px - *cc);
             }
@@ -200,7 +195,11 @@ impl Workload for StreamClassifier {
             )),
             Arc::new(EnumeratedTradeoff::new(
                 "minClasses",
-                vec![TradeoffValue::Int(2), TradeoffValue::Int(4), TradeoffValue::Int(6)],
+                vec![
+                    TradeoffValue::Int(2),
+                    TradeoffValue::Int(4),
+                    TradeoffValue::Int(6),
+                ],
                 2,
             )),
         ]
@@ -281,7 +280,11 @@ mod tests {
         }
     }
 
-    fn run(n: usize, seed: u64, cfg: SpecConfig) -> stats_core::ProtocolResult<StreamClassifierTransition> {
+    fn run(
+        n: usize,
+        seed: u64,
+        cfg: SpecConfig,
+    ) -> stats_core::ProtocolResult<StreamClassifierTransition> {
         let w = StreamClassifier;
         let inst = w.instance(&spec(n));
         run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, seed)

@@ -25,9 +25,7 @@ use stats_core::{
 };
 
 use crate::metrics::davies_bouldin;
-use crate::spec::{
-    BenchmarkId, DependenceShape, Instance, OriginalTlp, Workload, WorkloadSpec,
-};
+use crate::spec::{BenchmarkId, DependenceShape, Instance, OriginalTlp, Workload, WorkloadSpec};
 
 /// Point dimensionality.
 pub const DIM: usize = 4;
@@ -250,7 +248,11 @@ impl StreamCluster {
             )),
             Arc::new(EnumeratedTradeoff::new(
                 "minClusters",
-                vec![TradeoffValue::Int(2), TradeoffValue::Int(4), TradeoffValue::Int(6)],
+                vec![
+                    TradeoffValue::Int(2),
+                    TradeoffValue::Int(4),
+                    TradeoffValue::Int(6),
+                ],
                 1,
             )),
         ]
@@ -374,7 +376,11 @@ mod tests {
         }
     }
 
-    fn run(n: usize, seed: u64, cfg: SpecConfig) -> stats_core::ProtocolResult<StreamClusterTransition> {
+    fn run(
+        n: usize,
+        seed: u64,
+        cfg: SpecConfig,
+    ) -> stats_core::ProtocolResult<StreamClusterTransition> {
         let w = StreamCluster;
         let inst = w.instance(&spec(n));
         run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, seed)
@@ -501,11 +507,7 @@ impl RefineTransition {
         for p in self.dataset.iter() {
             let mut best = f64::INFINITY;
             for c in centers {
-                let d: f64 = p
-                    .iter()
-                    .zip(&c.coord)
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
+                let d: f64 = p.iter().zip(&c.coord).map(|(a, b)| (a - b) * (a - b)).sum();
                 best = best.min(d);
             }
             total += best.sqrt();
@@ -529,7 +531,10 @@ impl StateTransition for RefineTransition {
         if state.centers.is_empty() {
             // Bootstrap from a random point so refinement is total.
             let p = self.dataset[ctx.index(n)].clone();
-            state.centers.push(Center { coord: p, weight: 1.0 });
+            state.centers.push(Center {
+                coord: p,
+                weight: 1.0,
+            });
         }
         let mut cost = self.assignment_cost(&state.centers);
         for _ in 0..self.proposals {

@@ -40,7 +40,10 @@ fn update_model(frame) {
 fn main() {
     // Front-end: extended source -> AST + descriptor tables (Figure 11).
     let compiled = frontend::compile(SOURCE).expect("front-end");
-    println!("front-end generated {} descriptor lines:", compiled.generated_loc());
+    println!(
+        "front-end generated {} descriptor lines:",
+        compiled.generated_loc()
+    );
     for line in compiled.lowered_source.lines().take(6) {
         println!("  | {line}");
     }

@@ -17,13 +17,11 @@ use std::sync::Arc;
 
 use stats::autotune::Objective;
 use stats::core::{
-    EnumeratedTradeoff, InvocationCtx, SpecState, StateTransition, TradeoffOptions,
-    TradeoffValue,
+    EnumeratedTradeoff, InvocationCtx, SpecState, StateTransition, TradeoffOptions, TradeoffValue,
 };
 use stats::profiler::{measure, tune, Mode, RunSettings};
 use stats::workloads::{
-    between_originals, BenchmarkId, DependenceShape, Instance, OriginalTlp, Workload,
-    WorkloadSpec,
+    between_originals, BenchmarkId, DependenceShape, Instance, OriginalTlp, Workload, WorkloadSpec,
 };
 
 /// The channel estimate (the dependence's state).
@@ -53,12 +51,7 @@ impl StateTransition for Estimator {
     type State = Channel;
     type Output = f64;
 
-    fn compute_output(
-        &self,
-        frame: &usize,
-        state: &mut Channel,
-        ctx: &mut InvocationCtx,
-    ) -> f64 {
+    fn compute_output(&self, frame: &usize, state: &mut Channel, ctx: &mut InvocationCtx) -> f64 {
         let probes = ctx.tradeoff_int("numProbes").max(1) as usize;
         let truth = self.true_gains[*frame];
         let mut measured = 0.0;
@@ -119,11 +112,7 @@ impl Workload for ChannelEstimation {
     }
 
     fn output_distance(&self, a: &[f64], b: &[f64]) -> f64 {
-        a.iter()
-            .zip(b)
-            .map(|(x, y)| (x - y).abs())
-            .sum::<f64>()
-            / a.len().max(1) as f64
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len().max(1) as f64
     }
 
     fn output_error(&self, spec: &WorkloadSpec, outputs: &[f64]) -> f64 {

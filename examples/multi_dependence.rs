@@ -20,7 +20,9 @@ use stats::workloads::{Workload, WorkloadSpec};
 
 fn main() {
     let pool = Arc::new(ThreadPool::new(
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
     ));
     let spec = WorkloadSpec {
         inputs: 48,

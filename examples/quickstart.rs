@@ -13,9 +13,7 @@
 //! that replays only the last few readings reproduces the state: STATS can
 //! overlap blocks of the stream.
 
-use stats::core::{
-    InvocationCtx, SpecConfig, SpecState, StateDependence, StateTransition,
-};
+use stats::core::{InvocationCtx, SpecConfig, SpecState, StateDependence, StateTransition};
 
 /// Running estimate of the sensor value.
 #[derive(Clone, Debug)]
@@ -36,12 +34,7 @@ impl StateTransition for Smooth {
     type State = Estimate;
     type Output = f64;
 
-    fn compute_output(
-        &self,
-        reading: &f64,
-        state: &mut Estimate,
-        ctx: &mut InvocationCtx,
-    ) -> f64 {
+    fn compute_output(&self, reading: &f64, state: &mut Estimate, ctx: &mut InvocationCtx) -> f64 {
         let noise = ctx.normal(0.0, 0.02);
         state.0 = 0.7 * reading + 0.3 * state.0 + noise;
         ctx.charge(50.0); // abstract work units (used by the platform model)
@@ -51,9 +44,7 @@ impl StateTransition for Smooth {
 
 fn main() {
     // A noisy sensor trace.
-    let readings: Vec<f64> = (0..256)
-        .map(|i| (i as f64 * 0.05).sin() * 10.0)
-        .collect();
+    let readings: Vec<f64> = (0..256).map(|i| (i as f64 * 0.05).sin() * 10.0).collect();
 
     // Group the stream into blocks of 16; auxiliary code replays the last
     // 4 readings from the initial state to produce each block's speculative

@@ -27,10 +27,14 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("list") => {
             for b in BenchmarkId::all() {
-                let (tradeoffs, shape) = with_workload!(b, |w| {
-                    (w.tradeoffs().len(), w.dependence_shape())
-                });
-                println!("{:<18} {} tradeoffs, state shape: {:?}", b.name(), tradeoffs, shape);
+                let (tradeoffs, shape) =
+                    with_workload!(b, |w| (w.tradeoffs().len(), w.dependence_shape()));
+                println!(
+                    "{:<18} {} tradeoffs, state shape: {:?}",
+                    b.name(),
+                    tradeoffs,
+                    shape
+                );
             }
             ExitCode::SUCCESS
         }
@@ -88,7 +92,10 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         let seq = measure(&w, &spec, &RunSettings::for_mode(&w, Mode::Sequential, 1));
         (m, seq.time_s)
     });
-    println!("benchmark: {}  mode: {mode:?}  threads: {threads}", bench.name());
+    println!(
+        "benchmark: {}  mode: {mode:?}  threads: {threads}",
+        bench.name()
+    );
     println!(
         "time: {:.4}s  ({:.2}x over sequential)  energy: {:.1} J  utilization: {:.0}%",
         m.time_s,
@@ -130,8 +137,13 @@ fn cmd_tune(args: &[String]) -> ExitCode {
     println!(
         "config: speculate={} group={} window={} reexec={} rollback={} \
          t_orig={} alloc={}",
-        c.speculate, c.group_size, c.window, c.max_reexec, c.rollback,
-        result.best.t_orig, result.best.alloc
+        c.speculate,
+        c.group_size,
+        c.window,
+        c.max_reexec,
+        c.rollback,
+        result.best.t_orig,
+        result.best.alloc
     );
     println!("aux bindings: {:?}", c.aux_bindings);
     println!(
@@ -200,8 +212,7 @@ fn cmd_compile(args: &[String]) -> ExitCode {
         if a == "--dep" {
             if let Some(spec) = args.get(i + 1) {
                 if let Some((name, idx)) = spec.split_once('=') {
-                    let indices: Vec<i64> =
-                        idx.split(',').filter_map(|v| v.parse().ok()).collect();
+                    let indices: Vec<i64> = idx.split(',').filter_map(|v| v.parse().ok()).collect();
                     config.insert(name.to_string(), indices);
                 }
             }

@@ -1,0 +1,101 @@
+//! `stats-lint` — speculation-safety checker for `.stats` programs.
+//!
+//! Runs the static analysis of [`stats::compiler::analysis`] over one or
+//! more source files and prints structured, span-carrying diagnostics:
+//!
+//! ```text
+//! examples/dsl/violations/race_undeclared_state.stats:
+//!   error[undeclared-state-race]: dependence `d` reads and writes state
+//!   variable `acc` … (at step@1)
+//! ```
+//!
+//! Each file is analyzed twice: once on the front-end output (races,
+//! dead-code lints) and once on the middle-end output with the analysis
+//! gate disabled (purity of auxiliary clones, interval divergence), so a
+//! program the middle-end would reject still gets a *complete* report.
+//!
+//! Exit status: 0 when no file has error-severity findings (warnings are
+//! allowed unless `--deny-warnings`), 1 otherwise, 2 on usage or I/O
+//! errors.
+
+use std::process::ExitCode;
+
+use stats::compiler::analysis::{self, Diagnostic, Severity};
+use stats::compiler::{frontend, midend};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
+    let quiet = args.iter().any(|a| a == "-q" || a == "--quiet");
+    if let Some(unknown) = args
+        .iter()
+        .find(|a| a.starts_with('-') && !matches!(a.as_str(), "--deny-warnings" | "-q" | "--quiet"))
+    {
+        eprintln!("stats-lint: unknown option `{unknown}`");
+        return ExitCode::from(2);
+    }
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
+    if files.is_empty() {
+        eprintln!(
+            "usage: stats-lint <file.stats>.. [--deny-warnings] [--quiet]\n\
+             \n\
+             Checks speculation safety: undeclared state races, impure\n\
+             auxiliary clones, tradeoff interval divergence, dead tradeoffs\n\
+             and unreachable functions."
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut worst = ExitCode::SUCCESS;
+    for path in files {
+        match lint_file(path) {
+            Ok(diags) => {
+                let errors = diags
+                    .iter()
+                    .filter(|d| d.severity == Severity::Error)
+                    .count();
+                let warnings = diags.len() - errors;
+                if !diags.is_empty() {
+                    println!("{path}:");
+                    for d in &diags {
+                        println!("  {d}");
+                    }
+                } else if !quiet {
+                    println!("{path}: clean");
+                }
+                if !quiet && !diags.is_empty() {
+                    println!("  -> {errors} error(s), {warnings} warning(s)");
+                }
+                if errors > 0 || (deny_warnings && warnings > 0) {
+                    worst = ExitCode::FAILURE;
+                }
+            }
+            Err(msg) => {
+                eprintln!("{path}: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    worst
+}
+
+/// Compile `path` and collect findings from both pipeline stages.
+fn lint_file(path: &str) -> Result<Vec<Diagnostic>, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let compiled = frontend::compile(&source).map_err(|e| format!("{e}"))?;
+
+    let mut diags = analysis::analyze(&compiled.module);
+    // Re-run on the middle-end output (gate off: we *want* the findings,
+    // not a rejection) to also cover auxiliary clones.
+    let options = midend::MidendOptions {
+        enforce_analysis: false,
+        ..midend::MidendOptions::default()
+    };
+    match midend::run_with(compiled, options) {
+        Ok(module) => diags.extend(analysis::analyze(&module)),
+        // A middle-end failure unrelated to analysis (e.g. a getValue
+        // interpretation error) is a hard compile problem.
+        Err(e) => return Err(format!("{e}")),
+    }
+    Ok(analysis::dedup_sorted(diags))
+}

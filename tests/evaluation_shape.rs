@@ -33,7 +33,11 @@ fn stats_beats_original_where_applicable() {
         }
         let seq = sequential_time(id);
         let (orig, stats_time) = with_workload!(id, |w| {
-            let orig = measure(&w, &spec(), &RunSettings::for_mode(&w, Mode::Original, threads));
+            let orig = measure(
+                &w,
+                &spec(),
+                &RunSettings::for_mode(&w, Mode::Original, threads),
+            );
             let tuned = tune(&w, &spec(), threads, Objective::Time, 24, 1);
             (orig.time_s, tuned.best_measurement.time_s)
         });
@@ -55,11 +59,18 @@ fn fluidanimate_falls_back_gracefully() {
     let threads = 16;
     let id = BenchmarkId::FluidAnimate;
     let (orig, tuned) = with_workload!(id, |w| {
-        let orig = measure(&w, &spec(), &RunSettings::for_mode(&w, Mode::Original, threads));
+        let orig = measure(
+            &w,
+            &spec(),
+            &RunSettings::for_mode(&w, Mode::Original, threads),
+        );
         let tuned = tune(&w, &spec(), threads, Objective::Time, 24, 2);
         (orig.time_s, tuned.best_measurement.time_s)
     });
-    assert!(tuned <= orig * 1.1, "tuned {tuned} much worse than original {orig}");
+    assert!(
+        tuned <= orig * 1.1,
+        "tuned {tuned} much worse than original {orig}"
+    );
 }
 
 /// The run-time quality guarantee: for every benchmark, the tuned STATS
@@ -97,7 +108,10 @@ fn energy_savings_shape() {
             energy.best_measurement.energy_j,
         )
     });
-    assert!(perf_e < orig_e, "perf-mode energy {perf_e} >= original {orig_e}");
+    assert!(
+        perf_e < orig_e,
+        "perf-mode energy {perf_e} >= original {orig_e}"
+    );
     assert!(energy_e <= perf_e * 1.01);
 }
 

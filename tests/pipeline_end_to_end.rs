@@ -71,13 +71,16 @@ fn all_benchmarks_compile_and_instantiate() {
         let source = frontend::synthesize_source(bench.name(), &tradeoffs);
         let compiled = frontend::compile(&source)
             .unwrap_or_else(|e| panic!("{}: front-end: {e}", bench.name()));
-        let module = midend::run(compiled)
-            .unwrap_or_else(|e| panic!("{}: middle-end: {e}", bench.name()));
+        let module =
+            midend::run(compiled).unwrap_or_else(|e| panic!("{}: middle-end: {e}", bench.name()));
         let dep = module.metadata.state_dep(bench.name()).expect("dep row");
         for index in [0_i64, i64::MAX / 2] {
-            let cfg = [(bench.name().to_string(), vec![index; dep.aux_tradeoffs.len()])]
-                .into_iter()
-                .collect();
+            let cfg = [(
+                bench.name().to_string(),
+                vec![index; dep.aux_tradeoffs.len()],
+            )]
+            .into_iter()
+            .collect();
             let binary = backend::instantiate(&module, &cfg)
                 .unwrap_or_else(|e| panic!("{}: back-end: {e}", bench.name()));
             for f in binary.functions() {

@@ -37,12 +37,7 @@ impl StateTransition for NoisyLast {
     type Input = u64;
     type State = Fuzzy;
     type Output = f64;
-    fn compute_output(
-        &self,
-        input: &u64,
-        state: &mut Fuzzy,
-        ctx: &mut InvocationCtx,
-    ) -> f64 {
+    fn compute_output(&self, input: &u64, state: &mut Fuzzy, ctx: &mut InvocationCtx) -> f64 {
         ctx.charge(2.0);
         state.0 = *input as f64 + ctx.uniform(-0.1, 0.1);
         state.0
@@ -51,20 +46,22 @@ impl StateTransition for NoisyLast {
 
 fn arb_config() -> impl Strategy<Value = SpecConfig> {
     (
-        0usize..20,  // group_size
-        0usize..6,   // window
-        0usize..4,   // max_reexec
-        1usize..5,   // rollback
+        0usize..20,    // group_size
+        0usize..6,     // window
+        0usize..4,     // max_reexec
+        1usize..5,     // rollback
         any::<bool>(), // speculate
     )
-        .prop_map(|(group_size, window, max_reexec, rollback, speculate)| SpecConfig {
-            group_size,
-            window,
-            max_reexec,
-            rollback,
-            speculate,
-            ..SpecConfig::default()
-        })
+        .prop_map(
+            |(group_size, window, max_reexec, rollback, speculate)| SpecConfig {
+                group_size,
+                window,
+                max_reexec,
+                rollback,
+                speculate,
+                ..SpecConfig::default()
+            },
+        )
 }
 
 proptest! {

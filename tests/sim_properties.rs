@@ -5,22 +5,20 @@ use stats::sim::{simulate, Platform, TaskGraph};
 
 /// Random DAG: each task may depend on a subset of earlier tasks.
 fn arb_graph() -> impl Strategy<Value = TaskGraph> {
-    proptest::collection::vec((0.1f64..100.0, 0.0f64..1.0, any::<u64>()), 1..40).prop_map(
-        |tasks| {
-            let mut g = TaskGraph::new();
-            let mut ids = Vec::new();
-            for (i, (cost, mem, depmask)) in tasks.into_iter().enumerate() {
-                let deps: Vec<_> = ids
-                    .iter()
-                    .enumerate()
-                    .filter(|(j, _)| i > 0 && (depmask >> (j % 48)) & 1 == 1)
-                    .map(|(_, &id)| id)
-                    .collect();
-                ids.push(g.add_task(cost, mem, &deps));
-            }
-            g
-        },
-    )
+    proptest::collection::vec((0.1f64..100.0, 0.0f64..1.0, any::<u64>()), 1..40).prop_map(|tasks| {
+        let mut g = TaskGraph::new();
+        let mut ids = Vec::new();
+        for (i, (cost, mem, depmask)) in tasks.into_iter().enumerate() {
+            let deps: Vec<_> = ids
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| i > 0 && (depmask >> (j % 48)) & 1 == 1)
+                .map(|(_, &id)| id)
+                .collect();
+            ids.push(g.add_task(cost, mem, &deps));
+        }
+        g
+    })
 }
 
 proptest! {

@@ -1,0 +1,235 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::deque`'s `{Injector, Worker, Stealer, Steal}` with
+//! the same ownership story (a `Worker` is the queue's single owner;
+//! `Stealer`s are cheap shared handles) implemented over mutex-protected
+//! `VecDeque`s instead of lock-free buffers. Correct and deterministic-ish,
+//! not fast — good enough for the pool sizes this workspace simulates.
+//! See README, "Offline builds".
+
+#![forbid(unsafe_code)]
+
+/// Work-stealing double-ended queues.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    fn locked<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        q.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The operation lost a race and may be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Whether the attempt found the queue empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        /// Whether a task was stolen.
+        pub fn is_success(&self) -> bool {
+            matches!(self, Steal::Success(_))
+        }
+    }
+
+    /// Shared FIFO injector queue.
+    #[derive(Debug)]
+    pub struct Injector<T> {
+        q: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// New empty injector.
+        pub fn new() -> Self {
+            Self {
+                q: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push a task onto the global queue.
+        pub fn push(&self, task: T) {
+            locked(&self.q).push_back(task);
+        }
+
+        /// Whether the queue is currently empty (racy hint).
+        pub fn is_empty(&self) -> bool {
+            locked(&self.q).is_empty()
+        }
+
+        /// Pop one task.
+        pub fn steal(&self) -> Steal<T> {
+            match locked(&self.q).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Move a batch of tasks into `dest`'s local queue and pop one.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = locked(&self.q);
+            let Some(first) = q.pop_front() else {
+                return Steal::Empty;
+            };
+            // Take up to half of what remains, like crossbeam does.
+            let batch = q.len() / 2;
+            let mut local = locked(&dest.q);
+            for _ in 0..batch {
+                match q.pop_front() {
+                    Some(t) => local.push_back(t),
+                    None => break,
+                }
+            }
+            Steal::Success(first)
+        }
+    }
+
+    /// A thread's local queue; the single producer-consumer end.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// New FIFO worker queue.
+        pub fn new_fifo() -> Self {
+            Self {
+                q: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Push a task onto the local queue.
+        pub fn push(&self, task: T) {
+            locked(&self.q).push_back(task);
+        }
+
+        /// Pop the next local task.
+        pub fn pop(&self) -> Option<T> {
+            locked(&self.q).pop_front()
+        }
+
+        /// Whether the local queue is empty.
+        pub fn is_empty(&self) -> bool {
+            locked(&self.q).is_empty()
+        }
+
+        /// A shared stealing handle onto this queue.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                q: Arc::clone(&self.q),
+            }
+        }
+    }
+
+    /// Shared handle that steals from the far end of a [`Worker`].
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Self {
+                q: Arc::clone(&self.q),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal one task from the queue's far end.
+        pub fn steal(&self) -> Steal<T> {
+            match locked(&self.q).pop_back() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the victim queue is empty (racy hint).
+        pub fn is_empty(&self) -> bool {
+            locked(&self.q).is_empty()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn injector_batch_steal_moves_work() {
+            let inj = Injector::new();
+            for i in 0..10 {
+                inj.push(i);
+            }
+            let w = Worker::new_fifo();
+            match inj.steal_batch_and_pop(&w) {
+                Steal::Success(0) => {}
+                other => panic!("expected Success(0), got {other:?}"),
+            }
+            // Half of the remaining 9 tasks moved to the local queue.
+            let mut local = Vec::new();
+            while let Some(t) = w.pop() {
+                local.push(t);
+            }
+            assert_eq!(local, vec![1, 2, 3, 4]);
+            assert!(!inj.is_empty());
+        }
+
+        #[test]
+        fn stealer_takes_from_far_end() {
+            let w = Worker::new_fifo();
+            w.push(1);
+            w.push(2);
+            let s = w.stealer();
+            assert_eq!(s.steal(), Steal::Success(2));
+            assert_eq!(w.pop(), Some(1));
+            assert!(s.steal().is_empty());
+            assert!(s.is_empty());
+        }
+
+        #[test]
+        fn concurrent_stealing_loses_nothing() {
+            let inj = std::sync::Arc::new(Injector::new());
+            for i in 0..1000u64 {
+                inj.push(i);
+            }
+            let total: u64 = (0..4)
+                .map(|_| {
+                    let inj = std::sync::Arc::clone(&inj);
+                    std::thread::spawn(move || {
+                        let w = Worker::new_fifo();
+                        let mut sum = 0u64;
+                        loop {
+                            match w.pop() {
+                                Some(t) => sum += t,
+                                None => match inj.steal_batch_and_pop(&w) {
+                                    Steal::Success(t) => sum += t,
+                                    Steal::Empty => break,
+                                    Steal::Retry => continue,
+                                },
+                            }
+                        }
+                        sum
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|t| t.join().unwrap())
+                .sum();
+            assert_eq!(total, 1000 * 999 / 2);
+        }
+    }
+}
