@@ -13,6 +13,11 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test --offline --workspace -q
 
+echo "== bench smoke (parallel pipeline, emits BENCH_pipeline.json)"
+cargo build --offline --release -q -p bench
+./target/release/figures --tiny fig3 fig13 > /dev/null
+./target/release/bench_pipeline BENCH_pipeline.json
+
 echo "== stats-lint corpus smoke"
 cargo build --offline -q --bin stats-lint
 ./target/debug/stats-lint --quiet examples/dsl/*.stats

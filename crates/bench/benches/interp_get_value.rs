@@ -1,0 +1,39 @@
+//! Criterion microbench for the slot-resolved IR interpreter: one
+//! `get_value(i)` evaluation with a loop, calls, and a branch — the shape
+//! of auxiliary-code hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stats_compiler::frontend;
+use stats_compiler::interp::{Interp, Value};
+
+fn run(c: &mut Criterion) {
+    let compiled = frontend::compile(
+        "fn get_value(i) {
+            let acc = 0.0;
+            for k in 0..8 {
+                acc = acc + sqrt(i * k + 1) * 0.5;
+            }
+            if (acc > 100.0) { return acc / 2.0; }
+            return acc;
+        }",
+    )
+    .expect("bench source compiles");
+    let module = compiled.module;
+    let mut interp = Interp::new(&module).with_fuel(u64::MAX);
+    let mut i = 0i64;
+    c.bench_function("interp_get_value", |b| {
+        b.iter(|| {
+            i = (i + 1) % 64;
+            interp
+                .call("get_value", &[Value::Int(i)])
+                .expect("call succeeds")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = run
+}
+criterion_main!(benches);

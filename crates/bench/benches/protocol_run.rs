@@ -1,0 +1,37 @@
+//! Criterion microbench for one speculative protocol run (Swaptions, 24
+//! inputs, default Par. STATS-style configuration) — the unit of work the
+//! autotuner profiles thousands of times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stats_core::{run_protocol, SpecConfig, TradeoffBindings};
+use stats_workloads::swaptions::Swaptions;
+use stats_workloads::{Workload, WorkloadSpec};
+
+fn run(c: &mut Criterion) {
+    let w = Swaptions;
+    let spec = WorkloadSpec {
+        inputs: 24,
+        ..WorkloadSpec::default()
+    };
+    let inst = w.instance(&spec);
+    let defaults = TradeoffBindings::defaults(&w.tradeoffs());
+    let cfg = SpecConfig {
+        orig_bindings: defaults.clone(),
+        aux_bindings: defaults,
+        group_size: 4,
+        window: 2,
+        max_reexec: 3,
+        rollback: 2,
+        ..SpecConfig::default()
+    };
+    c.bench_function("protocol_run_swaptions", |b| {
+        b.iter(|| run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, 7))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = run
+}
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Pipeline benchmark: interpreter ns/op, tuner trials/sec (serial and
+//! parallel), figures wall-clock. Emits `BENCH_pipeline.json` so every PR
+//! leaves a perf trajectory behind.
+//!
+//! The `baseline` section holds the numbers measured on this repository
+//! immediately *before* the parallel-pipeline PR (HashMap-based
+//! interpreter, per-trial instance materialization, serial experiment
+//! driver), captured on the same container class. The `current` section is
+//! re-measured on every run.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_pipeline          # print JSON
+//! cargo run --release -p bench --bin bench_pipeline -- FILE  # also write
+//! ```
+
+use std::time::Instant;
+
+use bench::experiments::{figures_parallel, Settings};
+use stats_autotune::Objective;
+use stats_compiler::frontend;
+use stats_compiler::interp::{Interp, Value};
+use stats_core::ThreadPool;
+use stats_profiler::{tune, tune_parallel};
+use stats_workloads::WorkloadSpec;
+
+/// Pre-PR numbers for the three headline metrics (see module docs).
+const BASELINE_INTERP_NS: f64 = 2950.0;
+const BASELINE_TRIALS_PER_SEC: f64 = 44.3;
+const BASELINE_FIGURES_S: f64 = 1.45;
+
+fn interp_ns_per_call() -> f64 {
+    let compiled = frontend::compile(
+        "fn get_value(i) {
+            let acc = 0.0;
+            for k in 0..8 {
+                acc = acc + sqrt(i * k + 1) * 0.5;
+            }
+            if (acc > 100.0) { return acc / 2.0; }
+            return acc;
+        }",
+    )
+    .expect("bench source compiles");
+    let module = compiled.module;
+    let mut interp = Interp::new(&module).with_fuel(u64::MAX);
+    let iters = 20_000u64;
+    let start = Instant::now();
+    let mut acc = 0.0;
+    for i in 0..iters {
+        let v = interp
+            .call("get_value", &[Value::Int((i % 64) as i64)])
+            .expect("call succeeds")
+            .expect("returns a value");
+        acc += v.as_float();
+    }
+    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    assert!(acc != 0.0);
+    ns
+}
+
+fn tuner_trials_per_sec(workers: usize) -> f64 {
+    let spec = WorkloadSpec {
+        inputs: 12,
+        ..WorkloadSpec::default()
+    };
+    let budget = 24;
+    let w = stats_workloads::swaptions::Swaptions;
+    let start = Instant::now();
+    let r = if workers <= 1 {
+        tune(&w, &spec, 8, Objective::Time, budget, 1)
+    } else {
+        tune_parallel(&w, &spec, 8, Objective::Time, budget, 1, workers)
+    };
+    let secs = start.elapsed().as_secs_f64();
+    assert!(r.outcome.history.len() == budget);
+    budget as f64 / secs
+}
+
+fn figures_tiny_wallclock() -> f64 {
+    let settings = Settings::tiny();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let pool = ThreadPool::new(workers);
+    let start = Instant::now();
+    let set = figures_parallel(&settings, &pool);
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(set.fig03.1 >= 1.0);
+    assert_eq!(set.fig12.len(), 6);
+    elapsed
+}
+
+fn main() {
+    let interp_ns = interp_ns_per_call();
+    let trials_serial = tuner_trials_per_sec(1);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let trials_parallel = tuner_trials_per_sec(workers);
+    let figures_s = figures_tiny_wallclock();
+
+    let json = format!(
+        "{{\n  \"baseline\": {{\n    \"interp_ns_per_call\": {BASELINE_INTERP_NS:.1},\n    \
+         \"tuner_trials_per_sec_serial\": {BASELINE_TRIALS_PER_SEC:.2},\n    \
+         \"figures_tiny_wallclock_s\": {BASELINE_FIGURES_S:.2}\n  }},\n  \
+         \"current\": {{\n    \"interp_ns_per_call\": {interp_ns:.1},\n    \
+         \"tuner_trials_per_sec_serial\": {trials_serial:.2},\n    \
+         \"tuner_trials_per_sec_parallel\": {trials_parallel:.2},\n    \
+         \"workers\": {workers},\n    \
+         \"figures_tiny_wallclock_s\": {figures_s:.2}\n  }},\n  \
+         \"speedup\": {{\n    \"interp\": {:.2},\n    \
+         \"tuner_serial\": {:.2},\n    \
+         \"figures\": {:.2}\n  }}\n}}",
+        BASELINE_INTERP_NS / interp_ns,
+        trials_serial / BASELINE_TRIALS_PER_SEC,
+        BASELINE_FIGURES_S / figures_s,
+    );
+    println!("{json}");
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, format!("{json}\n")).expect("write benchmark JSON");
+        eprintln!("wrote {path}");
+    }
+}

@@ -4,20 +4,27 @@
 //! cargo run --release -p bench --bin figures -- all
 //! cargo run --release -p bench --bin figures -- fig12 fig13
 //! cargo run --release -p bench --bin figures -- --quick table1
+//! cargo run --release -p bench --bin figures -- --tiny fig3 fig12
 //! ```
 //!
 //! Available targets: `fig2 fig3 table1 fig12 fig13 fig14 fig15 fig16
 //! fig17 fig18 fig19 fig20 all`.
+//!
+//! Figures 3, 12, 13, and 14 run through the parallel experiment driver
+//! (independent cells fanned over a thread pool); their values are
+//! identical to the serial implementations.
 
 use std::path::PathBuf;
 
 use bench::experiments::{self, Settings};
 use bench::{render, tsv};
+use stats_core::ThreadPool;
 use stats_workloads::BenchmarkId;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let tiny = args.iter().any(|a| a == "--tiny");
     // `--out DIR` additionally writes one TSV per figure into DIR.
     let out: Option<PathBuf> = args
         .iter()
@@ -59,19 +66,32 @@ fn main() {
         targets
     };
 
-    let settings = if quick {
+    let settings = if tiny {
+        Settings::tiny()
+    } else if quick {
         Settings::quick()
     } else {
         Settings::full()
     };
 
     let wants = |t: &str| targets.contains(&t);
-    let mut curves = Vec::new();
 
     let dump = |r: std::io::Result<()>| {
         if let Err(e) = r {
             eprintln!("--out: {e}");
         }
+    };
+
+    // Figures 3, 12, 13, 14 share the parallel driver: one fan-out covers
+    // whichever of them were requested.
+    let figure_set = if wants("fig3") || wants("fig12") || wants("fig13") || wants("fig14") {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        let pool = ThreadPool::new(workers);
+        Some(experiments::figures_parallel(&settings, &pool))
+    } else {
+        None
     };
     if wants("fig2") {
         let rows = experiments::fig02(&settings);
@@ -81,10 +101,10 @@ fn main() {
         }
     }
     if wants("fig3") {
-        let (rows, geo) = experiments::fig03(&settings);
-        print!("{}", render::fig03_text(&rows, geo));
+        let (rows, geo) = &figure_set.as_ref().expect("driver ran for fig3").fig03;
+        print!("{}", render::fig03_text(rows, *geo));
         if let Some(dir) = &out {
-            dump(tsv::fig03(dir, &rows, geo));
+            dump(tsv::fig03(dir, rows, *geo));
         }
     }
     if wants("table1") {
@@ -94,30 +114,27 @@ fn main() {
             dump(tsv::table1(dir, &rows));
         }
     }
-    if wants("fig12") || wants("fig13") {
-        for bench in BenchmarkId::all() {
-            let c = experiments::fig12(&settings, bench);
-            if wants("fig12") {
-                print!("{}", render::fig12_text(&c));
-                if let Some(dir) = &out {
-                    dump(tsv::fig12(dir, &c));
-                }
+    if wants("fig12") {
+        let set = figure_set.as_ref().expect("driver ran for fig12");
+        for c in &set.fig12 {
+            print!("{}", render::fig12_text(c));
+            if let Some(dir) = &out {
+                dump(tsv::fig12(dir, c));
             }
-            curves.push(c);
         }
     }
     if wants("fig13") {
-        let (threads, original, par) = experiments::fig13(&curves);
-        print!("{}", render::fig13_text(&threads, &original, &par));
+        let (threads, original, par) = &figure_set.as_ref().expect("driver ran for fig13").fig13;
+        print!("{}", render::fig13_text(threads, original, par));
         if let Some(dir) = &out {
-            dump(tsv::fig13(dir, &threads, &original, &par));
+            dump(tsv::fig13(dir, threads, original, par));
         }
     }
     if wants("fig14") {
-        let rows = experiments::fig14(&settings);
-        print!("{}", render::fig14_text(&rows));
+        let rows = &figure_set.as_ref().expect("driver ran for fig14").fig14;
+        print!("{}", render::fig14_text(rows));
         if let Some(dir) = &out {
-            dump(tsv::fig14(dir, &rows));
+            dump(tsv::fig14(dir, rows));
         }
     }
     if wants("fig15") {

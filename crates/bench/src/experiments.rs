@@ -1,7 +1,9 @@
 //! The experiment implementations, one per table/figure.
 
+use std::collections::HashMap;
+
 use stats_autotune::Objective;
-use stats_core::{run_protocol, SpecConfig, TradeoffBindings};
+use stats_core::{run_protocol, SpecConfig, ThreadPool, TradeoffBindings};
 use stats_profiler::{measure, tune, DecodedConfig, Mode, RunSettings, TuneResult};
 use stats_sim::Platform;
 use stats_workloads::{
@@ -302,43 +304,252 @@ pub struct HyperThreadingRow {
 pub fn fig14(settings: &Settings) -> Vec<HyperThreadingRow> {
     let spec = settings.spec();
     let platform = Platform::haswell_single_socket();
-    let no_ht: Vec<usize> = vec![4, 8, 11, 14];
-    let ht: Vec<usize> = vec![4, 8, 14, 18, 22, 28];
+    let (no_ht, ht) = fig14_thread_counts();
     BenchmarkId::all()
         .into_iter()
         .map(|bench| {
             let seq = sequential_time(bench, &spec);
             let best = tuned(bench, &spec, 14, settings.tune_budget, 2);
-            let run = |threads: usize, mode: Mode| -> f64 {
-                with_workload!(bench, |w| {
-                    let mut settings_run = match mode {
-                        Mode::Original => RunSettings::for_mode(&w, Mode::Original, threads),
-                        _ => {
-                            let base = RunSettings::for_mode(&w, Mode::ParStats, threads);
-                            RunSettings {
-                                threads,
-                                t_orig: best.best.t_orig.clamp(1, threads),
-                                spec_config: best.best.spec_config.clone(),
-                                ..base
-                            }
-                        }
-                    };
-                    settings_run.platform = platform.clone();
-                    seq / measure(&w, &spec, &settings_run).time_s
-                })
-            };
-            let best_over = |counts: &[usize], mode: Mode| -> f64 {
-                counts.iter().map(|&t| run(t, mode)).fold(1.0_f64, f64::max)
+            let best_over = |counts: &[usize], original: bool| -> f64 {
+                counts
+                    .iter()
+                    .map(|&t| ht_speedup(bench, &spec, &best.best, t, original, seq, &platform))
+                    .fold(1.0_f64, f64::max)
             };
             HyperThreadingRow {
                 bench,
-                original: best_over(&no_ht, Mode::Original),
-                original_ht: best_over(&ht, Mode::Original),
-                par_stats: best_over(&no_ht, Mode::ParStats),
-                par_stats_ht: best_over(&ht, Mode::ParStats),
+                original: best_over(&no_ht, true),
+                original_ht: best_over(&ht, true),
+                par_stats: best_over(&no_ht, false),
+                par_stats_ht: best_over(&ht, false),
             }
         })
         .collect()
+}
+
+/// Thread counts for Figure 14's two per-core-context regimes (one socket
+/// without and with Hyper-Threading).
+fn fig14_thread_counts() -> (Vec<usize>, Vec<usize>) {
+    (vec![4, 8, 11, 14], vec![4, 8, 14, 18, 22, 28])
+}
+
+/// One Figure 14 cell: speedup over sequential on the single-socket
+/// platform, as Original or as tuned Par. STATS.
+fn ht_speedup(
+    bench: BenchmarkId,
+    spec: &WorkloadSpec,
+    best: &DecodedConfig,
+    threads: usize,
+    original: bool,
+    seq: f64,
+    platform: &Platform,
+) -> f64 {
+    with_workload!(bench, |w| {
+        let mut settings_run = if original {
+            RunSettings::for_mode(&w, Mode::Original, threads)
+        } else {
+            let base = RunSettings::for_mode(&w, Mode::ParStats, threads);
+            RunSettings {
+                threads,
+                t_orig: best.t_orig.clamp(1, threads),
+                spec_config: best.spec_config.clone(),
+                ..base
+            }
+        };
+        settings_run.platform = platform.clone();
+        seq / measure(&w, spec, &settings_run).time_s
+    })
+}
+
+// ------------------------------------------------------- Parallel driver
+
+/// The figures the parallel driver covers. Values are identical to the
+/// serial [`fig03`]/[`fig12`]/[`fig13`]/[`fig14`] functions: every cell is
+/// deterministic, so only the wall-clock changes.
+pub struct FigureSet {
+    /// Figure 3 rows and their geometric mean.
+    pub fig03: (Vec<MaxSpeedupRow>, f64),
+    /// Figure 12 curves, one per benchmark in [`BenchmarkId::all`] order.
+    pub fig12: Vec<ScalabilityCurves>,
+    /// Figure 13: thread counts, Original geomean, Par. STATS geomean.
+    pub fig13: (Vec<usize>, Vec<f64>, Vec<f64>),
+    /// Figure 14 rows.
+    pub fig14: Vec<HyperThreadingRow>,
+}
+
+/// Compute Figures 3, 12, 13, and 14 by fanning their independent
+/// (benchmark × mode × thread-count) cells over `pool`.
+///
+/// Two rounds: first the per-benchmark sequential baselines and tuning
+/// runs (each a cell), then every measurement cell, which only depend on
+/// round-1 results. Cells shared between figures — the sequential baseline
+/// and the Original-mode times feed Figures 3 and 12 alike — are computed
+/// once, where the serial functions recompute them per figure.
+pub fn figures_parallel(settings: &Settings, pool: &ThreadPool) -> FigureSet {
+    let spec = settings.spec();
+    let benches = BenchmarkId::all();
+    let budget = settings.tune_budget;
+    let max_threads = settings.max_threads;
+
+    // ---- Round 1: baselines and autotuning, three cells per benchmark.
+    #[derive(Clone, Copy)]
+    enum PrepKind {
+        Seq,
+        TuneMax,
+        TuneHt,
+    }
+    enum PrepOut {
+        Seq(f64),
+        Cfg(DecodedConfig),
+    }
+    let prep_cells: Vec<(usize, PrepKind)> = (0..benches.len())
+        .flat_map(|bi| {
+            [
+                (bi, PrepKind::Seq),
+                (bi, PrepKind::TuneMax),
+                (bi, PrepKind::TuneHt),
+            ]
+        })
+        .collect();
+    let prep = pool.map(prep_cells, move |(bi, kind)| {
+        let bench = BenchmarkId::all()[bi];
+        match kind {
+            PrepKind::Seq => PrepOut::Seq(sequential_time(bench, &spec)),
+            PrepKind::TuneMax => PrepOut::Cfg(tuned(bench, &spec, max_threads, budget, 1).best),
+            PrepKind::TuneHt => PrepOut::Cfg(tuned(bench, &spec, 14, budget, 2).best),
+        }
+    });
+    let mut seq = Vec::with_capacity(benches.len());
+    let mut best_max = Vec::with_capacity(benches.len());
+    let mut best_ht = Vec::with_capacity(benches.len());
+    for chunk in prep.chunks(3) {
+        match chunk {
+            [PrepOut::Seq(s), PrepOut::Cfg(m), PrepOut::Cfg(h)] => {
+                seq.push(*s);
+                best_max.push(m.clone());
+                best_ht.push(h.clone());
+            }
+            _ => unreachable!("map returns cells in submission order"),
+        }
+    }
+
+    // ---- Round 2: every measurement cell, all independent.
+    #[derive(Clone, Copy, PartialEq, Eq, Hash)]
+    enum CellKind {
+        /// Original-mode time on the full platform (Figures 3 and 12).
+        Orig,
+        /// Par. STATS at the tuned configuration (Figure 12).
+        Par,
+        /// Seq. STATS: tuned configuration with `t_orig = 1` (Figure 12).
+        SeqStats,
+        /// Single-socket Original (Figure 14).
+        HtOrig,
+        /// Single-socket tuned Par. STATS (Figure 14).
+        HtPar,
+    }
+    let thread_list = settings.threads.clone();
+    let (no_ht, ht) = fig14_thread_counts();
+    let mut ht_union = no_ht.clone();
+    for &t in &ht {
+        if !ht_union.contains(&t) {
+            ht_union.push(t);
+        }
+    }
+    let mut cells: Vec<(usize, usize, CellKind)> = Vec::new();
+    for bi in 0..benches.len() {
+        for &t in &thread_list {
+            cells.push((bi, t, CellKind::Orig));
+            cells.push((bi, t, CellKind::Par));
+            cells.push((bi, t, CellKind::SeqStats));
+        }
+        for &t in &ht_union {
+            cells.push((bi, t, CellKind::HtOrig));
+            cells.push((bi, t, CellKind::HtPar));
+        }
+    }
+    let keys = cells.clone();
+    let platform = Platform::haswell_single_socket();
+    let (seq_by, max_by, ht_by) = (seq.clone(), best_max.clone(), best_ht.clone());
+    let speedups = pool.map(cells, move |(bi, t, kind)| {
+        let bench = BenchmarkId::all()[bi];
+        match kind {
+            CellKind::Orig => seq_by[bi] / original_time(bench, &spec, t),
+            CellKind::Par => {
+                seq_by[bi] / measure_decoded(bench, &spec, &max_by[bi], t, None).time_s
+            }
+            CellKind::SeqStats => {
+                seq_by[bi] / measure_decoded(bench, &spec, &max_by[bi], t, Some(1)).time_s
+            }
+            CellKind::HtOrig => {
+                ht_speedup(bench, &spec, &ht_by[bi], t, true, seq_by[bi], &platform)
+            }
+            CellKind::HtPar => {
+                ht_speedup(bench, &spec, &ht_by[bi], t, false, seq_by[bi], &platform)
+            }
+        }
+    });
+    let cell: HashMap<(usize, usize, CellKind), f64> = keys.into_iter().zip(speedups).collect();
+
+    // ---- Assembly, matching the serial functions exactly.
+    let fig03_rows: Vec<MaxSpeedupRow> = benches
+        .into_iter()
+        .enumerate()
+        .map(|(bi, bench)| MaxSpeedupRow {
+            bench,
+            max_speedup: thread_list
+                .iter()
+                .map(|&t| cell[&(bi, t, CellKind::Orig)])
+                .fold(1.0_f64, f64::max),
+        })
+        .collect();
+    let geo = geometric_mean(&fig03_rows.iter().map(|r| r.max_speedup).collect::<Vec<_>>());
+
+    let curves: Vec<ScalabilityCurves> = benches
+        .into_iter()
+        .enumerate()
+        .map(|(bi, bench)| ScalabilityCurves {
+            bench,
+            threads: thread_list.clone(),
+            original: thread_list
+                .iter()
+                .map(|&t| cell[&(bi, t, CellKind::Orig)])
+                .collect(),
+            seq_stats: thread_list
+                .iter()
+                .map(|&t| cell[&(bi, t, CellKind::SeqStats)])
+                .collect(),
+            par_stats: thread_list
+                .iter()
+                .map(|&t| cell[&(bi, t, CellKind::Par)])
+                .collect(),
+        })
+        .collect();
+    let fig13_data = fig13(&curves);
+
+    let best_over = |bi: usize, counts: &[usize], kind: CellKind| -> f64 {
+        counts
+            .iter()
+            .map(|&t| cell[&(bi, t, kind)])
+            .fold(1.0_f64, f64::max)
+    };
+    let fig14_rows: Vec<HyperThreadingRow> = benches
+        .into_iter()
+        .enumerate()
+        .map(|(bi, bench)| HyperThreadingRow {
+            bench,
+            original: best_over(bi, &no_ht, CellKind::HtOrig),
+            original_ht: best_over(bi, &ht, CellKind::HtOrig),
+            par_stats: best_over(bi, &no_ht, CellKind::HtPar),
+            par_stats_ht: best_over(bi, &ht, CellKind::HtPar),
+        })
+        .collect();
+
+    FigureSet {
+        fig03: (fig03_rows, geo),
+        fig12: curves,
+        fig13: fig13_data,
+        fig14: fig14_rows,
+    }
 }
 
 // --------------------------------------------------------------- Figure 15
@@ -782,6 +993,34 @@ mod tests {
                 "{} shows no output variability",
                 row.bench.name()
             );
+        }
+    }
+
+    #[test]
+    fn parallel_driver_matches_serial_figures() {
+        let settings = Settings::tiny();
+        let pool = ThreadPool::new(4);
+        let set = figures_parallel(&settings, &pool);
+
+        let (serial03, serial_geo) = fig03(&settings);
+        assert_eq!(set.fig03.1, serial_geo);
+        for (p, s) in set.fig03.0.iter().zip(&serial03) {
+            assert_eq!(p.bench, s.bench);
+            assert_eq!(p.max_speedup, s.max_speedup);
+        }
+
+        let serial12 = fig12(&settings, BenchmarkId::Swaptions);
+        let par12 = &set.fig12[0];
+        assert_eq!(par12.original, serial12.original);
+        assert_eq!(par12.seq_stats, serial12.seq_stats);
+        assert_eq!(par12.par_stats, serial12.par_stats);
+
+        let serial14 = fig14(&settings);
+        for (p, s) in set.fig14.iter().zip(&serial14) {
+            assert_eq!(p.original, s.original);
+            assert_eq!(p.original_ht, s.original_ht);
+            assert_eq!(p.par_stats, s.par_stats);
+            assert_eq!(p.par_stats_ht, s.par_stats_ht);
         }
     }
 

@@ -7,6 +7,8 @@
 //! sliding history window. An exploration bonus `sqrt(2 ln t / n_i)` keeps
 //! starved techniques alive.
 
+use std::collections::VecDeque;
+
 use rand::rngs::SmallRng;
 
 use crate::param::{Configuration, SearchSpace};
@@ -21,7 +23,11 @@ pub struct AucBandit {
     uses: Vec<u64>,
     total_uses: u64,
     exploration: f64,
-    last_proposer: Option<usize>,
+    /// Technique indices of proposals whose results have not been reported
+    /// yet, in proposal order. Batched asks enqueue several entries; each
+    /// report pops the oldest, so credit lands on the right proposer even
+    /// when a whole generation is in flight.
+    pending: VecDeque<usize>,
     best: f64,
 }
 
@@ -41,7 +47,7 @@ impl AucBandit {
             uses: vec![0; n],
             total_uses: 0,
             exploration: 0.05,
-            last_proposer: None,
+            pending: VecDeque::new(),
             best: f64::INFINITY,
         }
     }
@@ -99,7 +105,7 @@ impl Technique for AucBandit {
 
     fn propose(&mut self, space: &SearchSpace, rng: &mut SmallRng) -> Configuration {
         let i = self.select();
-        self.last_proposer = Some(i);
+        self.pending.push_back(i);
         self.uses[i] += 1;
         self.total_uses += 1;
         self.techniques[i].propose(space, rng)
@@ -108,7 +114,7 @@ impl Technique for AucBandit {
     fn report(&mut self, cfg: &Configuration, objective: f64) {
         let improved = objective < self.best;
         self.best = self.best.min(objective);
-        if let Some(i) = self.last_proposer.take() {
+        if let Some(i) = self.pending.pop_front() {
             self.window.push((i, improved));
             if self.window.len() > self.window_len {
                 self.window.remove(0);
@@ -195,6 +201,27 @@ mod tests {
     #[should_panic(expected = "at least one technique")]
     fn empty_portfolio_rejected() {
         AucBandit::new(vec![]);
+    }
+
+    #[test]
+    fn batched_proposals_attribute_in_fifo_order() {
+        let mut bandit = AucBandit::new(vec![
+            Box::new(RandomSearch),
+            Box::new(GreedyMutation::default()),
+        ]);
+        let s = space();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let batch = bandit.propose_batch(&s, &mut rng, 6);
+        assert_eq!(batch.len(), 6);
+        let order: Vec<usize> = bandit.pending.iter().copied().collect();
+        assert_eq!(order.len(), 6);
+        for cfg in &batch {
+            bandit.report(cfg, cfg[0] as f64);
+        }
+        assert!(bandit.pending.is_empty());
+        // Window entries carry the proposers in the same FIFO order.
+        let attributed: Vec<usize> = bandit.window.iter().map(|&(t, _)| t).collect();
+        assert_eq!(attributed, order);
     }
 
     #[test]

@@ -9,6 +9,12 @@ use crate::param::{Configuration, SearchSpace};
 ///
 /// Mirrors OpenTuner's `SearchTechnique`: `propose` suggests the next point;
 /// `report` feeds back the measured objective (smaller is better).
+///
+/// The ask/tell split is batched: [`Technique::propose_batch`] asks for a
+/// whole generation of configurations up front (no interim reports), which
+/// is what lets the tuner evaluate a generation concurrently and still
+/// report results back in proposal order. Reports arrive in the same order
+/// proposals were made.
 pub trait Technique: Send {
     /// Technique name (for bandit bookkeeping and logs).
     fn name(&self) -> &str;
@@ -16,7 +22,22 @@ pub trait Technique: Send {
     /// Propose the next configuration to measure.
     fn propose(&mut self, space: &SearchSpace, rng: &mut SmallRng) -> Configuration;
 
-    /// Learn from a measured trial.
+    /// Propose `n` configurations at once (OpenTuner's parallel-evaluation
+    /// batch interface, PACT 2014). The default asks [`Technique::propose`]
+    /// `n` times with no reports in between, so a batch of `n` is
+    /// indistinguishable from `n` serial asks — the property the parallel
+    /// tuner's determinism guarantee rests on.
+    fn propose_batch(
+        &mut self,
+        space: &SearchSpace,
+        rng: &mut SmallRng,
+        n: usize,
+    ) -> Vec<Configuration> {
+        (0..n).map(|_| self.propose(space, rng)).collect()
+    }
+
+    /// Learn from a measured trial. Results of a batch are reported one by
+    /// one, in the order the batch proposed them.
     fn report(&mut self, cfg: &Configuration, objective: f64);
 }
 

@@ -98,37 +98,115 @@ impl Tuner {
         &self.space
     }
 
+    /// Size of one ask/tell generation: how many configurations are
+    /// proposed before any of their results is reported back.
+    ///
+    /// The serial and parallel runners both step in generations of exactly
+    /// this size (independent of worker count), which is what makes
+    /// [`Tuner::run`] and [`Tuner::run_parallel`] produce bit-identical
+    /// histories for the same seed.
+    pub const GENERATION: usize = 8;
+
     /// Run `budget` trials, measuring each proposed configuration with
     /// `profile`. Cached configurations are *not* re-profiled (the database
     /// answers), but still count as trials — matching how OpenTuner reuses
     /// its results database.
     ///
+    /// Proposals are made in fixed-size generations ([`Tuner::GENERATION`])
+    /// through the batched ask/tell interface; within a generation a
+    /// duplicate of an already-profiled configuration is profiled once.
+    ///
     /// Returns the outcome and the (grown) database for reuse.
     pub fn run(
-        mut self,
+        self,
         budget: usize,
         mut profile: impl FnMut(&Configuration) -> Measurement,
     ) -> (TuningOutcome, ResultsDatabase) {
+        self.run_generations(budget, |todo| todo.iter().map(&mut profile).collect())
+    }
+
+    /// [`Tuner::run`] with each generation's profile runs spread over
+    /// `workers` scoped threads.
+    ///
+    /// Results are merged back in proposal order, so for a pure `profile`
+    /// function the outcome — best configuration, convergence curve, full
+    /// trial history, database — is bit-identical to the serial
+    /// [`Tuner::run`] with the same seed, for any worker count.
+    pub fn run_parallel(
+        self,
+        budget: usize,
+        workers: usize,
+        profile: impl Fn(&Configuration) -> Measurement + Sync,
+    ) -> (TuningOutcome, ResultsDatabase) {
+        let workers = workers.max(1);
+        self.run_generations(budget, |todo| {
+            if workers == 1 || todo.len() <= 1 {
+                todo.iter().map(&profile).collect()
+            } else {
+                profile_concurrently(todo, workers, &profile)
+            }
+        })
+    }
+
+    /// The generational ask/tell loop shared by the serial and parallel
+    /// runners. `evaluate` receives the deduplicated, not-yet-measured
+    /// configurations of one generation (in first-proposal order) and must
+    /// return one measurement per configuration, in the same order.
+    fn run_generations(
+        mut self,
+        budget: usize,
+        mut evaluate: impl FnMut(&[Configuration]) -> Vec<Measurement>,
+    ) -> (TuningOutcome, ResultsDatabase) {
+        assert!(budget > 0, "budget must be at least one trial");
         let mut history = History::new();
         let mut seeds = std::mem::take(&mut self.seed_configs).into_iter();
-        for _ in 0..budget {
-            let cfg = match seeds.next() {
-                Some(seed) => self.space.repair(&seed),
-                None => self
-                    .space
-                    .repair(&self.bandit.propose(&self.space, &mut self.rng)),
-            };
-            let m = match self.database.get(&cfg) {
-                Some(m) => m.clone(),
-                None => {
-                    let m = profile(&cfg);
-                    self.database.insert(cfg.clone(), m.clone());
-                    m
+        let mut remaining = budget;
+        while remaining > 0 {
+            let gen_size = remaining.min(Self::GENERATION);
+            remaining -= gen_size;
+
+            // Ask: seed configurations first, then one batch from the
+            // technique portfolio — no results reported in between.
+            let mut cfgs: Vec<Configuration> = Vec::with_capacity(gen_size);
+            while cfgs.len() < gen_size {
+                match seeds.next() {
+                    Some(seed) => cfgs.push(self.space.repair(&seed)),
+                    None => break,
                 }
-            };
-            let o = self.objective.of(&m);
-            self.bandit.report(&cfg, o);
-            history.record(cfg, m, o);
+            }
+            let need = gen_size - cfgs.len();
+            if need > 0 {
+                for cfg in self.bandit.propose_batch(&self.space, &mut self.rng, need) {
+                    cfgs.push(self.space.repair(&cfg));
+                }
+            }
+
+            // Evaluate: only configurations the database cannot answer,
+            // each at most once per generation.
+            let mut todo: Vec<Configuration> = Vec::new();
+            for cfg in &cfgs {
+                if self.database.get(cfg).is_none() && !todo.contains(cfg) {
+                    todo.push(cfg.clone());
+                }
+            }
+            let measurements = evaluate(&todo);
+            assert_eq!(
+                measurements.len(),
+                todo.len(),
+                "evaluate must return one measurement per configuration"
+            );
+            for (cfg, m) in todo.into_iter().zip(measurements) {
+                self.database.insert(cfg, m);
+            }
+
+            // Tell: report results in proposal order, making the history
+            // independent of evaluation order (and hence worker count).
+            for cfg in cfgs {
+                let m = self.database.get(&cfg).expect("inserted above").clone();
+                let o = self.objective.of(&m);
+                self.bandit.report(&cfg, o);
+                history.record(cfg, m, o);
+            }
         }
         let (best, best_m, _) = history.best().expect("budget must be at least one trial");
         let outcome = TuningOutcome {
@@ -138,6 +216,45 @@ impl Tuner {
         };
         (outcome, self.database)
     }
+}
+
+/// Profile `todo` with `workers` scoped threads pulling indices from a
+/// shared cursor, then reassemble the measurements by index.
+fn profile_concurrently(
+    todo: &[Configuration],
+    workers: usize,
+    profile: &(impl Fn(&Configuration) -> Measurement + Sync),
+) -> Vec<Measurement> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<Measurement>> = vec![None; todo.len()];
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers.min(todo.len()))
+            .map(|_| {
+                let next = &next;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= todo.len() {
+                            break;
+                        }
+                        local.push((i, profile(&todo[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, m) in handle.join().expect("profile worker panicked") {
+                out[i] = Some(m);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|m| m.expect("every index profiled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -246,5 +363,68 @@ mod tests {
             o1.history.best_so_far_curve(),
             o2.history.best_so_far_curve()
         );
+    }
+
+    proptest::proptest! {
+        /// The determinism guarantee: for a pure profile function and equal
+        /// seeds, the parallel runner reproduces the serial runner's best
+        /// configuration, convergence curve, and full trial history — for
+        /// any worker count.
+        #[test]
+        fn parallel_matches_serial_bit_for_bit(seed in 0u64..512, budget in 1usize..70) {
+            let (serial, serial_db) = Tuner::new(space(), Objective::Time, seed).run(budget, measure);
+            for workers in [1usize, 2, 8] {
+                let (par, par_db) = Tuner::new(space(), Objective::Time, seed)
+                    .run_parallel(budget, workers, measure);
+                proptest::prop_assert_eq!(&par.best, &serial.best);
+                proptest::prop_assert_eq!(
+                    par.history.best_so_far_curve(),
+                    serial.history.best_so_far_curve()
+                );
+                let st: Vec<_> = serial.history.trials().collect();
+                let pt: Vec<_> = par.history.trials().collect();
+                proptest::prop_assert_eq!(pt, st);
+                proptest::prop_assert_eq!(par_db.len(), serial_db.len());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_respects_seed_configs_and_database() {
+        let seeds = vec![vec![13, 27], vec![0, 0]];
+        let (serial, db) = Tuner::new(space(), Objective::Time, 5)
+            .with_seed_configs(seeds.clone())
+            .run(20, measure);
+        let (par, _) = Tuner::new(space(), Objective::Time, 5)
+            .with_seed_configs(seeds)
+            .with_database(db)
+            .run_parallel(20, 4, measure);
+        // Same seed configs first, same best; the pre-filled database only
+        // removes profile runs, never changes the history.
+        assert_eq!(par.best, serial.best);
+        let first: Vec<_> = par
+            .history
+            .trials()
+            .take(2)
+            .map(|(c, _, _)| c.clone())
+            .collect();
+        assert_eq!(first, vec![vec![13, 27], vec![0, 0]]);
+    }
+
+    #[test]
+    fn parallel_profiles_each_unique_config_once() {
+        use std::collections::HashMap;
+        use std::sync::Mutex;
+        let counts: Mutex<HashMap<Configuration, usize>> = Mutex::new(HashMap::new());
+        let (_, db) = Tuner::new(space(), Objective::Time, 11).run_parallel(120, 8, |c| {
+            *counts.lock().unwrap().entry(c.clone()).or_insert(0) += 1;
+            measure(c)
+        });
+        let counts = counts.into_inner().unwrap();
+        assert!(
+            counts.values().all(|&n| n == 1),
+            "a configuration was re-profiled"
+        );
+        assert_eq!(counts.len(), db.len());
     }
 }

@@ -4,11 +4,20 @@
 //! at configuration time and invokes it; we interpret the same IR. The
 //! interpreter also executes whole instantiated modules, which the test
 //! suite uses to verify back-end substitutions end-to-end.
+//!
+//! Functions are *slot-resolved* before their first execution: registers
+//! become indices into a flat frame (`Vec<Value>`), state variables become
+//! indices into the interpreter's state slots, and callees are resolved to
+//! intrinsic/function indices — so the hot execution loop performs no name
+//! hashing and no `String` clones. A definite-assignment dataflow check at
+//! preparation time makes reading a never-assigned register a static error
+//! ([`ExecError::UnassignedRegister`]) instead of a silent default value.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::rc::Rc;
 
-use crate::ir::{BinOp, Function, Inst, Module, Operand, Reg, Ty, TyRef};
+use crate::ir::{BinOp, Function, Inst, Module, Operand, Ty, TyRef};
 
 /// A runtime value.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,6 +86,16 @@ pub enum ExecError {
     OutOfFuel,
     /// Division or remainder by zero.
     DivisionByZero,
+    /// A register is read on some path before any instruction assigns it.
+    /// Detected statically by the definite-assignment check when the
+    /// function is slot-resolved, so execution never observes an
+    /// uninitialized frame slot.
+    UnassignedRegister {
+        /// Function containing the offending read.
+        function: String,
+        /// The register number.
+        reg: u32,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -96,11 +115,95 @@ impl fmt::Display for ExecError {
             } => write!(f, "`{function}` takes {expected} arguments, got {got}"),
             ExecError::OutOfFuel => write!(f, "execution exceeded the step budget"),
             ExecError::DivisionByZero => write!(f, "division by zero"),
+            ExecError::UnassignedRegister { function, reg } => {
+                write!(f, "`{function}` reads register %{reg} before assignment")
+            }
         }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+/// A resolved operand: a frame slot or an immediate.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    /// Frame index.
+    Reg(usize),
+    /// Integer immediate.
+    Int(i64),
+    /// Float immediate.
+    Float(f64),
+}
+
+/// A slot-resolved instruction: every name the source instruction carried
+/// (registers, state variables, callees) is already an index.
+#[derive(Debug, Clone)]
+enum PInst {
+    Const {
+        dst: usize,
+        value: Slot,
+    },
+    Bin {
+        op: BinOp,
+        dst: usize,
+        lhs: Slot,
+        rhs: Slot,
+    },
+    Cast {
+        dst: usize,
+        src: Slot,
+        to: Ty,
+    },
+    LoadState {
+        dst: usize,
+        slot: usize,
+    },
+    StoreState {
+        slot: usize,
+        src: Slot,
+    },
+    CallIntrinsic {
+        dst: Option<usize>,
+        intrinsic: usize,
+        args: Vec<Slot>,
+    },
+    CallFn {
+        dst: Option<usize>,
+        callee: usize,
+        args: Vec<Slot>,
+    },
+    /// Call to a name neither the intrinsic table nor the module defines.
+    /// Kept lazy: the error surfaces only if the call is actually reached,
+    /// matching the unprepared interpreter's behavior.
+    UnknownCallee {
+        callee: String,
+    },
+    /// An unsubstituted tradeoff placeholder; errors when reached.
+    UnresolvedTradeoff {
+        tradeoff: String,
+    },
+    Jmp {
+        target: usize,
+    },
+    Br {
+        cond: Slot,
+        then_b: usize,
+        else_b: usize,
+    },
+    Ret {
+        value: Option<Slot>,
+    },
+}
+
+/// A function after slot resolution, ready for the hot loop.
+struct PreparedFn {
+    name: String,
+    /// Frame indices of the parameters, in call order.
+    params: Vec<usize>,
+    /// Frame size.
+    nregs: usize,
+    blocks: Vec<Vec<PInst>>,
+}
 
 /// Interpreter over a module, with a fuel budget shared across calls.
 ///
@@ -109,42 +212,60 @@ impl std::error::Error for ExecError {}
 /// across [`Interp::call`]s — one `Interp` models one sequential stream of
 /// invocations, matching the paper's `State` that `computeOutput` carries
 /// from invocation to invocation.
+///
+/// Each function is slot-resolved once, on its first call, and cached; the
+/// per-call cost is a flat `Vec<Value>` frame indexed by register number.
 pub struct Interp<'m> {
     module: &'m Module,
     fuel: u64,
-    /// Cross-invocation state, persisting across `call`s.
-    state: HashMap<String, Value>,
+    /// Cross-invocation state values, indexed by state slot.
+    state: Vec<Value>,
+    /// State variable name → slot.
+    state_index: HashMap<String, usize>,
     /// Host intrinsics callable from IR (e.g. `sqrt` variants used by
-    /// function tradeoffs in tests and workload descriptors).
-    intrinsics: HashMap<String, fn(&[Value]) -> Value>,
+    /// function tradeoffs in tests and workload descriptors), by slot.
+    intrinsics: Vec<fn(&[Value]) -> Value>,
+    /// Intrinsic name → slot. Checked before module functions when
+    /// resolving callees, as the unprepared interpreter did.
+    intrinsic_index: HashMap<String, usize>,
+    /// Slot-resolved functions, indexed like `module.functions()`.
+    prepared: Vec<Option<Rc<PreparedFn>>>,
 }
 
 impl<'m> Interp<'m> {
     /// Create an interpreter with the default fuel budget (1M steps).
     pub fn new(module: &'m Module) -> Self {
-        let mut intrinsics: HashMap<String, fn(&[Value]) -> Value> = HashMap::new();
-        intrinsics.insert("sqrt".into(), |args| {
+        let mut interp = Interp {
+            module,
+            fuel: 1_000_000,
+            state: Vec::new(),
+            state_index: HashMap::new(),
+            intrinsics: Vec::new(),
+            intrinsic_index: HashMap::new(),
+            prepared: vec![None; module.functions().len()],
+        };
+        interp.register_intrinsic("sqrt", |args| {
             Value::Float(args.first().map(|v| v.as_float()).unwrap_or(0.0).sqrt())
         });
-        intrinsics.insert("abs".into(), |args| match args.first() {
+        interp.register_intrinsic("abs", |args| match args.first() {
             Some(Value::Int(v)) => Value::Int(v.wrapping_abs()),
             Some(Value::Float(v)) => Value::Float(v.abs()),
             None => Value::Int(0),
         });
-        intrinsics.insert("min".into(), |args| {
+        interp.register_intrinsic("min", |args| {
             let a = args.first().map(|v| v.as_float()).unwrap_or(0.0);
             let b = args.get(1).map(|v| v.as_float()).unwrap_or(0.0);
             Value::Float(a.min(b))
         });
-        intrinsics.insert("max".into(), |args| {
+        interp.register_intrinsic("max", |args| {
             let a = args.first().map(|v| v.as_float()).unwrap_or(0.0);
             let b = args.get(1).map(|v| v.as_float()).unwrap_or(0.0);
             Value::Float(a.max(b))
         });
-        intrinsics.insert("exp".into(), |args| {
+        interp.register_intrinsic("exp", |args| {
             Value::Float(args.first().map(|v| v.as_float()).unwrap_or(0.0).exp())
         });
-        intrinsics.insert("ln".into(), |args| {
+        interp.register_intrinsic("ln", |args| {
             Value::Float(
                 args.first()
                     .map(|v| v.as_float())
@@ -153,32 +274,23 @@ impl<'m> Interp<'m> {
                     .ln(),
             )
         });
-        intrinsics.insert("pow".into(), |args| {
+        interp.register_intrinsic("pow", |args| {
             let a = args.first().map(|v| v.as_float()).unwrap_or(0.0);
             let b = args.get(1).map(|v| v.as_float()).unwrap_or(0.0);
             Value::Float(a.powf(b))
         });
-        intrinsics.insert("floor".into(), |args| {
+        interp.register_intrinsic("floor", |args| {
             Value::Int(args.first().map(|v| v.as_float()).unwrap_or(0.0).floor() as i64)
         });
-        let state = module
-            .metadata
-            .state_vars
-            .iter()
-            .map(|v| {
-                let init = match v.init {
-                    crate::metadata::StateInit::Int(i) => Value::Int(i),
-                    crate::metadata::StateInit::Float(f) => Value::Float(f),
-                };
-                (v.name.clone(), init)
-            })
-            .collect();
-        Interp {
-            module,
-            fuel: 1_000_000,
-            state,
-            intrinsics,
+        for v in &module.metadata.state_vars {
+            let init = match v.init {
+                crate::metadata::StateInit::Int(i) => Value::Int(i),
+                crate::metadata::StateInit::Float(f) => Value::Float(f),
+            };
+            let slot = interp.state_slot(&v.name);
+            interp.state[slot] = init;
         }
+        interp
     }
 
     /// Replace the fuel budget.
@@ -189,25 +301,51 @@ impl<'m> Interp<'m> {
 
     /// The current value of a state variable.
     pub fn state_value(&self, name: &str) -> Option<Value> {
-        self.state.get(name).copied()
+        self.state_index.get(name).map(|&i| self.state[i])
     }
 
     /// Overwrite a state variable (e.g. to restore a checkpoint).
     pub fn set_state(&mut self, name: impl Into<String>, value: Value) {
-        self.state.insert(name.into(), value);
+        let slot = self.state_slot(&name.into());
+        self.state[slot] = value;
     }
 
     /// Register a host intrinsic callable from IR.
+    ///
+    /// Invalidates the prepared-function cache: a new intrinsic can change
+    /// how callee names resolve.
     pub fn register_intrinsic(&mut self, name: impl Into<String>, f: fn(&[Value]) -> Value) {
-        self.intrinsics.insert(name.into(), f);
+        let name = name.into();
+        match self.intrinsic_index.get(&name) {
+            Some(&i) => self.intrinsics[i] = f,
+            None => {
+                self.intrinsic_index.insert(name, self.intrinsics.len());
+                self.intrinsics.push(f);
+            }
+        }
+        self.prepared = vec![None; self.module.functions().len()];
+    }
+
+    /// The state slot for `name`, allocating one (default `Int(0)`) if the
+    /// variable was never declared — undeclared state reads default to zero,
+    /// as in the unprepared interpreter.
+    fn state_slot(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.state_index.get(name) {
+            return i;
+        }
+        let i = self.state.len();
+        self.state.push(Value::Int(0));
+        self.state_index.insert(name.to_string(), i);
+        i
     }
 
     /// Call `name` with `args`; returns the function's returned value.
     pub fn call(&mut self, name: &str, args: &[Value]) -> Result<Option<Value>, ExecError> {
-        let f = self
+        let idx = self
             .module
-            .function(name)
+            .function_index(name)
             .ok_or_else(|| ExecError::UnknownFunction(name.to_string()))?;
+        let f = self.prepare(idx)?;
         if f.params.len() != args.len() {
             return Err(ExecError::ArityMismatch {
                 function: name.to_string(),
@@ -215,13 +353,122 @@ impl<'m> Interp<'m> {
                 got: args.len(),
             });
         }
-        self.exec(f, args)
+        self.exec(&f, args)
     }
 
-    fn exec(&mut self, f: &Function, args: &[Value]) -> Result<Option<Value>, ExecError> {
-        let mut regs: HashMap<Reg, Value> = HashMap::new();
+    /// Slot-resolve a function (cached after the first call).
+    fn prepare(&mut self, idx: usize) -> Result<Rc<PreparedFn>, ExecError> {
+        if let Some(p) = &self.prepared[idx] {
+            return Ok(Rc::clone(p));
+        }
+        let f = &self.module.functions()[idx];
+        let nregs = frame_size(f);
+        check_definite_assignment(f, nregs)?;
+        let mut blocks = Vec::with_capacity(f.blocks.len());
+        // Resolving state slots and callees needs `&mut self`, so collect
+        // name resolutions first, then translate.
+        for block in &f.blocks {
+            let mut insts = Vec::with_capacity(block.insts.len());
+            for inst in &block.insts {
+                insts.push(self.resolve_inst(inst));
+            }
+            blocks.push(insts);
+        }
+        let prepared = Rc::new(PreparedFn {
+            name: f.name.clone(),
+            params: f.params.iter().map(|p| p.0 as usize).collect(),
+            nregs,
+            blocks,
+        });
+        self.prepared[idx] = Some(Rc::clone(&prepared));
+        Ok(prepared)
+    }
+
+    fn resolve_inst(&mut self, inst: &Inst) -> PInst {
+        let slot = |op: &Operand| -> Slot {
+            match *op {
+                Operand::Reg(r) => Slot::Reg(r.0 as usize),
+                Operand::ImmInt(v) => Slot::Int(v),
+                Operand::ImmFloat(v) => Slot::Float(v),
+            }
+        };
+        match inst {
+            Inst::Const { dst, value } => PInst::Const {
+                dst: dst.0 as usize,
+                value: slot(value),
+            },
+            Inst::Bin { op, dst, lhs, rhs } => PInst::Bin {
+                op: *op,
+                dst: dst.0 as usize,
+                lhs: slot(lhs),
+                rhs: slot(rhs),
+            },
+            Inst::Cast { dst, src, to } => match to {
+                TyRef::Concrete(t) => PInst::Cast {
+                    dst: dst.0 as usize,
+                    src: slot(src),
+                    to: *t,
+                },
+                TyRef::Tradeoff(name) => PInst::UnresolvedTradeoff {
+                    tradeoff: name.clone(),
+                },
+            },
+            Inst::TradeoffRef { tradeoff, .. } | Inst::CallTradeoff { tradeoff, .. } => {
+                PInst::UnresolvedTradeoff {
+                    tradeoff: tradeoff.clone(),
+                }
+            }
+            Inst::LoadState { dst, state } => PInst::LoadState {
+                dst: dst.0 as usize,
+                slot: self.state_slot(state),
+            },
+            Inst::StoreState { state, src } => PInst::StoreState {
+                slot: self.state_slot(state),
+                src: slot(src),
+            },
+            Inst::Call { dst, callee, args } => {
+                let dst = dst.map(|d| d.0 as usize);
+                let args: Vec<Slot> = args.iter().map(&slot).collect();
+                // Intrinsics shadow module functions, as in the unprepared
+                // interpreter's lookup order.
+                if let Some(&i) = self.intrinsic_index.get(callee) {
+                    PInst::CallIntrinsic {
+                        dst,
+                        intrinsic: i,
+                        args,
+                    }
+                } else if let Some(i) = self.module.function_index(callee) {
+                    PInst::CallFn {
+                        dst,
+                        callee: i,
+                        args,
+                    }
+                } else {
+                    PInst::UnknownCallee {
+                        callee: callee.clone(),
+                    }
+                }
+            }
+            Inst::Jmp { target } => PInst::Jmp { target: target.0 },
+            Inst::Br {
+                cond,
+                then_b,
+                else_b,
+            } => PInst::Br {
+                cond: slot(cond),
+                then_b: then_b.0,
+                else_b: else_b.0,
+            },
+            Inst::Ret { value } => PInst::Ret {
+                value: value.as_ref().map(slot),
+            },
+        }
+    }
+
+    fn exec(&mut self, f: &PreparedFn, args: &[Value]) -> Result<Option<Value>, ExecError> {
+        let mut frame: Vec<Value> = vec![Value::Int(0); f.nregs];
         for (&p, &a) in f.params.iter().zip(args) {
-            regs.insert(p, a);
+            frame[p] = a;
         }
         let mut block = 0usize;
         let mut pc = 0usize;
@@ -230,80 +477,262 @@ impl<'m> Interp<'m> {
                 return Err(ExecError::OutOfFuel);
             }
             self.fuel -= 1;
-            let inst = &f.blocks[block].insts[pc];
+            let inst = &f.blocks[block][pc];
             pc += 1;
             match inst {
-                Inst::Const { dst, value } => {
-                    let v = read(&regs, *value);
-                    regs.insert(*dst, v);
+                PInst::Const { dst, value } => {
+                    frame[*dst] = read(&frame, *value);
                 }
-                Inst::Bin { op, dst, lhs, rhs } => {
-                    let a = read(&regs, *lhs);
-                    let b = read(&regs, *rhs);
-                    regs.insert(*dst, binop(*op, a, b)?);
+                PInst::Bin { op, dst, lhs, rhs } => {
+                    let a = read(&frame, *lhs);
+                    let b = read(&frame, *rhs);
+                    frame[*dst] = binop(*op, a, b)?;
                 }
-                Inst::Cast { dst, src, to } => {
-                    let v = read(&regs, *src);
-                    let ty = match to {
-                        TyRef::Concrete(t) => *t,
-                        TyRef::Tradeoff(name) => {
-                            return Err(ExecError::UnresolvedTradeoff(name.clone()))
-                        }
-                    };
-                    regs.insert(*dst, cast(v, ty));
+                PInst::Cast { dst, src, to } => {
+                    frame[*dst] = cast(read(&frame, *src), *to);
                 }
-                Inst::TradeoffRef { tradeoff, .. } => {
+                PInst::LoadState { dst, slot } => {
+                    frame[*dst] = self.state[*slot];
+                }
+                PInst::StoreState { slot, src } => {
+                    self.state[*slot] = read(&frame, *src);
+                }
+                PInst::UnresolvedTradeoff { tradeoff } => {
                     return Err(ExecError::UnresolvedTradeoff(tradeoff.clone()))
                 }
-                Inst::LoadState { dst, state } => {
-                    let v = self.state.get(state).copied().unwrap_or(Value::Int(0));
-                    regs.insert(*dst, v);
+                PInst::UnknownCallee { callee } => {
+                    return Err(ExecError::UnknownFunction(callee.clone()))
                 }
-                Inst::StoreState { state, src } => {
-                    let v = read(&regs, *src);
-                    self.state.insert(state.clone(), v);
-                }
-                Inst::CallTradeoff { tradeoff, .. } => {
-                    return Err(ExecError::UnresolvedTradeoff(tradeoff.clone()))
-                }
-                Inst::Call { dst, callee, args } => {
-                    let vals: Vec<Value> = args.iter().map(|&a| read(&regs, a)).collect();
-                    let result = if let Some(intrinsic) = self.intrinsics.get(callee) {
-                        Some(intrinsic(&vals))
-                    } else {
-                        self.call(callee, &vals)?
-                    };
+                PInst::CallIntrinsic {
+                    dst,
+                    intrinsic,
+                    args,
+                } => {
+                    let vals: Vec<Value> = args.iter().map(|&a| read(&frame, a)).collect();
+                    let result = self.intrinsics[*intrinsic](&vals);
                     if let Some(dst) = dst {
-                        regs.insert(*dst, result.unwrap_or(Value::Int(0)));
+                        frame[*dst] = result;
                     }
                 }
-                Inst::Jmp { target } => {
-                    block = target.0;
+                PInst::CallFn { dst, callee, args } => {
+                    let vals: Vec<Value> = args.iter().map(|&a| read(&frame, a)).collect();
+                    let callee = self.prepare(*callee)?;
+                    if callee.params.len() != vals.len() {
+                        return Err(ExecError::ArityMismatch {
+                            function: callee.name.clone(),
+                            expected: callee.params.len(),
+                            got: vals.len(),
+                        });
+                    }
+                    let result = self.exec(&callee, &vals)?;
+                    if let Some(dst) = dst {
+                        frame[*dst] = result.unwrap_or(Value::Int(0));
+                    }
+                }
+                PInst::Jmp { target } => {
+                    block = *target;
                     pc = 0;
                 }
-                Inst::Br {
+                PInst::Br {
                     cond,
                     then_b,
                     else_b,
                 } => {
-                    let c = read(&regs, *cond);
-                    block = if c.truthy() { then_b.0 } else { else_b.0 };
+                    block = if read(&frame, *cond).truthy() {
+                        *then_b
+                    } else {
+                        *else_b
+                    };
                     pc = 0;
                 }
-                Inst::Ret { value } => {
-                    return Ok(value.map(|v| read(&regs, v)));
+                PInst::Ret { value } => {
+                    return Ok(value.map(|v| read(&frame, v)));
                 }
             }
         }
     }
 }
 
-fn read(regs: &HashMap<Reg, Value>, op: Operand) -> Value {
-    match op {
-        Operand::Reg(r) => *regs.get(&r).unwrap_or(&Value::Int(0)),
-        Operand::ImmInt(v) => Value::Int(v),
-        Operand::ImmFloat(v) => Value::Float(v),
+#[inline]
+fn read(frame: &[Value], s: Slot) -> Value {
+    match s {
+        Slot::Reg(i) => frame[i],
+        Slot::Int(v) => Value::Int(v),
+        Slot::Float(v) => Value::Float(v),
     }
+}
+
+/// Frame size for `f`: covers `next_reg` plus any register a hand-built
+/// function references beyond it.
+fn frame_size(f: &Function) -> usize {
+    fn see(n: &mut usize, op: &Operand) {
+        if let Operand::Reg(r) = op {
+            *n = (*n).max(r.0 as usize + 1);
+        }
+    }
+    let mut n = f.next_reg as usize;
+    for &p in &f.params {
+        n = n.max(p.0 as usize + 1);
+    }
+    for block in &f.blocks {
+        for inst in &block.insts {
+            if let Some(d) = def_of(inst) {
+                n = n.max(d as usize + 1);
+            }
+            match inst {
+                Inst::Const { value, .. } => see(&mut n, value),
+                Inst::Bin { lhs, rhs, .. } => {
+                    see(&mut n, lhs);
+                    see(&mut n, rhs);
+                }
+                Inst::Cast { src, .. } => see(&mut n, src),
+                Inst::Call { args, .. } | Inst::CallTradeoff { args, .. } => {
+                    args.iter().for_each(|a| see(&mut n, a));
+                }
+                Inst::StoreState { src, .. } => see(&mut n, src),
+                Inst::Br { cond, .. } => see(&mut n, cond),
+                Inst::Ret { value } => {
+                    if let Some(v) = value {
+                        see(&mut n, v);
+                    }
+                }
+                Inst::TradeoffRef { .. } | Inst::LoadState { .. } | Inst::Jmp { .. } => {}
+            }
+        }
+    }
+    n
+}
+
+/// Registers an instruction reads, in evaluation order.
+fn reads_of(inst: &Inst) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut see = |op: &Operand| {
+        if let Operand::Reg(r) = op {
+            out.push(r.0);
+        }
+    };
+    match inst {
+        Inst::Const { value, .. } => see(value),
+        Inst::Bin { lhs, rhs, .. } => {
+            see(lhs);
+            see(rhs);
+        }
+        Inst::Cast { src, .. } => see(src),
+        Inst::Call { args, .. } | Inst::CallTradeoff { args, .. } => args.iter().for_each(see),
+        Inst::StoreState { src, .. } => see(src),
+        Inst::Br { cond, .. } => see(cond),
+        Inst::Ret { value } => {
+            if let Some(v) = value {
+                see(v)
+            }
+        }
+        Inst::TradeoffRef { .. } | Inst::LoadState { .. } | Inst::Jmp { .. } => {}
+    }
+    out
+}
+
+/// The register an instruction assigns, if any.
+fn def_of(inst: &Inst) -> Option<u32> {
+    match inst {
+        Inst::Const { dst, .. }
+        | Inst::Bin { dst, .. }
+        | Inst::Cast { dst, .. }
+        | Inst::TradeoffRef { dst, .. }
+        | Inst::LoadState { dst, .. } => Some(dst.0),
+        Inst::Call { dst, .. } | Inst::CallTradeoff { dst, .. } => dst.map(|d| d.0),
+        Inst::StoreState { .. } | Inst::Jmp { .. } | Inst::Br { .. } | Inst::Ret { .. } => None,
+    }
+}
+
+/// Successor blocks of a block's terminator (the first terminator found —
+/// anything after it is dead).
+fn successors(insts: &[Inst]) -> Vec<usize> {
+    for inst in insts {
+        match inst {
+            Inst::Jmp { target } => return vec![target.0],
+            Inst::Br { then_b, else_b, .. } => return vec![then_b.0, else_b.0],
+            Inst::Ret { .. } => return vec![],
+            _ => {}
+        }
+    }
+    vec![]
+}
+
+/// Forward definite-assignment dataflow: a register may be read only if it
+/// is assigned on *every* path from entry. Rejects the function otherwise,
+/// so execution can use a flat frame with no per-read presence checks.
+fn check_definite_assignment(f: &Function, nregs: usize) -> Result<(), ExecError> {
+    let words = nregs.div_ceil(64).max(1);
+    let set = |bits: &mut [u64], r: u32| bits[r as usize / 64] |= 1 << (r % 64);
+    let has = |bits: &[u64], r: u32| bits[r as usize / 64] & (1 << (r % 64)) != 0;
+
+    let mut entry = vec![0u64; words];
+    for &p in &f.params {
+        set(&mut entry, p.0);
+    }
+    // Fixpoint: in-set of a block = intersection of predecessors' out-sets.
+    let mut in_sets: Vec<Option<Vec<u64>>> = vec![None; f.blocks.len()];
+    in_sets[0] = Some(entry);
+    let mut work = vec![0usize];
+    while let Some(b) = work.pop() {
+        let mut out = in_sets[b].clone().expect("worklist blocks are reached");
+        let insts = &f.blocks[b].insts;
+        let term = insts
+            .iter()
+            .position(|i| matches!(i, Inst::Jmp { .. } | Inst::Br { .. } | Inst::Ret { .. }))
+            .map(|i| i + 1)
+            .unwrap_or(insts.len());
+        for inst in &insts[..term] {
+            if let Some(d) = def_of(inst) {
+                set(&mut out, d);
+            }
+        }
+        for s in successors(insts) {
+            let changed = match &mut in_sets[s] {
+                Some(existing) => {
+                    let mut changed = false;
+                    for (e, o) in existing.iter_mut().zip(&out) {
+                        let next = *e & *o;
+                        changed |= next != *e;
+                        *e = next;
+                    }
+                    changed
+                }
+                None => {
+                    in_sets[s] = Some(out.clone());
+                    true
+                }
+            };
+            if changed {
+                work.push(s);
+            }
+        }
+    }
+    // Check reads against the converged in-sets.
+    for (b, in_set) in in_sets.iter().enumerate() {
+        let Some(in_set) = in_set else { continue };
+        let mut live = in_set.clone();
+        let insts = &f.blocks[b].insts;
+        let term = insts
+            .iter()
+            .position(|i| matches!(i, Inst::Jmp { .. } | Inst::Br { .. } | Inst::Ret { .. }))
+            .map(|i| i + 1)
+            .unwrap_or(insts.len());
+        for inst in &insts[..term] {
+            for r in reads_of(inst) {
+                if !has(&live, r) {
+                    return Err(ExecError::UnassignedRegister {
+                        function: f.name.clone(),
+                        reg: r,
+                    });
+                }
+            }
+            if let Some(d) = def_of(inst) {
+                set(&mut live, d);
+            }
+        }
+    }
+    Ok(())
 }
 
 fn cast(v: Value, ty: Ty) -> Value {
@@ -592,5 +1021,120 @@ mod tests {
         let out = Interp::new(&m).call("q", &[x.into()]).unwrap().unwrap();
         assert_ne!(out.as_float(), x);
         assert_eq!(out.as_float(), x as f32 as f64);
+    }
+
+    /// Regression: reading a never-assigned register used to silently
+    /// evaluate to `Int(0)`; it must be a static error.
+    #[test]
+    fn unassigned_register_is_an_error() {
+        use crate::ir::{BlockId, Inst, Operand, Reg};
+        let mut f = crate::ir::Function::new("bad", 0);
+        f.push(
+            BlockId(0),
+            Inst::Ret {
+                value: Some(Operand::Reg(Reg(5))),
+            },
+        );
+        let mut m = Module::new();
+        m.add_function(f);
+        let err = Interp::new(&m).call("bad", &[]).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::UnassignedRegister {
+                function: "bad".into(),
+                reg: 5
+            }
+        );
+    }
+
+    /// A register assigned on only one arm of a branch is not definitely
+    /// assigned at the join.
+    #[test]
+    fn partially_assigned_register_is_an_error() {
+        use crate::ir::{BlockId, Inst, Operand};
+        let mut f = crate::ir::Function::new("half", 1);
+        let cond = f.params[0];
+        let r = f.fresh_reg();
+        let then_b = f.new_block();
+        let else_b = f.new_block();
+        let join = f.new_block();
+        f.push(
+            BlockId(0),
+            Inst::Br {
+                cond: cond.into(),
+                then_b,
+                else_b,
+            },
+        );
+        f.push(
+            then_b,
+            Inst::Const {
+                dst: r,
+                value: Operand::ImmInt(1),
+            },
+        );
+        f.push(then_b, Inst::Jmp { target: join });
+        f.push(else_b, Inst::Jmp { target: join });
+        f.push(
+            join,
+            Inst::Ret {
+                value: Some(r.into()),
+            },
+        );
+        let mut m = Module::new();
+        m.add_function(f);
+        let err = Interp::new(&m).call("half", &[1.into()]).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::UnassignedRegister { reg, .. } if reg == r.0
+        ));
+    }
+
+    /// A register assigned on both arms IS definitely assigned at the join:
+    /// the dataflow must not be over-strict.
+    #[test]
+    fn both_arms_assigned_is_fine() {
+        use crate::ir::{BlockId, Inst, Operand};
+        let mut f = crate::ir::Function::new("full", 1);
+        let cond = f.params[0];
+        let r = f.fresh_reg();
+        let then_b = f.new_block();
+        let else_b = f.new_block();
+        let join = f.new_block();
+        f.push(
+            BlockId(0),
+            Inst::Br {
+                cond: cond.into(),
+                then_b,
+                else_b,
+            },
+        );
+        for (b, v) in [(then_b, 1), (else_b, 2)] {
+            f.push(
+                b,
+                Inst::Const {
+                    dst: r,
+                    value: Operand::ImmInt(v),
+                },
+            );
+            f.push(b, Inst::Jmp { target: join });
+        }
+        f.push(
+            join,
+            Inst::Ret {
+                value: Some(r.into()),
+            },
+        );
+        let mut m = Module::new();
+        m.add_function(f);
+        let mut interp = Interp::new(&m);
+        assert_eq!(
+            interp.call("full", &[1.into()]).unwrap(),
+            Some(Value::Int(1))
+        );
+        assert_eq!(
+            interp.call("full", &[0.into()]).unwrap(),
+            Some(Value::Int(2))
+        );
     }
 }

@@ -354,6 +354,15 @@ impl Module {
         self.by_name.get(name).map(|&i| &self.functions[i])
     }
 
+    /// Index of a function by name, valid into [`Module::functions`].
+    ///
+    /// Indices are stable (functions are never removed), which lets
+    /// execution engines resolve call targets to plain indices once
+    /// instead of hashing names per call.
+    pub fn function_index(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
     /// Look up a function mutably.
     pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
         let i = *self.by_name.get(name)?;

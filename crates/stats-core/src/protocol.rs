@@ -554,7 +554,7 @@ where
         }
         let spec = runs[k]
             .spec_start
-            .clone()
+            .take()
             .expect("speculative group has a start state");
         let aux_node = runs[k].chain_nodes[0];
         let rollback = config
@@ -617,7 +617,7 @@ where
                 tail_nodes.push(node);
                 deps = vec![node];
             }
-            originals.push(state.clone());
+            originals.push(state);
             val_node = trace.push(
                 TraceNodeKind::Validation {
                     group: k,

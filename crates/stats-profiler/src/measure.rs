@@ -2,7 +2,7 @@
 
 use stats_core::{run_protocol, run_protocol_segmented, SpecConfig, SpecReport, TradeoffBindings};
 use stats_sim::{simulate, EnergyModel, Platform};
-use stats_workloads::{Workload, WorkloadSpec};
+use stats_workloads::{Instance, Workload, WorkloadSpec};
 
 use crate::graph::expand_trace;
 
@@ -133,6 +133,21 @@ pub fn measure<W: Workload>(
     settings: &RunSettings,
 ) -> FullMeasurement {
     let instance = workload.instance(spec);
+    measure_instance(workload, &instance, spec, settings)
+}
+
+/// [`measure`] against a pre-materialized instance.
+///
+/// Callers that profile the same spec many times (the autotuner evaluates
+/// dozens of configurations per workload) materialize the instance once and
+/// pay input generation once instead of per trial. The instance is read-only
+/// here, so one instance can serve concurrent profile runs.
+pub fn measure_instance<W: Workload>(
+    workload: &W,
+    instance: &Instance<W::T>,
+    spec: &WorkloadSpec,
+    settings: &RunSettings,
+) -> FullMeasurement {
     let result = match settings.segment {
         Some(segment) => run_protocol_segmented(
             &instance.transition,

@@ -12,9 +12,9 @@ use stats_autotune::{
     TuningOutcome,
 };
 use stats_core::{SpecConfig, TradeoffBindings};
-use stats_workloads::{Workload, WorkloadSpec};
+use stats_workloads::{Instance, Workload, WorkloadSpec};
 
-use crate::measure::{measure, FullMeasurement, RunSettings};
+use crate::measure::{measure_instance, FullMeasurement, RunSettings};
 
 /// Group-cardinality choices exposed to the tuner.
 pub const GROUP_SIZES: [usize; 6] = [2, 4, 6, 8, 12, 16];
@@ -101,6 +101,47 @@ pub struct TuneResult {
     pub database: ResultsDatabase,
 }
 
+/// Profile one configuration against a pre-materialized instance.
+fn profile_config<W: Workload>(
+    workload: &W,
+    instance: &Instance<W::T>,
+    spec: &WorkloadSpec,
+    threads: usize,
+    base: &RunSettings,
+    cfg: &Configuration,
+) -> Measurement {
+    let decoded = decode(workload, cfg);
+    let settings = RunSettings {
+        threads: decoded.alloc.clamp(1, threads),
+        t_orig: decoded.t_orig,
+        spec_config: decoded.spec_config,
+        ..base.clone()
+    };
+    let m = measure_instance(workload, instance, spec, &settings);
+    Measurement {
+        time_s: m.time_s,
+        energy_j: m.energy_j,
+    }
+}
+
+/// Measure the tuner's winning configuration in full.
+fn measure_best<W: Workload>(
+    workload: &W,
+    instance: &Instance<W::T>,
+    spec: &WorkloadSpec,
+    threads: usize,
+    base: RunSettings,
+    best: &DecodedConfig,
+) -> FullMeasurement {
+    let settings = RunSettings {
+        threads: best.alloc.clamp(1, threads),
+        t_orig: best.t_orig,
+        spec_config: best.spec_config.clone(),
+        ..base
+    };
+    measure_instance(workload, instance, spec, &settings)
+}
+
 /// Autotune `workload` on the given training `spec` with `threads` hardware
 /// threads, evaluating `budget` configurations.
 pub fn tune<W: Workload>(
@@ -149,28 +190,12 @@ pub fn retune<W: Workload>(
                 .collect(),
         );
     let base_settings = RunSettings::for_mode(workload, crate::Mode::ParStats, threads);
+    let instance = workload.instance(spec);
     let (outcome, database) = tuner.run(budget.max(prior.outcome.history.len()), |cfg| {
-        let decoded = decode(workload, cfg);
-        let settings = RunSettings {
-            threads: decoded.alloc.clamp(1, threads),
-            t_orig: decoded.t_orig,
-            spec_config: decoded.spec_config,
-            ..base_settings.clone()
-        };
-        let m = measure(workload, spec, &settings);
-        Measurement {
-            time_s: m.time_s,
-            energy_j: m.energy_j,
-        }
+        profile_config(workload, &instance, spec, threads, &base_settings, cfg)
     });
     let best = decode(workload, &outcome.best);
-    let settings = RunSettings {
-        threads: best.alloc.clamp(1, threads),
-        t_orig: best.t_orig,
-        spec_config: best.spec_config.clone(),
-        ..base_settings
-    };
-    let best_measurement = measure(workload, spec, &settings);
+    let best_measurement = measure_best(workload, &instance, spec, threads, base_settings, &best);
     TuneResult {
         outcome,
         best,
@@ -179,17 +204,48 @@ pub fn retune<W: Workload>(
     }
 }
 
-/// [`tune`] with only the first `tradeoff_prefix` tradeoffs tunable.
+/// [`tune`] with the profile runs fanned out over `workers` threads.
+///
+/// Proposals come in deterministic fixed-size generations
+/// ([`Tuner::GENERATION`]), so the search history, best configuration, and
+/// convergence curve are bit-identical to [`tune`] with the same
+/// `search_seed`, for any worker count. The shared workload instance is
+/// materialized once and profiled concurrently (it is read-only).
 #[allow(clippy::too_many_arguments)]
-pub fn tune_with_prefix<W: Workload>(
+pub fn tune_parallel<W: Workload + Sync>(
     workload: &W,
     spec: &WorkloadSpec,
     threads: usize,
     objective: Objective,
     budget: usize,
     search_seed: u64,
-    tradeoff_prefix: usize,
+    workers: usize,
 ) -> TuneResult {
+    let (tuner, base_settings) =
+        seeded_tuner(workload, threads, objective, search_seed, usize::MAX);
+    let instance = workload.instance(spec);
+    let (outcome, database) = tuner.run_parallel(budget, workers, |cfg| {
+        profile_config(workload, &instance, spec, threads, &base_settings, cfg)
+    });
+    let best = decode(workload, &outcome.best);
+    let best_measurement = measure_best(workload, &instance, spec, threads, base_settings, &best);
+    TuneResult {
+        outcome,
+        best,
+        best_measurement,
+        database,
+    }
+}
+
+/// A tuner seeded with the four baseline configurations, plus the base run
+/// settings — the shared setup of [`tune_with_prefix`] and [`tune_parallel`].
+fn seeded_tuner<W: Workload>(
+    workload: &W,
+    threads: usize,
+    objective: Objective,
+    search_seed: u64,
+    tradeoff_prefix: usize,
+) -> (Tuner, RunSettings) {
     let space = search_space(workload, threads, tradeoff_prefix);
     let t = threads.max(1) as i64;
     let n_tradeoffs = workload.tradeoffs().len();
@@ -219,28 +275,28 @@ pub fn tune_with_prefix<W: Workload>(
         original_half,
     ]);
     let base_settings = RunSettings::for_mode(workload, crate::Mode::ParStats, threads);
+    (tuner, base_settings)
+}
+
+/// [`tune`] with only the first `tradeoff_prefix` tradeoffs tunable.
+#[allow(clippy::too_many_arguments)]
+pub fn tune_with_prefix<W: Workload>(
+    workload: &W,
+    spec: &WorkloadSpec,
+    threads: usize,
+    objective: Objective,
+    budget: usize,
+    search_seed: u64,
+    tradeoff_prefix: usize,
+) -> TuneResult {
+    let (tuner, base_settings) =
+        seeded_tuner(workload, threads, objective, search_seed, tradeoff_prefix);
+    let instance = workload.instance(spec);
     let (outcome, database) = tuner.run(budget, |cfg| {
-        let decoded = decode(workload, cfg);
-        let settings = RunSettings {
-            threads: decoded.alloc.clamp(1, threads),
-            t_orig: decoded.t_orig,
-            spec_config: decoded.spec_config,
-            ..base_settings.clone()
-        };
-        let m = measure(workload, spec, &settings);
-        Measurement {
-            time_s: m.time_s,
-            energy_j: m.energy_j,
-        }
+        profile_config(workload, &instance, spec, threads, &base_settings, cfg)
     });
     let best = decode(workload, &outcome.best);
-    let settings = RunSettings {
-        threads: best.alloc.clamp(1, threads),
-        t_orig: best.t_orig,
-        spec_config: best.spec_config.clone(),
-        ..base_settings
-    };
-    let best_measurement = measure(workload, spec, &settings);
+    let best_measurement = measure_best(workload, &instance, spec, threads, base_settings, &best);
     TuneResult {
         outcome,
         best,
@@ -252,7 +308,7 @@ pub fn tune_with_prefix<W: Workload>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::measure::Mode;
+    use crate::measure::{measure, Mode};
     use stats_workloads::bodytrack::BodyTrack;
     use stats_workloads::fluidanimate::FluidAnimate;
     use stats_workloads::swaptions::Swaptions;
@@ -335,6 +391,22 @@ mod tests {
         let time_best = tune(&w, &s, 28, Objective::Time, 40, 3);
         let energy_best = retune(&w, &s, 28, Objective::Energy, 40, 3, &time_best);
         assert!(energy_best.best_measurement.energy_j <= time_best.best_measurement.energy_j);
+    }
+
+    #[test]
+    fn parallel_tuning_reproduces_serial_search() {
+        let w = Swaptions;
+        let s = spec(12);
+        let serial = tune(&w, &s, 8, Objective::Time, 24, 7);
+        for workers in [2, 4] {
+            let par = tune_parallel(&w, &s, 8, Objective::Time, 24, 7, workers);
+            assert_eq!(par.outcome.best, serial.outcome.best, "{workers} workers");
+            assert_eq!(
+                par.outcome.history.best_so_far_curve(),
+                serial.outcome.history.best_so_far_curve(),
+                "{workers} workers"
+            );
+        }
     }
 
     #[test]
