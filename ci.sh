@@ -18,6 +18,29 @@ cargo build --offline --release -q -p bench
 ./target/release/figures --tiny fig3 fig13 > /dev/null
 ./target/release/bench_pipeline BENCH_pipeline.json
 
+echo "== observability smoke (stats-report + Chrome trace validation)"
+cargo build --offline -q --bin stats-report
+TRACE_JSON=$(mktemp /tmp/stats-report.XXXXXX.trace.json)
+./target/debug/stats-report swaptions --inputs 24 --threads 4 \
+    --trace "$TRACE_JSON" --check > /dev/null
+python3 - "$TRACE_JSON" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "trace has no events"
+sched = [e for e in events if e["ph"] == "X" and "deps" in e.get("args", {})]
+assert sched, "trace has no virtual-schedule events"
+for e in sched:
+    for dep in e["args"]["deps"]:
+        assert dep < e["args"]["node"], f"forward dependence edge: {e}"
+begins = sum(1 for e in events if e["ph"] == "B")
+ends = sum(1 for e in events if e["ph"] == "E")
+assert begins == ends, f"unbalanced span events: {begins} B vs {ends} E"
+print(f"trace OK: {len(events)} events, {len(sched)} scheduled nodes")
+EOF
+rm -f "$TRACE_JSON"
+
 echo "== stats-lint corpus smoke"
 cargo build --offline -q --bin stats-lint
 ./target/debug/stats-lint --quiet examples/dsl/*.stats

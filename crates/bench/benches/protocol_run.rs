@@ -3,7 +3,8 @@
 //! autotuner profiles thousands of times.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use stats_core::{run_protocol, SpecConfig, TradeoffBindings};
+use stats_core::obs::NOOP;
+use stats_core::{run_protocol, run_protocol_observed, SpecConfig, TradeoffBindings};
 use stats_workloads::swaptions::Swaptions;
 use stats_workloads::{Workload, WorkloadSpec};
 
@@ -26,6 +27,21 @@ fn run(c: &mut Criterion) {
     };
     c.bench_function("protocol_run_swaptions", |b| {
         b.iter(|| run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, 7))
+    });
+    // Same run through the observed entry point with the disabled no-op
+    // sink: the delta against `protocol_run_swaptions` is the cost of the
+    // instrumentation when observability is off (budget: < 2%).
+    c.bench_function("protocol_run_swaptions_noop_sink", |b| {
+        b.iter(|| {
+            run_protocol_observed(
+                &inst.transition,
+                &inst.inputs,
+                &inst.initial,
+                &cfg,
+                7,
+                &NOOP,
+            )
+        })
     });
 }
 

@@ -5,6 +5,7 @@
 //! cargo run --release -p bench --bin figures -- fig12 fig13
 //! cargo run --release -p bench --bin figures -- --quick table1
 //! cargo run --release -p bench --bin figures -- --tiny fig3 fig12
+//! cargo run --release -p bench --bin figures -- --tiny fig12 --trace traces/
 //! ```
 //!
 //! Available targets: `fig2 fig3 table1 fig12 fig13 fig14 fig15 fig16
@@ -31,6 +32,13 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
+    // `--trace DIR` exports Chrome trace JSON for representative fig12/14
+    // cells into DIR (loadable in chrome://tracing / Perfetto).
+    let trace: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
     let mut targets: Vec<&str> = Vec::new();
     let mut skip_next = false;
     for a in &args {
@@ -38,7 +46,7 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--out" {
+        if a == "--out" || a == "--trace" {
             skip_next = true;
         } else if !a.starts_with("--") {
             targets.push(a.as_str());
@@ -201,6 +209,16 @@ fn main() {
         print!("{}", render::fig20_text(&curve, convergence));
         if let Some(dir) = &out {
             dump(tsv::fig20(dir, &curve, convergence));
+        }
+    }
+    if let Some(dir) = &trace {
+        match experiments::export_traces(&settings, dir) {
+            Ok(paths) => {
+                for p in paths {
+                    eprintln!("trace: {}", p.display());
+                }
+            }
+            Err(e) => eprintln!("--trace: {e}"),
         }
     }
 }

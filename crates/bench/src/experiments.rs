@@ -952,6 +952,51 @@ pub fn table1(settings: &Settings) -> Vec<Table1Row> {
         .collect()
 }
 
+// ------------------------------------------------------- Trace export
+
+/// Write Chrome trace-event JSON files for representative figure cells:
+/// for every benchmark, the tuned Par. STATS Figure 12 cell at the maximum
+/// thread count and the single-socket Figure 14 cell. One file per cell in
+/// `dir` (created if needed); returns the written paths.
+///
+/// These are the schedules the figures' speedup numbers are integrated
+/// over, exported for inspection in `chrome://tracing`/Perfetto.
+pub fn export_traces(
+    settings: &Settings,
+    dir: &std::path::Path,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let spec = settings.spec();
+    let single_socket = Platform::haswell_single_socket();
+    let mut written = Vec::new();
+    for bench in BenchmarkId::all() {
+        let best = tuned(bench, &spec, settings.max_threads, settings.tune_budget, 1);
+        let traced = |threads: usize, platform: Option<&Platform>| {
+            with_workload!(bench, |w| {
+                let alloc = best.best.alloc.clamp(1, threads);
+                let base = RunSettings::for_mode(&w, Mode::ParStats, alloc);
+                let mut run = RunSettings {
+                    threads: alloc,
+                    t_orig: best.best.t_orig.clamp(1, alloc),
+                    spec_config: best.best.spec_config.clone(),
+                    ..base
+                };
+                if let Some(p) = platform {
+                    run.platform = p.clone();
+                }
+                stats_profiler::measure_traced(&w, &spec, &run).1
+            })
+        };
+        let fig12 = dir.join(format!("{}-fig12-par-stats.trace.json", bench.name()));
+        std::fs::write(&fig12, traced(settings.max_threads, None))?;
+        written.push(fig12);
+        let fig14 = dir.join(format!("{}-fig14-single-socket.trace.json", bench.name()));
+        std::fs::write(&fig14, traced(14, Some(&single_socket)))?;
+        written.push(fig14);
+    }
+    Ok(written)
+}
+
 /// Lines of Rust in each workload module (excluding tests).
 fn workload_loc(bench: BenchmarkId) -> usize {
     let src = match bench {

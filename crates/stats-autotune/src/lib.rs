@@ -37,4 +37,4 @@ pub use param::{Configuration, IntegerParameter, SearchSpace};
 pub use technique::{
     DifferentialEvolution, GeneticAlgorithm, GreedyMutation, PatternSearch, RandomSearch, Technique,
 };
-pub use tuner::{Objective, Tuner, TuningOutcome};
+pub use tuner::{GenerationTelemetry, Objective, Tuner, TuningOutcome};

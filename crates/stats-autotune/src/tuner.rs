@@ -29,6 +29,27 @@ impl Objective {
     }
 }
 
+/// A snapshot of one ask/tell generation, handed to the observer installed
+/// with [`Tuner::with_telemetry`] right after the generation's results are
+/// reported. The fields mirror what OpenTuner logs per "desired result"
+/// batch and are what `stats-report`/`figures` surface for tuning runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationTelemetry {
+    /// Zero-based generation index.
+    pub generation: usize,
+    /// Trials charged against the budget this generation.
+    pub trials: usize,
+    /// Configurations actually profiled (not answered by the database).
+    pub evaluated: usize,
+    /// Trials answered from the results database without re-profiling.
+    pub cached: usize,
+    /// Best objective value seen so far (lower is better).
+    pub best_objective: f64,
+}
+
+/// A boxed per-generation observer (see [`Tuner::with_telemetry`]).
+pub type TelemetryObserver = Box<dyn FnMut(&GenerationTelemetry)>;
+
 /// The result of a tuning run.
 #[derive(Debug, Clone)]
 pub struct TuningOutcome {
@@ -50,6 +71,7 @@ pub struct Tuner {
     rng: SmallRng,
     database: ResultsDatabase,
     seed_configs: Vec<Configuration>,
+    telemetry: Option<TelemetryObserver>,
 }
 
 impl Tuner {
@@ -74,6 +96,7 @@ impl Tuner {
             rng: SmallRng::seed_from_u64(seed),
             database: ResultsDatabase::new(),
             seed_configs: Vec::new(),
+            telemetry: None,
         }
     }
 
@@ -90,6 +113,15 @@ impl Tuner {
     /// previous exploration under a different objective).
     pub fn with_database(mut self, database: ResultsDatabase) -> Self {
         self.database = database;
+        self
+    }
+
+    /// Install an observer called once per ask/tell generation (after the
+    /// generation's results are reported) with a [`GenerationTelemetry`]
+    /// snapshot. Purely observational: the search trajectory is identical
+    /// with or without an observer, under both runners.
+    pub fn with_telemetry(mut self, observer: impl FnMut(&GenerationTelemetry) + 'static) -> Self {
+        self.telemetry = Some(Box::new(observer));
         self
     }
 
@@ -160,6 +192,8 @@ impl Tuner {
         assert!(budget > 0, "budget must be at least one trial");
         let mut history = History::new();
         let mut seeds = std::mem::take(&mut self.seed_configs).into_iter();
+        let mut telemetry = self.telemetry.take();
+        let mut generation = 0usize;
         let mut remaining = budget;
         while remaining > 0 {
             let gen_size = remaining.min(Self::GENERATION);
@@ -195,18 +229,32 @@ impl Tuner {
                 todo.len(),
                 "evaluate must return one measurement per configuration"
             );
+            let measured = todo.len();
             for (cfg, m) in todo.into_iter().zip(measurements) {
                 self.database.insert(cfg, m);
             }
 
             // Tell: report results in proposal order, making the history
             // independent of evaluation order (and hence worker count).
+            let evaluated = measured;
             for cfg in cfgs {
                 let m = self.database.get(&cfg).expect("inserted above").clone();
                 let o = self.objective.of(&m);
                 self.bandit.report(&cfg, o);
                 history.record(cfg, m, o);
             }
+
+            if let Some(observe) = telemetry.as_mut() {
+                let (_, _, best_objective) = history.best().expect("generation recorded trials");
+                observe(&GenerationTelemetry {
+                    generation,
+                    trials: gen_size,
+                    evaluated,
+                    cached: gen_size - evaluated,
+                    best_objective,
+                });
+            }
+            generation += 1;
         }
         let (best, best_m, _) = history.best().expect("budget must be at least one trial");
         let outcome = TuningOutcome {
@@ -387,6 +435,61 @@ mod tests {
                 proptest::prop_assert_eq!(par_db.len(), serial_db.len());
             }
         }
+    }
+
+    #[test]
+    fn telemetry_reports_every_generation() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let seen: Rc<RefCell<Vec<GenerationTelemetry>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&seen);
+        let tuner = Tuner::new(space(), Objective::Time, 7)
+            .with_telemetry(move |t| sink.borrow_mut().push(t.clone()));
+        let (outcome, _) = tuner.run(50, measure);
+        let seen = seen.borrow();
+
+        // 50 trials in generations of 8: six full generations plus one of 2.
+        assert_eq!(seen.len(), 50usize.div_ceil(Tuner::GENERATION));
+        assert_eq!(seen.iter().map(|t| t.trials).sum::<usize>(), 50);
+        for (i, t) in seen.iter().enumerate() {
+            assert_eq!(t.generation, i);
+            assert_eq!(t.evaluated + t.cached, t.trials);
+        }
+        // The running best is monotone and ends at the outcome's best.
+        assert!(seen
+            .windows(2)
+            .all(|w| w[1].best_objective <= w[0].best_objective));
+        let last = seen.last().unwrap();
+        assert_eq!(
+            last.best_objective,
+            Objective::Time.of(&outcome.best_measurement)
+        );
+
+        // Observation is pure: the trajectory matches an unobserved run.
+        let (plain, _) = Tuner::new(space(), Objective::Time, 7).run(50, measure);
+        assert_eq!(plain.best, outcome.best);
+        assert_eq!(
+            plain.history.best_so_far_curve(),
+            outcome.history.best_so_far_curve()
+        );
+    }
+
+    #[test]
+    fn telemetry_counts_database_hits_as_cached() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        // Pre-measure everything, then re-tune on the warm database: every
+        // trial answered by the database must show up as cached.
+        let (_, db) = Tuner::new(space(), Objective::Time, 9).run(64, measure);
+        let seen: Rc<RefCell<Vec<GenerationTelemetry>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&seen);
+        let tuner = Tuner::new(space(), Objective::Time, 9)
+            .with_database(db)
+            .with_telemetry(move |t| sink.borrow_mut().push(t.clone()));
+        let (_, _) = tuner.run(64, measure);
+        let seen = seen.borrow();
+        let cached: usize = seen.iter().map(|t| t.cached).sum();
+        assert_eq!(cached, 64, "warm database answers every repeated trial");
     }
 
     #[test]

@@ -66,6 +66,7 @@
 #![deny(missing_docs)]
 
 mod ctx;
+pub mod obs;
 mod pool;
 mod protocol;
 mod runtime;
@@ -73,10 +74,11 @@ mod sdi;
 mod tradeoff;
 
 pub use ctx::{InvocationCtx, WorkMeter};
-pub use pool::ThreadPool;
+pub use obs::{Event, EventKind, EventSink, NoopSink, RecordingSink};
+pub use pool::{PoolMetrics, ThreadPool};
 pub use protocol::{
-    run_protocol, run_protocol_segmented, GroupRecord, GroupResolution, ProtocolResult, SpecConfig,
-    SpecReport, SpecTrace, TraceNode, TraceNodeKind,
+    run_protocol, run_protocol_observed, run_protocol_segmented, GroupRecord, GroupResolution,
+    ProtocolResult, SpecConfig, SpecReport, SpecTrace, TraceNode, TraceNodeKind,
 };
 pub use runtime::{SpecOutcome, StateDependence};
 pub use sdi::{ExactState, SpecState, StateTransition};

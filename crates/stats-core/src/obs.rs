@@ -1,0 +1,648 @@
+//! Runtime observability: typed events, wall-clock spans, and exporters.
+//!
+//! The execution model already records *what* ran as a [`SpecTrace`] (a task
+//! graph with work costs and dependence edges); this module adds the
+//! orthogonal runtime view — *when* things happened on real threads — and
+//! the tooling to inspect both:
+//!
+//! - [`EventKind`]/[`Event`]: typed protocol events (group start/commit/
+//!   abort, validation, re-execution, sequential-tail entry) with wall-clock
+//!   timestamps and thread tags;
+//! - [`EventSink`]: where the protocol emits events. The default
+//!   [`NoopSink`] compiles to a virtual `enabled()` check per site and
+//!   nothing else, so instrumentation costs nothing unless a recording sink
+//!   is installed (the `protocol_run` bench pins the disabled overhead
+//!   below 2%);
+//! - [`RecordingSink`]: an in-memory sink stamping events with microsecond
+//!   wall-clock offsets and a per-thread tag — usable concurrently from
+//!   pool workers;
+//! - [`chrome_trace_json`]: a Chrome `trace_event` exporter combining the
+//!   [`SpecTrace`] (laid out as a virtual schedule in work units) with the
+//!   recorded wall-clock events; the output loads in `about:tracing` /
+//!   Perfetto;
+//! - [`render_summary`]: the human-readable per-group timeline and
+//!   work-split table behind the `stats-report` CLI;
+//! - [`validate_backward_deps`]: the structural invariant every exported
+//!   trace must satisfy (dependence edges point strictly backward).
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::protocol::{GroupResolution, SpecReport, SpecTrace, TraceNodeKind};
+
+/// What happened, with enough coordinates to reconstruct the run story.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A protocol run began (`run_protocol*` or the pooled runtime).
+    RunStart {
+        /// Number of inputs in the run.
+        inputs: usize,
+        /// Number of groups the inputs were split into.
+        groups: usize,
+    },
+    /// The protocol run finished (outputs committed, accounting done).
+    RunEnd,
+    /// A group's execution (auxiliary code + chained invocations) began.
+    GroupStart {
+        /// Group index.
+        group: usize,
+        /// First absolute input index of the group.
+        start: usize,
+        /// One past the last absolute input index.
+        end: usize,
+        /// Whether the group starts from an auxiliary speculative state.
+        speculative: bool,
+    },
+    /// A group's execution finished (validation happens later, in order).
+    GroupEnd {
+        /// Group index.
+        group: usize,
+    },
+    /// One state comparison (`does_spec_state_match_any`).
+    Validation {
+        /// The speculative group being validated.
+        group: usize,
+        /// Comparison attempt (0 = against the first original state).
+        attempt: usize,
+        /// Whether the speculative state matched.
+        matched: bool,
+    },
+    /// The previous group's tail is being re-executed after a mismatch.
+    Reexecution {
+        /// The group being re-executed (the *previous* group).
+        group: usize,
+        /// Re-execution attempt number (1-based).
+        attempt: usize,
+    },
+    /// A speculative group's outputs were committed.
+    GroupCommit {
+        /// Group index.
+        group: usize,
+        /// Re-executions of the previous group that were needed.
+        reexecutions: usize,
+    },
+    /// A speculative group aborted (re-execution budget exhausted).
+    GroupAbort {
+        /// Group index.
+        group: usize,
+    },
+    /// The post-abort sequential tail began processing remaining inputs.
+    SequentialTailStart {
+        /// First absolute input index processed sequentially.
+        index: usize,
+    },
+    /// The sequential tail finished.
+    SequentialTailEnd,
+}
+
+impl EventKind {
+    /// Display label (also the Chrome trace event name).
+    pub fn label(&self) -> String {
+        match self {
+            EventKind::RunStart { .. } | EventKind::RunEnd => "run".to_string(),
+            EventKind::GroupStart { group, .. } | EventKind::GroupEnd { group } => {
+                format!("group {group}")
+            }
+            EventKind::Validation {
+                group,
+                attempt,
+                matched,
+            } => format!(
+                "validate g{group} a{attempt}: {}",
+                if *matched { "match" } else { "mismatch" }
+            ),
+            EventKind::Reexecution { group, attempt } => format!("reexec g{group} a{attempt}"),
+            EventKind::GroupCommit {
+                group,
+                reexecutions,
+            } => format!("commit g{group} (+{reexecutions} reexec)"),
+            EventKind::GroupAbort { group } => format!("abort g{group}"),
+            EventKind::SequentialTailStart { .. } | EventKind::SequentialTailEnd => {
+                "sequential tail".to_string()
+            }
+        }
+    }
+
+    /// Chrome trace phase: span begin/end for paired kinds, instant else.
+    fn phase(&self) -> char {
+        match self {
+            EventKind::RunStart { .. }
+            | EventKind::GroupStart { .. }
+            | EventKind::SequentialTailStart { .. } => 'B',
+            EventKind::RunEnd | EventKind::GroupEnd { .. } | EventKind::SequentialTailEnd => 'E',
+            _ => 'i',
+        }
+    }
+}
+
+/// One recorded event: kind, wall-clock offset from the sink's epoch, and a
+/// stable tag for the emitting OS thread.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// Wall-clock offset from the sink's creation.
+    pub at: Duration,
+    /// Hash of the emitting thread's id (stable within a process run).
+    pub thread: u64,
+}
+
+/// Where the protocol emits events.
+///
+/// Implementations must be callable from multiple threads: the pooled
+/// runtime emits group events from worker threads. The default methods make
+/// any implementation a no-op until overridden.
+pub trait EventSink: Send + Sync {
+    /// Whether emission sites should bother constructing events. The
+    /// protocol checks this before every emit, so a `false` sink costs one
+    /// virtual call per *event site* (per group / validation, never per
+    /// invocation).
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Record one event. Called only when [`EventSink::enabled`] is true.
+    fn emit(&self, kind: EventKind) {
+        let _ = kind;
+    }
+}
+
+/// The zero-cost default sink: disabled, records nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl EventSink for NoopSink {}
+
+/// A shared no-op instance for call sites that need a `&dyn EventSink`.
+pub static NOOP: NoopSink = NoopSink;
+
+/// An in-memory sink stamping each event with the wall-clock offset from
+/// the sink's creation and the emitting thread's tag.
+#[derive(Debug)]
+pub struct RecordingSink {
+    epoch: Instant,
+    events: Mutex<Vec<Event>>,
+}
+
+impl RecordingSink {
+    /// Create an empty sink; its epoch (timestamp zero) is now.
+    pub fn new() -> Self {
+        RecordingSink {
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Snapshot the events recorded so far, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Drain the recorded events, leaving the sink empty (epoch unchanged).
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut self.events.lock())
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl Default for RecordingSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventSink for RecordingSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn emit(&self, kind: EventKind) {
+        let at = self.epoch.elapsed();
+        let mut h = DefaultHasher::new();
+        std::thread::current().id().hash(&mut h);
+        let thread = h.finish();
+        self.events.lock().push(Event { kind, at, thread });
+    }
+}
+
+// ------------------------------------------------------------- exporters
+
+/// The [`SpecTrace`] laid out on virtual lanes: a list-schedule in work
+/// units where each node starts as soon as its dependences finish, on the
+/// first lane free at that time. This is the trace's *inherent* parallelism
+/// (unbounded lanes), independent of any platform model.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualSchedule {
+    /// Per node: (start, finish, lane), in work units.
+    pub slots: Vec<(f64, f64, usize)>,
+    /// Number of lanes used.
+    pub lanes: usize,
+}
+
+impl VirtualSchedule {
+    /// Finish time of the last node (work units).
+    pub fn makespan(&self) -> f64 {
+        self.slots.iter().map(|s| s.1).fold(0.0, f64::max)
+    }
+}
+
+/// Lay the trace out on virtual lanes (see [`VirtualSchedule`]).
+pub fn virtual_schedule(trace: &SpecTrace) -> VirtualSchedule {
+    let mut slots: Vec<(f64, f64, usize)> = Vec::with_capacity(trace.nodes.len());
+    let mut lane_free: Vec<f64> = Vec::new();
+    for node in &trace.nodes {
+        let start = node
+            .deps
+            .iter()
+            .map(|&d| slots[d].1)
+            .fold(0.0_f64, f64::max);
+        let lane = match lane_free.iter().position(|&f| f <= start + 1e-12) {
+            Some(l) => l,
+            None => {
+                lane_free.push(0.0);
+                lane_free.len() - 1
+            }
+        };
+        let finish = start + node.work.total;
+        lane_free[lane] = finish;
+        slots.push((start, finish, lane));
+    }
+    VirtualSchedule {
+        slots,
+        lanes: lane_free.len(),
+    }
+}
+
+/// Check that every dependence edge points strictly backward (each node
+/// depends only on earlier nodes) — the invariant that makes a trace
+/// replayable and its exports well-formed.
+pub fn validate_backward_deps(trace: &SpecTrace) -> Result<(), String> {
+    for (i, node) in trace.nodes.iter().enumerate() {
+        for &d in &node.deps {
+            if d >= i {
+                return Err(format!(
+                    "node {i} ({:?}) depends on non-earlier node {d}",
+                    node.kind
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn node_name(kind: &TraceNodeKind) -> String {
+    match kind {
+        TraceNodeKind::Auxiliary { group } => format!("aux g{group}"),
+        TraceNodeKind::Invocation {
+            group,
+            index,
+            attempt,
+            sequential_tail,
+        } => {
+            if *sequential_tail {
+                format!("tail i{index}")
+            } else if *attempt > 0 {
+                format!("inv g{group} i{index} a{attempt}")
+            } else {
+                format!("inv g{group} i{index}")
+            }
+        }
+        TraceNodeKind::Validation { group, attempt } => format!("val g{group} a{attempt}"),
+    }
+}
+
+/// Render the trace and recorded events as a Chrome `trace_event` JSON
+/// document (loads in `about:tracing` / Perfetto).
+///
+/// Two processes are emitted:
+///
+/// - **pid 1** — the virtual schedule of the [`SpecTrace`]: one complete
+///   ("X") event per node, one row per virtual lane, timestamps in work
+///   units (1 unit = 1 µs). Each event's `args` carry the node index, its
+///   dependence edges, its group, and whether it committed — squashed work
+///   is visible as `committed: false`.
+/// - **pid 2** — the recorded wall-clock [`Event`]s (when any): span
+///   begin/end pairs for runs, groups, and the sequential tail, instants
+///   for validations, re-executions, commits, and aborts, one row per OS
+///   thread, timestamps in real microseconds.
+///
+/// Written by hand: the sanctioned dependency set has no JSON serializer.
+pub fn chrome_trace_json(trace: &SpecTrace, events: &[Event]) -> String {
+    let sched = virtual_schedule(trace);
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let push = |s: String, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&s);
+    };
+
+    push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"virtual schedule (work units)\"}}"
+            .to_string(),
+        &mut out,
+        &mut first,
+    );
+    for (i, node) in trace.nodes.iter().enumerate() {
+        let (start, finish, lane) = sched.slots[i];
+        let (group, committed) = match node.kind {
+            TraceNodeKind::Auxiliary { group } => (group, node.committed),
+            TraceNodeKind::Invocation { group, .. } => (group, node.committed),
+            TraceNodeKind::Validation { group, .. } => (group, node.committed),
+        };
+        let deps = node
+            .deps
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        push(
+            format!(
+                "{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":1,\"tid\":{lane},\
+                 \"ts\":{ts:.3},\"dur\":{dur:.3},\"args\":{{\"node\":{i},\
+                 \"group\":{group},\"committed\":{committed},\"deps\":[{deps}]}}}}",
+                name = escape(&node_name(&node.kind)),
+                ts = start,
+                dur = finish - start,
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+
+    if !events.is_empty() {
+        push(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\
+             \"args\":{\"name\":\"wall clock\"}}"
+                .to_string(),
+            &mut out,
+            &mut first,
+        );
+        // Stable small tids per thread tag, in first-appearance order.
+        let mut tids: Vec<u64> = Vec::new();
+        for ev in events {
+            let tid = match tids.iter().position(|&t| t == ev.thread) {
+                Some(t) => t,
+                None => {
+                    tids.push(ev.thread);
+                    tids.len() - 1
+                }
+            };
+            let ph = ev.kind.phase();
+            let scope = if ph == 'i' { ",\"s\":\"t\"" } else { "" };
+            push(
+                format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"{ph}\",\"pid\":2,\"tid\":{tid},\
+                     \"ts\":{ts:.3}{scope}}}",
+                    name = escape(&ev.kind.label()),
+                    ts = ev.at.as_secs_f64() * 1.0e6,
+                ),
+                &mut out,
+                &mut first,
+            );
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+// ------------------------------------------------------- human summaries
+
+fn fmt_units(x: f64) -> String {
+    if x >= 1000.0 {
+        format!("{:.1}k", x / 1000.0)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+/// Render a human-readable run summary: a per-group timeline (input range,
+/// resolution, virtual-schedule span, committed/squashed work) and the
+/// work-split table behind Table 1's columns.
+pub fn render_summary(report: &SpecReport, trace: &SpecTrace) -> String {
+    let sched = virtual_schedule(trace);
+    let n_groups = report.groups.len();
+    let mut committed = vec![0.0_f64; n_groups];
+    let mut squashed = vec![0.0_f64; n_groups];
+    let mut span: Vec<Option<(f64, f64)>> = vec![None; n_groups];
+    for (i, node) in trace.nodes.iter().enumerate() {
+        let g = match node.kind {
+            TraceNodeKind::Auxiliary { group } => group,
+            TraceNodeKind::Invocation { group, .. } => group,
+            TraceNodeKind::Validation { group, .. } => group,
+        };
+        if g >= n_groups {
+            continue;
+        }
+        if node.committed {
+            committed[g] += node.work.total;
+        } else {
+            squashed[g] += node.work.total;
+        }
+        let (s, f, _) = sched.slots[i];
+        span[g] = Some(match span[g] {
+            Some((s0, f0)) => (s0.min(s), f0.max(f)),
+            None => (s, f),
+        });
+    }
+
+    let mut out = String::new();
+    out.push_str("per-group timeline (virtual work units):\n");
+    out.push_str(
+        "  group  inputs        span                resolution            committed  squashed\n",
+    );
+    for (g, rec) in report.groups.iter().enumerate() {
+        let res = match rec.resolution {
+            GroupResolution::NonSpeculative => "non-speculative".to_string(),
+            GroupResolution::Committed { reexecutions: 0 } => "committed".to_string(),
+            GroupResolution::Committed { reexecutions } => {
+                format!("committed (+{reexecutions} reexec)")
+            }
+            GroupResolution::Aborted => "aborted".to_string(),
+            GroupResolution::SequentialTail => "sequential tail".to_string(),
+        };
+        let (s, f) = span[g].unwrap_or((0.0, 0.0));
+        out.push_str(&format!(
+            "  {g:>5}  [{:>4},{:>4})  [{:>8},{:>8})  {res:<21} {:>9}  {:>8}\n",
+            rec.start,
+            rec.end,
+            fmt_units(s),
+            fmt_units(f),
+            fmt_units(committed[g]),
+            fmt_units(squashed[g]),
+        ));
+    }
+
+    let total = trace.total_work();
+    let pct = |x: f64| {
+        if total > 0.0 {
+            100.0 * x / total
+        } else {
+            0.0
+        }
+    };
+    out.push_str("\nwork split:\n");
+    out.push_str(&format!(
+        "  committed original  {:>10}  ({:.1}%)\n",
+        fmt_units(report.committed_original_work),
+        pct(report.committed_original_work)
+    ));
+    out.push_str(&format!(
+        "  committed auxiliary {:>10}  ({:.1}%, extra {:.1}% of original)\n",
+        fmt_units(report.committed_aux_work),
+        pct(report.committed_aux_work),
+        100.0 * report.extra_committed_fraction()
+    ));
+    out.push_str(&format!(
+        "  squashed            {:>10}  ({:.1}%)\n",
+        fmt_units(report.squashed_work),
+        pct(report.squashed_work)
+    ));
+    out.push_str(&format!("  total               {:>10}\n", fmt_units(total)));
+    out.push_str(&format!(
+        "\ncritical path: {} units over {} lanes ({} nodes); \
+         inherent speedup {:.2}x\n",
+        fmt_units(sched.makespan()),
+        sched.lanes,
+        trace.nodes.len(),
+        if sched.makespan() > 0.0 {
+            total / sched.makespan()
+        } else {
+            1.0
+        },
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn noop_sink_is_disabled() {
+        assert!(!NoopSink.enabled());
+        NoopSink.emit(EventKind::RunEnd); // must be a no-op, not a panic
+    }
+
+    #[test]
+    fn recording_sink_stamps_events() {
+        let sink = RecordingSink::new();
+        assert!(sink.is_empty());
+        sink.emit(EventKind::RunStart {
+            inputs: 8,
+            groups: 2,
+        });
+        sink.emit(EventKind::RunEnd);
+        let evs = sink.events();
+        assert_eq!(evs.len(), 2);
+        assert!(evs[0].at <= evs[1].at);
+        assert_eq!(evs[0].thread, evs[1].thread);
+        assert_eq!(sink.take().len(), 2);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn recording_sink_is_thread_safe() {
+        let sink = Arc::new(RecordingSink::new());
+        let handles: Vec<_> = (0..4)
+            .map(|g| {
+                let s = Arc::clone(&sink);
+                std::thread::spawn(move || {
+                    for a in 0..25 {
+                        s.emit(EventKind::Validation {
+                            group: g,
+                            attempt: a,
+                            matched: false,
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let evs = sink.events();
+        assert_eq!(evs.len(), 100);
+        // Four distinct thread tags.
+        let mut tags: Vec<u64> = evs.iter().map(|e| e.thread).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), 4);
+    }
+
+    #[test]
+    fn event_labels_are_informative() {
+        assert_eq!(
+            EventKind::GroupCommit {
+                group: 3,
+                reexecutions: 1
+            }
+            .label(),
+            "commit g3 (+1 reexec)"
+        );
+        assert!(EventKind::Validation {
+            group: 2,
+            attempt: 0,
+            matched: true
+        }
+        .label()
+        .contains("match"));
+    }
+
+    #[test]
+    fn span_kinds_pair_begin_end() {
+        assert_eq!(
+            EventKind::GroupStart {
+                group: 1,
+                start: 4,
+                end: 8,
+                speculative: true
+            }
+            .phase(),
+            'B'
+        );
+        assert_eq!(EventKind::GroupEnd { group: 1 }.phase(), 'E');
+        assert_eq!(
+            EventKind::GroupStart {
+                group: 1,
+                start: 4,
+                end: 8,
+                speculative: true
+            }
+            .label(),
+            EventKind::GroupEnd { group: 1 }.label(),
+            "begin/end labels must match for Chrome span pairing"
+        );
+    }
+}

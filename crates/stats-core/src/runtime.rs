@@ -15,6 +15,7 @@ use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
+use crate::obs::{EventSink, NoopSink};
 use crate::pool::ThreadPool;
 use crate::protocol::{
     execute_group, run_protocol_with, GroupData, ProtocolResult, SpecConfig, SpecReport,
@@ -37,6 +38,7 @@ struct Shared<T: StateTransition> {
     transition: T,
     config: SpecConfig,
     pool: Arc<ThreadPool>,
+    sink: Arc<dyn EventSink>,
 }
 
 /// A state dependence made explicit (paper Figures 8/9): the inputs, the
@@ -107,6 +109,7 @@ impl<T: StateTransition> StateDependence<T> {
                 transition,
                 config: SpecConfig::default(),
                 pool,
+                sink: Arc::new(NoopSink),
             })),
             seed: 0,
             handle: None,
@@ -118,6 +121,16 @@ impl<T: StateTransition> StateDependence<T> {
         let shared = Arc::try_unwrap(self.shared.take().expect("not started"))
             .unwrap_or_else(|_| panic!("with_config must precede start"));
         self.shared = Some(Arc::new(Shared { config, ..shared }));
+        self
+    }
+
+    /// Install an observability sink (builder style). Group events are
+    /// emitted from pool worker threads; validation/commit/abort events
+    /// from the coordinator thread.
+    pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        let shared = Arc::try_unwrap(self.shared.take().expect("not started"))
+            .unwrap_or_else(|_| panic!("with_sink must precede start"));
+        self.shared = Some(Arc::new(Shared { sink, ..shared }));
         self
     }
 
@@ -168,6 +181,23 @@ impl<T: StateTransition> StateDependence<T> {
     }
 }
 
+/// Dropping a started-but-not-joined dependence must not leak a detached
+/// `stats-coordinator` thread (it would keep running — and keep pool slots
+/// busy — with nobody to observe it) nor swallow its panics: the handle is
+/// joined here, and a coordinator panic is re-raised unless the drop is
+/// itself part of a panic unwind (re-raising then would abort the process).
+impl<T: StateTransition> Drop for StateDependence<T> {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            if let Err(payload) = handle.join() {
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
 /// Execute the protocol with group execution fanned out to the pool.
 fn run_pooled<T: StateTransition>(shared: &Arc<Shared<T>>, seed: u64) -> ProtocolResult<T> {
     let s = Arc::clone(shared);
@@ -177,6 +207,7 @@ fn run_pooled<T: StateTransition>(shared: &Arc<Shared<T>>, seed: u64) -> Protoco
         &shared.initial,
         &shared.config,
         seed,
+        &*shared.sink,
         move |specs| {
             let slots: Arc<Mutex<Vec<Option<GroupData<T>>>>> =
                 Arc::new(Mutex::new((0..specs.len()).map(|_| None).collect()));
@@ -193,6 +224,7 @@ fn run_pooled<T: StateTransition>(shared: &Arc<Shared<T>>, seed: u64) -> Protoco
                             &s.config,
                             seed,
                             spec,
+                            &*s.sink,
                         );
                         slots.lock()[idx] = Some(data);
                     }
@@ -293,6 +325,115 @@ mod tests {
         );
         dep.start();
         dep.start();
+    }
+
+    /// A transition holding a sentinel `Arc`: when the coordinator thread
+    /// has truly terminated, its clone of the `Shared` state (and hence of
+    /// the sentinel) is gone.
+    struct SentinelLast(#[allow(dead_code)] Arc<()>);
+    impl StateTransition for SentinelLast {
+        type Input = f64;
+        type State = Noisy;
+        type Output = f64;
+        fn compute_output(&self, input: &f64, state: &mut Noisy, ctx: &mut InvocationCtx) -> f64 {
+            ctx.charge(5.0);
+            state.0 = *input + ctx.uniform(-0.1, 0.1);
+            state.0
+        }
+    }
+
+    #[test]
+    fn dropping_started_dependence_joins_coordinator() {
+        // Regression: dropping a started-but-not-joined dependence used to
+        // leak a detached `stats-coordinator` thread. The sentinel's strong
+        // count proves the coordinator (which owns a clone through the
+        // shared state) has terminated by the time drop returns — and the
+        // test finishing at all proves the process was not aborted.
+        let sentinel = Arc::new(());
+        {
+            let mut dep = StateDependence::with_pool(
+                (0..32).map(f64::from).collect(),
+                Noisy(0.0),
+                SentinelLast(Arc::clone(&sentinel)),
+                Arc::new(ThreadPool::new(2)),
+            )
+            .with_config(config());
+            dep.start();
+            // Dropped here without join().
+        }
+        assert_eq!(
+            Arc::strong_count(&sentinel),
+            1,
+            "coordinator thread still holds the shared state"
+        );
+    }
+
+    #[test]
+    fn dropping_unstarted_dependence_is_inert() {
+        let dep = StateDependence::with_pool(
+            vec![1.0, 2.0],
+            Noisy(0.0),
+            NoisyLast,
+            Arc::new(ThreadPool::new(1)),
+        );
+        drop(dep); // no coordinator was ever spawned
+    }
+
+    /// A transition that panics: the coordinator thread dies with it.
+    struct Exploding;
+    impl StateTransition for Exploding {
+        type Input = f64;
+        type State = Noisy;
+        type Output = f64;
+        fn compute_output(&self, _: &f64, _: &mut Noisy, _: &mut InvocationCtx) -> f64 {
+            panic!("transition exploded");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked in ThreadPool::scope")]
+    fn dropping_dependence_propagates_coordinator_panic() {
+        // The old detached handle silently swallowed coordinator panics;
+        // now drop re-raises them on the owning thread.
+        let mut dep = StateDependence::with_pool(
+            vec![1.0, 2.0, 3.0],
+            Noisy(0.0),
+            Exploding,
+            Arc::new(ThreadPool::new(1)),
+        )
+        .with_config(config());
+        dep.start();
+        drop(dep);
+    }
+
+    #[test]
+    fn pooled_run_emits_events_from_worker_threads() {
+        use crate::obs::{EventKind, RecordingSink};
+        let sink = Arc::new(RecordingSink::new());
+        let dep = StateDependence::with_pool(
+            (0..24).map(f64::from).collect(),
+            Noisy(0.0),
+            NoisyLast,
+            Arc::new(ThreadPool::new(4)),
+        )
+        .with_config(config())
+        .with_sink(Arc::clone(&sink) as Arc<dyn crate::obs::EventSink>);
+        let outcome = dep.run(7);
+        assert_eq!(outcome.outputs.len(), 24);
+        let events = sink.events();
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::GroupStart { .. }))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::GroupEnd { .. }))
+            .count();
+        assert_eq!(starts, 6, "one start per group");
+        assert_eq!(starts, ends);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RunStart { inputs: 24, .. })));
     }
 
     #[test]

@@ -148,6 +148,34 @@ pub fn measure_instance<W: Workload>(
     spec: &WorkloadSpec,
     settings: &RunSettings,
 ) -> FullMeasurement {
+    measure_with_schedule(workload, instance, spec, settings).0
+}
+
+/// [`measure`] that additionally renders the run's simulated schedule as a
+/// Chrome trace-event JSON document (loads in `chrome://tracing`/Perfetto).
+///
+/// This is the per-cell trace behind the figure experiments: the same
+/// schedule the measurement's time/energy/utilization were integrated over,
+/// one row per simulated hardware thread.
+pub fn measure_traced<W: Workload>(
+    workload: &W,
+    spec: &WorkloadSpec,
+    settings: &RunSettings,
+) -> (FullMeasurement, String) {
+    let instance = workload.instance(spec);
+    let (m, graph, schedule) = measure_with_schedule(workload, &instance, spec, settings);
+    let json = stats_sim::export::chrome_trace(&graph, &schedule);
+    (m, json)
+}
+
+/// The shared profile pipeline, keeping the expanded task graph and its
+/// schedule alive for callers that export them.
+fn measure_with_schedule<W: Workload>(
+    workload: &W,
+    instance: &Instance<W::T>,
+    spec: &WorkloadSpec,
+    settings: &RunSettings,
+) -> (FullMeasurement, stats_sim::TaskGraph, stats_sim::Schedule) {
     let result = match settings.segment {
         Some(segment) => run_protocol_segmented(
             &instance.transition,
@@ -169,13 +197,14 @@ pub fn measure_instance<W: Workload>(
     let graph = expand_trace(&result.trace, &tlp, settings.t_orig);
     let schedule = simulate(&graph, &settings.platform, settings.threads);
     let energy = settings.energy.energy(&schedule, &settings.platform);
-    FullMeasurement {
+    let measurement = FullMeasurement {
         time_s: schedule.makespan_seconds(),
         energy_j: energy.joules,
         output_error: workload.output_error(spec, &result.outputs),
         report: result.report,
         utilization: schedule.utilization(),
-    }
+    };
+    (measurement, graph, schedule)
 }
 
 #[cfg(test)]
@@ -272,6 +301,21 @@ mod tests {
             whole.report.squashed_work
         );
         assert_eq!(seg.report.groups.last().unwrap().end, 24);
+    }
+
+    #[test]
+    fn traced_measure_matches_untraced_and_exports_schedule() {
+        let w = Swaptions;
+        let settings = RunSettings::for_mode(&w, Mode::ParStats, 8);
+        let plain = measure(&w, &spec(), &settings);
+        let (traced, json) = measure_traced(&w, &spec(), &settings);
+        // The trace is a byproduct: the measurement itself is unchanged.
+        assert_eq!(traced.time_s, plain.time_s);
+        assert_eq!(traced.energy_j, plain.energy_j);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        // One complete event per scheduled task, on the simulated threads.
+        assert!(json.matches("\"ph\":\"X\"").count() > 24);
     }
 
     #[test]

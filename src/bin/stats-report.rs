@@ -1,0 +1,162 @@
+//! `stats-report` — human-readable observability report for one STATS run.
+//!
+//! Runs a benchmark's state dependence once sequentially (recording the
+//! structured event stream and the speculation trace) and once on the
+//! work-stealing pool (recording pool counters), then prints the per-group
+//! timeline, the work-split table, and pool utilization.
+//!
+//! ```text
+//! stats-report swaptions --inputs 48 --threads 8
+//! stats-report bodytrack --trace bodytrack.trace.json --check
+//! ```
+//!
+//! `--trace FILE` writes the run as Chrome trace-event JSON (loads in
+//! `chrome://tracing` / Perfetto: one lane per virtual-schedule slot plus
+//! wall-clock spans per runtime thread). `--check` validates that every
+//! dependence edge in the recorded trace points backward and exits
+//! non-zero otherwise.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use stats::core::obs::{chrome_trace_json, render_summary, validate_backward_deps};
+use stats::core::{
+    run_protocol_observed, RecordingSink, SpecConfig, StateDependence, ThreadPool, TradeoffBindings,
+};
+use stats::workloads::{with_workload, BenchmarkId, Workload, WorkloadSpec};
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag_usize(args: &[String], name: &str, default: usize) -> usize {
+    flag(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(bench) = args
+        .first()
+        .and_then(|name| BenchmarkId::all().into_iter().find(|b| b.name() == name))
+    else {
+        eprintln!(
+            "usage: stats-report <bench> [--inputs N] [--threads N] [--seed N]\n\
+             \x20                 [--group N] [--window N] [--max-reexec N] [--rollback N]\n\
+             \x20                 [--trace FILE.json] [--check]\n\
+             \n\
+             benchmarks: {}",
+            BenchmarkId::all()
+                .into_iter()
+                .map(BenchmarkId::name)
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let inputs = flag_usize(&args, "--inputs", 48);
+    let threads = flag_usize(&args, "--threads", 8);
+    let seed = flag_usize(&args, "--seed", 7) as u64;
+    let trace_out = flag(&args, "--trace");
+    let check = args.iter().any(|a| a == "--check");
+
+    let spec = WorkloadSpec {
+        inputs,
+        ..WorkloadSpec::default()
+    };
+
+    with_workload!(bench, |w| {
+        let defaults = TradeoffBindings::defaults(&w.tradeoffs());
+        let cfg = SpecConfig {
+            orig_bindings: defaults.clone(),
+            aux_bindings: defaults,
+            group_size: flag_usize(&args, "--group", 4),
+            window: flag_usize(&args, "--window", 2),
+            max_reexec: flag_usize(&args, "--max-reexec", 3),
+            rollback: flag_usize(&args, "--rollback", 2),
+            ..SpecConfig::default()
+        };
+        for warning in cfg.lint() {
+            eprintln!("warning: {warning}");
+        }
+
+        // Sequential observed run: the speculation trace plus the full
+        // structured event stream, for the report and the exporters.
+        let instance = w.instance(&spec);
+        let sink = RecordingSink::new();
+        let result = run_protocol_observed(
+            &instance.transition,
+            &instance.inputs,
+            &instance.initial,
+            &cfg,
+            seed,
+            &sink,
+        );
+        let events = sink.take();
+
+        println!(
+            "stats-report: {} ({} inputs, seed {seed})",
+            bench.name(),
+            inputs
+        );
+        println!();
+        print!("{}", render_summary(&result.report, &result.trace));
+
+        // Pooled run of the same dependence: real thread-pool counters.
+        let instance = w.instance(&spec);
+        let pool = Arc::new(ThreadPool::new(threads));
+        let began = std::time::Instant::now();
+        let outcome = StateDependence::with_pool(
+            instance.inputs,
+            instance.initial,
+            instance.transition,
+            Arc::clone(&pool),
+        )
+        .with_config(cfg)
+        .run(seed);
+        let wall = began.elapsed();
+        let m = pool.metrics();
+        println!();
+        println!("thread pool ({threads} workers, pooled re-run):");
+        println!(
+            "  jobs executed     {:>8}    steals {:>4}    peak injector depth {}",
+            m.jobs_executed, m.steals, m.max_injector_depth
+        );
+        println!(
+            "  busy {:?} over {:?} wall — utilization {:.1}%",
+            m.total_busy(),
+            wall,
+            100.0 * m.utilization(wall)
+        );
+        assert_eq!(
+            outcome.outputs.len(),
+            result.outputs.len(),
+            "pooled run must cover every input"
+        );
+
+        if let Some(path) = trace_out {
+            let json = chrome_trace_json(&result.trace, &events);
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("--trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "\ntrace written to {path} ({} events recorded)",
+                events.len()
+            );
+        }
+        if check {
+            match validate_backward_deps(&result.trace) {
+                Ok(()) => println!("check: all dependence edges point backward"),
+                Err(e) => {
+                    eprintln!("check failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        ExitCode::SUCCESS
+    })
+}

@@ -71,6 +71,11 @@ pub mod deque {
             locked(&self.q).is_empty()
         }
 
+        /// Number of queued tasks (racy hint, like the real crate's `len`).
+        pub fn len(&self) -> usize {
+            locked(&self.q).len()
+        }
+
         /// Pop one task.
         pub fn steal(&self) -> Steal<T> {
             match locked(&self.q).pop_front() {
