@@ -18,6 +18,18 @@ cargo build --offline --release -q -p bench
 ./target/release/figures --tiny fig3 fig13 > /dev/null
 ./target/release/bench_pipeline BENCH_pipeline.json
 
+echo "== streaming smoke (stream_run bench in test mode)"
+cargo test --offline -q -p bench --bench stream_run
+
+echo "== deprecated protocol shims (no callers outside their definitions)"
+if grep -rn --include='*.rs' -E 'run_protocol_observed|run_protocol_segmented' \
+    --exclude-dir=target --exclude-dir=vendor . \
+    | grep -v '^\./crates/stats-core/src/protocol\.rs:' \
+    | grep -v '^\./crates/stats-core/src/lib\.rs:'; then
+    echo "error: deprecated protocol shims used outside stats-core (use run_protocol_with_options)" >&2
+    exit 1
+fi
+
 echo "== observability smoke (stats-report + Chrome trace validation)"
 cargo build --offline -q --bin stats-report
 TRACE_JSON=$(mktemp /tmp/stats-report.XXXXXX.trace.json)

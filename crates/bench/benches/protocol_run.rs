@@ -3,8 +3,9 @@
 //! autotuner profiles thousands of times.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use stats_core::obs::NOOP;
-use stats_core::{run_protocol, run_protocol_observed, SpecConfig, TradeoffBindings};
+use stats_core::{
+    run_protocol, run_protocol_with_options, RunOptions, SpecConfig, TradeoffBindings,
+};
 use stats_workloads::swaptions::Swaptions;
 use stats_workloads::{Workload, WorkloadSpec};
 
@@ -28,19 +29,14 @@ fn run(c: &mut Criterion) {
     c.bench_function("protocol_run_swaptions", |b| {
         b.iter(|| run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, 7))
     });
-    // Same run through the observed entry point with the disabled no-op
-    // sink: the delta against `protocol_run_swaptions` is the cost of the
-    // instrumentation when observability is off (budget: < 2%).
+    // Same run through the options-based entry point with the default
+    // (disabled no-op) sink: the delta against `protocol_run_swaptions` is
+    // the cost of the instrumentation when observability is off
+    // (budget: < 2%).
+    let options = RunOptions::default().config(cfg).seed(7);
     c.bench_function("protocol_run_swaptions_noop_sink", |b| {
         b.iter(|| {
-            run_protocol_observed(
-                &inst.transition,
-                &inst.inputs,
-                &inst.initial,
-                &cfg,
-                7,
-                &NOOP,
-            )
+            run_protocol_with_options(&inst.transition, &inst.inputs, &inst.initial, &options)
         })
     });
 }

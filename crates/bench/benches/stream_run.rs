@@ -1,0 +1,83 @@
+//! Criterion bench for the streaming speculation engine: one BodyTrack
+//! stream (the Figure 12 workload) through the batch `StateDependence`
+//! entry point — which builds a private pool per run — versus a [`Session`]
+//! reusing one long-lived pool across the whole sample, the configuration
+//! streaming exists for. Streamed throughput must be at least batch
+//! throughput here (checked by `stream_throughput`, the figure driver).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stats_core::{RunOptions, Session, SpecConfig, StateDependence, ThreadPool, TradeoffBindings};
+use stats_workloads::bodytrack::BodyTrack;
+use stats_workloads::{Workload, WorkloadSpec};
+
+const INPUTS: usize = 32;
+const THREADS: usize = 4;
+
+fn config(w: &BodyTrack) -> SpecConfig {
+    let defaults = TradeoffBindings::defaults(&w.tradeoffs());
+    SpecConfig {
+        orig_bindings: defaults.clone(),
+        aux_bindings: defaults,
+        group_size: 4,
+        window: 2,
+        max_reexec: 3,
+        rollback: 2,
+        ..SpecConfig::default()
+    }
+}
+
+fn run(c: &mut Criterion) {
+    let w = BodyTrack;
+    let spec = WorkloadSpec {
+        inputs: INPUTS,
+        ..WorkloadSpec::default()
+    };
+    let cfg = config(&w);
+
+    // Batch arm: every run stands up its own pool, runs, and tears it down
+    // — the per-call cost the Session amortizes away.
+    let batch_cfg = cfg.clone();
+    c.bench_function("stream_run_bodytrack_batch", |b| {
+        b.iter(|| {
+            let inst = w.instance(&spec);
+            StateDependence::new(inst.inputs, inst.initial, inst.transition)
+                .with_options(
+                    RunOptions::default()
+                        .pool(Arc::new(ThreadPool::new(THREADS)))
+                        .config(batch_cfg.clone())
+                        .seed(7),
+                )
+                .run()
+        })
+    });
+
+    // Streamed arm: one pool lives across all samples; each sample opens a
+    // session on it and pushes the same stream in small batches.
+    let pool = Arc::new(ThreadPool::new(THREADS));
+    c.bench_function("stream_run_bodytrack_session", |b| {
+        b.iter(|| {
+            let inst = w.instance(&spec);
+            let session = Session::new(
+                inst.initial,
+                inst.transition,
+                RunOptions::default()
+                    .pool(Arc::clone(&pool))
+                    .config(cfg.clone())
+                    .seed(7),
+            );
+            for batch in inst.inputs.chunks(4) {
+                session.push_batch(batch.iter().cloned());
+            }
+            session.finish()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = run
+}
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! `stream_throughput` — throughput/latency figure for the streaming engine.
+//!
+//! Runs the Figure 12 workload (BodyTrack) through the batch entry point
+//! (fresh pool per run) and through a [`Session`] on one long-lived pool at
+//! several push-chunk sizes, printing inputs/second for each arm plus the
+//! per-group commit latency of the streamed run (GroupStart → GroupCommit,
+//! from the recorded event stream's monotonic timestamps).
+//!
+//! ```text
+//! cargo run --release -p bench --bin stream_throughput -- [--inputs N] [--threads N] [--repeats N]
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use stats_core::{
+    EventKind, EventSink, RecordingSink, RunOptions, Session, SpecConfig, StateDependence,
+    ThreadPool, TradeoffBindings,
+};
+use stats_workloads::bodytrack::BodyTrack;
+use stats_workloads::{Workload, WorkloadSpec};
+
+fn flag_usize(args: &[String], name: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn config(w: &BodyTrack) -> SpecConfig {
+    let defaults = TradeoffBindings::defaults(&w.tradeoffs());
+    SpecConfig {
+        orig_bindings: defaults.clone(),
+        aux_bindings: defaults,
+        group_size: 4,
+        window: 2,
+        max_reexec: 3,
+        rollback: 2,
+        ..SpecConfig::default()
+    }
+}
+
+fn per_sec(inputs: usize, repeats: usize, elapsed: Duration) -> f64 {
+    (inputs * repeats) as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let inputs = flag_usize(&args, "--inputs", 64);
+    let threads = flag_usize(&args, "--threads", 4);
+    let repeats = flag_usize(&args, "--repeats", 20);
+
+    let w = BodyTrack;
+    let spec = WorkloadSpec {
+        inputs,
+        ..WorkloadSpec::default()
+    };
+    let cfg = config(&w);
+
+    println!("stream_throughput: bodytrack, {inputs} inputs, {threads} threads, {repeats} repeats");
+    println!();
+
+    // Batch arm: pool built and torn down inside every run.
+    let began = Instant::now();
+    for _ in 0..repeats {
+        let inst = w.instance(&spec);
+        let outcome = StateDependence::new(inst.inputs, inst.initial, inst.transition)
+            .with_options(
+                RunOptions::default()
+                    .pool(Arc::new(ThreadPool::new(threads)))
+                    .config(cfg.clone())
+                    .seed(7),
+            )
+            .run();
+        assert_eq!(outcome.outputs.len(), inputs);
+    }
+    let batch_rate = per_sec(inputs, repeats, began.elapsed());
+    println!("  batch (fresh pool per run)      {batch_rate:>12.0} inputs/s");
+
+    // Streamed arms: one pool for every session, pushes in chunks.
+    let pool = Arc::new(ThreadPool::new(threads));
+    let mut streamed_best = 0.0f64;
+    for chunk in [1usize, 4, 16, inputs] {
+        let began = Instant::now();
+        for _ in 0..repeats {
+            let inst = w.instance(&spec);
+            let session = Session::new(
+                inst.initial,
+                inst.transition,
+                RunOptions::default()
+                    .pool(Arc::clone(&pool))
+                    .config(cfg.clone())
+                    .seed(7),
+            );
+            for batch in inst.inputs.chunks(chunk) {
+                session.push_batch(batch.iter().cloned());
+            }
+            let outcome = session.finish();
+            assert_eq!(outcome.outputs.len(), inputs);
+        }
+        let rate = per_sec(inputs, repeats, began.elapsed());
+        streamed_best = streamed_best.max(rate);
+        let label = if chunk == inputs {
+            "all".into()
+        } else {
+            chunk.to_string()
+        };
+        println!("  streamed (shared pool, chunk {label:>3}) {rate:>10.0} inputs/s");
+    }
+    println!();
+    println!(
+        "  best streamed / batch: {:.2}x",
+        streamed_best / batch_rate.max(1e-9)
+    );
+
+    // Commit latency: for each speculative group of one observed streamed
+    // run, the monotonic-offset delta between its GroupStart and its
+    // GroupCommit (validation happens in commit order, so this includes
+    // the queueing behind earlier groups).
+    let sink = Arc::new(RecordingSink::new());
+    let inst = w.instance(&spec);
+    let session = Session::new(
+        inst.initial,
+        inst.transition,
+        RunOptions::default()
+            .pool(Arc::clone(&pool))
+            .config(cfg.clone())
+            .seed(7)
+            .sink(Arc::clone(&sink) as Arc<dyn EventSink>),
+    );
+    for batch in inst.inputs.chunks(4) {
+        session.push_batch(batch.iter().cloned());
+    }
+    let outcome = session.finish();
+    let events = sink.take();
+    let mut starts: Vec<(usize, Duration)> = Vec::new();
+    let mut latencies: Vec<(usize, Duration)> = Vec::new();
+    for e in &events {
+        match e.kind {
+            EventKind::GroupStart { group, .. } => starts.push((group, e.at)),
+            EventKind::GroupCommit { group, .. } => {
+                if let Some(&(_, at)) = starts.iter().find(|(g, _)| *g == group) {
+                    latencies.push((group, e.at.saturating_sub(at)));
+                }
+            }
+            _ => {}
+        }
+    }
+    println!();
+    println!(
+        "  commit latency (streamed, chunk 4; {} committed / {} groups):",
+        latencies.len(),
+        outcome.report.groups.len()
+    );
+    for (group, lat) in &latencies {
+        println!("    group {group:>3}  {lat:>10.1?}");
+    }
+    if !latencies.is_empty() {
+        let total: Duration = latencies.iter().map(|(_, l)| *l).sum();
+        println!("    mean       {:>10.1?}", total / latencies.len() as u32);
+    }
+}

@@ -25,7 +25,7 @@
 //!
 //! ```
 //! use stats_core::{
-//!     InvocationCtx, SpecConfig, SpecState, StateDependence, StateTransition,
+//!     InvocationCtx, RunOptions, SpecConfig, SpecState, StateDependence, StateTransition,
 //! };
 //!
 //! // A toy nondeterministic computation: a random walk whose state is the
@@ -58,30 +58,57 @@
 //!
 //! let inputs: Vec<f64> = (0..16).map(|i| i as f64).collect();
 //! let dep = StateDependence::new(inputs, Walk(0.0), Step)
-//!     .with_config(SpecConfig { group_size: 4, ..SpecConfig::default() });
-//! let outcome = dep.run(42);
+//!     .with_options(RunOptions::default()
+//!         .config(SpecConfig { group_size: 4, ..SpecConfig::default() })
+//!         .seed(42));
+//! let outcome = dep.run();
 //! assert_eq!(outcome.outputs.len(), 16);
 //! ```
+//!
+//! For continuous input streams, [`Session`] runs the same execution model
+//! incrementally — see `docs/streaming.md` in the repository root.
 
 #![deny(missing_docs)]
 
 mod ctx;
 pub mod obs;
+mod options;
 mod pool;
 mod protocol;
+mod resolver;
 mod runtime;
 mod sdi;
+mod session;
 mod tradeoff;
 
 pub use ctx::{InvocationCtx, WorkMeter};
 pub use obs::{Event, EventKind, EventSink, NoopSink, RecordingSink};
+pub use options::RunOptions;
 pub use pool::{PoolMetrics, ThreadPool};
 pub use protocol::{
-    run_protocol, run_protocol_observed, run_protocol_segmented, GroupRecord, GroupResolution,
-    ProtocolResult, SpecConfig, SpecReport, SpecTrace, TraceNode, TraceNodeKind,
+    run_protocol, run_protocol_with_options, GroupRecord, GroupResolution, ProtocolResult,
+    SpecConfig, SpecReport, SpecTrace, TraceNode, TraceNodeKind,
 };
+#[allow(deprecated)]
+pub use protocol::{run_protocol_observed, run_protocol_segmented};
 pub use runtime::{SpecOutcome, StateDependence};
 pub use sdi::{ExactState, SpecState, StateTransition};
+pub use session::Session;
 pub use tradeoff::{
     EnumeratedTradeoff, ScalarType, TradeoffBindings, TradeoffOptions, TradeoffValue,
 };
+
+/// One-import convenience surface: the types needed to define a state
+/// dependence and run it through any of the entry points.
+///
+/// ```
+/// use stats_core::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::obs::{Event, EventKind, EventSink, NoopSink, RecordingSink};
+    pub use crate::{
+        run_protocol, run_protocol_with_options, ExactState, InvocationCtx, ProtocolResult,
+        RunOptions, Session, SpecConfig, SpecOutcome, SpecReport, SpecState, SpecTrace,
+        StateDependence, StateTransition, ThreadPool, TradeoffBindings, WorkMeter,
+    };
+}

@@ -1,0 +1,136 @@
+//! The unified configuration surface for every protocol entry point.
+//!
+//! [`RunOptions`] bundles everything that used to be spread across the
+//! `run_protocol*` signatures (including the deprecated observed and
+//! segmented variants) and the `StateDependence::with_*` builders: the shared
+//! [`ThreadPool`], the [`EventSink`], the run seed, the tuned
+//! [`SpecConfig`], and segmenting. The same value drives the one-shot
+//! [`StateDependence`](crate::StateDependence), the sequential reference
+//! [`run_protocol_with_options`](crate::run_protocol_with_options), and the
+//! streaming [`Session`](crate::Session).
+
+use std::sync::Arc;
+
+use crate::obs::{EventSink, NoopSink};
+use crate::pool::ThreadPool;
+use crate::protocol::SpecConfig;
+
+/// Options shared by every way of executing the STATS protocol.
+///
+/// Built with chained setters:
+///
+/// ```
+/// use stats_core::{RunOptions, SpecConfig};
+///
+/// let options = RunOptions::default()
+///     .config(SpecConfig { group_size: 4, ..SpecConfig::default() })
+///     .seed(42)
+///     .segment(128);
+/// assert_eq!(options.seed, 42);
+/// ```
+#[derive(Clone)]
+pub struct RunOptions {
+    /// Thread pool shared with other state dependences. `None` means the
+    /// consumer creates a private pool sized to the machine's available
+    /// parallelism (sequential entry points ignore the pool entirely).
+    pub pool: Option<Arc<ThreadPool>>,
+    /// Observability sink receiving every protocol milestone. Defaults to
+    /// the zero-cost [`NoopSink`].
+    pub sink: Arc<dyn EventSink>,
+    /// Run seed from which every invocation's PRVG stream derives.
+    pub seed: u64,
+    /// The execution-model configuration (group size, window, budgets).
+    pub config: SpecConfig,
+    /// When set, process inputs in consecutive segments of this many inputs,
+    /// carrying committed state across segments — an abort disables
+    /// speculation only for the rest of its own segment.
+    pub segment: Option<usize>,
+    /// Bound of the [`Session`](crate::Session) input queue: a producer
+    /// pushing into a full queue blocks until the engine drains it.
+    pub queue_capacity: usize,
+    /// How many speculation groups a [`Session`](crate::Session) may have
+    /// in flight beyond the resolved prefix. `0` (the default) sizes the
+    /// window to the pool's worker count plus two.
+    pub max_inflight_groups: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            pool: None,
+            sink: Arc::new(NoopSink),
+            seed: 0,
+            config: SpecConfig::default(),
+            segment: None,
+            queue_capacity: 1024,
+            max_inflight_groups: 0,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Share an existing thread pool instead of creating a private one.
+    pub fn pool(mut self, pool: Arc<ThreadPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Install an observability sink.
+    pub fn sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Set the run seed controlling every PRVG stream.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the execution-model configuration.
+    pub fn config(mut self, config: SpecConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Process inputs in segments of `segment` inputs (clamped to >= 1).
+    pub fn segment(mut self, segment: usize) -> Self {
+        self.segment = Some(segment.max(1));
+        self
+    }
+
+    /// Bound the streaming input queue (clamped to >= 1).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Cap how many groups a stream keeps in flight past the resolved
+    /// prefix (`0` = auto: pool workers + 2).
+    pub fn max_inflight_groups(mut self, groups: usize) -> Self {
+        self.max_inflight_groups = groups;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_legacy_entry_points() {
+        let o = RunOptions::default();
+        assert!(o.pool.is_none());
+        assert_eq!(o.seed, 0);
+        assert!(o.segment.is_none());
+        assert!(!o.sink.enabled());
+        assert_eq!(o.config.group_size, SpecConfig::default().group_size);
+    }
+
+    #[test]
+    fn setters_clamp_degenerate_values() {
+        let o = RunOptions::default().segment(0).queue_capacity(0);
+        assert_eq!(o.segment, Some(1));
+        assert_eq!(o.queue_capacity, 1);
+    }
+}

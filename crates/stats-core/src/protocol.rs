@@ -23,7 +23,9 @@ use std::fmt;
 
 use crate::ctx::{InvocationCtx, WorkMeter};
 use crate::obs::{EventKind, EventSink, NOOP};
-use crate::sdi::{SpecState, StateTransition};
+use crate::options::RunOptions;
+use crate::resolver::Resolver;
+use crate::sdi::StateTransition;
 use crate::tradeoff::TradeoffBindings;
 
 /// Salt mixed into the run seed for auxiliary-code PRVG streams, so the
@@ -158,7 +160,7 @@ pub enum TraceNodeKind {
 }
 
 /// One node of a [`SpecTrace`]: a unit of executed work with dependences.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceNode {
     /// What the node did.
     pub kind: TraceNodeKind,
@@ -172,14 +174,14 @@ pub struct TraceNode {
 
 /// The recorded execution: every piece of work the protocol performed, with
 /// dependence edges reflecting the execution model's parallelism.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SpecTrace {
     /// Nodes in execution-discovery order; `deps` refer to indices herein.
     pub nodes: Vec<TraceNode>,
 }
 
 impl SpecTrace {
-    fn push(&mut self, kind: TraceNodeKind, work: WorkMeter, deps: Vec<usize>) -> usize {
+    pub(crate) fn push(&mut self, kind: TraceNodeKind, work: WorkMeter, deps: Vec<usize>) -> usize {
         self.nodes.push(TraceNode {
             kind,
             work,
@@ -221,7 +223,7 @@ pub enum GroupResolution {
 }
 
 /// Per-group outcome record.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GroupRecord {
     /// First absolute input index of the group.
     pub start: usize,
@@ -232,7 +234,7 @@ pub struct GroupRecord {
 }
 
 /// Aggregate statistics of one protocol run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SpecReport {
     /// Per-group outcomes, in input order.
     pub groups: Vec<GroupRecord>,
@@ -283,21 +285,6 @@ pub struct ProtocolResult<T: StateTransition> {
     pub trace: SpecTrace,
 }
 
-struct GroupRun<T: StateTransition> {
-    start: usize,
-    end: usize,
-    /// State checkpoint taken `rollback` inputs before the end (attempt 0).
-    checkpoint: T::State,
-    /// Final state of attempt 0 — "the first not-speculative state".
-    final_state: T::State,
-    /// Trace node of the last invocation in the group's main chain.
-    last_node: usize,
-    /// Trace node indices of the group's main chain (aux + invocations).
-    chain_nodes: Vec<usize>,
-    /// The speculative start state the group consumed (None for group 0).
-    spec_start: Option<T::State>,
-}
-
 /// Identity of one group to execute (input range and position).
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct GroupSpec {
@@ -310,24 +297,31 @@ pub(crate) struct GroupSpec {
 /// Everything one group execution produces. Pure data: group executions are
 /// mutually independent, which is exactly why they may run on real threads.
 pub(crate) struct GroupData<T: StateTransition> {
-    spec: GroupSpec,
-    aux_work: Option<WorkMeter>,
-    spec_start: Option<T::State>,
-    checkpoint: T::State,
-    final_state: T::State,
-    outputs: Vec<T::Output>,
-    works: Vec<WorkMeter>,
+    pub(crate) spec: GroupSpec,
+    pub(crate) aux_work: Option<WorkMeter>,
+    pub(crate) spec_start: Option<T::State>,
+    pub(crate) checkpoint: T::State,
+    pub(crate) final_state: T::State,
+    pub(crate) outputs: Vec<T::Output>,
+    pub(crate) works: Vec<WorkMeter>,
 }
 
 /// Execute one group: auxiliary code (for speculative groups) followed by
 /// the chained invocations over the group's inputs. Thread-safe and
 /// deterministic given `run_seed`.
+///
+/// `inputs` may be a window of the full input stream starting at absolute
+/// position `base` (the streaming engine ships each pool job only the slice
+/// it needs); the spec's `start`/`end` and the loop indices stay *absolute*,
+/// because they feed the PRVG seed derivation.
 // Loop indices below are *absolute input positions* fed to the PRVG seed
 // derivation, not mere subscripts: iterator rewrites would obscure that.
 #[allow(clippy::needless_range_loop)]
+#[allow(clippy::too_many_arguments)] // one parameter per execution-model knob
 pub(crate) fn execute_group<T: StateTransition>(
     transition: &T,
     inputs: &[T::Input],
+    base: usize,
     initial: &T::State,
     config: &SpecConfig,
     run_seed: u64,
@@ -362,7 +356,7 @@ pub(crate) fn execute_group<T: StateTransition>(
         for i in w_start..start {
             let (_out, m) = run_invocation(
                 transition,
-                &inputs[i],
+                &inputs[i - base],
                 &mut aux_state,
                 run_seed,
                 k as u64,
@@ -386,7 +380,7 @@ pub(crate) fn execute_group<T: StateTransition>(
         }
         let (out, m) = run_invocation(
             transition,
-            &inputs[i],
+            &inputs[i - base],
             &mut state,
             run_seed,
             k as u64,
@@ -414,7 +408,7 @@ pub(crate) fn execute_group<T: StateTransition>(
 }
 
 #[allow(clippy::too_many_arguments)] // the invocation coordinates are the point
-fn run_invocation<T: StateTransition>(
+pub(crate) fn run_invocation<T: StateTransition>(
     transition: &T,
     input: &T::Input,
     state: &mut T::State,
@@ -448,7 +442,39 @@ pub fn run_protocol<T: StateTransition>(
     config: &SpecConfig,
     run_seed: u64,
 ) -> ProtocolResult<T> {
-    run_protocol_observed(transition, inputs, initial, config, run_seed, &NOOP)
+    run_observed_inner(transition, inputs, initial, config, run_seed, &NOOP)
+}
+
+/// The sequential reference run with every knob taken from one
+/// [`RunOptions`] value: sink, seed, config, and optional segmenting. This
+/// is the batch counterpart of the streaming [`Session`](crate::Session);
+/// the options' pool (if any) is ignored — the parallel execution lives in
+/// [`StateDependence`](crate::StateDependence).
+pub fn run_protocol_with_options<T: StateTransition>(
+    transition: &T,
+    inputs: &[T::Input],
+    initial: &T::State,
+    options: &RunOptions,
+) -> ProtocolResult<T> {
+    match options.segment {
+        None => run_observed_inner(
+            transition,
+            inputs,
+            initial,
+            &options.config,
+            options.seed,
+            &*options.sink,
+        ),
+        Some(segment) => run_segmented_inner(
+            transition,
+            inputs,
+            initial,
+            &options.config,
+            options.seed,
+            segment,
+            &*options.sink,
+        ),
+    }
 }
 
 /// [`run_protocol`] with observability: every protocol milestone (group
@@ -456,7 +482,19 @@ pub fn run_protocol<T: StateTransition>(
 /// entry) is emitted to `sink`. With the default
 /// [`NoopSink`](crate::obs::NoopSink) this is exactly [`run_protocol`]; the
 /// `protocol_run` Criterion bench pins the disabled overhead below 2%.
+#[deprecated(note = "use `run_protocol_with_options` with `RunOptions::default().sink(...)`")]
 pub fn run_protocol_observed<T: StateTransition>(
+    transition: &T,
+    inputs: &[T::Input],
+    initial: &T::State,
+    config: &SpecConfig,
+    run_seed: u64,
+    sink: &dyn EventSink,
+) -> ProtocolResult<T> {
+    run_observed_inner(transition, inputs, initial, config, run_seed, sink)
+}
+
+fn run_observed_inner<T: StateTransition>(
     transition: &T,
     inputs: &[T::Input],
     initial: &T::State,
@@ -474,7 +512,7 @@ pub fn run_protocol_observed<T: StateTransition>(
         |specs| {
             specs
                 .iter()
-                .map(|&s| execute_group(transition, inputs, initial, config, run_seed, s, sink))
+                .map(|&s| execute_group(transition, inputs, 0, initial, config, run_seed, s, sink))
                 .collect()
         },
     )
@@ -483,8 +521,9 @@ pub fn run_protocol_observed<T: StateTransition>(
 /// The execution model parameterized over *how* groups execute: the
 /// sequential reference path runs them in a loop; the thread-pool runtime
 /// runs them concurrently. Both feed identical [`GroupData`] into the same
-/// validation/commit/abort logic, so they cannot diverge semantically.
-#[allow(clippy::needless_range_loop)] // absolute input indices feed seed derivation
+/// [`Resolver`] validation/commit/abort logic (which the streaming
+/// [`Session`](crate::Session) drives incrementally), so the three paths
+/// cannot diverge semantically.
 pub(crate) fn run_protocol_with<T, F>(
     transition: &T,
     inputs: &[T::Input],
@@ -499,16 +538,12 @@ where
     F: FnOnce(&[GroupSpec]) -> Vec<GroupData<T>>,
 {
     let n = inputs.len();
-    let mut trace = SpecTrace::default();
-    let mut report = SpecReport::default();
-    let mut outputs: Vec<Option<T::Output>> = (0..n).map(|_| None).collect();
-
     if n == 0 {
         return ProtocolResult {
             outputs: Vec::new(),
             final_state: initial.clone(),
-            report,
-            trace,
+            report: SpecReport::default(),
+            trace: SpecTrace::default(),
         };
     }
 
@@ -538,290 +573,19 @@ where
     let data = exec_groups(&specs);
     assert_eq!(data.len(), specs.len(), "executor must run every group");
 
-    let mut runs: Vec<GroupRun<T>> = Vec::with_capacity(specs.len());
+    // ---- Phases 2 and 3 live in the Resolver, shared with the streaming
+    // engine: validation/re-execution/abort settle as groups are ingested;
+    // the canonical trace is laid out at finish().
+    let mut resolver = Resolver::new(transition, config, run_seed, sink, g);
     for d in data {
-        let GroupSpec {
-            k,
-            start,
-            end,
-            speculative,
-        } = d.spec;
-        let mut deps: Vec<usize> = Vec::new();
-        let mut chain_nodes: Vec<usize> = Vec::new();
-        if let Some(aux_work) = d.aux_work {
-            let aux_node = trace.push(TraceNodeKind::Auxiliary { group: k }, aux_work, vec![]);
-            chain_nodes.push(aux_node);
-            deps.push(aux_node);
-        }
-        let mut last_node = usize::MAX;
-        for (off, (out, m)) in d.outputs.into_iter().zip(d.works).enumerate() {
-            let i = start + off;
-            let node = trace.push(
-                TraceNodeKind::Invocation {
-                    group: k,
-                    index: i,
-                    attempt: 0,
-                    sequential_tail: false,
-                },
-                m,
-                deps.clone(),
-            );
-            outputs[i] = Some(out);
-            chain_nodes.push(node);
-            deps = vec![node];
-            last_node = node;
-        }
-
-        runs.push(GroupRun {
-            start,
-            end,
-            checkpoint: d.checkpoint,
-            final_state: d.final_state,
-            last_node,
-            chain_nodes,
-            spec_start: d.spec_start,
-        });
-        report.groups.push(GroupRecord {
-            start,
-            end,
-            resolution: if speculative {
-                GroupResolution::Committed { reexecutions: 0 } // provisional
-            } else {
-                GroupResolution::NonSpeculative
-            },
-        });
+        resolver.ingest(d, inputs);
     }
-
-    // ---- Phase 2: validate speculative groups in order.
-    let mut abort_at: Option<usize> = None;
-    let mut prev_commit_gate: Option<usize> = None; // validation node of group k-1
-    for k in 1..runs.len() {
-        if abort_at.is_some() {
-            break;
-        }
-        let spec = runs[k]
-            .spec_start
-            .take()
-            .expect("speculative group has a start state");
-        let aux_node = runs[k].chain_nodes[0];
-        let rollback = config
-            .rollback
-            .clamp(1, runs[k - 1].end - runs[k - 1].start);
-
-        let mut originals = vec![runs[k - 1].final_state.clone()];
-        let mut val_deps = vec![runs[k - 1].last_node, aux_node];
-        if let Some(gate) = prev_commit_gate {
-            val_deps.push(gate);
-        }
-        let mut val_node = trace.push(
-            TraceNodeKind::Validation {
-                group: k,
-                attempt: 0,
-            },
-            WorkMeter {
-                total: config.validation_cost,
-                memory: 0.0,
-            },
-            val_deps,
-        );
-        report.validations += 1;
-        let mut matched = spec.matches_any(&originals);
-        let mut attempts = 0usize;
-        if sink.enabled() {
-            sink.emit(EventKind::Validation {
-                group: k,
-                attempt: 0,
-                matched,
-            });
-        }
-
-        while !matched && attempts < config.max_reexec {
-            attempts += 1;
-            report.reexecutions += 1;
-            if sink.enabled() {
-                sink.emit(EventKind::Reexecution {
-                    group: k - 1,
-                    attempt: attempts,
-                });
-            }
-            // Re-execute the previous group's last `rollback` inputs from
-            // the checkpoint, with fresh PRVG streams.
-            let mut state = runs[k - 1].checkpoint.clone();
-            let re_start = runs[k - 1].end - rollback;
-            let mut deps = vec![val_node];
-            let mut tail_outputs: Vec<T::Output> = Vec::with_capacity(rollback);
-            let mut tail_nodes: Vec<usize> = Vec::new();
-            for i in re_start..runs[k - 1].end {
-                let (out, m) = run_invocation(
-                    transition,
-                    &inputs[i],
-                    &mut state,
-                    run_seed,
-                    (k - 1) as u64,
-                    i as u64,
-                    attempts as u64,
-                    &config.orig_bindings,
-                    false,
-                );
-                let node = trace.push(
-                    TraceNodeKind::Invocation {
-                        group: k - 1,
-                        index: i,
-                        attempt: attempts,
-                        sequential_tail: false,
-                    },
-                    m,
-                    deps,
-                );
-                tail_outputs.push(out);
-                tail_nodes.push(node);
-                deps = vec![node];
-            }
-            originals.push(state);
-            val_node = trace.push(
-                TraceNodeKind::Validation {
-                    group: k,
-                    attempt: attempts,
-                },
-                WorkMeter {
-                    total: config.validation_cost,
-                    memory: 0.0,
-                },
-                deps,
-            );
-            report.validations += 1;
-            matched = spec.matches_any(&originals);
-            if sink.enabled() {
-                sink.emit(EventKind::Validation {
-                    group: k,
-                    attempt: attempts,
-                    matched,
-                });
-            }
-            if matched {
-                // The matching original execution becomes official: its tail
-                // outputs replace attempt 0's. Earlier failed attempts stay
-                // squashed; mark only this attempt's nodes committed (they
-                // already are) and attempt-0 tail nodes squashed.
-                for (off, out) in tail_outputs.into_iter().enumerate() {
-                    outputs[re_start + off] = Some(out);
-                }
-                // Squash the attempt-0 tail of the previous group.
-                let prev = &runs[k - 1];
-                let chain_len = prev.chain_nodes.len();
-                for &node in &prev.chain_nodes[chain_len - rollback..] {
-                    trace.nodes[node].committed = false;
-                }
-            } else {
-                // This attempt's work is squashed.
-                for node in tail_nodes {
-                    trace.nodes[node].committed = false;
-                }
-            }
-        }
-
-        if matched {
-            report.groups[k].resolution = GroupResolution::Committed {
-                reexecutions: attempts,
-            };
-            prev_commit_gate = Some(val_node);
-            if sink.enabled() {
-                sink.emit(EventKind::GroupCommit {
-                    group: k,
-                    reexecutions: attempts,
-                });
-            }
-        } else {
-            abort_at = Some(k);
-            report.aborted = true;
-            if sink.enabled() {
-                sink.emit(EventKind::GroupAbort { group: k });
-            }
-            // Squash every group from k on (outputs and work).
-            for r in runs.iter().skip(k) {
-                for &node in &r.chain_nodes {
-                    trace.nodes[node].committed = false;
-                }
-                for slot in outputs.iter_mut().take(r.end).skip(r.start) {
-                    *slot = None;
-                }
-            }
-            // Restart from the first non-speculative state of group k-1 and
-            // process the remaining inputs sequentially, no speculation.
-            let restart = runs[k].start;
-            if sink.enabled() {
-                sink.emit(EventKind::SequentialTailStart { index: restart });
-            }
-            let mut state = runs[k - 1].final_state.clone();
-            let mut deps = vec![val_node];
-            for i in restart..n {
-                let group_of_i = i / g;
-                let (out, m) = run_invocation(
-                    transition,
-                    &inputs[i],
-                    &mut state,
-                    run_seed,
-                    group_of_i as u64,
-                    i as u64,
-                    // The sequential tail is a fresh (re-)execution of these
-                    // inputs: give it a distinct attempt number so its PRVG
-                    // streams differ from the squashed speculative run.
-                    (config.max_reexec + 1) as u64,
-                    &config.orig_bindings,
-                    false,
-                );
-                let node = trace.push(
-                    TraceNodeKind::Invocation {
-                        group: group_of_i,
-                        index: i,
-                        attempt: config.max_reexec + 1,
-                        sequential_tail: true,
-                    },
-                    m,
-                    deps,
-                );
-                outputs[i] = Some(out);
-                deps = vec![node];
-            }
-            for rec in report.groups.iter_mut().skip(k) {
-                rec.resolution = GroupResolution::SequentialTail;
-            }
-            if sink.enabled() {
-                sink.emit(EventKind::SequentialTailEnd);
-            }
-            // The final state is now the sequential tail's.
-            runs.last_mut().expect("nonempty").final_state = state;
-        }
-    }
-
-    // ---- Phase 3: accounting.
-    for node in &trace.nodes {
-        let w = node.work.total;
-        if node.committed {
-            match node.kind {
-                TraceNodeKind::Auxiliary { .. } => report.committed_aux_work += w,
-                _ => report.committed_original_work += w,
-            }
-        } else {
-            report.squashed_work += w;
-        }
-    }
-
-    let final_state = runs.last().expect("at least one group").final_state.clone();
-    let outputs: Vec<T::Output> = outputs
-        .into_iter()
-        .map(|o| o.expect("every input has a committed output"))
-        .collect();
+    let result = resolver.finish(initial);
 
     if sink.enabled() {
         sink.emit(EventKind::RunEnd);
     }
-    ProtocolResult {
-        outputs,
-        final_state,
-        report,
-        trace,
-    }
+    result
 }
 
 impl fmt::Display for SpecReport {
@@ -855,6 +619,7 @@ impl fmt::Display for SpecReport {
 /// an abort disables speculation only for the rest of its own segment —
 /// the next segment speculates afresh. This helper models that usage;
 /// reports are merged (group indices keep segment-local numbering).
+#[deprecated(note = "use `run_protocol_with_options` with `RunOptions::default().segment(...)`")]
 pub fn run_protocol_segmented<T: StateTransition>(
     transition: &T,
     inputs: &[T::Input],
@@ -863,70 +628,154 @@ pub fn run_protocol_segmented<T: StateTransition>(
     run_seed: u64,
     segment: usize,
 ) -> ProtocolResult<T> {
+    run_segmented_inner(
+        transition, inputs, initial, config, run_seed, segment, &NOOP,
+    )
+}
+
+fn run_segmented_inner<T: StateTransition>(
+    transition: &T,
+    inputs: &[T::Input],
+    initial: &T::State,
+    config: &SpecConfig,
+    run_seed: u64,
+    segment: usize,
+    sink: &dyn EventSink,
+) -> ProtocolResult<T> {
     let segment = segment.max(1);
-    let mut state = initial.clone();
-    let mut outputs = Vec::with_capacity(inputs.len());
-    let mut report = SpecReport::default();
-    let mut trace = SpecTrace::default();
-    // Index of the node producing the previous segment's committed final
-    // state (its last committed node in execution order).
-    let mut prev_final: Option<usize> = None;
+    let mut acc = SegmentAccumulator::new(initial.clone());
     for (seg_idx, chunk) in inputs.chunks(segment).enumerate() {
-        let r = run_protocol(
+        let r = run_observed_inner(
             transition,
             chunk,
-            &state,
+            acc.state(),
             config,
             run_seed ^ (seg_idx as u64) << 32,
+            sink,
         );
-        state = r.final_state;
-        let offset = outputs.len();
-        outputs.extend(r.outputs);
+        acc.absorb(r);
+    }
+    acc.finish()
+}
+
+/// Merges per-segment [`ProtocolResult`]s into one, carrying committed
+/// state across segments: output offsets shift, reports add up, and segment
+/// traces chain behind the previous segment's last committed node. Shared
+/// by the batch segmented path and the streaming engine's segmented mode.
+pub(crate) struct SegmentAccumulator<T: StateTransition> {
+    outputs: Vec<T::Output>,
+    report: SpecReport,
+    trace: SpecTrace,
+    /// Index of the node producing the previous segment's committed final
+    /// state (its last committed node in execution order).
+    prev_final: Option<usize>,
+    state: T::State,
+}
+
+impl<T: StateTransition> SegmentAccumulator<T> {
+    pub(crate) fn new(initial: T::State) -> Self {
+        SegmentAccumulator {
+            outputs: Vec::new(),
+            report: SpecReport::default(),
+            trace: SpecTrace::default(),
+            prev_final: None,
+            state: initial,
+        }
+    }
+
+    /// The committed state the next segment must start from.
+    pub(crate) fn state(&self) -> &T::State {
+        &self.state
+    }
+
+    /// Fold one segment's result into the accumulated run.
+    pub(crate) fn absorb(&mut self, r: ProtocolResult<T>) {
+        self.state = r.final_state;
+        let offset = self.outputs.len();
+        self.outputs.extend(r.outputs);
         // Merge the report, shifting group input ranges by the offset.
         for mut g in r.report.groups {
             g.start += offset;
             g.end += offset;
-            report.groups.push(g);
+            self.report.groups.push(g);
         }
-        report.reexecutions += r.report.reexecutions;
-        report.validations += r.report.validations;
-        report.aborted |= r.report.aborted;
-        report.committed_original_work += r.report.committed_original_work;
-        report.committed_aux_work += r.report.committed_aux_work;
-        report.squashed_work += r.report.squashed_work;
+        self.report.reexecutions += r.report.reexecutions;
+        self.report.validations += r.report.validations;
+        self.report.aborted |= r.report.aborted;
+        self.report.committed_original_work += r.report.committed_original_work;
+        self.report.committed_aux_work += r.report.committed_aux_work;
+        self.report.squashed_work += r.report.squashed_work;
         // Chain the trace: shift the segment's dependence indices past the
         // nodes already merged, and add the cross-segment state edge — a
         // segment's entry nodes (group 0's first invocation and every
         // auxiliary run, the nodes with no intra-segment dependences) start
         // from the previous segment's committed final state, so they must
         // depend on the node that produced it.
-        let base = trace.nodes.len();
+        let base = self.trace.nodes.len();
         for mut node in r.trace.nodes {
             node.deps.iter_mut().for_each(|d| *d += base);
             if node.deps.is_empty() {
-                if let Some(p) = prev_final {
+                if let Some(p) = self.prev_final {
                     node.deps.push(p);
                 }
             }
-            trace.nodes.push(node);
+            self.trace.nodes.push(node);
         }
-        prev_final = trace.nodes[base..]
+        self.prev_final = self.trace.nodes[base..]
             .iter()
             .rposition(|n| n.committed)
             .map(|off| base + off);
     }
-    ProtocolResult {
-        outputs,
-        final_state: state,
-        report,
-        trace,
+
+    /// The merged result of every absorbed segment.
+    pub(crate) fn finish(self) -> ProtocolResult<T> {
+        ProtocolResult {
+            outputs: self.outputs,
+            final_state: self.state,
+            report: self.report,
+            trace: self.trace,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use std::sync::Arc;
+
     use super::*;
-    use crate::sdi::ExactState;
+    use crate::sdi::{ExactState, SpecState};
+
+    /// Segmented run via the unified options surface.
+    fn run_segmented<T: StateTransition>(
+        transition: &T,
+        inputs: &[T::Input],
+        initial: &T::State,
+        config: &SpecConfig,
+        seed: u64,
+        segment: usize,
+    ) -> ProtocolResult<T> {
+        let options = RunOptions::default()
+            .config(config.clone())
+            .seed(seed)
+            .segment(segment);
+        run_protocol_with_options(transition, inputs, initial, &options)
+    }
+
+    /// Observed run via the unified options surface.
+    fn run_with_sink<T: StateTransition>(
+        transition: &T,
+        inputs: &[T::Input],
+        initial: &T::State,
+        config: &SpecConfig,
+        seed: u64,
+        sink: &Arc<crate::obs::RecordingSink>,
+    ) -> ProtocolResult<T> {
+        let options = RunOptions::default()
+            .config(config.clone())
+            .seed(seed)
+            .sink(Arc::clone(sink) as Arc<dyn EventSink>);
+        run_protocol_with_options(transition, inputs, initial, &options)
+    }
 
     /// Deterministic counter: state is the running sum; outputs the sum.
     struct Sum;
@@ -1290,7 +1139,7 @@ mod tests {
             max_reexec: 1,
             ..SpecConfig::default()
         };
-        let r = run_protocol_segmented(&SumNever, &ins, &NeverMatch(0), &cfg, 3, 20);
+        let r = run_segmented(&SumNever, &ins, &NeverMatch(0), &cfg, 3, 20);
         assert!(r.report.aborted);
         // 40 outputs, exact fold, final state carried across segments.
         let expected: Vec<u64> = ins
@@ -1322,7 +1171,7 @@ mod tests {
             window: 1,
             ..SpecConfig::default()
         };
-        let seg = run_protocol_segmented(&Last, &ins, &ExactState(0), &cfg, 9, 12);
+        let seg = run_segmented(&Last, &ins, &ExactState(0), &cfg, 9, 12);
         assert!(!seg.report.aborted);
         assert_eq!(seg.outputs, ins);
         assert_eq!(seg.final_state.0, 24);
@@ -1418,7 +1267,7 @@ mod tests {
             ..SpecConfig::default()
         };
         let seg_len = 8;
-        let r = run_protocol_segmented(&Last, &ins, &ExactState(0), &cfg, 9, seg_len);
+        let r = run_segmented(&Last, &ins, &ExactState(0), &cfg, 9, seg_len);
         // The first segment's node count, from an identical standalone run
         // (segment 0 derives its seed as run_seed ^ 0 << 32 == run_seed).
         let first = run_protocol(&Last, &ins[..seg_len], &ExactState(0), &cfg, 9);
@@ -1461,7 +1310,7 @@ mod tests {
             max_reexec: 1,
             ..SpecConfig::default()
         };
-        let r = run_protocol_segmented(&SumNever, &ins, &NeverMatch(0), &cfg, 3, 10);
+        let r = run_segmented(&SumNever, &ins, &NeverMatch(0), &cfg, 3, 10);
         let zero_dep = r.trace.nodes.iter().filter(|n| n.deps.is_empty()).count();
         // Only segment 0's own entry nodes may be dependence-free: the
         // whole second segment is chained behind segment 0's tail.
@@ -1625,8 +1474,8 @@ mod tests {
             window: 2,
             ..SpecConfig::default()
         };
-        let sink = RecordingSink::new();
-        let r = run_protocol_observed(&SumAlways, &ins, &AlwaysMatch(0), &cfg, 1, &sink);
+        let sink = Arc::new(RecordingSink::new());
+        let r = run_with_sink(&SumAlways, &ins, &AlwaysMatch(0), &cfg, 1, &sink);
         assert!(!r.report.aborted);
         let events = sink.events();
         let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
@@ -1674,8 +1523,8 @@ mod tests {
             max_reexec: 2,
             ..SpecConfig::default()
         };
-        let sink = RecordingSink::new();
-        let r = run_protocol_observed(&SumNever, &ins, &NeverMatch(0), &cfg, 3, &sink);
+        let sink = Arc::new(RecordingSink::new());
+        let r = run_with_sink(&SumNever, &ins, &NeverMatch(0), &cfg, 3, &sink);
         assert!(r.report.aborted);
         let kinds: Vec<EventKind> = sink.events().iter().map(|e| e.kind).collect();
         assert!(kinds.contains(&EventKind::GroupAbort { group: 1 }));
@@ -1700,8 +1549,8 @@ mod tests {
             ..SpecConfig::default()
         };
         let plain = run_protocol(&SumAlways, &ins, &AlwaysMatch(0), &cfg, 99);
-        let sink = RecordingSink::new();
-        let observed = run_protocol_observed(&SumAlways, &ins, &AlwaysMatch(0), &cfg, 99, &sink);
+        let sink = Arc::new(RecordingSink::new());
+        let observed = run_with_sink(&SumAlways, &ins, &AlwaysMatch(0), &cfg, 99, &sink);
         assert_eq!(plain.outputs, observed.outputs);
         assert_eq!(plain.trace.nodes.len(), observed.trace.nodes.len());
         assert_eq!(plain.report.validations, observed.report.validations);
@@ -1717,8 +1566,8 @@ mod tests {
             window: 2,
             ..SpecConfig::default()
         };
-        let sink = RecordingSink::new();
-        let r = run_protocol_observed(&SumAlways, &ins, &AlwaysMatch(0), &cfg, 1, &sink);
+        let sink = Arc::new(RecordingSink::new());
+        let r = run_with_sink(&SumAlways, &ins, &AlwaysMatch(0), &cfg, 1, &sink);
         validate_backward_deps(&r.trace).expect("backward deps");
         let json = chrome_trace_json(&r.trace, &sink.events());
         assert!(json.starts_with("{\"traceEvents\":["));

@@ -1,0 +1,533 @@
+//! Incremental resolution of speculative groups.
+//!
+//! [`Resolver`] is the single implementation of the protocol's validation /
+//! re-execution / commit / abort logic (paper §3.1), shared by the batch
+//! entry points — which ingest every [`GroupData`] in one loop — and the
+//! streaming [`Session`](crate::Session), which ingests groups as the pool
+//! finishes them while later inputs are still arriving.
+//!
+//! Outputs, states, counters, and events are settled *eagerly* as each group
+//! is ingested; the [`SpecTrace`] is laid out only at [`Resolver::finish`],
+//! in the exact node order of the historical batch implementation (all
+//! attempt-0 chains first, then per-group validation/re-execution nodes,
+//! then the post-abort sequential tail). That deferred layout is what makes
+//! a streamed run bit-identical — outputs, report, *and* trace — to the
+//! batch run over the same inputs and seed.
+
+use crate::ctx::WorkMeter;
+use crate::obs::{EventKind, EventSink};
+use crate::protocol::{
+    run_invocation, GroupData, GroupRecord, GroupResolution, ProtocolResult, SpecConfig,
+    SpecReport, SpecTrace, TraceNodeKind,
+};
+use crate::sdi::{SpecState, StateTransition};
+
+/// Everything remembered about one ingested group's attempt-0 chain.
+struct ChainRec {
+    start: usize,
+    end: usize,
+    aux_work: Option<WorkMeter>,
+    works: Vec<WorkMeter>,
+    /// Trailing invocations squashed by a matched re-execution.
+    tail_squashed: usize,
+    /// Entire chain (including the auxiliary run) squashed by an abort.
+    squashed_all: bool,
+}
+
+/// The states one group run handed over for later validation.
+struct StateRec<T: StateTransition> {
+    checkpoint: T::State,
+    final_state: T::State,
+    spec_start: Option<T::State>,
+}
+
+/// One re-execution of the previous group's tail.
+struct AttemptRec {
+    works: Vec<WorkMeter>,
+    matched: bool,
+}
+
+/// Validation history of one speculative group.
+struct ValRec {
+    attempts: Vec<AttemptRec>,
+    matched: bool,
+}
+
+/// Incremental validation/commit/abort engine. Groups are ingested strictly
+/// in order; each ingest resolves as many groups as possible.
+pub(crate) struct Resolver<'a, T: StateTransition> {
+    transition: &'a T,
+    config: &'a SpecConfig,
+    run_seed: u64,
+    sink: &'a dyn EventSink,
+    /// Effective group size, for the post-abort `group_of` arithmetic.
+    g: usize,
+    chains: Vec<ChainRec>,
+    states: Vec<StateRec<T>>,
+    vals: Vec<Option<ValRec>>,
+    records: Vec<GroupRecord>,
+    outputs: Vec<Option<T::Output>>,
+    /// Number of groups fully settled (validated, or squashed by an abort).
+    settled: usize,
+    aborted: bool,
+    abort_restart: usize,
+    tail_next: usize,
+    tail_state: Option<T::State>,
+    tail_works: Vec<WorkMeter>,
+    reexecutions: usize,
+    validations: usize,
+}
+
+impl<'a, T: StateTransition> Resolver<'a, T> {
+    pub(crate) fn new(
+        transition: &'a T,
+        config: &'a SpecConfig,
+        run_seed: u64,
+        sink: &'a dyn EventSink,
+        g: usize,
+    ) -> Self {
+        Resolver {
+            transition,
+            config,
+            run_seed,
+            sink,
+            g,
+            chains: Vec::new(),
+            states: Vec::new(),
+            vals: Vec::new(),
+            records: Vec::new(),
+            outputs: Vec::new(),
+            settled: 0,
+            aborted: false,
+            abort_restart: 0,
+            tail_next: 0,
+            tail_state: None,
+            tail_works: Vec::new(),
+            reexecutions: 0,
+            validations: 0,
+        }
+    }
+
+    /// Whether a speculative group failed validation and aborted the rest
+    /// of the run into the sequential tail.
+    pub(crate) fn aborted(&self) -> bool {
+        self.aborted
+    }
+
+    /// Number of groups whose fate (commit / abort / tail) is decided. The
+    /// streaming engine admits new inputs only a bounded number of groups
+    /// past this point.
+    pub(crate) fn settled_groups(&self) -> usize {
+        self.settled
+    }
+
+    /// Hand the next group's execution data to the resolver (groups must
+    /// arrive in order `0, 1, 2, ...`) and resolve as far as possible.
+    pub(crate) fn ingest(&mut self, data: GroupData<T>, inputs: &[T::Input]) {
+        let GroupData {
+            spec,
+            aux_work,
+            spec_start,
+            checkpoint,
+            final_state,
+            outputs: group_outputs,
+            works,
+        } = data;
+        debug_assert_eq!(
+            spec.k,
+            self.chains.len(),
+            "groups must be ingested in order"
+        );
+        if self.outputs.len() < spec.end {
+            self.outputs.resize_with(spec.end, || None);
+        }
+        if self.aborted {
+            // The group was doomed before its data arrived: the sequential
+            // tail already owns its input range, so its outputs are dropped
+            // and its whole chain is squashed work — exactly how the batch
+            // path treats every group from the abort point on.
+            self.chains.push(ChainRec {
+                start: spec.start,
+                end: spec.end,
+                aux_work,
+                works,
+                tail_squashed: 0,
+                squashed_all: true,
+            });
+            self.states.push(StateRec {
+                checkpoint,
+                final_state,
+                spec_start: None,
+            });
+            self.vals.push(None);
+            self.records.push(GroupRecord {
+                start: spec.start,
+                end: spec.end,
+                resolution: GroupResolution::SequentialTail,
+            });
+            self.settled += 1;
+            return;
+        }
+        for (off, out) in group_outputs.into_iter().enumerate() {
+            self.outputs[spec.start + off] = Some(out);
+        }
+        self.chains.push(ChainRec {
+            start: spec.start,
+            end: spec.end,
+            aux_work,
+            works,
+            tail_squashed: 0,
+            squashed_all: false,
+        });
+        self.states.push(StateRec {
+            checkpoint,
+            final_state,
+            spec_start,
+        });
+        self.vals.push(None);
+        self.records.push(GroupRecord {
+            start: spec.start,
+            end: spec.end,
+            resolution: if spec.speculative {
+                GroupResolution::Committed { reexecutions: 0 } // provisional
+            } else {
+                GroupResolution::NonSpeculative
+            },
+        });
+        while !self.aborted && self.settled < self.chains.len() {
+            let k = self.settled;
+            if k > 0 {
+                self.validate(k, inputs);
+            }
+            self.settled = k + 1;
+        }
+        if self.aborted {
+            self.settled = self.chains.len();
+        }
+    }
+
+    /// Validate speculative group `k` against the (growing) set of original
+    /// final states of group `k - 1`, re-executing the previous group's
+    /// tail up to the budget; on exhaustion, abort into the sequential tail.
+    fn validate(&mut self, k: usize, inputs: &[T::Input]) {
+        let config = self.config;
+        let spec = self.states[k]
+            .spec_start
+            .take()
+            .expect("speculative group has a start state");
+        let prev_start = self.chains[k - 1].start;
+        let prev_end = self.chains[k - 1].end;
+        let rollback = config.rollback.clamp(1, prev_end - prev_start);
+
+        let mut originals = vec![self.states[k - 1].final_state.clone()];
+        self.validations += 1;
+        let mut matched = spec.matches_any(&originals);
+        let mut attempts = 0usize;
+        if self.sink.enabled() {
+            self.sink.emit(EventKind::Validation {
+                group: k,
+                attempt: 0,
+                matched,
+            });
+        }
+
+        let mut rec = ValRec {
+            attempts: Vec::new(),
+            matched: false,
+        };
+        while !matched && attempts < config.max_reexec {
+            attempts += 1;
+            self.reexecutions += 1;
+            if self.sink.enabled() {
+                self.sink.emit(EventKind::Reexecution {
+                    group: k - 1,
+                    attempt: attempts,
+                });
+            }
+            // Re-execute the previous group's last `rollback` inputs from
+            // the checkpoint, with fresh PRVG streams.
+            let mut state = self.states[k - 1].checkpoint.clone();
+            let re_start = prev_end - rollback;
+            let mut tail_outputs: Vec<T::Output> = Vec::with_capacity(rollback);
+            let mut tail_works: Vec<WorkMeter> = Vec::with_capacity(rollback);
+            for (off, input) in inputs[re_start..prev_end].iter().enumerate() {
+                let (out, m) = run_invocation(
+                    self.transition,
+                    input,
+                    &mut state,
+                    self.run_seed,
+                    (k - 1) as u64,
+                    (re_start + off) as u64,
+                    attempts as u64,
+                    &config.orig_bindings,
+                    false,
+                );
+                tail_outputs.push(out);
+                tail_works.push(m);
+            }
+            originals.push(state);
+            self.validations += 1;
+            matched = spec.matches_any(&originals);
+            if self.sink.enabled() {
+                self.sink.emit(EventKind::Validation {
+                    group: k,
+                    attempt: attempts,
+                    matched,
+                });
+            }
+            if matched {
+                // The matching original execution becomes official: its
+                // tail outputs replace attempt 0's, whose nodes are
+                // squashed at trace layout.
+                for (off, out) in tail_outputs.into_iter().enumerate() {
+                    self.outputs[re_start + off] = Some(out);
+                }
+                self.chains[k - 1].tail_squashed = rollback;
+            }
+            rec.attempts.push(AttemptRec {
+                works: tail_works,
+                matched,
+            });
+        }
+        rec.matched = matched;
+        self.vals[k] = Some(rec);
+
+        if matched {
+            self.records[k].resolution = GroupResolution::Committed {
+                reexecutions: attempts,
+            };
+            if self.sink.enabled() {
+                self.sink.emit(EventKind::GroupCommit {
+                    group: k,
+                    reexecutions: attempts,
+                });
+            }
+        } else {
+            self.aborted = true;
+            if self.sink.enabled() {
+                self.sink.emit(EventKind::GroupAbort { group: k });
+            }
+            // Squash every group from k on (outputs and work).
+            for c in self.chains.iter_mut().skip(k) {
+                c.squashed_all = true;
+            }
+            let restart = self.chains[k].start;
+            for slot in self.outputs.iter_mut().skip(restart) {
+                *slot = None;
+            }
+            for r in self.records.iter_mut().skip(k) {
+                r.resolution = GroupResolution::SequentialTail;
+            }
+            if self.sink.enabled() {
+                self.sink
+                    .emit(EventKind::SequentialTailStart { index: restart });
+            }
+            self.abort_restart = restart;
+            self.tail_next = restart;
+            self.tail_state = Some(self.states[k - 1].final_state.clone());
+            self.process_tail(inputs);
+        }
+    }
+
+    /// After an abort, process every not-yet-consumed input sequentially
+    /// (no speculation). The streaming engine calls this again whenever
+    /// more inputs arrive; the batch path's inputs are all present at the
+    /// time of the abort.
+    pub(crate) fn process_tail(&mut self, inputs: &[T::Input]) {
+        if !self.aborted {
+            return;
+        }
+        let mut state = self.tail_state.take().expect("tail state present");
+        while self.tail_next < inputs.len() {
+            let i = self.tail_next;
+            let (out, m) = run_invocation(
+                self.transition,
+                &inputs[i],
+                &mut state,
+                self.run_seed,
+                (i / self.g) as u64,
+                i as u64,
+                // A fresh (re-)execution: distinct attempt number so its
+                // PRVG streams differ from the squashed speculative run.
+                (self.config.max_reexec + 1) as u64,
+                &self.config.orig_bindings,
+                false,
+            );
+            if self.outputs.len() <= i {
+                self.outputs.resize_with(i + 1, || None);
+            }
+            self.outputs[i] = Some(out);
+            self.tail_works.push(m);
+            self.tail_next += 1;
+        }
+        self.tail_state = Some(state);
+    }
+
+    /// Lay out the canonical trace, settle accounting, and return the run's
+    /// result. `initial` is only used for the degenerate zero-input run.
+    pub(crate) fn finish(mut self, initial: &T::State) -> ProtocolResult<T> {
+        debug_assert_eq!(
+            self.settled,
+            self.chains.len(),
+            "unresolved groups at finish"
+        );
+        let config = self.config;
+        let mut trace = SpecTrace::default();
+
+        // Phase-1 layout: every group's attempt-0 chain (auxiliary node,
+        // then the chained invocations), in group order.
+        let mut chain_last: Vec<usize> = Vec::with_capacity(self.chains.len());
+        let mut chain_aux: Vec<Option<usize>> = Vec::with_capacity(self.chains.len());
+        for (k, c) in self.chains.iter().enumerate() {
+            let mut deps: Vec<usize> = Vec::new();
+            let mut aux = None;
+            if let Some(aux_work) = c.aux_work {
+                let idx = trace.push(TraceNodeKind::Auxiliary { group: k }, aux_work, vec![]);
+                trace.nodes[idx].committed = !c.squashed_all;
+                deps.push(idx);
+                aux = Some(idx);
+            }
+            let len = c.works.len();
+            let mut last = usize::MAX;
+            for (off, &m) in c.works.iter().enumerate() {
+                let node = trace.push(
+                    TraceNodeKind::Invocation {
+                        group: k,
+                        index: c.start + off,
+                        attempt: 0,
+                        sequential_tail: false,
+                    },
+                    m,
+                    deps,
+                );
+                trace.nodes[node].committed = !(c.squashed_all || off >= len - c.tail_squashed);
+                deps = vec![node];
+                last = node;
+            }
+            chain_last.push(last);
+            chain_aux.push(aux);
+        }
+
+        // Phase-2 layout: per speculative group, the validation chain and
+        // re-executed tails; after an abort, the sequential tail.
+        let mut prev_commit_gate: Option<usize> = None;
+        let val_work = WorkMeter {
+            total: config.validation_cost,
+            memory: 0.0,
+        };
+        for k in 1..self.chains.len() {
+            let Some(rec) = &self.vals[k] else { break };
+            let prev_start = self.chains[k - 1].start;
+            let prev_end = self.chains[k - 1].end;
+            let rollback = config.rollback.clamp(1, prev_end - prev_start);
+            let re_start = prev_end - rollback;
+            let mut val_deps = vec![
+                chain_last[k - 1],
+                chain_aux[k].expect("speculative group has an auxiliary node"),
+            ];
+            if let Some(gate) = prev_commit_gate {
+                val_deps.push(gate);
+            }
+            let mut val_node = trace.push(
+                TraceNodeKind::Validation {
+                    group: k,
+                    attempt: 0,
+                },
+                val_work,
+                val_deps,
+            );
+            for (a, attempt_rec) in rec.attempts.iter().enumerate() {
+                let attempt = a + 1;
+                let mut deps = vec![val_node];
+                let mut tail_nodes: Vec<usize> = Vec::with_capacity(attempt_rec.works.len());
+                for (off, &m) in attempt_rec.works.iter().enumerate() {
+                    let node = trace.push(
+                        TraceNodeKind::Invocation {
+                            group: k - 1,
+                            index: re_start + off,
+                            attempt,
+                            sequential_tail: false,
+                        },
+                        m,
+                        deps,
+                    );
+                    tail_nodes.push(node);
+                    deps = vec![node];
+                }
+                val_node = trace.push(
+                    TraceNodeKind::Validation { group: k, attempt },
+                    val_work,
+                    deps,
+                );
+                if !attempt_rec.matched {
+                    for node in tail_nodes {
+                        trace.nodes[node].committed = false;
+                    }
+                }
+            }
+            if rec.matched {
+                prev_commit_gate = Some(val_node);
+            } else {
+                let mut deps = vec![val_node];
+                for (off, &m) in self.tail_works.iter().enumerate() {
+                    let i = self.abort_restart + off;
+                    let node = trace.push(
+                        TraceNodeKind::Invocation {
+                            group: i / self.g,
+                            index: i,
+                            attempt: config.max_reexec + 1,
+                            sequential_tail: true,
+                        },
+                        m,
+                        deps,
+                    );
+                    deps = vec![node];
+                }
+                break;
+            }
+        }
+        if self.aborted && self.sink.enabled() {
+            self.sink.emit(EventKind::SequentialTailEnd);
+        }
+
+        // Phase-3 accounting.
+        let mut report = SpecReport {
+            groups: self.records,
+            reexecutions: self.reexecutions,
+            validations: self.validations,
+            aborted: self.aborted,
+            ..SpecReport::default()
+        };
+        for node in &trace.nodes {
+            let w = node.work.total;
+            if node.committed {
+                match node.kind {
+                    TraceNodeKind::Auxiliary { .. } => report.committed_aux_work += w,
+                    _ => report.committed_original_work += w,
+                }
+            } else {
+                report.squashed_work += w;
+            }
+        }
+
+        let final_state = if self.aborted {
+            self.tail_state.take().expect("tail state present")
+        } else {
+            match self.states.last() {
+                Some(s) => s.final_state.clone(),
+                None => initial.clone(),
+            }
+        };
+        let outputs: Vec<T::Output> = self
+            .outputs
+            .into_iter()
+            .map(|o| o.expect("every input has a committed output"))
+            .collect();
+        ProtocolResult {
+            outputs,
+            final_state,
+            report,
+            trace,
+        }
+    }
+}

@@ -3,7 +3,9 @@
 //! `StateDependence::start()` begins the §3.1 execution model in parallel
 //! with the invoking thread, running groups of invocations concurrently on a
 //! shared [`ThreadPool`]; `join()` waits until all inputs are correctly
-//! processed and returns the committed outputs.
+//! processed and returns the committed outputs. All knobs (pool, sink,
+//! seed, config, segmenting) come from one [`RunOptions`] value — the same
+//! options type the streaming [`Session`](crate::Session) consumes.
 //!
 //! Because every invocation's PRVG stream is derived from coordinates (run
 //! seed, group, index, attempt), the parallel execution is *reproducible*
@@ -15,10 +17,12 @@ use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
-use crate::obs::{EventSink, NoopSink};
+use crate::obs::EventSink;
+use crate::options::RunOptions;
 use crate::pool::ThreadPool;
 use crate::protocol::{
-    execute_group, run_protocol_with, GroupData, ProtocolResult, SpecConfig, SpecReport,
+    execute_group, run_protocol_with, GroupData, ProtocolResult, SegmentAccumulator, SpecConfig,
+    SpecReport, SpecTrace,
 };
 use crate::sdi::StateTransition;
 
@@ -30,23 +34,36 @@ pub struct SpecOutcome<T: StateTransition> {
     pub final_state: T::State,
     /// Speculation statistics (commits, re-executions, aborts, work split).
     pub report: SpecReport,
+    /// The recorded task graph of everything that executed.
+    pub trace: SpecTrace,
+}
+
+impl<T: StateTransition> From<ProtocolResult<T>> for SpecOutcome<T> {
+    fn from(result: ProtocolResult<T>) -> Self {
+        SpecOutcome {
+            outputs: result.outputs,
+            final_state: result.final_state,
+            report: result.report,
+            trace: result.trace,
+        }
+    }
 }
 
 struct Shared<T: StateTransition> {
     inputs: Vec<T::Input>,
     initial: T::State,
     transition: T,
-    config: SpecConfig,
-    pool: Arc<ThreadPool>,
-    sink: Arc<dyn EventSink>,
+    options: RunOptions,
 }
 
 /// A state dependence made explicit (paper Figures 8/9): the inputs, the
 /// initial state, and the `compute_output` transition, plus the STATS
-/// execution-model configuration.
+/// execution-model configuration carried by [`RunOptions`].
 ///
 /// ```
-/// use stats_core::{ExactState, InvocationCtx, SpecConfig, StateDependence, StateTransition};
+/// use stats_core::{
+///     ExactState, InvocationCtx, RunOptions, SpecConfig, StateDependence, StateTransition,
+/// };
 ///
 /// struct Double;
 /// impl StateTransition for Double {
@@ -66,7 +83,8 @@ struct Shared<T: StateTransition> {
 /// }
 ///
 /// let mut dep = StateDependence::new((0..32).collect(), ExactState(0), Double)
-///     .with_config(SpecConfig { group_size: 8, window: 1, ..SpecConfig::default() });
+///     .with_options(RunOptions::default()
+///         .config(SpecConfig { group_size: 8, window: 1, ..SpecConfig::default() }));
 /// dep.start();
 /// let outcome = dep.join();
 /// assert_eq!(outcome.outputs[5], 10);
@@ -74,76 +92,74 @@ struct Shared<T: StateTransition> {
 /// ```
 pub struct StateDependence<T: StateTransition> {
     shared: Option<Arc<Shared<T>>>,
-    seed: u64,
     handle: Option<JoinHandle<ProtocolResult<T>>>,
 }
 
 impl<T: StateTransition> StateDependence<T> {
     /// Create a state dependence over `inputs` with the given initial state
-    /// and transition, a default [`SpecConfig`], and a pool sized to the
-    /// machine's available parallelism.
+    /// and transition, under default [`RunOptions`] (a private pool sized
+    /// to the machine's available parallelism is created at `start()`).
     pub fn new(inputs: Vec<T::Input>, initial: T::State, transition: T) -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        Self::with_pool(
-            inputs,
-            initial,
-            transition,
-            Arc::new(ThreadPool::new(threads)),
-        )
+        StateDependence {
+            shared: Some(Arc::new(Shared {
+                inputs,
+                initial,
+                transition,
+                options: RunOptions::default(),
+            })),
+            handle: None,
+        }
+    }
+
+    fn map_options(mut self, f: impl FnOnce(&mut RunOptions)) -> Self {
+        let mut shared = Arc::try_unwrap(self.shared.take().expect("not started"))
+            .unwrap_or_else(|_| panic!("options must be set before start"));
+        f(&mut shared.options);
+        self.shared = Some(Arc::new(shared));
+        self
+    }
+
+    /// Replace every runtime knob at once (builder style): pool, sink,
+    /// seed, config, and segmenting all come from `options`.
+    pub fn with_options(self, options: RunOptions) -> Self {
+        self.map_options(|o| *o = options)
     }
 
     /// Like [`StateDependence::new`], but sharing an existing thread pool —
     /// the paper's runtime shares one pool among all state dependences.
+    #[deprecated(note = "use `new(...)` + `with_options(RunOptions::default().pool(...))`")]
     pub fn with_pool(
         inputs: Vec<T::Input>,
         initial: T::State,
         transition: T,
         pool: Arc<ThreadPool>,
     ) -> Self {
-        StateDependence {
-            shared: Some(Arc::new(Shared {
-                inputs,
-                initial,
-                transition,
-                config: SpecConfig::default(),
-                pool,
-                sink: Arc::new(NoopSink),
-            })),
-            seed: 0,
-            handle: None,
-        }
+        Self::new(inputs, initial, transition).map_options(|o| o.pool = Some(pool))
     }
 
     /// Replace the execution-model configuration (builder style).
-    pub fn with_config(mut self, config: SpecConfig) -> Self {
-        let shared = Arc::try_unwrap(self.shared.take().expect("not started"))
-            .unwrap_or_else(|_| panic!("with_config must precede start"));
-        self.shared = Some(Arc::new(Shared { config, ..shared }));
-        self
+    #[deprecated(note = "use `with_options(RunOptions::default().config(...))`")]
+    pub fn with_config(self, config: SpecConfig) -> Self {
+        self.map_options(|o| o.config = config)
     }
 
     /// Install an observability sink (builder style). Group events are
     /// emitted from pool worker threads; validation/commit/abort events
     /// from the coordinator thread.
-    pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
-        let shared = Arc::try_unwrap(self.shared.take().expect("not started"))
-            .unwrap_or_else(|_| panic!("with_sink must precede start"));
-        self.shared = Some(Arc::new(Shared { sink, ..shared }));
-        self
+    #[deprecated(note = "use `with_options(RunOptions::default().sink(...))`")]
+    pub fn with_sink(self, sink: Arc<dyn EventSink>) -> Self {
+        self.map_options(|o| o.sink = sink)
     }
 
     /// Set the run seed controlling every PRVG stream (builder style).
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
+    #[deprecated(note = "use `with_options(RunOptions::default().seed(...))`")]
+    pub fn with_seed(self, seed: u64) -> Self {
+        self.map_options(|o| o.seed = seed)
     }
 
-    /// Run to completion on the calling thread's pool and return the
-    /// outcome. Equivalent to `start()` followed by `join()`.
-    pub fn run(mut self, seed: u64) -> SpecOutcome<T> {
-        self.seed = seed;
+    /// Run to completion and return the outcome. Equivalent to `start()`
+    /// followed by `join()`; the seed comes from [`RunOptions::seed`].
+    pub fn run(mut self) -> SpecOutcome<T> {
         self.start();
         self.join()
     }
@@ -156,11 +172,11 @@ impl<T: StateTransition> StateDependence<T> {
     pub fn start(&mut self) {
         assert!(self.handle.is_none(), "start() called twice");
         let shared = Arc::clone(self.shared.as_ref().expect("not consumed"));
-        let seed = self.seed;
+        let pool = resolve_pool(&shared.options);
         self.handle = Some(
             std::thread::Builder::new()
                 .name("stats-coordinator".into())
-                .spawn(move || run_pooled(&shared, seed))
+                .spawn(move || run_pooled(&shared, &pool))
                 .expect("failed to spawn coordinator"),
         );
     }
@@ -173,12 +189,18 @@ impl<T: StateTransition> StateDependence<T> {
     pub fn join(mut self) -> SpecOutcome<T> {
         let handle = self.handle.take().expect("join() requires start()");
         let result = handle.join().expect("coordinator panicked");
-        SpecOutcome {
-            outputs: result.outputs,
-            final_state: result.final_state,
-            report: result.report,
-        }
+        result.into()
     }
+}
+
+/// The options' shared pool, or a private one sized to the machine.
+pub(crate) fn resolve_pool(options: &RunOptions) -> Arc<ThreadPool> {
+    options.pool.clone().unwrap_or_else(|| {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Arc::new(ThreadPool::new(threads))
+    })
 }
 
 /// Dropping a started-but-not-joined dependence must not leak a detached
@@ -198,16 +220,59 @@ impl<T: StateTransition> Drop for StateDependence<T> {
     }
 }
 
-/// Execute the protocol with group execution fanned out to the pool.
-fn run_pooled<T: StateTransition>(shared: &Arc<Shared<T>>, seed: u64) -> ProtocolResult<T> {
+/// Execute the protocol with group execution fanned out to the pool,
+/// segment by segment when [`RunOptions::segment`] is set.
+fn run_pooled<T: StateTransition>(
+    shared: &Arc<Shared<T>>,
+    pool: &Arc<ThreadPool>,
+) -> ProtocolResult<T> {
+    let options = &shared.options;
+    match options.segment {
+        None => run_pooled_chunk(
+            shared,
+            pool,
+            options.seed,
+            0,
+            shared.inputs.len(),
+            &shared.initial,
+        ),
+        Some(segment) => {
+            let segment = segment.max(1);
+            let n = shared.inputs.len();
+            let mut acc: SegmentAccumulator<T> = SegmentAccumulator::new(shared.initial.clone());
+            let mut lo = 0usize;
+            let mut seg_idx = 0u64;
+            while lo < n {
+                let hi = (lo + segment).min(n);
+                let initial = acc.state().clone();
+                let r =
+                    run_pooled_chunk(shared, pool, options.seed ^ seg_idx << 32, lo, hi, &initial);
+                acc.absorb(r);
+                lo = hi;
+                seg_idx += 1;
+            }
+            acc.finish()
+        }
+    }
+}
+
+/// One (sub-)run over `inputs[lo..hi]`, groups fanned out to the pool.
+fn run_pooled_chunk<T: StateTransition>(
+    shared: &Arc<Shared<T>>,
+    pool: &Arc<ThreadPool>,
+    seed: u64,
+    lo: usize,
+    hi: usize,
+    initial: &T::State,
+) -> ProtocolResult<T> {
     let s = Arc::clone(shared);
     run_protocol_with(
         &shared.transition,
-        &shared.inputs,
-        &shared.initial,
-        &shared.config,
+        &shared.inputs[lo..hi],
+        initial,
+        &shared.options.config,
         seed,
-        &*shared.sink,
+        &*shared.options.sink,
         move |specs| {
             let slots: Arc<Mutex<Vec<Option<GroupData<T>>>>> =
                 Arc::new(Mutex::new((0..specs.len()).map(|_| None).collect()));
@@ -216,21 +281,23 @@ fn run_pooled<T: StateTransition>(shared: &Arc<Shared<T>>, seed: u64) -> Protoco
                 .map(|&spec| {
                     let s = Arc::clone(&s);
                     let slots = Arc::clone(&slots);
+                    let init = initial.clone();
                     move |idx: usize| {
                         let data = execute_group(
                             &s.transition,
-                            &s.inputs,
-                            &s.initial,
-                            &s.config,
+                            &s.inputs[lo..hi],
+                            0,
+                            &init,
+                            &s.options.config,
                             seed,
                             spec,
-                            &*s.sink,
+                            &*s.options.sink,
                         );
                         slots.lock()[idx] = Some(data);
                     }
                 })
                 .collect();
-            shared.pool.scope(jobs);
+            pool.scope(jobs);
             Arc::try_unwrap(slots)
                 .unwrap_or_else(|_| panic!("pool scope leaked a slot reference"))
                 .into_inner()
@@ -280,49 +347,72 @@ mod tests {
         }
     }
 
+    fn pooled_options(threads: usize, seed: u64) -> RunOptions {
+        RunOptions::default()
+            .pool(Arc::new(ThreadPool::new(threads)))
+            .config(config())
+            .seed(seed)
+    }
+
     #[test]
     fn pooled_matches_sequential_reference() {
         let inputs: Vec<f64> = (0..24).map(|i| i as f64).collect();
         for seed in [0_u64, 1, 7, 42] {
             let reference = run_protocol(&NoisyLast, &inputs, &Noisy(0.0), &config(), seed);
-            let dep = StateDependence::with_pool(
-                inputs.clone(),
-                Noisy(0.0),
-                NoisyLast,
-                Arc::new(ThreadPool::new(4)),
-            )
-            .with_config(config());
-            let outcome = dep.run(seed);
+            let dep = StateDependence::new(inputs.clone(), Noisy(0.0), NoisyLast)
+                .with_options(pooled_options(4, seed));
+            let outcome = dep.run();
             assert_eq!(outcome.outputs, reference.outputs, "seed {seed}");
             assert_eq!(outcome.report.aborted, reference.report.aborted);
             assert_eq!(outcome.report.reexecutions, reference.report.reexecutions);
+            assert_eq!(outcome.trace, reference.trace, "seed {seed}");
         }
     }
 
     #[test]
+    fn segmented_pooled_matches_sequential_segmented_reference() {
+        let inputs: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let options = RunOptions::default().config(config()).seed(5).segment(13);
+        let reference =
+            crate::protocol::run_protocol_with_options(&NoisyLast, &inputs, &Noisy(0.0), &options);
+        let dep = StateDependence::new(inputs, Noisy(0.0), NoisyLast)
+            .with_options(options.pool(Arc::new(ThreadPool::new(4))));
+        let outcome = dep.run();
+        assert_eq!(outcome.outputs, reference.outputs);
+        assert_eq!(outcome.report, reference.report);
+        assert_eq!(outcome.trace, reference.trace);
+    }
+
+    #[test]
     fn start_join_api() {
-        let mut dep = StateDependence::with_pool(
-            (0..16).map(|i| i as f64).collect(),
-            Noisy(0.0),
-            NoisyLast,
-            Arc::new(ThreadPool::new(2)),
-        )
-        .with_config(config())
-        .with_seed(3);
+        let mut dep =
+            StateDependence::new((0..16).map(|i| i as f64).collect(), Noisy(0.0), NoisyLast)
+                .with_options(pooled_options(2, 3));
         dep.start();
         let outcome = dep.join();
         assert_eq!(outcome.outputs.len(), 16);
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_builders_still_compose() {
+        // The legacy chain must keep working (and keep the pool installed
+        // by with_pool) until the shims are removed.
+        let inputs: Vec<f64> = (0..16).map(f64::from).collect();
+        let reference = run_protocol(&NoisyLast, &inputs, &Noisy(0.0), &config(), 9);
+        let dep =
+            StateDependence::with_pool(inputs, Noisy(0.0), NoisyLast, Arc::new(ThreadPool::new(2)))
+                .with_config(config())
+                .with_seed(9);
+        let outcome = dep.run();
+        assert_eq!(outcome.outputs, reference.outputs);
+    }
+
+    #[test]
     #[should_panic(expected = "start() called twice")]
     fn double_start_panics() {
-        let mut dep = StateDependence::with_pool(
-            vec![1.0],
-            Noisy(0.0),
-            NoisyLast,
-            Arc::new(ThreadPool::new(1)),
-        );
+        let mut dep = StateDependence::new(vec![1.0], Noisy(0.0), NoisyLast)
+            .with_options(pooled_options(1, 0));
         dep.start();
         dep.start();
     }
@@ -351,13 +441,12 @@ mod tests {
         // test finishing at all proves the process was not aborted.
         let sentinel = Arc::new(());
         {
-            let mut dep = StateDependence::with_pool(
+            let mut dep = StateDependence::new(
                 (0..32).map(f64::from).collect(),
                 Noisy(0.0),
                 SentinelLast(Arc::clone(&sentinel)),
-                Arc::new(ThreadPool::new(2)),
             )
-            .with_config(config());
+            .with_options(pooled_options(2, 0));
             dep.start();
             // Dropped here without join().
         }
@@ -370,12 +459,7 @@ mod tests {
 
     #[test]
     fn dropping_unstarted_dependence_is_inert() {
-        let dep = StateDependence::with_pool(
-            vec![1.0, 2.0],
-            Noisy(0.0),
-            NoisyLast,
-            Arc::new(ThreadPool::new(1)),
-        );
+        let dep = StateDependence::new(vec![1.0, 2.0], Noisy(0.0), NoisyLast);
         drop(dep); // no coordinator was ever spawned
     }
 
@@ -395,13 +479,8 @@ mod tests {
     fn dropping_dependence_propagates_coordinator_panic() {
         // The old detached handle silently swallowed coordinator panics;
         // now drop re-raises them on the owning thread.
-        let mut dep = StateDependence::with_pool(
-            vec![1.0, 2.0, 3.0],
-            Noisy(0.0),
-            Exploding,
-            Arc::new(ThreadPool::new(1)),
-        )
-        .with_config(config());
+        let mut dep = StateDependence::new(vec![1.0, 2.0, 3.0], Noisy(0.0), Exploding)
+            .with_options(pooled_options(1, 0));
         dep.start();
         drop(dep);
     }
@@ -410,15 +489,11 @@ mod tests {
     fn pooled_run_emits_events_from_worker_threads() {
         use crate::obs::{EventKind, RecordingSink};
         let sink = Arc::new(RecordingSink::new());
-        let dep = StateDependence::with_pool(
-            (0..24).map(f64::from).collect(),
-            Noisy(0.0),
-            NoisyLast,
-            Arc::new(ThreadPool::new(4)),
-        )
-        .with_config(config())
-        .with_sink(Arc::clone(&sink) as Arc<dyn crate::obs::EventSink>);
-        let outcome = dep.run(7);
+        let dep = StateDependence::new((0..24).map(f64::from).collect(), Noisy(0.0), NoisyLast)
+            .with_options(
+                pooled_options(4, 7).sink(Arc::clone(&sink) as Arc<dyn crate::obs::EventSink>),
+            );
+        let outcome = dep.run();
         assert_eq!(outcome.outputs.len(), 24);
         let events = sink.events();
         let starts = events
@@ -439,22 +514,16 @@ mod tests {
     #[test]
     fn shared_pool_across_dependences() {
         let pool = Arc::new(ThreadPool::new(4));
-        let a = StateDependence::with_pool(
-            (0..8).map(f64::from).collect(),
-            Noisy(0.0),
-            NoisyLast,
-            Arc::clone(&pool),
-        )
-        .with_config(config());
-        let b = StateDependence::with_pool(
-            (0..8).map(f64::from).collect(),
-            Noisy(0.0),
-            NoisyLast,
-            Arc::clone(&pool),
-        )
-        .with_config(config());
-        let oa = a.run(1);
-        let ob = b.run(1);
+        let options = RunOptions::default()
+            .pool(Arc::clone(&pool))
+            .config(config())
+            .seed(1);
+        let a = StateDependence::new((0..8).map(f64::from).collect(), Noisy(0.0), NoisyLast)
+            .with_options(options.clone());
+        let b = StateDependence::new((0..8).map(f64::from).collect(), Noisy(0.0), NoisyLast)
+            .with_options(options);
+        let oa = a.run();
+        let ob = b.run();
         assert_eq!(oa.outputs, ob.outputs);
     }
 }

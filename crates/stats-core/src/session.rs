@@ -1,0 +1,828 @@
+//! The streaming speculation engine: a long-lived [`Session`] that accepts
+//! inputs incrementally and runs the §3.1 execution model over them as they
+//! arrive.
+//!
+//! A `Session` keeps one [`ThreadPool`], one [`EventSink`], and one tuned
+//! [`SpecConfig`] alive across an entire input stream instead of paying for
+//! them per call. Producers `push`/`push_batch` into a bounded queue
+//! (backpressure: a full queue blocks the producer); a dedicated
+//! `stats-stream` coordinator thread forms speculation groups on the fly,
+//! runs group 0 inline while dispatching later groups to the pool, and
+//! overlaps validation + commit of group `k` with the auxiliary + original
+//! execution of later groups already in flight.
+//!
+//! **Determinism contract**: for the same seed and the same input order,
+//! `Session` is bit-identical — outputs, final state, [`SpecReport`], and
+//! [`SpecTrace`](crate::SpecTrace) — to the batch
+//! [`run_protocol`](crate::run_protocol) over the concatenated inputs,
+//! regardless of how pushes were chunked. The property-based test suite
+//! (`tests/streaming_properties.rs`) checks exactly this. See
+//! `docs/streaming.md` for lifecycle and backpressure details.
+
+use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::obs::{EventKind, EventSink};
+use crate::options::RunOptions;
+use crate::pool::ThreadPool;
+use crate::protocol::{
+    execute_group, run_invocation, GroupData, GroupSpec, ProtocolResult, SegmentAccumulator,
+    SpecConfig, SpecReport, SpecTrace,
+};
+use crate::resolver::Resolver;
+use crate::runtime::{resolve_pool, SpecOutcome};
+use crate::sdi::StateTransition;
+
+/// Everything shared between producers, the coordinator, and pool jobs.
+struct StreamShared<T: StateTransition> {
+    inner: Mutex<StreamInner<T>>,
+    /// Signaled when queue space frees up (or the coordinator dies).
+    producer: Condvar,
+    /// Signaled when inputs, completions, or a close arrive.
+    coordinator: Condvar,
+    capacity: usize,
+}
+
+struct StreamInner<T: StateTransition> {
+    queue: VecDeque<T::Input>,
+    closed: bool,
+    /// Finished group executions, keyed by group index within the current
+    /// segment (pool jobs may finish out of order).
+    completions: Vec<(usize, GroupData<T>)>,
+    /// First panic payload from a pool job; re-raised by the coordinator.
+    panic: Option<Box<dyn Any + Send>>,
+    /// Set when the coordinator thread exits (normally or by panic), so
+    /// blocked producers fail fast instead of waiting forever.
+    coordinator_gone: bool,
+}
+
+/// Immutable engine context shared with pool jobs.
+struct EngineCtx<T: StateTransition> {
+    transition: T,
+    config: SpecConfig,
+    sink: Arc<dyn EventSink>,
+}
+
+/// A long-lived streaming run of the STATS execution model.
+///
+/// ```
+/// use stats_core::{ExactState, InvocationCtx, RunOptions, Session, SpecConfig, StateTransition};
+///
+/// struct Double;
+/// impl StateTransition for Double {
+///     type Input = u64;
+///     type State = ExactState<u64>;
+///     type Output = u64;
+///     fn compute_output(
+///         &self,
+///         input: &u64,
+///         state: &mut ExactState<u64>,
+///         ctx: &mut InvocationCtx,
+///     ) -> u64 {
+///         ctx.charge(1.0);
+///         state.0 = *input;
+///         2 * *input
+///     }
+/// }
+///
+/// let session = Session::new(ExactState(0), Double, RunOptions::default()
+///     .config(SpecConfig { group_size: 8, window: 1, ..SpecConfig::default() }));
+/// for i in 0..32 {
+///     session.push(i);
+/// }
+/// let outcome = session.finish();
+/// assert_eq!(outcome.outputs[5], 10);
+/// ```
+pub struct Session<T: StateTransition> {
+    shared: Arc<StreamShared<T>>,
+    handle: Option<JoinHandle<ProtocolResult<T>>>,
+}
+
+impl<T: StateTransition> Session<T> {
+    /// Open a stream from `initial` under `options`, spawning the
+    /// `stats-stream` coordinator thread. The options' pool is shared with
+    /// other sessions and dependences; without one, a private pool sized to
+    /// the machine is created and kept for the session's whole lifetime.
+    pub fn new(initial: T::State, transition: T, options: RunOptions) -> Self {
+        let pool = resolve_pool(&options);
+        let max_inflight = if options.max_inflight_groups == 0 {
+            pool.threads() + 2
+        } else {
+            options.max_inflight_groups
+        }
+        .max(1);
+        let shared = Arc::new(StreamShared {
+            inner: Mutex::new(StreamInner {
+                queue: VecDeque::new(),
+                closed: false,
+                completions: Vec::new(),
+                panic: None,
+                coordinator_gone: false,
+            }),
+            producer: Condvar::new(),
+            coordinator: Condvar::new(),
+            capacity: options.queue_capacity.max(1),
+        });
+        let ctx = Arc::new(EngineCtx {
+            transition,
+            config: options.config.clone(),
+            sink: Arc::clone(&options.sink),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("stats-stream".into())
+            .spawn(move || {
+                let _guard = CoordinatorGuard {
+                    shared: Arc::clone(&thread_shared),
+                };
+                stream_main(&thread_shared, &ctx, &pool, &options, initial, max_inflight)
+            })
+            .expect("failed to spawn stream coordinator");
+        Session {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Enqueue one input. Blocks while the bounded queue is full
+    /// (backpressure) until the engine drains it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinator thread has terminated (which only happens
+    /// when a transition panicked; the payload is re-raised at `finish()`
+    /// or drop).
+    pub fn push(&self, input: T::Input) {
+        let mut inner = self.shared.inner.lock();
+        loop {
+            assert!(
+                !inner.coordinator_gone,
+                "Session coordinator has terminated; cannot accept inputs"
+            );
+            if inner.queue.len() < self.shared.capacity {
+                break;
+            }
+            self.shared.producer.wait(&mut inner);
+        }
+        inner.queue.push_back(input);
+        drop(inner);
+        self.shared.coordinator.notify_all();
+    }
+
+    /// Enqueue a batch of inputs, blocking as needed per input.
+    pub fn push_batch(&self, inputs: impl IntoIterator<Item = T::Input>) {
+        for input in inputs {
+            self.push(input);
+        }
+    }
+
+    /// Close the stream, wait for every pushed input to be correctly
+    /// processed, and return the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises any panic of the transition on the caller's thread.
+    pub fn finish(mut self) -> SpecOutcome<T> {
+        self.close();
+        let handle = self.handle.take().expect("session joined twice");
+        match handle.join() {
+            Ok(result) => result.into(),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    fn close(&self) {
+        let mut inner = self.shared.inner.lock();
+        inner.closed = true;
+        drop(inner);
+        self.shared.coordinator.notify_all();
+    }
+}
+
+/// Dropping a session mid-stream must drain and join cleanly — no leaked
+/// `stats-stream` coordinator thread, mirroring `StateDependence`'s
+/// Drop-join — and must not swallow transition panics: they re-raise here
+/// unless the drop is itself part of a panic unwind.
+impl<T: StateTransition> Drop for Session<T> {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.close();
+            if let Err(payload) = handle.join() {
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+/// Marks the coordinator as gone on any exit path, so producers blocked on
+/// a full queue wake up and fail instead of hanging.
+struct CoordinatorGuard<T: StateTransition> {
+    shared: Arc<StreamShared<T>>,
+}
+
+impl<T: StateTransition> Drop for CoordinatorGuard<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock();
+        inner.coordinator_gone = true;
+        drop(inner);
+        self.shared.producer.notify_all();
+    }
+}
+
+/// Coordinator entry point: one un-segmented run, or one run per segment
+/// with committed state carried across (same semantics as the batch
+/// segmented path, same seed derivation per segment).
+fn stream_main<T: StateTransition>(
+    shared: &Arc<StreamShared<T>>,
+    ctx: &Arc<EngineCtx<T>>,
+    pool: &Arc<ThreadPool>,
+    options: &RunOptions,
+    initial: T::State,
+    max_inflight: usize,
+) -> ProtocolResult<T> {
+    match options.segment {
+        None => stream_segment(
+            shared,
+            ctx,
+            pool,
+            options.seed,
+            &initial,
+            usize::MAX,
+            max_inflight,
+        ),
+        Some(segment) => {
+            let segment = segment.max(1);
+            let mut acc: SegmentAccumulator<T> = SegmentAccumulator::new(initial);
+            let mut seg_idx = 0u64;
+            while wait_for_input(shared) {
+                let seg_initial = acc.state().clone();
+                let r = stream_segment(
+                    shared,
+                    ctx,
+                    pool,
+                    options.seed ^ seg_idx << 32,
+                    &seg_initial,
+                    segment,
+                    max_inflight,
+                );
+                acc.absorb(r);
+                seg_idx += 1;
+            }
+            acc.finish()
+        }
+    }
+}
+
+/// Block until at least one input is queued (true) or the stream is closed
+/// with nothing left (false).
+fn wait_for_input<T: StateTransition>(shared: &StreamShared<T>) -> bool {
+    let mut inner = shared.inner.lock();
+    loop {
+        if !inner.queue.is_empty() {
+            return true;
+        }
+        if inner.closed {
+            return false;
+        }
+        shared.coordinator.wait(&mut inner);
+    }
+}
+
+/// Run one stream (or one segment of it, `limit` inputs at most): consume
+/// admitted inputs, execute group 0 inline on the coordinator, dispatch
+/// later groups to the pool as soon as their inputs are complete, and feed
+/// finished groups — strictly in order — into the shared [`Resolver`].
+fn stream_segment<T: StateTransition>(
+    shared: &Arc<StreamShared<T>>,
+    ctx: &Arc<EngineCtx<T>>,
+    pool: &Arc<ThreadPool>,
+    seed: u64,
+    initial: &T::State,
+    limit: usize,
+    max_inflight: usize,
+) -> ProtocolResult<T> {
+    let config = &ctx.config;
+    let sink: &dyn EventSink = &*ctx.sink;
+    // Group cardinality while the input count is unknown: with speculation
+    // on, every full `group_size` block becomes a group; the cases where
+    // the batch path would collapse to a single group (n <= group_size, or
+    // speculation off) fall out naturally because no second group ever
+    // forms before the stream closes.
+    let group_cap = if config.speculate && config.group_size > 1 {
+        Some(config.group_size)
+    } else {
+        None
+    };
+    let g_eff = group_cap.unwrap_or(usize::MAX);
+    let mut resolver: Resolver<T> = Resolver::new(&ctx.transition, config, seed, sink, g_eff);
+
+    let mut inputs: Vec<T::Input> = Vec::new();
+    let mut consumed = 0usize; // inputs taken off the queue this segment
+    let mut intake_done = false;
+    let mut run_started = false;
+
+    // Group 0 runs inline on the coordinator thread: it starts from the
+    // known initial state, needs no auxiliary code, and computing it here
+    // is what makes the bounded queue back-pressure producers.
+    let mut g0_state = initial.clone();
+    let mut g0_checkpoint = initial.clone();
+    let mut g0_outputs: Vec<T::Output> = Vec::new();
+    let mut g0_works = Vec::new();
+    let mut g0_done = false;
+    let g0_checkpoint_at = group_cap.map(|gs| gs - config.rollback.clamp(1, gs));
+
+    let mut dispatched = 1usize; // next speculative group to hand to the pool
+    let mut ingested = 0usize; // groups handed to the resolver so far
+    let mut pending: BTreeMap<usize, GroupData<T>> = BTreeMap::new();
+    let mut total_groups: Option<usize> = None;
+
+    let dispatch_group = |k: usize, start: usize, end: usize, all_inputs: &[T::Input]| {
+        let w_start = start.saturating_sub(config.window);
+        let slice: Vec<T::Input> = all_inputs[w_start..end].to_vec();
+        let spec = GroupSpec {
+            k,
+            start,
+            end,
+            speculative: true,
+        };
+        let job_ctx = Arc::clone(ctx);
+        let job_shared = Arc::clone(shared);
+        let job_initial = initial.clone();
+        pool.execute(move || {
+            // `ThreadPool::execute` jobs are not panic-isolated (a panic
+            // kills the worker): catch here and hand the payload to the
+            // coordinator, which re-raises it on the session owner.
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                execute_group(
+                    &job_ctx.transition,
+                    &slice,
+                    w_start,
+                    &job_initial,
+                    &job_ctx.config,
+                    seed,
+                    spec,
+                    &*job_ctx.sink,
+                )
+            }));
+            let mut inner = job_shared.inner.lock();
+            match outcome {
+                Ok(data) => inner.completions.push((k, data)),
+                Err(payload) => {
+                    if inner.panic.is_none() {
+                        inner.panic = Some(payload);
+                    }
+                }
+            }
+            drop(inner);
+            job_shared.coordinator.notify_all();
+        });
+    };
+
+    loop {
+        if total_groups.is_some_and(|total| ingested >= total) {
+            break;
+        }
+
+        // ---- Pull admitted inputs and finished groups under the lock,
+        // blocking until something actionable arrives.
+        let mut fresh: Vec<T::Input> = Vec::new();
+        {
+            let mut inner = shared.inner.lock();
+            loop {
+                if let Some(payload) = inner.panic.take() {
+                    drop(inner);
+                    std::panic::resume_unwind(payload);
+                }
+                let mut actionable = false;
+                // Admit inputs only a bounded number of groups past the
+                // resolved prefix, so an unbounded stream cannot pile up
+                // unresolved speculative groups.
+                while !intake_done && consumed < limit {
+                    let next_index = inputs.len() + fresh.len();
+                    let group_of_next = group_cap.map_or(0, |gs| next_index / gs);
+                    if group_of_next >= resolver.settled_groups() + max_inflight {
+                        break;
+                    }
+                    match inner.queue.pop_front() {
+                        Some(item) => {
+                            fresh.push(item);
+                            consumed += 1;
+                            actionable = true;
+                        }
+                        None => break,
+                    }
+                }
+                if actionable {
+                    shared.producer.notify_all();
+                }
+                if !inner.completions.is_empty() {
+                    for (k, data) in inner.completions.drain(..) {
+                        pending.insert(k, data);
+                    }
+                    actionable = true;
+                }
+                if !intake_done && (consumed == limit || (inner.closed && inner.queue.is_empty())) {
+                    intake_done = true;
+                    actionable = true;
+                }
+                if actionable {
+                    break;
+                }
+                shared.coordinator.wait(&mut inner);
+            }
+        }
+
+        // ---- Run the inline group 0 (and, after an abort, the sequential
+        // tail) over the freshly admitted inputs.
+        for item in fresh {
+            let i = inputs.len();
+            inputs.push(item);
+            if !run_started {
+                run_started = true;
+                if sink.enabled() {
+                    // Input and group counts are unknown for an open
+                    // stream; a streamed RunStart reports zeros.
+                    sink.emit(EventKind::RunStart {
+                        inputs: 0,
+                        groups: 0,
+                    });
+                }
+            }
+            if resolver.aborted() {
+                continue; // swept into process_tail below
+            }
+            if !g0_done && group_cap.is_none_or(|gs| i < gs) {
+                if g0_checkpoint_at == Some(i) {
+                    g0_checkpoint = g0_state.clone();
+                }
+                let (out, m) = run_invocation(
+                    &ctx.transition,
+                    &inputs[i],
+                    &mut g0_state,
+                    seed,
+                    0,
+                    i as u64,
+                    0,
+                    &config.orig_bindings,
+                    false,
+                );
+                g0_outputs.push(out);
+                g0_works.push(m);
+                if group_cap == Some(i + 1) {
+                    // Group 0 is exactly full: seal it so validation of
+                    // group 1 can proceed without waiting for the close.
+                    pending.insert(
+                        0,
+                        seal_group0(
+                            i + 1,
+                            &g0_checkpoint,
+                            &g0_state,
+                            std::mem::take(&mut g0_outputs),
+                            std::mem::take(&mut g0_works),
+                            sink,
+                        ),
+                    );
+                    g0_done = true;
+                }
+            }
+        }
+        if resolver.aborted() {
+            resolver.process_tail(&inputs);
+        }
+
+        // ---- Dispatch every speculative group whose inputs are complete.
+        if let Some(gs) = group_cap {
+            while (dispatched + 1) * gs <= inputs.len() {
+                dispatch_group(dispatched, dispatched * gs, (dispatched + 1) * gs, &inputs);
+                dispatched += 1;
+            }
+        }
+
+        // ---- On intake completion, seal the partial group 0 and dispatch
+        // the final (possibly partial) speculative group.
+        if intake_done && total_groups.is_none() {
+            let n = inputs.len();
+            if n == 0 {
+                total_groups = Some(0);
+            } else {
+                if !g0_done {
+                    pending.insert(
+                        0,
+                        seal_group0(
+                            n.min(g_eff),
+                            &g0_checkpoint,
+                            &g0_state,
+                            std::mem::take(&mut g0_outputs),
+                            std::mem::take(&mut g0_works),
+                            sink,
+                        ),
+                    );
+                    g0_done = true;
+                }
+                total_groups = Some(match group_cap {
+                    Some(gs) if n > gs => {
+                        if dispatched * gs < n {
+                            dispatch_group(dispatched, dispatched * gs, n, &inputs);
+                            dispatched += 1;
+                        }
+                        n.div_ceil(gs)
+                    }
+                    _ => 1,
+                });
+            }
+        }
+
+        // ---- Feed finished groups to the resolver, strictly in order.
+        while let Some(data) = pending.remove(&ingested) {
+            resolver.ingest(data, &inputs);
+            ingested += 1;
+        }
+    }
+
+    if inputs.is_empty() {
+        return ProtocolResult {
+            outputs: Vec::new(),
+            final_state: initial.clone(),
+            report: SpecReport::default(),
+            trace: SpecTrace::default(),
+        };
+    }
+    let result = resolver.finish(initial);
+    if sink.enabled() {
+        sink.emit(EventKind::RunEnd);
+    }
+    result
+}
+
+/// Package the coordinator-executed group 0 as [`GroupData`], emitting the
+/// GroupStart/GroupEnd pair. The batch path emits GroupStart before running
+/// the group; a stream cannot know `end` until the group is complete, so
+/// both events are emitted at seal time (see docs/streaming.md).
+fn seal_group0<T: StateTransition>(
+    end: usize,
+    checkpoint: &T::State,
+    final_state: &T::State,
+    outputs: Vec<T::Output>,
+    works: Vec<crate::ctx::WorkMeter>,
+    sink: &dyn EventSink,
+) -> GroupData<T> {
+    if sink.enabled() {
+        sink.emit(EventKind::GroupStart {
+            group: 0,
+            start: 0,
+            end,
+            speculative: false,
+        });
+        sink.emit(EventKind::GroupEnd { group: 0 });
+    }
+    GroupData {
+        spec: GroupSpec {
+            k: 0,
+            start: 0,
+            end,
+            speculative: false,
+        },
+        aux_work: None,
+        spec_start: None,
+        checkpoint: checkpoint.clone(),
+        final_state: final_state.clone(),
+        outputs,
+        works,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    use super::*;
+    use crate::ctx::InvocationCtx;
+    use crate::protocol::run_protocol;
+    use crate::sdi::{ExactState, SpecState};
+
+    #[derive(Clone, Debug)]
+    struct Noisy(f64);
+    impl SpecState for Noisy {
+        fn matches_any(&self, originals: &[Self]) -> bool {
+            originals.iter().any(|o| (o.0 - self.0).abs() < 0.5)
+        }
+    }
+
+    struct NoisyLast;
+    impl StateTransition for NoisyLast {
+        type Input = f64;
+        type State = Noisy;
+        type Output = f64;
+        fn compute_output(&self, input: &f64, state: &mut Noisy, ctx: &mut InvocationCtx) -> f64 {
+            ctx.charge(5.0);
+            state.0 = *input + ctx.uniform(-0.1, 0.1);
+            state.0
+        }
+    }
+
+    fn config() -> SpecConfig {
+        SpecConfig {
+            group_size: 4,
+            window: 1,
+            max_reexec: 2,
+            rollback: 1,
+            ..SpecConfig::default()
+        }
+    }
+
+    fn options(seed: u64) -> RunOptions {
+        RunOptions::default()
+            .pool(Arc::new(ThreadPool::new(2)))
+            .config(config())
+            .seed(seed)
+    }
+
+    #[test]
+    fn streamed_matches_batch_reference() {
+        let inputs: Vec<f64> = (0..26).map(f64::from).collect();
+        for seed in [0u64, 3, 11] {
+            let reference = run_protocol(&NoisyLast, &inputs, &Noisy(0.0), &config(), seed);
+            let session = Session::new(Noisy(0.0), NoisyLast, options(seed));
+            session.push_batch(inputs.clone());
+            let outcome = session.finish();
+            assert_eq!(outcome.outputs, reference.outputs, "seed {seed}");
+            assert_eq!(outcome.report, reference.report, "seed {seed}");
+            assert_eq!(outcome.trace, reference.trace, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_session_returns_initial_state() {
+        let session = Session::new(Noisy(7.5), NoisyLast, options(0));
+        let outcome = session.finish();
+        assert!(outcome.outputs.is_empty());
+        assert!((outcome.final_state.0 - 7.5).abs() < f64::EPSILON);
+        assert!(outcome.trace.nodes.is_empty());
+    }
+
+    /// A transition that blocks on a gate until released, so tests can pin
+    /// the stream mid-group.
+    struct Gated {
+        entered: Arc<AtomicUsize>,
+        gate: Arc<(parking_lot::Mutex<bool>, parking_lot::Condvar)>,
+    }
+    impl StateTransition for Gated {
+        type Input = u64;
+        type State = ExactState<u64>;
+        type Output = u64;
+        fn compute_output(
+            &self,
+            input: &u64,
+            state: &mut ExactState<u64>,
+            ctx: &mut InvocationCtx,
+        ) -> u64 {
+            self.entered.fetch_add(1, Ordering::SeqCst);
+            let (lock, cvar) = &*self.gate;
+            let mut open = lock.lock();
+            while !*open {
+                cvar.wait(&mut open);
+            }
+            ctx.charge(1.0);
+            state.0 = state.0.wrapping_add(*input);
+            state.0
+        }
+    }
+
+    #[test]
+    fn full_queue_blocks_producer_instead_of_growing() {
+        let capacity = 3usize;
+        let entered = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new((parking_lot::Mutex::new(false), parking_lot::Condvar::new()));
+        let session = Session::new(
+            ExactState(0u64),
+            Gated {
+                entered: Arc::clone(&entered),
+                gate: Arc::clone(&gate),
+            },
+            RunOptions::default()
+                .pool(Arc::new(ThreadPool::new(1)))
+                .config(config())
+                .queue_capacity(capacity),
+        );
+        // The coordinator consumes the first input and blocks inside the
+        // gated transition; wait until it is provably inside.
+        session.push(1);
+        while entered.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        // A producer can now enqueue at most `capacity` more inputs before
+        // blocking. Count successful pushes from a helper thread.
+        let pushed = Arc::new(AtomicUsize::new(0));
+        let producer = {
+            let pushed = Arc::clone(&pushed);
+            let session = Arc::new(session);
+            let handle_session = Arc::clone(&session);
+            let handle = std::thread::spawn(move || {
+                for i in 2..=20u64 {
+                    handle_session.push(i);
+                    pushed.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            (handle, session)
+        };
+        let (handle, session) = producer;
+        // Give the producer ample time to push as far as it can.
+        std::thread::sleep(Duration::from_millis(200));
+        let stalled_at = pushed.load(Ordering::SeqCst);
+        assert!(
+            stalled_at <= capacity + 1,
+            "producer pushed {stalled_at} inputs past a full queue of {capacity}"
+        );
+        // Open the gate: the stream drains and every push goes through.
+        *gate.0.lock() = true;
+        gate.1.notify_all();
+        handle.join().expect("producer");
+        assert_eq!(pushed.load(Ordering::SeqCst), 19);
+        let session = Arc::try_unwrap(session).unwrap_or_else(|_| panic!("session still shared"));
+        let outcome = session.finish();
+        assert_eq!(outcome.outputs.len(), 20);
+    }
+
+    /// A transition holding a sentinel `Arc`: once the coordinator thread
+    /// (which owns the engine context) has terminated, the count drops.
+    struct SentinelLast(#[allow(dead_code)] Arc<()>);
+    impl StateTransition for SentinelLast {
+        type Input = f64;
+        type State = Noisy;
+        type Output = f64;
+        fn compute_output(&self, input: &f64, state: &mut Noisy, ctx: &mut InvocationCtx) -> f64 {
+            ctx.charge(5.0);
+            state.0 = *input + ctx.uniform(-0.1, 0.1);
+            state.0
+        }
+    }
+
+    #[test]
+    fn dropping_session_mid_stream_drains_and_joins() {
+        // The Session counterpart of the StateDependence Drop-join fix:
+        // dropping with inputs still queued (mid-group) must drain the
+        // stream and join the coordinator, leaking nothing.
+        let sentinel = Arc::new(());
+        {
+            let session = Session::new(Noisy(0.0), SentinelLast(Arc::clone(&sentinel)), options(5));
+            session.push_batch((0..13).map(f64::from));
+            // Dropped here without finish().
+        }
+        assert_eq!(
+            Arc::strong_count(&sentinel),
+            1,
+            "stream coordinator still holds the engine context"
+        );
+    }
+
+    /// A transition that panics on a specific input index.
+    struct Exploding;
+    impl StateTransition for Exploding {
+        type Input = f64;
+        type State = Noisy;
+        type Output = f64;
+        fn compute_output(&self, input: &f64, _: &mut Noisy, ctx: &mut InvocationCtx) -> f64 {
+            ctx.charge(1.0);
+            if *input >= 6.0 {
+                panic!("transition exploded");
+            }
+            *input
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "transition exploded")]
+    fn finish_propagates_worker_panics() {
+        // Input 6 lands in a pool-executed speculative group; the panic
+        // must cross worker -> coordinator -> owner.
+        let session = Session::new(Noisy(0.0), Exploding, options(1));
+        session.push_batch((0..12).map(f64::from));
+        session.finish();
+    }
+
+    #[test]
+    fn streamed_sessions_reuse_one_pool() {
+        let pool = Arc::new(ThreadPool::new(2));
+        let opts = RunOptions::default()
+            .pool(Arc::clone(&pool))
+            .config(config())
+            .seed(4);
+        let inputs: Vec<f64> = (0..16).map(f64::from).collect();
+        let a = Session::new(Noisy(0.0), NoisyLast, opts.clone());
+        a.push_batch(inputs.clone());
+        let oa = a.finish();
+        let b = Session::new(Noisy(0.0), NoisyLast, opts);
+        b.push_batch(inputs);
+        let ob = b.finish();
+        assert_eq!(oa.outputs, ob.outputs);
+        assert_eq!(Arc::strong_count(&pool), 1, "sessions released the pool");
+    }
+}

@@ -1,6 +1,8 @@
 //! One profile run: protocol → trace → platform simulation → measurement.
 
-use stats_core::{run_protocol, run_protocol_segmented, SpecConfig, SpecReport, TradeoffBindings};
+use stats_core::{
+    run_protocol_with_options, RunOptions, Session, SpecConfig, SpecReport, TradeoffBindings,
+};
 use stats_sim::{simulate, EnergyModel, Platform};
 use stats_workloads::{Instance, Workload, WorkloadSpec};
 
@@ -168,6 +170,46 @@ pub fn measure_traced<W: Workload>(
     (m, json)
 }
 
+/// [`measure`] over a *streamed* workload: the instance's inputs are pushed
+/// through a [`Session`] in `chunk`-sized batches instead of handed to the
+/// protocol as one slice, and the profile pipeline runs over the streamed
+/// outcome's trace.
+///
+/// Because a `Session` is bit-identical to the batch protocol for the same
+/// seed and input order, this measures the same schedule as
+/// [`measure_instance`] — it exists to profile the streaming engine itself
+/// (and is exercised against the batch path in this crate's tests).
+pub fn measure_streamed<W: Workload>(
+    workload: &W,
+    instance: Instance<W::T>,
+    spec: &WorkloadSpec,
+    settings: &RunSettings,
+    chunk: usize,
+) -> FullMeasurement {
+    let mut options = RunOptions::default()
+        .config(settings.spec_config.clone())
+        .seed(settings.run_seed);
+    if let Some(segment) = settings.segment {
+        options = options.segment(segment);
+    }
+    let session = Session::new(instance.initial, instance.transition, options);
+    for batch in instance.inputs.chunks(chunk.max(1)) {
+        session.push_batch(batch.iter().cloned());
+    }
+    let outcome = session.finish();
+    let tlp = workload.original_tlp();
+    let graph = expand_trace(&outcome.trace, &tlp, settings.t_orig);
+    let schedule = simulate(&graph, &settings.platform, settings.threads);
+    let energy = settings.energy.energy(&schedule, &settings.platform);
+    FullMeasurement {
+        time_s: schedule.makespan_seconds(),
+        energy_j: energy.joules,
+        output_error: workload.output_error(spec, &outcome.outputs),
+        report: outcome.report,
+        utilization: schedule.utilization(),
+    }
+}
+
 /// The shared profile pipeline, keeping the expanded task graph and its
 /// schedule alive for callers that export them.
 fn measure_with_schedule<W: Workload>(
@@ -176,23 +218,18 @@ fn measure_with_schedule<W: Workload>(
     spec: &WorkloadSpec,
     settings: &RunSettings,
 ) -> (FullMeasurement, stats_sim::TaskGraph, stats_sim::Schedule) {
-    let result = match settings.segment {
-        Some(segment) => run_protocol_segmented(
-            &instance.transition,
-            &instance.inputs,
-            &instance.initial,
-            &settings.spec_config,
-            settings.run_seed,
-            segment,
-        ),
-        None => run_protocol(
-            &instance.transition,
-            &instance.inputs,
-            &instance.initial,
-            &settings.spec_config,
-            settings.run_seed,
-        ),
-    };
+    let mut options = RunOptions::default()
+        .config(settings.spec_config.clone())
+        .seed(settings.run_seed);
+    if let Some(segment) = settings.segment {
+        options = options.segment(segment);
+    }
+    let result = run_protocol_with_options(
+        &instance.transition,
+        &instance.inputs,
+        &instance.initial,
+        &options,
+    );
     let tlp = workload.original_tlp();
     let graph = expand_trace(&result.trace, &tlp, settings.t_orig);
     let schedule = simulate(&graph, &settings.platform, settings.threads);
@@ -316,6 +353,39 @@ mod tests {
         assert!(json.ends_with("]}"));
         // One complete event per scheduled task, on the simulated threads.
         assert!(json.matches("\"ph\":\"X\"").count() > 24);
+    }
+
+    #[test]
+    fn streamed_measure_matches_batch_measure() {
+        let w = BodyTrack;
+        let settings = RunSettings::for_mode(&w, Mode::ParStats, 8);
+        let batch = measure(&w, &spec(), &settings);
+        for chunk in [1usize, 7, 24] {
+            let streamed = measure_streamed(&w, w.instance(&spec()), &spec(), &settings, chunk);
+            // Streaming is bit-identical to the batch protocol, so the
+            // simulated schedule and every derived metric agree exactly.
+            assert_eq!(streamed.time_s, batch.time_s, "chunk {chunk}");
+            assert_eq!(streamed.energy_j, batch.energy_j, "chunk {chunk}");
+            assert_eq!(streamed.output_error, batch.output_error, "chunk {chunk}");
+            assert_eq!(streamed.report, batch.report, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn streamed_segmented_measure_matches_batch() {
+        let w = FluidAnimate;
+        let s = WorkloadSpec {
+            inputs: 24,
+            ..WorkloadSpec::default()
+        };
+        let settings = RunSettings {
+            segment: Some(8),
+            ..RunSettings::for_mode(&w, Mode::SeqStats, 8)
+        };
+        let batch = measure(&w, &s, &settings);
+        let streamed = measure_streamed(&w, w.instance(&s), &s, &settings, 5);
+        assert_eq!(streamed.time_s, batch.time_s);
+        assert_eq!(streamed.report, batch.report);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use stats::core::{SpecConfig, StateDependence, ThreadPool, TradeoffBindings};
+use stats::core::{RunOptions, SpecConfig, StateDependence, ThreadPool, TradeoffBindings};
 use stats::workloads::bodytrack::BodyTrack;
 use stats::workloads::facedet::FaceDet;
 use stats::workloads::{Workload, WorkloadSpec};
@@ -33,39 +33,39 @@ fn main() {
     let body = BodyTrack;
     let body_opts = body.tradeoffs();
     let body_inst = body.instance(&spec);
-    let mut body_dep = StateDependence::with_pool(
-        body_inst.inputs,
-        body_inst.initial,
-        body_inst.transition,
-        Arc::clone(&pool),
-    )
-    .with_config(SpecConfig {
-        group_size: 6,
-        window: 3,
-        orig_bindings: TradeoffBindings::defaults(&body_opts),
-        aux_bindings: TradeoffBindings::defaults(&body_opts),
-        ..SpecConfig::default()
-    })
-    .with_seed(1);
+    let mut body_dep =
+        StateDependence::new(body_inst.inputs, body_inst.initial, body_inst.transition)
+            .with_options(
+                RunOptions::default()
+                    .pool(Arc::clone(&pool))
+                    .config(SpecConfig {
+                        group_size: 6,
+                        window: 3,
+                        orig_bindings: TradeoffBindings::defaults(&body_opts),
+                        aux_bindings: TradeoffBindings::defaults(&body_opts),
+                        ..SpecConfig::default()
+                    })
+                    .seed(1),
+            );
 
     // Second dependence: the face tracker, on the same pool.
     let face = FaceDet;
     let face_opts = face.tradeoffs();
     let face_inst = face.instance(&spec);
-    let mut face_dep = StateDependence::with_pool(
-        face_inst.inputs,
-        face_inst.initial,
-        face_inst.transition,
-        Arc::clone(&pool),
-    )
-    .with_config(SpecConfig {
-        group_size: 6,
-        window: 4,
-        orig_bindings: TradeoffBindings::defaults(&face_opts),
-        aux_bindings: TradeoffBindings::defaults(&face_opts),
-        ..SpecConfig::default()
-    })
-    .with_seed(2);
+    let mut face_dep =
+        StateDependence::new(face_inst.inputs, face_inst.initial, face_inst.transition)
+            .with_options(
+                RunOptions::default()
+                    .pool(Arc::clone(&pool))
+                    .config(SpecConfig {
+                        group_size: 6,
+                        window: 4,
+                        orig_bindings: TradeoffBindings::defaults(&face_opts),
+                        aux_bindings: TradeoffBindings::defaults(&face_opts),
+                        ..SpecConfig::default()
+                    })
+                    .seed(2),
+            );
 
     // Both execution models run in parallel with this thread *and* with
     // each other, sharing workers.
@@ -92,15 +92,20 @@ fn main() {
     // Reproducibility holds per dependence even under pool sharing.
     let body_again = {
         let inst = body.instance(&spec);
-        StateDependence::with_pool(inst.inputs, inst.initial, inst.transition, pool)
-            .with_config(SpecConfig {
-                group_size: 6,
-                window: 3,
-                orig_bindings: TradeoffBindings::defaults(&body_opts),
-                aux_bindings: TradeoffBindings::defaults(&body_opts),
-                ..SpecConfig::default()
-            })
-            .run(1)
+        StateDependence::new(inst.inputs, inst.initial, inst.transition)
+            .with_options(
+                RunOptions::default()
+                    .pool(pool)
+                    .config(SpecConfig {
+                        group_size: 6,
+                        window: 3,
+                        orig_bindings: TradeoffBindings::defaults(&body_opts),
+                        aux_bindings: TradeoffBindings::defaults(&body_opts),
+                        ..SpecConfig::default()
+                    })
+                    .seed(1),
+            )
+            .run()
     };
     assert_eq!(body_again.outputs, body_out.outputs);
     println!("re-run with the same seed reproduced bodytrack's outputs exactly");

@@ -13,7 +13,9 @@
 //! that replays only the last few readings reproduces the state: STATS can
 //! overlap blocks of the stream.
 
-use stats::core::{InvocationCtx, SpecConfig, SpecState, StateDependence, StateTransition};
+use stats::core::{
+    InvocationCtx, RunOptions, SpecConfig, SpecState, StateDependence, StateTransition,
+};
 
 /// Running estimate of the sensor value.
 #[derive(Clone, Debug)]
@@ -58,8 +60,7 @@ fn main() {
     };
 
     let mut dep = StateDependence::new(readings, Estimate(0.0), Smooth)
-        .with_config(config)
-        .with_seed(42);
+        .with_options(RunOptions::default().config(config).seed(42));
 
     // The paper's Figure 9 API: start() begins the execution model in
     // parallel with this thread; join() waits for all inputs.

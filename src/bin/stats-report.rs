@@ -21,7 +21,8 @@ use std::sync::Arc;
 
 use stats::core::obs::{chrome_trace_json, render_summary, validate_backward_deps};
 use stats::core::{
-    run_protocol_observed, RecordingSink, SpecConfig, StateDependence, ThreadPool, TradeoffBindings,
+    run_protocol_with_options, EventSink, RecordingSink, RunOptions, SpecConfig, StateDependence,
+    ThreadPool, TradeoffBindings,
 };
 use stats::workloads::{with_workload, BenchmarkId, Workload, WorkloadSpec};
 
@@ -86,14 +87,15 @@ fn main() -> ExitCode {
         // Sequential observed run: the speculation trace plus the full
         // structured event stream, for the report and the exporters.
         let instance = w.instance(&spec);
-        let sink = RecordingSink::new();
-        let result = run_protocol_observed(
+        let sink = Arc::new(RecordingSink::new());
+        let result = run_protocol_with_options(
             &instance.transition,
             &instance.inputs,
             &instance.initial,
-            &cfg,
-            seed,
-            &sink,
+            &RunOptions::default()
+                .config(cfg.clone())
+                .seed(seed)
+                .sink(Arc::clone(&sink) as Arc<dyn EventSink>),
         );
         let events = sink.take();
 
@@ -109,14 +111,14 @@ fn main() -> ExitCode {
         let instance = w.instance(&spec);
         let pool = Arc::new(ThreadPool::new(threads));
         let began = std::time::Instant::now();
-        let outcome = StateDependence::with_pool(
-            instance.inputs,
-            instance.initial,
-            instance.transition,
-            Arc::clone(&pool),
-        )
-        .with_config(cfg)
-        .run(seed);
+        let outcome = StateDependence::new(instance.inputs, instance.initial, instance.transition)
+            .with_options(
+                RunOptions::default()
+                    .pool(Arc::clone(&pool))
+                    .config(cfg)
+                    .seed(seed),
+            )
+            .run();
         let wall = began.elapsed();
         let m = pool.metrics();
         println!();

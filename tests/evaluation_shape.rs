@@ -119,7 +119,9 @@ fn energy_savings_shape() {
 /// for an actual benchmark (not just toys).
 #[test]
 fn real_threads_match_reference_on_bodytrack() {
-    use stats::core::{run_protocol, SpecConfig, StateDependence, ThreadPool, TradeoffBindings};
+    use stats::core::{
+        run_protocol, RunOptions, SpecConfig, StateDependence, ThreadPool, TradeoffBindings,
+    };
     use stats::workloads::bodytrack::BodyTrack;
     use stats::workloads::Workload;
     use std::sync::Arc;
@@ -141,14 +143,13 @@ fn real_threads_match_reference_on_bodytrack() {
     let reference = run_protocol(&inst.transition, &inst.inputs, &inst.initial, &cfg, 9);
 
     let inst2 = w.instance(&s);
-    let dep = StateDependence::with_pool(
-        inst2.inputs,
-        inst2.initial,
-        inst2.transition,
-        Arc::new(ThreadPool::new(4)),
-    )
-    .with_config(cfg);
-    let outcome = dep.run(9);
+    let dep = StateDependence::new(inst2.inputs, inst2.initial, inst2.transition).with_options(
+        RunOptions::default()
+            .pool(Arc::new(ThreadPool::new(4)))
+            .config(cfg)
+            .seed(9),
+    );
+    let outcome = dep.run();
     assert_eq!(outcome.outputs, reference.outputs);
     assert_eq!(outcome.report.aborted, reference.report.aborted);
 }

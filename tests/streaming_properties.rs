@@ -1,0 +1,213 @@
+//! Property-based tests of the streaming [`Session`] engine: streamed
+//! execution is bit-identical to the batch protocol over the concatenated
+//! inputs, for any push chunking, and the bounded queue really blocks
+//! producers (backpressure).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use stats::core::prelude::*;
+
+/// Nondeterministic short-memory transition with a tolerant comparison —
+/// exercises commits, re-executions, and aborts depending on config/seed.
+#[derive(Clone, Debug)]
+struct Fuzzy(f64);
+impl SpecState for Fuzzy {
+    fn matches_any(&self, originals: &[Self]) -> bool {
+        originals.iter().any(|o| (o.0 - self.0).abs() < 0.3)
+    }
+}
+struct NoisyLast;
+impl StateTransition for NoisyLast {
+    type Input = u64;
+    type State = Fuzzy;
+    type Output = f64;
+    fn compute_output(&self, input: &u64, state: &mut Fuzzy, ctx: &mut InvocationCtx) -> f64 {
+        ctx.charge(2.0);
+        state.0 = *input as f64 + ctx.uniform(-0.1, 0.1);
+        state.0
+    }
+}
+
+fn arb_config() -> impl Strategy<Value = SpecConfig> {
+    (
+        0usize..12,    // group_size
+        0usize..5,     // window
+        0usize..3,     // max_reexec
+        1usize..4,     // rollback
+        any::<bool>(), // speculate
+    )
+        .prop_map(
+            |(group_size, window, max_reexec, rollback, speculate)| SpecConfig {
+                group_size,
+                window,
+                max_reexec,
+                rollback,
+                speculate,
+                ..SpecConfig::default()
+            },
+        )
+}
+
+/// Push `inputs` through a fresh session in `chunk`-sized batches and
+/// return the outcome. `chunk == 0` means all-at-once.
+fn stream(
+    inputs: &[u64],
+    config: &SpecConfig,
+    seed: u64,
+    segment: Option<usize>,
+    chunk: usize,
+) -> SpecOutcome<NoisyLast> {
+    let mut options = RunOptions::default().config(config.clone()).seed(seed);
+    if let Some(s) = segment {
+        options = options.segment(s);
+    }
+    let session = Session::new(Fuzzy(0.0), NoisyLast, options);
+    if chunk == 0 {
+        session.push_batch(inputs.iter().copied());
+    } else {
+        for batch in inputs.chunks(chunk) {
+            session.push_batch(batch.iter().copied());
+        }
+    }
+    session.finish()
+}
+
+fn assert_identical(
+    streamed: &SpecOutcome<NoisyLast>,
+    batch: &ProtocolResult<NoisyLast>,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&streamed.outputs, &batch.outputs);
+    prop_assert!((streamed.final_state.0 - batch.final_state.0).abs() == 0.0);
+    prop_assert_eq!(&streamed.report, &batch.report);
+    prop_assert_eq!(streamed.trace.nodes.len(), batch.trace.nodes.len());
+    for (s, b) in streamed.trace.nodes.iter().zip(&batch.trace.nodes) {
+        prop_assert_eq!(s, b);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// BIT-IDENTITY: a streamed run equals `run_protocol` on the
+    /// concatenated inputs — outputs, final state, report, and trace —
+    /// whatever the push chunking (one-by-one, k at a time, all at once).
+    #[test]
+    fn streamed_equals_batch_for_any_chunking(
+        n in 0usize..48,
+        config in arb_config(),
+        seed in any::<u64>(),
+        chunk in 0usize..9,
+    ) {
+        let inputs: Vec<u64> = (0..n as u64).collect();
+        let batch = run_protocol(&NoisyLast, &inputs, &Fuzzy(0.0), &config, seed);
+        let streamed = stream(&inputs, &config, seed, None, chunk);
+        assert_identical(&streamed, &batch)?;
+    }
+
+    /// BIT-IDENTITY (segmented): a streamed segmented run equals the batch
+    /// segmented entry point, so segment boundaries form identically
+    /// whether inputs arrive up front or dribble in.
+    #[test]
+    fn streamed_segmented_equals_batch_segmented(
+        n in 0usize..40,
+        config in arb_config(),
+        seed in any::<u64>(),
+        segment in 1usize..12,
+        chunk in 0usize..7,
+    ) {
+        let inputs: Vec<u64> = (0..n as u64).collect();
+        let options = RunOptions::default()
+            .config(config.clone())
+            .seed(seed)
+            .segment(segment);
+        let batch = run_protocol_with_options(&NoisyLast, &inputs, &Fuzzy(0.0), &options);
+        let streamed = stream(&inputs, &config, seed, Some(segment), chunk);
+        assert_identical(&streamed, &batch)?;
+    }
+}
+
+/// A transition that parks on a gate, letting the test hold the stream
+/// mid-invocation while probing the producer-side queue bound.
+struct Gated {
+    entered: Arc<AtomicUsize>,
+    gate: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+}
+impl StateTransition for Gated {
+    type Input = u64;
+    type State = ExactState<u64>;
+    type Output = u64;
+    fn compute_output(
+        &self,
+        input: &u64,
+        state: &mut ExactState<u64>,
+        ctx: &mut InvocationCtx,
+    ) -> u64 {
+        self.entered.fetch_add(1, Ordering::SeqCst);
+        let (lock, cvar) = &*self.gate;
+        let mut open = lock.lock().unwrap();
+        while !*open {
+            open = cvar.wait(open).unwrap();
+        }
+        ctx.charge(1.0);
+        state.0 = state.0.wrapping_add(*input);
+        state.0
+    }
+}
+
+/// BACKPRESSURE: with the engine wedged inside the first invocation, a
+/// producer can enqueue at most `capacity` inputs before `push` blocks;
+/// opening the gate drains the queue and unblocks it.
+#[test]
+fn full_bounded_queue_blocks_producers() {
+    let capacity = 2usize;
+    let entered = Arc::new(AtomicUsize::new(0));
+    let gate = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+    let session = Arc::new(Session::new(
+        ExactState(0u64),
+        Gated {
+            entered: Arc::clone(&entered),
+            gate: Arc::clone(&gate),
+        },
+        RunOptions::default()
+            .config(SpecConfig {
+                group_size: 4,
+                window: 1,
+                ..SpecConfig::default()
+            })
+            .queue_capacity(capacity),
+    ));
+    session.push(1);
+    while entered.load(Ordering::SeqCst) == 0 {
+        std::thread::yield_now();
+    }
+    let pushed = Arc::new(AtomicUsize::new(0));
+    let producer = {
+        let session = Arc::clone(&session);
+        let pushed = Arc::clone(&pushed);
+        std::thread::spawn(move || {
+            for i in 2..=12u64 {
+                session.push(i);
+                pushed.fetch_add(1, Ordering::SeqCst);
+            }
+        })
+    };
+    std::thread::sleep(Duration::from_millis(200));
+    let stalled_at = pushed.load(Ordering::SeqCst);
+    assert!(
+        stalled_at <= capacity + 1,
+        "producer pushed {stalled_at} inputs past a queue bounded at {capacity}"
+    );
+    *gate.0.lock().unwrap() = true;
+    gate.1.notify_all();
+    producer.join().expect("producer thread");
+    assert_eq!(pushed.load(Ordering::SeqCst), 11);
+    let session = Arc::try_unwrap(session).unwrap_or_else(|_| panic!("session still shared"));
+    let outcome = session.finish();
+    assert_eq!(outcome.outputs.len(), 12);
+    assert_eq!(*outcome.outputs.last().unwrap(), (1..=12u64).sum::<u64>());
+}
