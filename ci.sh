@@ -18,6 +18,14 @@ cargo build --offline --release -q -p bench
 ./target/release/figures --tiny fig3 fig13 > /dev/null
 ./target/release/bench_pipeline BENCH_pipeline.json
 
+echo "== chaos smoke (seeded fault plans, identical traces across two runs)"
+./target/release/chaos_smoke
+
+echo "== rustdoc (deny warnings, workspace crates only)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace -q \
+    --exclude rand --exclude proptest --exclude criterion \
+    --exclude crossbeam --exclude parking_lot
+
 echo "== streaming smoke (stream_run bench in test mode)"
 cargo test --offline -q -p bench --bench stream_run
 

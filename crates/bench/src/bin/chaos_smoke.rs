@@ -1,0 +1,140 @@
+//! `chaos_smoke` — CI gate for the deterministic fault-injection layer.
+//!
+//! For every [`FaultKind`] this runs one seeded [`FaultPlan`] through a
+//! streaming [`Session`] **twice** and demands the two runs be
+//! indistinguishable: bit-identical outputs, report, and trace, and an
+//! identical recorded event multiset (pool workers may interleave emission
+//! order, never content). It also checks that the plan actually fired at
+//! least one fault of its kind and that the faulted run still commits the
+//! sequential reference outputs (the workload is deterministic).
+//!
+//! ```text
+//! cargo run --release -p bench --bin chaos_smoke
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use stats_core::prelude::*;
+
+/// Deterministic transition whose state depends only on the last input, so
+/// auxiliary speculation always validates and injected faults are the only
+/// source of retries, re-executions, and aborts.
+struct SpinLast;
+impl StateTransition for SpinLast {
+    type Input = u64;
+    type State = ExactState<u64>;
+    type Output = u64;
+    fn compute_output(
+        &self,
+        input: &u64,
+        state: &mut ExactState<u64>,
+        ctx: &mut InvocationCtx,
+    ) -> u64 {
+        let mut acc = *input;
+        for _ in 0..64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(*input);
+        }
+        ctx.charge(2.0);
+        state.0 = acc;
+        acc
+    }
+}
+
+fn plan_for(kind: FaultKind) -> FaultPlan {
+    let plan = FaultPlan::new(0xC4A0_5000 + kind as u64);
+    match kind {
+        FaultKind::WorkerPanic => plan.worker_panic(FaultRule::transient(1.0)),
+        FaultKind::ValidationMismatch => plan.validation_mismatch(FaultRule::transient(0.5)),
+        FaultKind::SlowGroup => plan.slow_group(FaultRule::slow(0.5, Duration::from_micros(100))),
+        FaultKind::QueueStall => plan.queue_stall(FaultRule::slow(0.3, Duration::from_micros(50))),
+    }
+}
+
+fn run_once(
+    inputs: &[u64],
+    config: &SpecConfig,
+    plan: FaultPlan,
+    pool: &Arc<ThreadPool>,
+) -> (SpecOutcome<SpinLast>, Vec<String>) {
+    let sink = Arc::new(RecordingSink::new());
+    let session = Session::new(
+        ExactState(0u64),
+        SpinLast,
+        RunOptions::default()
+            .pool(Arc::clone(pool))
+            .config(config.clone())
+            .seed(17)
+            .faults(plan)
+            .sink(Arc::clone(&sink) as Arc<dyn EventSink>),
+    );
+    session.push_batch(inputs.iter().copied());
+    let outcome = session.finish();
+    let mut labels: Vec<String> = sink.events().iter().map(|e| e.kind.label()).collect();
+    labels.sort();
+    (outcome, labels)
+}
+
+fn main() -> ExitCode {
+    let inputs: Vec<u64> = (0..96).collect();
+    let config = SpecConfig {
+        group_size: 8,
+        window: 1,
+        max_reexec: 2,
+        ..SpecConfig::default()
+    };
+    let pool = Arc::new(ThreadPool::new(2));
+    let reference = run_protocol(&SpinLast, &inputs, &ExactState(0u64), &config, 17);
+
+    let mut failed = false;
+    for kind in [
+        FaultKind::WorkerPanic,
+        FaultKind::ValidationMismatch,
+        FaultKind::SlowGroup,
+        FaultKind::QueueStall,
+    ] {
+        let plan = plan_for(kind);
+        let (a, la) = run_once(&inputs, &config, plan, &pool);
+        let (b, lb) = run_once(&inputs, &config, plan, &pool);
+
+        let marker = format!("fault {}", kind.label());
+        let fired = la.iter().filter(|l| l.starts_with(&marker)).count();
+        let mut problems = Vec::new();
+        if la != lb {
+            problems.push("event multisets differ".to_string());
+        }
+        if a.outputs != b.outputs || a.report != b.report || a.trace != b.trace {
+            problems.push("outcome not bit-identical".to_string());
+        }
+        if a.outputs != reference.outputs {
+            problems.push("outputs diverge from sequential reference".to_string());
+        }
+        if fired == 0 {
+            problems.push("plan never fired".to_string());
+        }
+
+        if problems.is_empty() {
+            println!(
+                "chaos-smoke {:<19} OK  ({} injected, {} events, traces identical)",
+                kind.label(),
+                fired,
+                la.len()
+            );
+        } else {
+            failed = true;
+            eprintln!(
+                "chaos-smoke {:<19} FAIL: {}",
+                kind.label(),
+                problems.join("; ")
+            );
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("chaos-smoke OK: all fault kinds deterministic");
+        ExitCode::SUCCESS
+    }
+}

@@ -70,7 +70,9 @@
 
 #![deny(missing_docs)]
 
+mod adapt;
 mod ctx;
+mod faults;
 pub mod obs;
 mod options;
 mod pool;
@@ -81,7 +83,9 @@ mod sdi;
 mod session;
 mod tradeoff;
 
+pub use adapt::{AdaptPolicy, AdaptState, AdaptiveController, RetryPolicy};
 pub use ctx::{InvocationCtx, WorkMeter};
+pub use faults::{FaultKind, FaultPlan, FaultRule};
 pub use obs::{Event, EventKind, EventSink, NoopSink, RecordingSink};
 pub use options::RunOptions;
 pub use pool::{PoolMetrics, ThreadPool};
@@ -93,7 +97,7 @@ pub use protocol::{
 pub use protocol::{run_protocol_observed, run_protocol_segmented};
 pub use runtime::{SpecOutcome, StateDependence};
 pub use sdi::{ExactState, SpecState, StateTransition};
-pub use session::Session;
+pub use session::{Session, SessionError};
 pub use tradeoff::{
     EnumeratedTradeoff, ScalarType, TradeoffBindings, TradeoffOptions, TradeoffValue,
 };
@@ -107,8 +111,9 @@ pub use tradeoff::{
 pub mod prelude {
     pub use crate::obs::{Event, EventKind, EventSink, NoopSink, RecordingSink};
     pub use crate::{
-        run_protocol, run_protocol_with_options, ExactState, InvocationCtx, ProtocolResult,
-        RunOptions, Session, SpecConfig, SpecOutcome, SpecReport, SpecState, SpecTrace,
-        StateDependence, StateTransition, ThreadPool, TradeoffBindings, WorkMeter,
+        run_protocol, run_protocol_with_options, AdaptPolicy, AdaptState, AdaptiveController,
+        ExactState, FaultKind, FaultPlan, FaultRule, InvocationCtx, ProtocolResult, RetryPolicy,
+        RunOptions, Session, SessionError, SpecConfig, SpecOutcome, SpecReport, SpecState,
+        SpecTrace, StateDependence, StateTransition, ThreadPool, TradeoffBindings, WorkMeter,
     };
 }

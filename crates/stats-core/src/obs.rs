@@ -31,6 +31,8 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use crate::adapt::AdaptState;
+use crate::faults::FaultKind;
 use crate::protocol::{GroupResolution, SpecReport, SpecTrace, TraceNodeKind};
 
 /// What happened, with enough coordinates to reconstruct the run story.
@@ -96,6 +98,33 @@ pub enum EventKind {
     },
     /// The sequential tail finished.
     SequentialTailEnd,
+    /// An injected fault from the run's [`FaultPlan`](crate::FaultPlan)
+    /// fired. `site` is a group index (worker panic, forced mismatch, slow
+    /// group) or an absolute input index (queue stall).
+    FaultInjected {
+        /// Which fault kind fired.
+        kind: FaultKind,
+        /// The targeted group or input index.
+        site: usize,
+        /// The attempt the fault fired on (dispatch or validation attempt).
+        attempt: usize,
+    },
+    /// The streaming coordinator is re-dispatching a group whose pool job
+    /// died, under the run's [`RetryPolicy`](crate::RetryPolicy).
+    GroupRetry {
+        /// The group being re-dispatched.
+        group: usize,
+        /// Retry attempt number (1-based; `0` was the original dispatch).
+        attempt: usize,
+    },
+    /// The [`Session`](crate::Session) adaptive controller moved on the
+    /// degradation ladder (see `docs/robustness.md`).
+    AdaptTransition {
+        /// The state entered.
+        state: AdaptState,
+        /// The speculative group size in effect after the transition.
+        group_size: usize,
+    },
 }
 
 impl EventKind {
@@ -122,6 +151,15 @@ impl EventKind {
             EventKind::GroupAbort { group } => format!("abort g{group}"),
             EventKind::SequentialTailStart { .. } | EventKind::SequentialTailEnd => {
                 "sequential tail".to_string()
+            }
+            EventKind::FaultInjected {
+                kind,
+                site,
+                attempt,
+            } => format!("fault {} @{site} a{attempt}", kind.label()),
+            EventKind::GroupRetry { group, attempt } => format!("retry g{group} a{attempt}"),
+            EventKind::AdaptTransition { state, group_size } => {
+                format!("adapt {} g{group_size}", state.label())
             }
         }
     }

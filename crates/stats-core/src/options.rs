@@ -11,6 +11,8 @@
 
 use std::sync::Arc;
 
+use crate::adapt::{AdaptPolicy, RetryPolicy};
+use crate::faults::FaultPlan;
 use crate::obs::{EventSink, NoopSink};
 use crate::pool::ThreadPool;
 use crate::protocol::SpecConfig;
@@ -52,6 +54,17 @@ pub struct RunOptions {
     /// in flight beyond the resolved prefix. `0` (the default) sizes the
     /// window to the pool's worker count plus two.
     pub max_inflight_groups: usize,
+    /// Deterministic fault-injection plan. `None` (the default) injects
+    /// nothing; see [`FaultPlan`] and `docs/robustness.md`.
+    pub faults: Option<FaultPlan>,
+    /// Adaptive-degradation policy for [`Session`](crate::Session): shrink
+    /// group cardinality under abort storms, fall back to sequential
+    /// execution, re-probe once aborts subside. `None` (the default) keeps
+    /// the configured [`SpecConfig`] fixed for the whole run.
+    pub adapt: Option<AdaptPolicy>,
+    /// Retry-with-backoff budget for groups lost to worker death in a
+    /// [`Session`](crate::Session).
+    pub retry: RetryPolicy,
 }
 
 impl Default for RunOptions {
@@ -64,6 +77,9 @@ impl Default for RunOptions {
             segment: None,
             queue_capacity: 1024,
             max_inflight_groups: 0,
+            faults: None,
+            adapt: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -111,6 +127,25 @@ impl RunOptions {
         self.max_inflight_groups = groups;
         self
     }
+
+    /// Inject faults according to a seeded deterministic [`FaultPlan`].
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Enable the [`Session`](crate::Session) adaptive-degradation
+    /// controller with the given policy.
+    pub fn adapt(mut self, policy: AdaptPolicy) -> Self {
+        self.adapt = Some(policy);
+        self
+    }
+
+    /// Set the retry budget for groups lost to worker death.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +160,9 @@ mod tests {
         assert!(o.segment.is_none());
         assert!(!o.sink.enabled());
         assert_eq!(o.config.group_size, SpecConfig::default().group_size);
+        assert!(o.faults.is_none());
+        assert!(o.adapt.is_none());
+        assert_eq!(o.retry, RetryPolicy::default());
     }
 
     #[test]

@@ -22,6 +22,7 @@
 use std::fmt;
 
 use crate::ctx::{InvocationCtx, WorkMeter};
+use crate::faults::{FaultKind, FaultPlan};
 use crate::obs::{EventKind, EventSink, NOOP};
 use crate::options::RunOptions;
 use crate::resolver::Resolver;
@@ -327,6 +328,7 @@ pub(crate) fn execute_group<T: StateTransition>(
     run_seed: u64,
     spec: GroupSpec,
     sink: &dyn EventSink,
+    faults: Option<&FaultPlan>,
 ) -> GroupData<T> {
     let GroupSpec {
         k,
@@ -334,6 +336,18 @@ pub(crate) fn execute_group<T: StateTransition>(
         end,
         speculative,
     } = spec;
+    if let Some(plan) = faults {
+        if let Some(delay) = plan.delay(FaultKind::SlowGroup, run_seed, k as u64) {
+            if sink.enabled() {
+                sink.emit(EventKind::FaultInjected {
+                    kind: FaultKind::SlowGroup,
+                    site: k,
+                    attempt: 0,
+                });
+            }
+            std::thread::sleep(delay);
+        }
+    }
     if sink.enabled() {
         sink.emit(EventKind::GroupStart {
             group: k,
@@ -442,7 +456,7 @@ pub fn run_protocol<T: StateTransition>(
     config: &SpecConfig,
     run_seed: u64,
 ) -> ProtocolResult<T> {
-    run_observed_inner(transition, inputs, initial, config, run_seed, &NOOP)
+    run_observed_inner(transition, inputs, initial, config, run_seed, &NOOP, None)
 }
 
 /// The sequential reference run with every knob taken from one
@@ -464,6 +478,7 @@ pub fn run_protocol_with_options<T: StateTransition>(
             &options.config,
             options.seed,
             &*options.sink,
+            options.faults.as_ref(),
         ),
         Some(segment) => run_segmented_inner(
             transition,
@@ -473,6 +488,7 @@ pub fn run_protocol_with_options<T: StateTransition>(
             options.seed,
             segment,
             &*options.sink,
+            options.faults.as_ref(),
         ),
     }
 }
@@ -491,9 +507,10 @@ pub fn run_protocol_observed<T: StateTransition>(
     run_seed: u64,
     sink: &dyn EventSink,
 ) -> ProtocolResult<T> {
-    run_observed_inner(transition, inputs, initial, config, run_seed, sink)
+    run_observed_inner(transition, inputs, initial, config, run_seed, sink, None)
 }
 
+#[allow(clippy::too_many_arguments)] // one parameter per execution-model knob
 fn run_observed_inner<T: StateTransition>(
     transition: &T,
     inputs: &[T::Input],
@@ -501,6 +518,7 @@ fn run_observed_inner<T: StateTransition>(
     config: &SpecConfig,
     run_seed: u64,
     sink: &dyn EventSink,
+    faults: Option<&FaultPlan>,
 ) -> ProtocolResult<T> {
     run_protocol_with(
         transition,
@@ -509,10 +527,15 @@ fn run_observed_inner<T: StateTransition>(
         config,
         run_seed,
         sink,
+        faults,
         |specs| {
             specs
                 .iter()
-                .map(|&s| execute_group(transition, inputs, 0, initial, config, run_seed, s, sink))
+                .map(|&s| {
+                    execute_group(
+                        transition, inputs, 0, initial, config, run_seed, s, sink, faults,
+                    )
+                })
                 .collect()
         },
     )
@@ -524,6 +547,7 @@ fn run_observed_inner<T: StateTransition>(
 /// [`Resolver`] validation/commit/abort logic (which the streaming
 /// [`Session`](crate::Session) drives incrementally), so the three paths
 /// cannot diverge semantically.
+#[allow(clippy::too_many_arguments)] // one parameter per execution-model knob
 pub(crate) fn run_protocol_with<T, F>(
     transition: &T,
     inputs: &[T::Input],
@@ -531,6 +555,7 @@ pub(crate) fn run_protocol_with<T, F>(
     config: &SpecConfig,
     run_seed: u64,
     sink: &dyn EventSink,
+    faults: Option<&FaultPlan>,
     exec_groups: F,
 ) -> ProtocolResult<T>
 where
@@ -576,7 +601,7 @@ where
     // ---- Phases 2 and 3 live in the Resolver, shared with the streaming
     // engine: validation/re-execution/abort settle as groups are ingested;
     // the canonical trace is laid out at finish().
-    let mut resolver = Resolver::new(transition, config, run_seed, sink, g);
+    let mut resolver = Resolver::new(transition, config, run_seed, sink, g, faults);
     for d in data {
         resolver.ingest(d, inputs);
     }
@@ -629,10 +654,11 @@ pub fn run_protocol_segmented<T: StateTransition>(
     segment: usize,
 ) -> ProtocolResult<T> {
     run_segmented_inner(
-        transition, inputs, initial, config, run_seed, segment, &NOOP,
+        transition, inputs, initial, config, run_seed, segment, &NOOP, None,
     )
 }
 
+#[allow(clippy::too_many_arguments)] // one parameter per execution-model knob
 fn run_segmented_inner<T: StateTransition>(
     transition: &T,
     inputs: &[T::Input],
@@ -641,6 +667,7 @@ fn run_segmented_inner<T: StateTransition>(
     run_seed: u64,
     segment: usize,
     sink: &dyn EventSink,
+    faults: Option<&FaultPlan>,
 ) -> ProtocolResult<T> {
     let segment = segment.max(1);
     let mut acc = SegmentAccumulator::new(initial.clone());
@@ -652,6 +679,7 @@ fn run_segmented_inner<T: StateTransition>(
             config,
             run_seed ^ (seg_idx as u64) << 32,
             sink,
+            faults,
         );
         acc.absorb(r);
     }

@@ -15,6 +15,7 @@
 //! batch run over the same inputs and seed.
 
 use crate::ctx::WorkMeter;
+use crate::faults::{FaultKind, FaultPlan};
 use crate::obs::{EventKind, EventSink};
 use crate::protocol::{
     run_invocation, GroupData, GroupRecord, GroupResolution, ProtocolResult, SpecConfig,
@@ -62,6 +63,8 @@ pub(crate) struct Resolver<'a, T: StateTransition> {
     sink: &'a dyn EventSink,
     /// Effective group size, for the post-abort `group_of` arithmetic.
     g: usize,
+    /// Injected-fault plan: forces validation mismatches when set.
+    faults: Option<&'a FaultPlan>,
     chains: Vec<ChainRec>,
     states: Vec<StateRec<T>>,
     vals: Vec<Option<ValRec>>,
@@ -85,6 +88,7 @@ impl<'a, T: StateTransition> Resolver<'a, T> {
         run_seed: u64,
         sink: &'a dyn EventSink,
         g: usize,
+        faults: Option<&'a FaultPlan>,
     ) -> Self {
         Resolver {
             transition,
@@ -92,6 +96,7 @@ impl<'a, T: StateTransition> Resolver<'a, T> {
             run_seed,
             sink,
             g,
+            faults,
             chains: Vec::new(),
             states: Vec::new(),
             vals: Vec::new(),
@@ -206,6 +211,29 @@ impl<'a, T: StateTransition> Resolver<'a, T> {
         }
     }
 
+    /// Whether the fault plan forces validation attempt `attempt` of group
+    /// `k` to report a mismatch even when the states matched; emits the
+    /// [`EventKind::FaultInjected`] marker when it does.
+    fn forced_mismatch(&self, k: usize, attempt: usize) -> bool {
+        let Some(plan) = self.faults else {
+            return false;
+        };
+        let fired = plan.fires(
+            FaultKind::ValidationMismatch,
+            self.run_seed,
+            k as u64,
+            attempt as u32,
+        );
+        if fired && self.sink.enabled() {
+            self.sink.emit(EventKind::FaultInjected {
+                kind: FaultKind::ValidationMismatch,
+                site: k,
+                attempt,
+            });
+        }
+        fired
+    }
+
     /// Validate speculative group `k` against the (growing) set of original
     /// final states of group `k - 1`, re-executing the previous group's
     /// tail up to the budget; on exhaustion, abort into the sequential tail.
@@ -221,7 +249,7 @@ impl<'a, T: StateTransition> Resolver<'a, T> {
 
         let mut originals = vec![self.states[k - 1].final_state.clone()];
         self.validations += 1;
-        let mut matched = spec.matches_any(&originals);
+        let mut matched = spec.matches_any(&originals) && !self.forced_mismatch(k, 0);
         let mut attempts = 0usize;
         if self.sink.enabled() {
             self.sink.emit(EventKind::Validation {
@@ -267,7 +295,7 @@ impl<'a, T: StateTransition> Resolver<'a, T> {
             }
             originals.push(state);
             self.validations += 1;
-            matched = spec.matches_any(&originals);
+            matched = spec.matches_any(&originals) && !self.forced_mismatch(k, attempts);
             if self.sink.enabled() {
                 self.sink.emit(EventKind::Validation {
                     group: k,

@@ -273,6 +273,7 @@ fn run_pooled_chunk<T: StateTransition>(
         &shared.options.config,
         seed,
         &*shared.options.sink,
+        shared.options.faults.as_ref(),
         move |specs| {
             let slots: Arc<Mutex<Vec<Option<GroupData<T>>>>> =
                 Arc::new(Mutex::new((0..specs.len()).map(|_| None).collect()));
@@ -292,6 +293,7 @@ fn run_pooled_chunk<T: StateTransition>(
                             seed,
                             spec,
                             &*s.options.sink,
+                            s.options.faults.as_ref(),
                         );
                         slots.lock()[idx] = Some(data);
                     }

@@ -21,12 +21,16 @@
 
 use std::any::Any;
 use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::adapt::{AdaptiveController, RetryPolicy};
+use crate::faults::{FaultKind, FaultPlan, InjectedFault};
 use crate::obs::{EventKind, EventSink};
 use crate::options::RunOptions;
 use crate::pool::ThreadPool;
@@ -56,6 +60,9 @@ struct StreamInner<T: StateTransition> {
     completions: Vec<(usize, GroupData<T>)>,
     /// First panic payload from a pool job; re-raised by the coordinator.
     panic: Option<Box<dyn Any + Send>>,
+    /// Groups whose pool job was killed by an injected worker-panic fault;
+    /// the coordinator retries them under the [`RetryPolicy`].
+    lost: Vec<InjectedFault>,
     /// Set when the coordinator thread exits (normally or by panic), so
     /// blocked producers fail fast instead of waiting forever.
     coordinator_gone: bool,
@@ -64,8 +71,10 @@ struct StreamInner<T: StateTransition> {
 /// Immutable engine context shared with pool jobs.
 struct EngineCtx<T: StateTransition> {
     transition: T,
-    config: SpecConfig,
+    config: Arc<SpecConfig>,
     sink: Arc<dyn EventSink>,
+    faults: Option<FaultPlan>,
+    retry: RetryPolicy,
 }
 
 /// A long-lived streaming run of the STATS execution model.
@@ -122,6 +131,7 @@ impl<T: StateTransition> Session<T> {
                 closed: false,
                 completions: Vec::new(),
                 panic: None,
+                lost: Vec::new(),
                 coordinator_gone: false,
             }),
             producer: Condvar::new(),
@@ -130,8 +140,10 @@ impl<T: StateTransition> Session<T> {
         });
         let ctx = Arc::new(EngineCtx {
             transition,
-            config: options.config.clone(),
+            config: Arc::new(options.config.clone()),
             sink: Arc::clone(&options.sink),
+            faults: options.faults,
+            retry: options.retry,
         });
         let thread_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
@@ -186,13 +198,37 @@ impl<T: StateTransition> Session<T> {
     ///
     /// # Panics
     ///
-    /// Re-raises any panic of the transition on the caller's thread.
+    /// Re-raises any panic of the transition on the caller's thread. Use
+    /// [`Session::try_finish`] to receive the failure as a
+    /// [`SessionError`] instead.
     pub fn finish(mut self) -> SpecOutcome<T> {
+        match self.try_finish() {
+            Ok(outcome) => outcome,
+            Err(SessionError::Panicked { payload, .. }) => std::panic::resume_unwind(payload),
+            // `finish` consumes the session, so it can only be the first
+            // finishing call.
+            Err(SessionError::AlreadyFinished) => unreachable!("finish consumes the session"),
+        }
+    }
+
+    /// Close the stream and return the outcome, reporting a coordinator
+    /// panic as a [`SessionError`] instead of re-raising it.
+    ///
+    /// Idempotent: every call after the first — whether the first
+    /// succeeded or failed — returns [`SessionError::AlreadyFinished`],
+    /// and dropping an already-finished session is silent even after a
+    /// panic (the payload was handed to the first caller).
+    pub fn try_finish(&mut self) -> Result<SpecOutcome<T>, SessionError> {
+        let Some(handle) = self.handle.take() else {
+            return Err(SessionError::AlreadyFinished);
+        };
         self.close();
-        let handle = self.handle.take().expect("session joined twice");
         match handle.join() {
-            Ok(result) => result.into(),
-            Err(payload) => std::panic::resume_unwind(payload),
+            Ok(result) => Ok(result.into()),
+            Err(payload) => Err(SessionError::Panicked {
+                message: panic_message(&*payload),
+                payload,
+            }),
         }
     }
 
@@ -201,6 +237,58 @@ impl<T: StateTransition> Session<T> {
         inner.closed = true;
         drop(inner);
         self.shared.coordinator.notify_all();
+    }
+}
+
+/// Why a [`Session`] failed to finish.
+pub enum SessionError {
+    /// The coordinator thread panicked (a transition panicked on the
+    /// coordinator or a pool worker). The original payload is preserved so
+    /// callers can re-raise it with `std::panic::resume_unwind`.
+    Panicked {
+        /// Human-readable panic message extracted from the payload.
+        message: String,
+        /// The original panic payload.
+        payload: Box<dyn Any + Send>,
+    },
+    /// The session was already finished by an earlier
+    /// [`Session::finish`]/[`Session::try_finish`] call.
+    AlreadyFinished,
+}
+
+impl fmt::Debug for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Panicked { message, .. } => f
+                .debug_struct("Panicked")
+                .field("message", message)
+                .finish(),
+            SessionError::AlreadyFinished => f.write_str("AlreadyFinished"),
+        }
+    }
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Panicked { message, .. } => {
+                write!(f, "stream coordinator panicked: {message}")
+            }
+            SessionError::AlreadyFinished => f.write_str("session was already finished"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Best-effort human-readable text from a panic payload.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -239,6 +327,13 @@ impl<T: StateTransition> Drop for CoordinatorGuard<T> {
 /// Coordinator entry point: one un-segmented run, or one run per segment
 /// with committed state carried across (same semantics as the batch
 /// segmented path, same seed derivation per segment).
+///
+/// When [`RunOptions::adapt`] is set, each segment's configuration comes
+/// from the [`AdaptiveController`], which watches the same per-segment
+/// abort outcome the event stream reports and walks the degradation ladder
+/// (`docs/robustness.md`). Adaptation is segment-granular because the
+/// resolver assumes one group cardinality per run; without an explicit
+/// `segment`, an adaptive session defaults to four groups per segment.
 fn stream_main<T: StateTransition>(
     shared: &Arc<StreamShared<T>>,
     ctx: &Arc<EngineCtx<T>>,
@@ -247,7 +342,16 @@ fn stream_main<T: StateTransition>(
     initial: T::State,
     max_inflight: usize,
 ) -> ProtocolResult<T> {
-    match options.segment {
+    let base = Arc::clone(&ctx.config);
+    let mut controller = options
+        .adapt
+        .map(|policy| AdaptiveController::new(policy, &base));
+    let segment = match (options.segment, &controller) {
+        (Some(s), _) => Some(s.max(1)),
+        (None, Some(_)) => Some(base.group_size.max(1) * 4),
+        (None, None) => None,
+    };
+    match segment {
         None => stream_segment(
             shared,
             ctx,
@@ -256,12 +360,16 @@ fn stream_main<T: StateTransition>(
             &initial,
             usize::MAX,
             max_inflight,
+            &base,
         ),
         Some(segment) => {
-            let segment = segment.max(1);
             let mut acc: SegmentAccumulator<T> = SegmentAccumulator::new(initial);
             let mut seg_idx = 0u64;
             while wait_for_input(shared) {
+                let seg_config = match &controller {
+                    Some(c) => Arc::new(c.apply(&base)),
+                    None => Arc::clone(&base),
+                };
                 let seg_initial = acc.state().clone();
                 let r = stream_segment(
                     shared,
@@ -271,9 +379,19 @@ fn stream_main<T: StateTransition>(
                     &seg_initial,
                     segment,
                     max_inflight,
+                    &seg_config,
                 );
+                let aborted = r.report.aborted;
                 acc.absorb(r);
                 seg_idx += 1;
+                if let Some(c) = controller.as_mut() {
+                    if let Some((state, group_size)) = c.observe_segment(aborted) {
+                        if ctx.sink.enabled() {
+                            ctx.sink
+                                .emit(EventKind::AdaptTransition { state, group_size });
+                        }
+                    }
+                }
             }
             acc.finish()
         }
@@ -299,6 +417,7 @@ fn wait_for_input<T: StateTransition>(shared: &StreamShared<T>) -> bool {
 /// admitted inputs, execute group 0 inline on the coordinator, dispatch
 /// later groups to the pool as soon as their inputs are complete, and feed
 /// finished groups — strictly in order — into the shared [`Resolver`].
+#[allow(clippy::too_many_arguments)] // one parameter per execution-model knob
 fn stream_segment<T: StateTransition>(
     shared: &Arc<StreamShared<T>>,
     ctx: &Arc<EngineCtx<T>>,
@@ -307,8 +426,9 @@ fn stream_segment<T: StateTransition>(
     initial: &T::State,
     limit: usize,
     max_inflight: usize,
+    config_arc: &Arc<SpecConfig>,
 ) -> ProtocolResult<T> {
-    let config = &ctx.config;
+    let config: &SpecConfig = config_arc;
     let sink: &dyn EventSink = &*ctx.sink;
     // Group cardinality while the input count is unknown: with speculation
     // on, every full `group_size` block becomes a group; the cases where
@@ -321,7 +441,14 @@ fn stream_segment<T: StateTransition>(
         None
     };
     let g_eff = group_cap.unwrap_or(usize::MAX);
-    let mut resolver: Resolver<T> = Resolver::new(&ctx.transition, config, seed, sink, g_eff);
+    let mut resolver: Resolver<T> = Resolver::new(
+        &ctx.transition,
+        config,
+        seed,
+        sink,
+        g_eff,
+        ctx.faults.as_ref(),
+    );
 
     let mut inputs: Vec<T::Input> = Vec::new();
     let mut consumed = 0usize; // inputs taken off the queue this segment
@@ -342,48 +469,75 @@ fn stream_segment<T: StateTransition>(
     let mut ingested = 0usize; // groups handed to the resolver so far
     let mut pending: BTreeMap<usize, GroupData<T>> = BTreeMap::new();
     let mut total_groups: Option<usize> = None;
+    // Retry bookkeeping for groups lost to injected worker panics.
+    let mut retries: BTreeMap<usize, u32> = BTreeMap::new();
+    let mut ranges: BTreeMap<usize, (usize, usize)> = BTreeMap::new();
 
-    let dispatch_group = |k: usize, start: usize, end: usize, all_inputs: &[T::Input]| {
-        let w_start = start.saturating_sub(config.window);
-        let slice: Vec<T::Input> = all_inputs[w_start..end].to_vec();
-        let spec = GroupSpec {
-            k,
-            start,
-            end,
-            speculative: true,
-        };
-        let job_ctx = Arc::clone(ctx);
-        let job_shared = Arc::clone(shared);
-        let job_initial = initial.clone();
-        pool.execute(move || {
-            // `ThreadPool::execute` jobs are not panic-isolated (a panic
-            // kills the worker): catch here and hand the payload to the
-            // coordinator, which re-raises it on the session owner.
-            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                execute_group(
-                    &job_ctx.transition,
-                    &slice,
-                    w_start,
-                    &job_initial,
-                    &job_ctx.config,
-                    seed,
-                    spec,
-                    &*job_ctx.sink,
-                )
-            }));
-            let mut inner = job_shared.inner.lock();
-            match outcome {
-                Ok(data) => inner.completions.push((k, data)),
-                Err(payload) => {
-                    if inner.panic.is_none() {
-                        inner.panic = Some(payload);
+    let dispatch_group =
+        |k: usize, start: usize, end: usize, attempt: u32, all_inputs: &[T::Input]| {
+            let w_start = start.saturating_sub(config.window);
+            let slice: Vec<T::Input> = all_inputs[w_start..end].to_vec();
+            let spec = GroupSpec {
+                k,
+                start,
+                end,
+                speculative: true,
+            };
+            let job_ctx = Arc::clone(ctx);
+            let job_config = Arc::clone(config_arc);
+            let job_shared = Arc::clone(shared);
+            let job_initial = initial.clone();
+            pool.execute(move || {
+                // Injected worker panic: the job dies without producing its
+                // group. The loss is routed to the coordinator through the
+                // same completion channel, which retries under the
+                // RetryPolicy; the global panic hook is deliberately not
+                // tripped for injected (as opposed to real) failures.
+                if let Some(plan) = &job_ctx.faults {
+                    if plan.fires(FaultKind::WorkerPanic, seed, k as u64, attempt) {
+                        if job_ctx.sink.enabled() {
+                            job_ctx.sink.emit(EventKind::FaultInjected {
+                                kind: FaultKind::WorkerPanic,
+                                site: k,
+                                attempt: attempt as usize,
+                            });
+                        }
+                        let mut inner = job_shared.inner.lock();
+                        inner.lost.push(InjectedFault { group: k, attempt });
+                        drop(inner);
+                        job_shared.coordinator.notify_all();
+                        return;
                     }
                 }
-            }
-            drop(inner);
-            job_shared.coordinator.notify_all();
-        });
-    };
+                // `ThreadPool::execute` jobs are not panic-isolated (a panic
+                // kills the worker): catch here and hand the payload to the
+                // coordinator, which re-raises it on the session owner.
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    execute_group(
+                        &job_ctx.transition,
+                        &slice,
+                        w_start,
+                        &job_initial,
+                        &job_config,
+                        seed,
+                        spec,
+                        &*job_ctx.sink,
+                        job_ctx.faults.as_ref(),
+                    )
+                }));
+                let mut inner = job_shared.inner.lock();
+                match outcome {
+                    Ok(data) => inner.completions.push((k, data)),
+                    Err(payload) => {
+                        if inner.panic.is_none() {
+                            inner.panic = Some(payload);
+                        }
+                    }
+                }
+                drop(inner);
+                job_shared.coordinator.notify_all();
+            });
+        };
 
     loop {
         if total_groups.is_some_and(|total| ingested >= total) {
@@ -393,6 +547,8 @@ fn stream_segment<T: StateTransition>(
         // ---- Pull admitted inputs and finished groups under the lock,
         // blocking until something actionable arrives.
         let mut fresh: Vec<T::Input> = Vec::new();
+        let mut stalls: Vec<(usize, Duration)> = Vec::new();
+        let mut lost: Vec<InjectedFault> = Vec::new();
         {
             let mut inner = shared.inner.lock();
             loop {
@@ -412,6 +568,13 @@ fn stream_segment<T: StateTransition>(
                     }
                     match inner.queue.pop_front() {
                         Some(item) => {
+                            if let Some(plan) = &ctx.faults {
+                                if let Some(d) =
+                                    plan.delay(FaultKind::QueueStall, seed, next_index as u64)
+                                {
+                                    stalls.push((next_index, d));
+                                }
+                            }
                             fresh.push(item);
                             consumed += 1;
                             actionable = true;
@@ -428,6 +591,10 @@ fn stream_segment<T: StateTransition>(
                     }
                     actionable = true;
                 }
+                if !inner.lost.is_empty() {
+                    lost.append(&mut inner.lost);
+                    actionable = true;
+                }
                 if !intake_done && (consumed == limit || (inner.closed && inner.queue.is_empty())) {
                     intake_done = true;
                     actionable = true;
@@ -436,6 +603,58 @@ fn stream_segment<T: StateTransition>(
                     break;
                 }
                 shared.coordinator.wait(&mut inner);
+            }
+        }
+
+        // ---- Injected queue stalls: the coordinator sleeps outside the
+        // lock (producers keep filling the freed queue space meanwhile).
+        for (site, delay) in stalls {
+            if sink.enabled() {
+                sink.emit(EventKind::FaultInjected {
+                    kind: FaultKind::QueueStall,
+                    site,
+                    attempt: 0,
+                });
+            }
+            std::thread::sleep(delay);
+        }
+
+        // ---- Groups lost to injected worker panics: re-dispatch with
+        // backoff while the retry budget lasts, then degrade gracefully by
+        // executing the group inline on the coordinator (never subject to
+        // worker faults), so a lost group can never wedge the stream.
+        for fault in lost {
+            let attempt = retries.entry(fault.group).or_insert(0);
+            *attempt += 1;
+            let attempt = *attempt;
+            let (start, end) = ranges[&fault.group];
+            if attempt <= ctx.retry.max_retries {
+                std::thread::sleep(ctx.retry.delay_for(attempt - 1));
+                if sink.enabled() {
+                    sink.emit(EventKind::GroupRetry {
+                        group: fault.group,
+                        attempt: attempt as usize,
+                    });
+                }
+                dispatch_group(fault.group, start, end, attempt, &inputs);
+            } else {
+                let data = execute_group(
+                    &ctx.transition,
+                    &inputs,
+                    0,
+                    initial,
+                    config,
+                    seed,
+                    GroupSpec {
+                        k: fault.group,
+                        start,
+                        end,
+                        speculative: true,
+                    },
+                    sink,
+                    ctx.faults.as_ref(),
+                );
+                pending.insert(fault.group, data);
             }
         }
 
@@ -500,7 +719,14 @@ fn stream_segment<T: StateTransition>(
         // ---- Dispatch every speculative group whose inputs are complete.
         if let Some(gs) = group_cap {
             while (dispatched + 1) * gs <= inputs.len() {
-                dispatch_group(dispatched, dispatched * gs, (dispatched + 1) * gs, &inputs);
+                ranges.insert(dispatched, (dispatched * gs, (dispatched + 1) * gs));
+                dispatch_group(
+                    dispatched,
+                    dispatched * gs,
+                    (dispatched + 1) * gs,
+                    0,
+                    &inputs,
+                );
                 dispatched += 1;
             }
         }
@@ -529,7 +755,8 @@ fn stream_segment<T: StateTransition>(
                 total_groups = Some(match group_cap {
                     Some(gs) if n > gs => {
                         if dispatched * gs < n {
-                            dispatch_group(dispatched, dispatched * gs, n, &inputs);
+                            ranges.insert(dispatched, (dispatched * gs, n));
+                            dispatch_group(dispatched, dispatched * gs, n, 0, &inputs);
                             dispatched += 1;
                         }
                         n.div_ceil(gs)
@@ -806,6 +1033,66 @@ mod tests {
         let session = Session::new(Noisy(0.0), Exploding, options(1));
         session.push_batch((0..12).map(f64::from));
         session.finish();
+    }
+
+    #[test]
+    fn worker_panic_does_not_poison_shared_pool() {
+        // A worker panic mid-speculative-group must surface at finish()
+        // while leaving the shared pool healthy for subsequent runs.
+        let pool = Arc::new(ThreadPool::new(2));
+        let opts = |seed| {
+            RunOptions::default()
+                .pool(Arc::clone(&pool))
+                .config(config())
+                .seed(seed)
+        };
+        let mut bad = Session::new(Noisy(0.0), Exploding, opts(1));
+        bad.push_batch((0..12).map(f64::from));
+        let err = match bad.try_finish() {
+            Err(e) => e,
+            Ok(_) => panic!("worker panic must surface"),
+        };
+        assert!(err.to_string().contains("transition exploded"), "{err}");
+        drop(bad); // silent: the payload was already handed over
+        for seed in [0u64, 7, 13] {
+            let good = Session::new(Noisy(0.0), NoisyLast, opts(seed));
+            good.push_batch((0..16).map(f64::from));
+            let outcome = good.finish();
+            assert_eq!(outcome.outputs.len(), 16, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn try_finish_is_idempotent() {
+        let mut session = Session::new(Noisy(0.0), NoisyLast, options(2));
+        session.push_batch((0..8).map(f64::from));
+        let first = session.try_finish().expect("clean run finishes");
+        assert_eq!(first.outputs.len(), 8);
+        assert!(matches!(
+            session.try_finish(),
+            Err(SessionError::AlreadyFinished)
+        ));
+        assert!(matches!(
+            session.try_finish(),
+            Err(SessionError::AlreadyFinished)
+        ));
+    }
+
+    #[test]
+    fn panicked_session_errors_once_then_reports_already_finished() {
+        // The second call path after a coordinator panic is a proper
+        // error, not a re-raise.
+        let mut session = Session::new(Noisy(0.0), Exploding, options(1));
+        session.push_batch((0..12).map(f64::from));
+        let err = match session.try_finish() {
+            Err(e) => e,
+            Ok(_) => panic!("panic must surface as an error"),
+        };
+        assert!(matches!(err, SessionError::Panicked { .. }));
+        assert!(matches!(
+            session.try_finish(),
+            Err(SessionError::AlreadyFinished)
+        ));
     }
 
     #[test]

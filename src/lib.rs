@@ -15,6 +15,16 @@
 //! - [`workloads`] — the six nondeterministic benchmarks
 //! - [`baselines`] — ALTER-like, QuickStep-like, HELIX-UP-like, Fast Track
 
+// Run the Rust code blocks in the repository's markdown documentation as
+// doctests (`cargo test --doc -p stats`), so the docs cannot drift from
+// the API they describe.
+#[cfg(doctest)]
+#[doc = include_str!("../docs/streaming.md")]
+mod doctest_streaming {}
+#[cfg(doctest)]
+#[doc = include_str!("../docs/robustness.md")]
+mod doctest_robustness {}
+
 pub use stats_autotune as autotune;
 pub use stats_baselines as baselines;
 pub use stats_compiler as compiler;
