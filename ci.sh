@@ -1,14 +1,96 @@
 #!/usr/bin/env bash
 # Local CI: formatting, lints, and the full test suite — all offline.
-# Usage: ./ci.sh
+#
+# Usage: ./ci.sh [stage]
+#   (none)   the default pipeline: fmt, clippy, tests, benches, smokes,
+#            and the concurrency gates that need no special toolchain
+#   --loom   model-check the speculation runtime: builds stats-core with
+#            RUSTFLAGS="--cfg loom" (the sync facade swaps onto the model
+#            checker) and runs every model in tests/loom.rs
+#   --miri   run the non-pool stats-core unit tests under Miri (needs the
+#            nightly `miri` component; skips with a message otherwise)
+#   --tsan   run tests/pool_stress.rs under ThreadSanitizer (needs nightly
+#            + rust-src for -Zbuild-std; skips with a message otherwise)
+#
+# The --loom/--miri/--tsan stages are separate entry points because each
+# rebuilds the world under a different configuration; run them when
+# touching anything under crates/stats-core/src/{sync,pool,session}.rs or
+# vendor/loom. docs/concurrency.md documents what each stage proves.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+stage="${1:-}"
+
+# ---- opt-in concurrency stages ---------------------------------------------
+
+if [[ "$stage" == "--loom" ]]; then
+    echo "== loom model checking (RUSTFLAGS=--cfg loom, release)"
+    RUSTFLAGS="--cfg loom" cargo test --offline --release -p stats-core \
+        --test loom -- --test-threads="$(nproc 2>/dev/null || echo 2)"
+    echo "loom OK"
+    exit 0
+fi
+
+if [[ "$stage" == "--miri" ]]; then
+    echo "== miri (non-pool stats-core unit tests)"
+    if ! cargo +nightly miri --version >/dev/null 2>&1; then
+        echo "skip: the nightly 'miri' component is not installed" \
+             "(rustup component add --toolchain nightly miri)"
+        exit 0
+    fi
+    # The pool/session suites spawn OS threads with timed condvar waits —
+    # loom covers their interleavings; miri checks the rest for UB.
+    MIRIFLAGS="-Zmiri-disable-isolation" cargo +nightly miri test --offline \
+        -p stats-core --lib -- --skip pool:: --skip session::
+    echo "miri OK"
+    exit 0
+fi
+
+if [[ "$stage" == "--tsan" ]]; then
+    echo "== ThreadSanitizer (tests/pool_stress.rs, STRESS_ITERS=${STRESS_ITERS:-4})"
+    if ! cargo +nightly --version >/dev/null 2>&1; then
+        echo "skip: no nightly toolchain (rustup toolchain install nightly)"
+        exit 0
+    fi
+    host="$(rustc -vV | sed -n 's/^host: //p')"
+    if [[ ! -e "$(rustc +nightly --print sysroot)/lib/rustlib/src/rust/library/Cargo.lock" ]]; then
+        echo "skip: nightly rust-src is not installed, -Zbuild-std unavailable" \
+             "(rustup component add --toolchain nightly rust-src)"
+        exit 0
+    fi
+    STRESS_ITERS="${STRESS_ITERS:-4}" RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test --offline -Zbuild-std --target "$host" \
+        -p stats-core --test pool_stress
+    echo "tsan OK"
+    exit 0
+fi
+
+if [[ -n "$stage" ]]; then
+    echo "error: unknown stage '$stage' (expected --loom, --miri, or --tsan)" >&2
+    exit 2
+fi
+
+# ---- default pipeline -------------------------------------------------------
 
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "== cargo clippy (deny warnings)"
-cargo clippy --offline --workspace --all-targets -- -D warnings
+echo "== cargo clippy (deny warnings + unsafe hygiene)"
+cargo clippy --offline --workspace --all-targets -- -D warnings \
+    -D clippy::undocumented_unsafe_blocks -D clippy::missing_safety_doc
+
+echo "== sync facade gate (no raw atomics outside stats-core/src/sync.rs)"
+# The memory-ordering audit (docs/concurrency.md) covers every atomic in
+# the workspace because they all funnel through the `stats_core::sync`
+# facade; an import anywhere else would dodge both the audit table and the
+# loom models, so it fails CI.
+if grep -rn --include='*.rs' 'std::sync::atomic' crates/ \
+    | grep -v '^crates/stats-core/src/sync\.rs:'; then
+    echo "error: raw std::sync::atomic import outside the stats_core::sync" \
+         "facade (route it through crates/stats-core/src/sync.rs so the" \
+         "loom models and docs/concurrency.md cover it)" >&2
+    exit 1
+fi
 
 echo "== cargo test"
 cargo test --offline --workspace -q
@@ -24,7 +106,7 @@ echo "== chaos smoke (seeded fault plans, identical traces across two runs)"
 echo "== rustdoc (deny warnings, workspace crates only)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace -q \
     --exclude rand --exclude proptest --exclude criterion \
-    --exclude crossbeam --exclude parking_lot
+    --exclude crossbeam --exclude parking_lot --exclude loom
 
 echo "== streaming smoke (stream_run bench in test mode)"
 cargo test --offline -q -p bench --bench stream_run

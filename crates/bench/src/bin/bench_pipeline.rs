@@ -9,7 +9,9 @@
 //! re-measured on every run. The `faults` section measures streamed
 //! throughput with the adaptive controller under a seeded 10% forced-abort
 //! plan against the fault-free arm (`docs/robustness.md`); the recovery
-//! ratio is expected to stay at or above 0.8.
+//! ratio is expected to stay at or above 0.8. The `audit` section tracks
+//! pool scope+drop churn against its pre-memory-ordering-audit baseline
+//! (`docs/concurrency.md`).
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_pipeline          # print JSON
@@ -31,6 +33,34 @@ use stats_workloads::WorkloadSpec;
 const BASELINE_INTERP_NS: f64 = 2950.0;
 const BASELINE_TRIALS_PER_SEC: f64 = 44.3;
 const BASELINE_FIGURES_S: f64 = 1.45;
+
+/// Pool scope+drop churn measured immediately before the 2026-08
+/// memory-ordering audit (docs/concurrency.md): scope-local `panicked`
+/// still `SeqCst` on both sides and `worker_loop` still busy-spinning
+/// through shutdown while sibling jobs were in flight. Same container
+/// class as the other baselines.
+const PRE_AUDIT_POOL_CHURN_PER_SEC: f64 = 20258.0;
+
+/// Creates a small pool, runs one scope, and drops the pool, repeatedly.
+/// This is the audited hot path end to end: the `jobs` Release/Acquire
+/// settle edge, the `panicked` load after the `done` handshake, and the
+/// shutdown wait in `worker_loop` (where the pre-audit code could
+/// busy-spin). Reported under `audit` in the JSON.
+fn pool_scope_churn_per_sec() -> f64 {
+    let iters = 300u64;
+    let mut best = 0.0f64;
+    // Three passes, best-of: churn rates on a shared container are noisy
+    // and the metric exists to catch regressions, not tiny deltas.
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            let pool = ThreadPool::new(2);
+            pool.scope(vec![(|_idx: usize| {}) as fn(usize); 4]);
+        }
+        best = best.max(iters as f64 / start.elapsed().as_secs_f64().max(1e-9));
+    }
+    best
+}
 
 fn interp_ns_per_call() -> f64 {
     let compiled = frontend::compile(
@@ -179,6 +209,7 @@ fn main() {
     let trials_parallel = tuner_trials_per_sec(workers);
     let figures_s = figures_tiny_wallclock();
     let (fault_free, faulted, recovery) = fault_recovery();
+    let pool_churn = pool_scope_churn_per_sec();
 
     let json = format!(
         "{{\n  \"baseline\": {{\n    \"interp_ns_per_call\": {BASELINE_INTERP_NS:.1},\n    \
@@ -195,7 +226,15 @@ fn main() {
          \"faults\": {{\n    \"forced_abort_rate\": {FORCED_ABORT_RATE:.2},\n    \
          \"fault_free_inputs_per_sec\": {fault_free:.0},\n    \
          \"faulted_inputs_per_sec\": {faulted:.0},\n    \
-         \"recovery_ratio\": {recovery:.3}\n  }}\n}}",
+         \"recovery_ratio\": {recovery:.3}\n  }},\n  \
+         \"audit\": {{\n    \
+         \"pool_scope_churn_per_sec_pre_audit\": {PRE_AUDIT_POOL_CHURN_PER_SEC:.0},\n    \
+         \"pool_scope_churn_per_sec\": {pool_churn:.0},\n    \
+         \"notes\": \"2026-08 memory-ordering audit (docs/concurrency.md): \
+scope `panicked` downgraded SeqCst->Relaxed (ordered by the `done` mutex \
+handshake); worker_loop shutdown busy-spin replaced with a timed wait. The \
+open tuner_serial 0.79x regression predates the audit and stays tracked as \
+a ROADMAP open item.\"\n  }}\n}}",
         BASELINE_INTERP_NS / interp_ns,
         trials_serial / BASELINE_TRIALS_PER_SEC,
         BASELINE_FIGURES_S / figures_s,

@@ -273,9 +273,10 @@ fn profile_concurrently(
     workers: usize,
     profile: &(impl Fn(&Configuration) -> Measurement + Sync),
 ) -> Vec<Measurement> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    let next = AtomicUsize::new(0);
+    // A mutexed cursor, not an atomic: this crate has no dependency on the
+    // stats-core `sync` facade, and CI's memory-ordering gate funnels every
+    // raw atomic import in the workspace through that facade.
+    let next = std::sync::Mutex::new(0usize);
     let mut out: Vec<Option<Measurement>> = vec![None; todo.len()];
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers.min(todo.len()))
@@ -284,7 +285,12 @@ fn profile_concurrently(
                 s.spawn(move || {
                     let mut local = Vec::new();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let i = {
+                            let mut cursor = next.lock().expect("cursor poisoned");
+                            let i = *cursor;
+                            *cursor += 1;
+                            i
+                        };
                         if i >= todo.len() {
                             break;
                         }

@@ -81,6 +81,7 @@ mod resolver;
 mod runtime;
 mod sdi;
 mod session;
+pub mod sync;
 mod tradeoff;
 
 pub use adapt::{AdaptPolicy, AdaptState, AdaptiveController, RetryPolicy};

@@ -29,7 +29,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use crate::adapt::AdaptState;
 use crate::faults::FaultKind;

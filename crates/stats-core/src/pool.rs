@@ -10,12 +10,11 @@
 //! different auxiliary windows). [`ThreadPool::scope`] provides structured
 //! completion: wait until every job submitted in the scope has finished.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::deque::{Injector, Stealer, Worker};
-use parking_lot::{Condvar, Mutex};
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::deque::{Injector, Steal, Stealer, Worker};
+use crate::sync::{thread, Arc, Condvar, Mutex};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -49,7 +48,7 @@ struct PoolState {
 /// work stealing.
 pub struct ThreadPool {
     shared: Arc<PoolShared>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
 }
 
 impl ThreadPool {
@@ -77,7 +76,7 @@ impl ThreadPool {
         let mut workers = Vec::with_capacity(threads);
         for (i, local) in locals.into_iter().enumerate() {
             let shared = Arc::clone(&shared);
-            let handle = std::thread::Builder::new()
+            let handle = thread::Builder::new()
                 .name(format!("stats-worker-{i}"))
                 .spawn(move || worker_loop(i, local, shared))
                 .expect("failed to spawn worker thread");
@@ -147,7 +146,15 @@ impl ThreadPool {
                     job(i);
                 }));
                 if result.is_err() {
-                    panicked.fetch_add(1, Ordering::SeqCst);
+                    // Ordering: Relaxed suffices. This increment is
+                    // sequenced before the `done` lock/increment below, and
+                    // the scope's read is sequenced after it observes
+                    // `count == total` under the same mutex — the mutex
+                    // release/acquire edge orders every increment before the
+                    // read (docs/concurrency.md; pinned by the loom model
+                    // `pool_scope_routes_job_panics`, which fails if the
+                    // count is read before the handshake instead).
+                    panicked.fetch_add(1, Ordering::Relaxed);
                 }
                 let (lock, cvar) = &*done;
                 let mut count = lock.lock();
@@ -164,10 +171,17 @@ impl ThreadPool {
         // completion signal fires, so settle until this batch's increments
         // land — metrics() taken right after a scope then covers all of it.
         let target = jobs_before + total as u64;
+        // Ordering: Acquire pairs with the Release increment in
+        // `worker_loop` so that once the settle loop exits, each counted
+        // job's side effects (busy_ns, steal counters) are visible — see
+        // docs/concurrency.md, pinned by `pool_scope_settle_publishes_metrics`.
         while self.shared.counters.jobs.load(Ordering::Acquire) < target {
-            std::thread::yield_now();
+            thread::yield_now();
         }
-        let panics = panicked.load(Ordering::SeqCst);
+        // Ordering: Relaxed; ordered by the `done` mutex handshake above
+        // (was SeqCst before the 2026-08 audit — over-synchronized, since
+        // the mutex already provides the needed edge).
+        let panics = panicked.load(Ordering::Relaxed);
         assert!(panics == 0, "{panics} job(s) panicked in ThreadPool::scope");
     }
 
@@ -245,7 +259,7 @@ fn find_job(idx: usize, local: &Worker<Job>, shared: &PoolShared) -> Option<Job>
     }
     loop {
         let steal = shared.injector.steal_batch_and_pop(local);
-        if let crossbeam::deque::Steal::Success(job) = steal {
+        if let Steal::Success(job) = steal {
             return Some(job);
         }
         if steal.is_empty() {
@@ -258,12 +272,12 @@ fn find_job(idx: usize, local: &Worker<Job>, shared: &PoolShared) -> Option<Job>
         }
         loop {
             match stealer.steal() {
-                crossbeam::deque::Steal::Success(job) => {
+                Steal::Success(job) => {
                     shared.counters.steals.fetch_add(1, Ordering::Relaxed);
                     return Some(job);
                 }
-                crossbeam::deque::Steal::Empty => break,
-                crossbeam::deque::Steal::Retry => continue,
+                Steal::Empty => break,
+                Steal::Retry => continue,
             }
         }
     }
@@ -291,10 +305,15 @@ fn worker_loop(idx: usize, local: Worker<Job>, shared: Arc<PoolShared>) {
         if state.shutdown && state.pending == 0 {
             return;
         }
-        if state.pending == 0 || (find_nothing_hint(&shared) && !state.shutdown) {
-            shared
-                .wake
-                .wait_for(&mut state, std::time::Duration::from_millis(1));
+        // Wait whenever nothing is findable — including during shutdown
+        // with jobs still in flight on siblings (their completion notifies
+        // `wake`). Gating the hint on `!shutdown`, as this loop originally
+        // did, busy-spins here until the last job's `pending` decrement
+        // lands; the loom model `pool_scope_settle_publishes_metrics`
+        // flagged that spin as a livelock. The timeout bounds any wakeup
+        // miss to 1ms regardless.
+        if state.pending == 0 || find_nothing_hint(&shared) {
+            shared.wake.wait_for(&mut state, Duration::from_millis(1));
         }
         if state.shutdown && state.pending == 0 {
             return;
@@ -323,7 +342,6 @@ impl Drop for ThreadPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
 
     #[test]
     fn executes_all_jobs() {

@@ -345,7 +345,7 @@ pub(crate) fn execute_group<T: StateTransition>(
                     attempt: 0,
                 });
             }
-            std::thread::sleep(delay);
+            crate::sync::thread::sleep(delay);
         }
     }
     if sink.enabled() {

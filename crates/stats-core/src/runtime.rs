@@ -12,10 +12,7 @@
 //! and byte-identical to the sequential reference
 //! [`run_protocol`](crate::run_protocol) — a property the test suite checks.
 
-use std::sync::Arc;
-use std::thread::JoinHandle;
-
-use parking_lot::Mutex;
+use crate::sync::{thread, Arc, Mutex};
 
 use crate::obs::EventSink;
 use crate::options::RunOptions;
@@ -92,7 +89,7 @@ struct Shared<T: StateTransition> {
 /// ```
 pub struct StateDependence<T: StateTransition> {
     shared: Option<Arc<Shared<T>>>,
-    handle: Option<JoinHandle<ProtocolResult<T>>>,
+    handle: Option<thread::JoinHandle<ProtocolResult<T>>>,
 }
 
 impl<T: StateTransition> StateDependence<T> {
@@ -174,7 +171,7 @@ impl<T: StateTransition> StateDependence<T> {
         let shared = Arc::clone(self.shared.as_ref().expect("not consumed"));
         let pool = resolve_pool(&shared.options);
         self.handle = Some(
-            std::thread::Builder::new()
+            thread::Builder::new()
                 .name("stats-coordinator".into())
                 .spawn(move || run_pooled(&shared, &pool))
                 .expect("failed to spawn coordinator"),
@@ -195,12 +192,10 @@ impl<T: StateTransition> StateDependence<T> {
 
 /// The options' shared pool, or a private one sized to the machine.
 pub(crate) fn resolve_pool(options: &RunOptions) -> Arc<ThreadPool> {
-    options.pool.clone().unwrap_or_else(|| {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        Arc::new(ThreadPool::new(threads))
-    })
+    options
+        .pool
+        .clone()
+        .unwrap_or_else(|| Arc::new(ThreadPool::new(thread::available_parallelism())))
 }
 
 /// Dropping a started-but-not-joined dependence must not leak a detached
@@ -212,7 +207,7 @@ impl<T: StateTransition> Drop for StateDependence<T> {
     fn drop(&mut self) {
         if let Some(handle) = self.handle.take() {
             if let Err(payload) = handle.join() {
-                if !std::thread::panicking() {
+                if !thread::panicking() {
                     std::panic::resume_unwind(payload);
                 }
             }

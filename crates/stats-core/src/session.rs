@@ -23,11 +23,9 @@ use std::any::Any;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::panic::AssertUnwindSafe;
-use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{thread, Arc, Condvar, Mutex};
 
 use crate::adapt::{AdaptiveController, RetryPolicy};
 use crate::faults::{FaultKind, FaultPlan, InjectedFault};
@@ -109,7 +107,7 @@ struct EngineCtx<T: StateTransition> {
 /// ```
 pub struct Session<T: StateTransition> {
     shared: Arc<StreamShared<T>>,
-    handle: Option<JoinHandle<ProtocolResult<T>>>,
+    handle: Option<thread::JoinHandle<ProtocolResult<T>>>,
 }
 
 impl<T: StateTransition> Session<T> {
@@ -146,7 +144,7 @@ impl<T: StateTransition> Session<T> {
             retry: options.retry,
         });
         let thread_shared = Arc::clone(&shared);
-        let handle = std::thread::Builder::new()
+        let handle = thread::Builder::new()
             .name("stats-stream".into())
             .spawn(move || {
                 let _guard = CoordinatorGuard {
@@ -301,7 +299,7 @@ impl<T: StateTransition> Drop for Session<T> {
         if let Some(handle) = self.handle.take() {
             self.close();
             if let Err(payload) = handle.join() {
-                if !std::thread::panicking() {
+                if !thread::panicking() {
                     std::panic::resume_unwind(payload);
                 }
             }
@@ -616,7 +614,7 @@ fn stream_segment<T: StateTransition>(
                     attempt: 0,
                 });
             }
-            std::thread::sleep(delay);
+            thread::sleep(delay);
         }
 
         // ---- Groups lost to injected worker panics: re-dispatch with
@@ -629,7 +627,7 @@ fn stream_segment<T: StateTransition>(
             let attempt = *attempt;
             let (start, end) = ranges[&fault.group];
             if attempt <= ctx.retry.max_retries {
-                std::thread::sleep(ctx.retry.delay_for(attempt - 1));
+                thread::sleep(ctx.retry.delay_for(attempt - 1));
                 if sink.enabled() {
                     sink.emit(EventKind::GroupRetry {
                         group: fault.group,
@@ -827,13 +825,13 @@ fn seal_group0<T: StateTransition>(
 
 #[cfg(test)]
 mod tests {
-    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::time::Duration;
 
     use super::*;
     use crate::ctx::InvocationCtx;
     use crate::protocol::run_protocol;
     use crate::sdi::{ExactState, SpecState};
+    use crate::sync::atomic::{AtomicUsize, Ordering};
 
     #[derive(Clone, Debug)]
     struct Noisy(f64);
@@ -899,7 +897,7 @@ mod tests {
     /// the stream mid-group.
     struct Gated {
         entered: Arc<AtomicUsize>,
-        gate: Arc<(parking_lot::Mutex<bool>, parking_lot::Condvar)>,
+        gate: Arc<(Mutex<bool>, Condvar)>,
     }
     impl StateTransition for Gated {
         type Input = u64;
@@ -927,7 +925,7 @@ mod tests {
     fn full_queue_blocks_producer_instead_of_growing() {
         let capacity = 3usize;
         let entered = Arc::new(AtomicUsize::new(0));
-        let gate = Arc::new((parking_lot::Mutex::new(false), parking_lot::Condvar::new()));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
         let session = Session::new(
             ExactState(0u64),
             Gated {
@@ -943,7 +941,7 @@ mod tests {
         // gated transition; wait until it is provably inside.
         session.push(1);
         while entered.load(Ordering::SeqCst) == 0 {
-            std::thread::yield_now();
+            thread::yield_now();
         }
         // A producer can now enqueue at most `capacity` more inputs before
         // blocking. Count successful pushes from a helper thread.
@@ -952,7 +950,7 @@ mod tests {
             let pushed = Arc::clone(&pushed);
             let session = Arc::new(session);
             let handle_session = Arc::clone(&session);
-            let handle = std::thread::spawn(move || {
+            let handle = thread::spawn(move || {
                 for i in 2..=20u64 {
                     handle_session.push(i);
                     pushed.fetch_add(1, Ordering::SeqCst);
@@ -962,7 +960,7 @@ mod tests {
         };
         let (handle, session) = producer;
         // Give the producer ample time to push as far as it can.
-        std::thread::sleep(Duration::from_millis(200));
+        thread::sleep(Duration::from_millis(200));
         let stalled_at = pushed.load(Ordering::SeqCst);
         assert!(
             stalled_at <= capacity + 1,

@@ -1,0 +1,352 @@
+//! Loom model checks for the speculation runtime's concurrency core.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"` (run via `./ci.sh --loom`):
+//! the `stats_core::sync` facade then routes every mutex, condvar, atomic,
+//! thread, and deque operation through the model checker, and each test
+//! below asserts its invariant under **every** explored interleaving of
+//! the *actual* runtime code paths — not a reimplementation of them.
+//!
+//! The models deliberately stay tiny (1–2 workers, 1–4 inputs): every
+//! synchronization op is a decision point, and state grows exponentially.
+//! The preemption bound trades exhaustiveness for tractability exactly as
+//! documented in `vendor/loom` and `docs/concurrency.md`; each test picks
+//! the largest bound that keeps its runtime in seconds.
+//!
+//! Suite map (mirrored by the audit table in `docs/concurrency.md`):
+//!
+//! - `pool_scope_settle_publishes_metrics` — pins the `jobs`
+//!   Release/Acquire pair (worker increment → scope settle loop/metrics).
+//! - `pool_scope_routes_job_panics` — pins the `panicked` Relaxed counter
+//!   being ordered by the `done` mutex handshake (the SeqCst→Relaxed
+//!   downgrade of the 2026-08 audit).
+//! - `pool_drop_completes_outstanding_work` — shutdown/drain handshake.
+//! - `pool_injector_never_loses_jobs` — injector vs. steal interleavings.
+//! - `session_push_finish_matches_batch` — producer/coordinator/worker
+//!   handoff commits every input exactly once, in order.
+//! - `session_backpressure_wakeup` — a producer blocked on a full bounded
+//!   queue is always woken when the coordinator drains it.
+//! - `session_drop_mid_stream_joins` — Drop drains and joins; no leaked
+//!   coordinator, in any interleaving.
+//! - `session_panic_routing_try_finish` — a panic in a pool-executed
+//!   group crosses worker → coordinator → owner, and a producer blocked
+//!   on a stalled bounded queue cannot deadlock against it.
+
+#![cfg(loom)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use loom::model::Builder;
+use stats_core::sync::atomic::{AtomicU64, Ordering};
+use stats_core::sync::{Arc, Mutex};
+use stats_core::{
+    ExactState, InvocationCtx, RunOptions, Session, SessionError, SpecConfig, StateTransition,
+    ThreadPool,
+};
+
+/// Run `f` under every schedule within `preemptions` involuntary switches.
+fn model(preemptions: usize, f: impl Fn() + Send + Sync + 'static) {
+    let mut b = Builder::new();
+    b.preemption_bound = Some(preemptions);
+    b.check(f);
+}
+
+/// Deterministic prefix-sum transition: state is the running sum, output
+/// is the sum after absorbing the input. Speculation always validates.
+struct Sum;
+impl StateTransition for Sum {
+    type Input = u64;
+    type State = ExactState<u64>;
+    type Output = u64;
+    fn compute_output(
+        &self,
+        input: &u64,
+        state: &mut ExactState<u64>,
+        ctx: &mut InvocationCtx,
+    ) -> u64 {
+        ctx.charge(1.0);
+        state.0 = state.0.wrapping_add(*input);
+        state.0
+    }
+}
+
+/// A transition that panics on one specific input value.
+struct ExplodeOn(u64);
+impl StateTransition for ExplodeOn {
+    type Input = u64;
+    type State = ExactState<u64>;
+    type Output = u64;
+    fn compute_output(
+        &self,
+        input: &u64,
+        state: &mut ExactState<u64>,
+        ctx: &mut InvocationCtx,
+    ) -> u64 {
+        ctx.charge(1.0);
+        assert!(*input != self.0, "transition exploded");
+        state.0 = state.0.wrapping_add(*input);
+        state.0
+    }
+}
+
+/// `group_size` 2 so a 4-input stream forms two groups: group 0 inline on
+/// the coordinator, group 1 dispatched to the pool — the smallest shape
+/// that exercises the resolver/coordinator/worker handoff.
+fn two_group_config() -> SpecConfig {
+    SpecConfig {
+        group_size: 2,
+        window: 1,
+        max_reexec: 1,
+        rollback: 1,
+        ..SpecConfig::default()
+    }
+}
+
+/// Tentpole model 1: after `scope()` returns, the batch is fully visible
+/// in `metrics()`. Pins the `jobs` Release (worker_loop) / Acquire (settle
+/// loop, metrics) pair: if the worker's increment were Relaxed, an
+/// execution would exist where `jobs_executed` under-counts.
+#[test]
+fn pool_scope_settle_publishes_metrics() {
+    model(2, || {
+        let pool = ThreadPool::new(2);
+        let data = Arc::new(AtomicU64::new(0));
+        let jobs: Vec<_> = (0..2)
+            .map(|_| {
+                let data = Arc::clone(&data);
+                move |_i: usize| {
+                    data.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+            .collect();
+        pool.scope(jobs);
+        let m = pool.metrics();
+        assert_eq!(m.jobs_executed, 2, "settle loop exited early");
+        // The Relaxed data counter is ordered by the same edge: reading it
+        // stale here would mean the scope returned before its jobs' side
+        // effects were published.
+        assert_eq!(data.load(Ordering::Relaxed), 2, "job effects not visible");
+    });
+}
+
+/// Tentpole model 2 (audit regression): a job panic must surface from
+/// `scope()` in every interleaving. The `panicked` counter is Relaxed —
+/// the `done` mutex handshake is what orders it, so this model is the
+/// regression test for the SeqCst→Relaxed downgrade: remove the handshake
+/// (or read the counter before it) and an execution appears where the
+/// panic is lost.
+#[test]
+fn pool_scope_routes_job_panics() {
+    model(2, || {
+        let pool = ThreadPool::new(1);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(vec![
+                (|_i: usize| {}) as fn(usize),
+                (|_i: usize| panic!("job exploded")) as fn(usize),
+            ]);
+        }))
+        .expect_err("a panicking job must fail the scope");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("panicked in ThreadPool::scope"),
+            "wrong panic: {msg}"
+        );
+    });
+}
+
+/// Tentpole model 3: dropping the pool completes already-submitted
+/// fire-and-forget work before joining the workers (shutdown/drain
+/// handshake on the `live` mutex + `wake` condvar).
+#[test]
+fn pool_drop_completes_outstanding_work() {
+    model(2, || {
+        let counter = Arc::new(AtomicU64::new(0));
+        {
+            let pool = ThreadPool::new(1);
+            for _ in 0..2 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // Drop waits for the drain; the worker join is the edge that
+            // publishes the Relaxed increments.
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 2, "job lost at shutdown");
+    });
+}
+
+/// Tentpole model 4: two workers racing the injector and each other's
+/// deques execute every submitted job exactly once (no loss, no
+/// duplication), whatever the steal interleaving.
+#[test]
+fn pool_injector_never_loses_jobs() {
+    model(2, || {
+        let pool = ThreadPool::new(2);
+        let seen = Arc::new(Mutex::new([0u32; 3]));
+        let jobs: Vec<_> = (0..3)
+            .map(|_| {
+                let seen = Arc::clone(&seen);
+                move |i: usize| {
+                    seen.lock()[i] += 1;
+                }
+            })
+            .collect();
+        pool.scope(jobs);
+        assert_eq!(*seen.lock(), [1, 1, 1], "job lost or duplicated");
+    });
+}
+
+/// Tentpole model 5: the full streaming handoff — producer pushes, the
+/// coordinator forms groups, a pool worker executes the speculative
+/// group, the resolver commits in order. The outcome must equal the
+/// sequential prefix sum for every interleaving.
+#[test]
+fn session_push_finish_matches_batch() {
+    model(1, || {
+        let session = Session::new(
+            ExactState(0u64),
+            Sum,
+            RunOptions::default()
+                .pool(Arc::new(ThreadPool::new(1)))
+                .config(two_group_config()),
+        );
+        for i in 1..=4u64 {
+            session.push(i);
+        }
+        let outcome = session.finish();
+        assert_eq!(outcome.outputs, vec![1, 3, 6, 10], "stream diverged");
+        assert_eq!(outcome.final_state.0, 10);
+    });
+}
+
+/// Tentpole model 6: with `queue_capacity` 1 the producer blocks on a full
+/// queue; the coordinator's drain must always wake it (producer condvar),
+/// and the close/finish handshake must complete — no lost-wakeup schedule.
+#[test]
+fn session_backpressure_wakeup() {
+    model(1, || {
+        let session = Session::new(
+            ExactState(0u64),
+            Sum,
+            RunOptions::default()
+                .pool(Arc::new(ThreadPool::new(1)))
+                // group_size 1 keeps every group inline on the coordinator:
+                // this model isolates the producer <-> coordinator queue.
+                .config(SpecConfig {
+                    group_size: 1,
+                    ..SpecConfig::default()
+                })
+                .queue_capacity(1),
+        );
+        for i in 1..=3u64 {
+            session.push(i); // blocks whenever the 1-slot queue is full
+        }
+        let outcome = session.finish();
+        assert_eq!(
+            outcome.outputs,
+            vec![1, 3, 6],
+            "input lost past a full queue"
+        );
+    });
+}
+
+/// Tentpole model 7: dropping a session mid-stream (inputs still queued,
+/// no `finish()`) drains, joins the coordinator, and releases the engine
+/// context in every schedule — the Drop-join can never leak or deadlock.
+#[test]
+fn session_drop_mid_stream_joins() {
+    model(1, || {
+        let sentinel = Arc::new(());
+        {
+            let session = Session::new(
+                ExactState(0u64),
+                Sum,
+                RunOptions::default()
+                    .pool(Arc::new(ThreadPool::new(1)))
+                    .config(SpecConfig {
+                        group_size: 1,
+                        ..SpecConfig::default()
+                    }),
+            );
+            let _hold = Arc::clone(&sentinel);
+            session.push(1);
+            session.push(2);
+            // Dropped here without finish().
+            drop(session);
+            drop(_hold);
+        }
+        assert_eq!(Arc::strong_count(&sentinel), 1, "coordinator leaked");
+    });
+}
+
+/// Tentpole model 8 (satellite: drop-while-panicking vs. stalled queue):
+/// a transition panic inside a pool-executed speculative group must cross
+/// worker → coordinator → owner as `SessionError::Panicked`, while a
+/// producer blocked on the full bounded queue is woken by the
+/// `coordinator_gone` guard instead of deadlocking. The model terminating
+/// at all proves the no-deadlock half; the assertions prove the routing.
+#[test]
+fn session_panic_routing_try_finish() {
+    model(1, || {
+        let mut session = Session::new(
+            ExactState(0u64),
+            ExplodeOn(4),
+            RunOptions::default()
+                .pool(Arc::new(ThreadPool::new(1)))
+                .config(two_group_config())
+                .queue_capacity(1),
+        );
+        // Input 4 lands in group 1, which runs on the pool worker. The
+        // producer keeps pushing against capacity 1 after the poisoned
+        // group is in flight; if the dying coordinator failed to mark
+        // itself gone, this push could block forever.
+        let pushed = catch_unwind(AssertUnwindSafe(|| {
+            for i in 1..=6u64 {
+                session.push(i);
+            }
+        }));
+        match session.try_finish() {
+            Err(SessionError::Panicked { message, .. }) => {
+                assert!(message.contains("transition exploded"), "{message}");
+            }
+            Ok(_) => {
+                // The coordinator re-raises the worker panic before any
+                // output commits past the poisoned group; reaching finish
+                // cleanly would mean the panic was swallowed.
+                panic!("worker panic was swallowed");
+            }
+            Err(other) => panic!("unexpected session error: {other}"),
+        }
+        // If a push raced the coordinator's death it panicked with the
+        // coordinator-gone message — both completing and failing fast are
+        // legal; hanging is not (the model's deadlock detector enforces it).
+        if let Err(payload) = pushed {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            assert!(
+                msg.contains("coordinator has terminated"),
+                "wrong producer failure: {msg}"
+            );
+        }
+        // The worker survives for the next scope: the panic was contained.
+        drop(session);
+    });
+}
+
+/// Audit regression: `thread::yield_now` in the settle loop is a real
+/// scheduling point — a spin loop over the Acquire-loaded `jobs` counter
+/// settles in every schedule rather than starving the worker (the model
+/// runs yielded threads only when nothing else can run, so this also
+/// proves the loop cannot spin forever while the worker is runnable).
+#[test]
+fn pool_metrics_settle_after_repeated_scopes() {
+    model(1, || {
+        let pool = ThreadPool::new(1);
+        pool.scope(vec![|_: usize| {}]);
+        pool.scope(vec![|_: usize| {}]);
+        assert_eq!(pool.metrics().jobs_executed, 2, "cumulative count lost");
+    });
+}

@@ -1,0 +1,382 @@
+//! Offline stand-in for the `loom` crate: an exhaustive-interleaving model
+//! checker for the API subset this workspace uses.
+//!
+//! [`model`] runs a closure under a cooperative scheduler that serializes
+//! real OS threads (exactly one model thread runs at a time) and turns
+//! every synchronization operation — lock, condvar wait/notify, atomic
+//! access, spawn/join/yield — into a *decision point*. The checker then
+//! enumerates schedules depth-first: each execution records its decisions,
+//! and the next execution replays the longest prefix with the deepest
+//! unexplored alternative flipped. Assertions inside the closure therefore
+//! hold for **every** explored interleaving, including ones a 1-CPU host
+//! never produces at runtime.
+//!
+//! Scope and deliberate approximations (see also `docs/concurrency.md` in
+//! the workspace root):
+//!
+//! - **Preemption bounding.** By default at most 2 involuntary context
+//!   switches per execution (`LOOM_MAX_PREEMPTIONS`, or
+//!   [`model::Builder::preemption_bound`]); set to `None` for a fully
+//!   exhaustive search. Context-bounded search is the standard way to tame
+//!   state explosion, and empirically most concurrency bugs need <= 2
+//!   preemptions to surface.
+//! - **Memory model.** Atomics keep a store history. `Acquire`/`SeqCst`
+//!   loads read the latest store and join the writer's released
+//!   happens-before view (conservative vs. C11, which also allows stale
+//!   acquire reads). `Relaxed` loads branch over every store at or above
+//!   the reader's coherence floor and synchronize nothing — so a counter
+//!   that *needed* `Acquire` but was read `Relaxed` yields an execution
+//!   where the stale read is observable and the model's assertion fires.
+//! - **Timed waits.** There is no clock: `Condvar::wait_timeout` times out
+//!   exactly when no other thread is runnable (the only schedule where
+//!   unbounded real time could pass), which avoids both false deadlocks
+//!   and a timeout branch at every step.
+//! - **Deadlock & livelock detection.** If every live thread is blocked,
+//!   the model fails with a per-thread report. Executions exceeding a
+//!   branch budget (`LOOM_MAX_BRANCHES`) fail as livelocks.
+//!
+//! Unlike real loom there is no `UnsafeCell`/`CausalCell` instrumentation
+//! and no leak checking; `loom::sync::Arc` is `std::sync::Arc`. The crate
+//! is `forbid(unsafe_code)`: model mutexes wrap a real `std::sync::Mutex`
+//! for data access, so exclusive access is compiler-checked, and model
+//! atomics route values through the scheduler rather than raw memory.
+
+#![forbid(unsafe_code)]
+
+pub(crate) mod rt;
+
+pub mod sync;
+pub mod thread;
+
+/// Spin-loop hints (map to scheduler yields under the model).
+pub mod hint {
+    /// Equivalent to [`crate::thread::yield_now`] under the model: a pure
+    /// `spin_loop()` makes no progress visible to the scheduler, so it is
+    /// treated as a cooperative yield.
+    pub fn spin_loop() {
+        crate::rt::yield_now();
+    }
+}
+
+/// Explore every schedule of `f` (within the default preemption bound),
+/// panicking on the first assertion failure, deadlock, or livelock with a
+/// replayable decision path.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model::Builder::new().check(f)
+}
+
+/// Exploration configuration.
+pub mod model {
+    use crate::rt;
+    use std::sync::Arc;
+
+    /// Builder mirroring `loom::model::Builder` for the knobs this
+    /// workspace uses. Environment variables (`LOOM_MAX_PREEMPTIONS`,
+    /// `LOOM_MAX_BRANCHES`, `LOOM_MAX_ITERATIONS`, `LOOM_LOG`) provide the
+    /// defaults; explicit field writes override them.
+    #[derive(Clone, Debug)]
+    pub struct Builder {
+        /// Max involuntary context switches per execution (`None` = fully
+        /// exhaustive). Default 2.
+        pub preemption_bound: Option<usize>,
+        /// Max synchronization operations per execution before the run is
+        /// declared a livelock. Default 50 000.
+        pub max_branches: usize,
+        /// Optional cap on explored executions; exploration stops (with a
+        /// warning) rather than failing when it is hit. Default unlimited.
+        pub max_iterations: Option<usize>,
+        /// Log exploration statistics to stderr. Default off.
+        pub log: bool,
+    }
+
+    impl Default for Builder {
+        fn default() -> Self {
+            Builder::new()
+        }
+    }
+
+    impl Builder {
+        /// Builder with environment-derived defaults.
+        pub fn new() -> Builder {
+            let c = rt::Config::from_env();
+            Builder {
+                preemption_bound: c.preemption_bound,
+                max_branches: c.max_branches,
+                max_iterations: c.max_iterations,
+                log: c.log,
+            }
+        }
+
+        /// Run `f` under every explored schedule.
+        pub fn check<F>(&self, f: F)
+        where
+            F: Fn() + Send + Sync + 'static,
+        {
+            let config = rt::Config {
+                preemption_bound: self.preemption_bound,
+                max_branches: self.max_branches,
+                max_iterations: self.max_iterations,
+                log: self.log,
+            };
+            rt::explore(&config, Arc::new(f));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    use super::sync::{Arc, Condvar, Mutex};
+    use super::{model, thread};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn fails<F: Fn() + Send + Sync + 'static>(f: F) -> String {
+        let err =
+            catch_unwind(AssertUnwindSafe(|| model(f))).expect_err("model unexpectedly passed");
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "<non-string panic>".into())
+    }
+
+    #[test]
+    fn mutex_counter_is_exact() {
+        model(|| {
+            let n = Arc::new(Mutex::new(0u32));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || {
+                        *n.lock().unwrap() += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*n.lock().unwrap(), 2);
+        });
+    }
+
+    #[test]
+    fn finds_unsynchronized_check_then_act() {
+        // Two threads read-then-increment a non-atomic counter protected
+        // by nothing: the model must find the lost update.
+        let msg = fails(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || {
+                        let v = n.load(Ordering::SeqCst);
+                        n.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+        });
+        assert!(msg.contains("lost update"), "got: {msg}");
+    }
+
+    #[test]
+    fn fetch_add_has_no_lost_updates() {
+        model(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || {
+                        n.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    #[test]
+    fn release_acquire_publishes_data() {
+        // Classic message-passing litmus: data write released by a flag
+        // store must be visible after an acquiring flag load.
+        model(|| {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            let t = thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(true, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) {
+                assert_eq!(data.load(Ordering::Relaxed), 42);
+            }
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn relaxed_flag_leaks_stale_data() {
+        // Same litmus with a Relaxed flag store: the model must exhibit an
+        // execution where the flag is set but the data read is stale.
+        let msg = fails(|| {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            let t = thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(true, Ordering::Relaxed); // BUG: needs Release
+            });
+            if flag.load(Ordering::Acquire) {
+                assert_eq!(data.load(Ordering::Relaxed), 42, "stale read");
+            }
+            t.join().unwrap();
+        });
+        assert!(msg.contains("stale read"), "got: {msg}");
+    }
+
+    #[test]
+    fn mutex_handshake_publishes_relaxed_counter() {
+        // The thread pool's panic-counter pattern: a Relaxed increment
+        // sequenced before a mutexed completion count must be visible to
+        // the thread that observed the completion under the same mutex —
+        // the lock's release/acquire edge carries the view.
+        model(|| {
+            let flag = Arc::new(AtomicU64::new(0));
+            let done = Arc::new(Mutex::new(0usize));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let flag = Arc::clone(&flag);
+                    let done = Arc::clone(&done);
+                    thread::spawn(move || {
+                        flag.fetch_add(1, Ordering::Relaxed);
+                        *done.lock().unwrap() += 1;
+                    })
+                })
+                .collect();
+            loop {
+                if *done.lock().unwrap() == 2 {
+                    break;
+                }
+                thread::yield_now();
+            }
+            assert_eq!(flag.load(Ordering::Relaxed), 2, "mutex edge lost");
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn detects_deadlock() {
+        let msg = fails(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                let _ga = a2.lock().unwrap();
+                let _gb = b2.lock().unwrap();
+            });
+            {
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+            }
+            t.join().unwrap();
+        });
+        assert!(msg.contains("deadlock"), "got: {msg}");
+    }
+
+    #[test]
+    fn condvar_handshake_completes() {
+        model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let pair2 = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                let (m, cv) = &*pair2;
+                *m.lock().unwrap() = true;
+                cv.notify_all();
+            });
+            {
+                let (m, cv) = &*pair;
+                let mut ready = m.lock().unwrap();
+                while !*ready {
+                    ready = cv.wait(ready).unwrap();
+                }
+            }
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn timed_wait_breaks_idle_deadlock() {
+        // A timed wait with no notifier must time out instead of
+        // deadlocking the model.
+        model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let (m, cv) = &*pair;
+            let guard = m.lock().unwrap();
+            let (_guard, result) = cv
+                .wait_timeout(guard, std::time::Duration::from_millis(1))
+                .unwrap();
+            assert!(result.timed_out());
+        });
+    }
+
+    #[test]
+    fn yield_lets_spin_loops_settle() {
+        // A spin loop that yields must observe the other thread's store.
+        model(|| {
+            let flag = Arc::new(AtomicBool::new(false));
+            let f2 = Arc::clone(&flag);
+            let t = thread::spawn(move || {
+                f2.store(true, Ordering::Release);
+            });
+            while !flag.load(Ordering::Acquire) {
+                thread::yield_now();
+            }
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn panics_propagate_through_join() {
+        model(|| {
+            let t = thread::spawn(|| panic!("worker exploded"));
+            let err = t.join().expect_err("join should surface the panic");
+            let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+            assert_eq!(msg, "worker exploded");
+        });
+    }
+
+    #[test]
+    fn compare_exchange_single_winner() {
+        model(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let wins = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    let wins = Arc::clone(&wins);
+                    thread::spawn(move || {
+                        if n.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                        {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(wins.load(Ordering::SeqCst), 1);
+        });
+    }
+}

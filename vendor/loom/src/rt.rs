@@ -1,0 +1,861 @@
+//! The model-checking runtime: a cooperative scheduler over real OS
+//! threads, explored by depth-first search over scheduling (and value)
+//! decisions.
+//!
+//! Every synchronization operation a model thread performs funnels through
+//! a [`Scheduler`] entry point. The entry point is a *decision point*: the
+//! scheduler may hand the processor to another runnable thread before the
+//! operation takes effect. One execution therefore corresponds to one path
+//! through the decision tree; [`explore`] enumerates paths depth-first by
+//! replaying a recorded prefix and flipping the deepest decision with an
+//! unexplored alternative, until no alternative remains or a configured
+//! iteration budget is hit.
+//!
+//! Exactly one model thread runs at a time: all others are parked on the
+//! scheduler's condvar waiting for `active` to name them, so model code
+//! executes serially and operations take effect atomically under the
+//! scheduler's own state lock.
+
+use std::cell::RefCell;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdGuard};
+
+/// How many stores back a `Relaxed` load may reach (bounds value branching).
+const RELAXED_HISTORY: usize = 3;
+/// Cap on deadlock-breaking timeout deliveries per execution (livelock net).
+const MAX_FORCED_TIMEOUTS: usize = 10_000;
+
+/// Exploration limits; see [`crate::model::Builder`].
+#[derive(Clone, Debug)]
+pub(crate) struct Config {
+    pub(crate) preemption_bound: Option<usize>,
+    pub(crate) max_branches: usize,
+    pub(crate) max_iterations: Option<usize>,
+    pub(crate) log: bool,
+}
+
+impl Config {
+    pub(crate) fn from_env() -> Config {
+        let env_usize = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+        };
+        Config {
+            preemption_bound: Some(env_usize("LOOM_MAX_PREEMPTIONS").unwrap_or(2)),
+            max_branches: env_usize("LOOM_MAX_BRANCHES").unwrap_or(50_000),
+            max_iterations: env_usize("LOOM_MAX_ITERATIONS"),
+            log: std::env::var("LOOM_LOG").is_ok(),
+        }
+    }
+}
+
+/// What a thread is currently doing, from the scheduler's point of view.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Run {
+    Runnable,
+    /// Asked to let others run first (`yield_now`); runnable again only
+    /// when no `Runnable` thread exists.
+    Yielded,
+    /// Waiting for a model mutex to be released.
+    BlockedLock(usize),
+    /// In `Condvar::wait` (`true` = the timed variant, eligible for a
+    /// deadlock-breaking timeout delivery).
+    Waiting(usize, bool),
+    /// Waiting for another model thread to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct ThreadInfo {
+    run: Run,
+    /// Per-atomic coherence floor: the minimum store index this thread may
+    /// observe at each location (its happens-before knowledge).
+    view: Vec<usize>,
+    /// Last operation label, for deadlock reports.
+    last_op: &'static str,
+    /// Set when the thread's timed wait was ended by a timeout delivery.
+    timed_out: bool,
+}
+
+struct LockState {
+    held_by: Option<usize>,
+    /// Join of every past holder's view at unlock time: the lock's
+    /// release/acquire edge. An acquirer joins this into its own view, so
+    /// data ordered by a mutex handshake (e.g. a `Relaxed` counter
+    /// incremented before the unlock and read after the matching lock) is
+    /// correctly visible in the model, exactly as the C11 mutex
+    /// synchronizes-with edge makes it on real hardware.
+    released: Vec<usize>,
+}
+
+struct Store {
+    value: u64,
+    /// The storing thread's view at store time, present iff the store had
+    /// release semantics; joined into acquire-loaders' views.
+    released: Option<Vec<usize>>,
+}
+
+struct AtomicState {
+    stores: Vec<Store>,
+}
+
+struct State {
+    threads: Vec<ThreadInfo>,
+    active: usize,
+    /// Replayed decision prefix from the explorer: (chosen, alternatives).
+    prefix: Vec<(u32, u32)>,
+    /// Decisions taken this execution (only points with >= 2 alternatives).
+    trace: Vec<(u32, u32)>,
+    preemptions: usize,
+    preemption_bound: Option<usize>,
+    branches: usize,
+    max_branches: usize,
+    forced_timeouts: usize,
+    failure: Option<String>,
+    locks: Vec<LockState>,
+    condvars: usize,
+    atomics: Vec<AtomicState>,
+}
+
+/// Pointwise max of two happens-before views (resizing `dst` as needed).
+fn join_into(dst: &mut Vec<usize>, src: &[usize]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (mine, theirs) in dst.iter_mut().zip(src) {
+        *mine = (*mine).max(*theirs);
+    }
+}
+
+pub(crate) struct Scheduler {
+    state: StdMutex<State>,
+    cv: StdCondvar,
+}
+
+type Guard<'a> = StdGuard<'a, State>;
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The calling OS thread's (scheduler, model-thread id), or a clear panic.
+fn current() -> (Arc<Scheduler>, usize) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("loom synchronization primitive used outside of loom::model")
+    })
+}
+
+fn set_current(sched: Arc<Scheduler>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((sched, tid)));
+}
+
+fn clear_current() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+impl Scheduler {
+    fn new(config: &Config, prefix: Vec<(u32, u32)>) -> Scheduler {
+        Scheduler {
+            state: StdMutex::new(State {
+                threads: vec![ThreadInfo {
+                    run: Run::Runnable,
+                    view: Vec::new(),
+                    last_op: "start",
+                    timed_out: false,
+                }],
+                active: 0,
+                prefix,
+                trace: Vec::new(),
+                preemptions: 0,
+                preemption_bound: config.preemption_bound,
+                branches: 0,
+                max_branches: config.max_branches,
+                forced_timeouts: 0,
+                failure: None,
+                locks: Vec::new(),
+                condvars: 0,
+                atomics: Vec::new(),
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn lock_state(&self) -> Guard<'_> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn wait_on<'a>(&'a self, guard: Guard<'a>) -> Guard<'a> {
+        self.cv
+            .wait(guard)
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// If the model failed, unwind this thread with the failure message —
+    /// unless it is already unwinding, in which case entry points degrade
+    /// to non-blocking best-effort (`true`) so drops can complete. The
+    /// state guard is released by the unwind itself.
+    fn bail_on_failure(&self, st: &State) -> bool {
+        if let Some(msg) = &st.failure {
+            if std::thread::panicking() {
+                return true;
+            }
+            let msg = msg.clone();
+            self.cv.notify_all();
+            panic!("loom model failure: {msg}");
+        }
+        false
+    }
+
+    fn fail(&self, st: &mut State, msg: String) {
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Resolve one decision with `alts` alternatives; returns the chosen
+    /// index. Points with a single alternative are free (not recorded).
+    fn choose(&self, st: &mut State, alts: usize) -> usize {
+        if alts <= 1 {
+            return 0;
+        }
+        let idx = st.trace.len();
+        let chosen = if idx < st.prefix.len() {
+            let (c, a) = st.prefix[idx];
+            if a as usize != alts {
+                self.fail(
+                    st,
+                    format!(
+                        "nondeterministic execution: decision {idx} had {a} \
+                         alternatives when recorded but {alts} on replay"
+                    ),
+                );
+                return 0;
+            }
+            c
+        } else {
+            0
+        };
+        st.trace.push((chosen, alts as u32));
+        chosen as usize
+    }
+
+    /// Threads that may be handed the processor right now.
+    fn runnable(st: &State) -> Vec<usize> {
+        st.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.run == Run::Runnable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Count a synchronization operation against the livelock budget.
+    fn count_branch(&self, st: &mut State) {
+        st.branches += 1;
+        if st.branches > st.max_branches {
+            let max = st.max_branches;
+            self.fail(
+                st,
+                format!("branch budget exceeded ({max} operations): possible livelock"),
+            );
+        }
+    }
+
+    /// The scheduling point at the head of every operation: optionally
+    /// preempt the running thread in favor of another runnable one.
+    fn schedule<'a>(&'a self, mut st: Guard<'a>, tid: usize, op: &'static str) -> Guard<'a> {
+        if self.bail_on_failure(&st) {
+            return st;
+        }
+        st.threads[tid].last_op = op;
+        self.count_branch(&mut st);
+        if self.bail_on_failure(&st) {
+            return st;
+        }
+        let mut cands = Self::runnable(&st);
+        debug_assert!(cands.contains(&tid), "scheduling a non-runnable thread");
+        // Default (index 0) = keep running the current thread.
+        cands.retain(|&t| t != tid);
+        cands.insert(0, tid);
+        if st
+            .preemption_bound
+            .is_some_and(|bound| st.preemptions >= bound)
+        {
+            cands.truncate(1);
+        }
+        let choice = self.choose(&mut st, cands.len());
+        let next = cands[choice];
+        if next != tid {
+            st.preemptions += 1;
+            st.active = next;
+            self.cv.notify_all();
+            st = self.park(st, tid);
+        }
+        st
+    }
+
+    /// Block until this thread is active and runnable again (or a model
+    /// failure unwinds it).
+    fn park<'a>(&'a self, mut st: Guard<'a>, tid: usize) -> Guard<'a> {
+        loop {
+            if self.bail_on_failure(&st) {
+                // Degraded mode: pretend to be scheduled so drops finish.
+                st.threads[tid].run = Run::Runnable;
+                return st;
+            }
+            if st.active == tid && st.threads[tid].run == Run::Runnable {
+                return st;
+            }
+            st = self.wait_on(st);
+        }
+    }
+
+    /// Hand the processor to some other thread after `tid` blocked,
+    /// yielded, or finished. Handles deadlock detection and timeout
+    /// delivery. Never blocks and never panics (callers park afterwards
+    /// if they need to wait).
+    fn pick_next(&self, st: &mut State, _tid: usize) {
+        let mut cands = Self::runnable(st);
+        if cands.is_empty() {
+            // Second chance: yielded threads run when nobody else can.
+            for t in st.threads.iter_mut() {
+                if t.run == Run::Yielded {
+                    t.run = Run::Runnable;
+                }
+            }
+            cands = Self::runnable(st);
+        }
+        if cands.is_empty() {
+            // Timed waiters: deliver a timeout rather than deadlocking —
+            // the only point where a timeout fires in this model.
+            let timed: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| matches!(t.run, Run::Waiting(_, true)))
+                .map(|(i, _)| i)
+                .collect();
+            if !timed.is_empty() {
+                st.forced_timeouts += 1;
+                if st.forced_timeouts > MAX_FORCED_TIMEOUTS {
+                    self.fail(
+                        st,
+                        "timed waits re-armed endlessly with no progress: livelock".into(),
+                    );
+                    return;
+                }
+                let choice = self.choose(st, timed.len());
+                let woken = timed[choice];
+                st.threads[woken].run = Run::Runnable;
+                st.threads[woken].timed_out = true;
+                st.active = woken;
+                self.cv.notify_all();
+                return;
+            }
+        }
+        if cands.is_empty() {
+            if st.threads.iter().all(|t| t.run == Run::Finished) {
+                self.cv.notify_all(); // execution complete; wake the checker
+                return;
+            }
+            let report: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.run != Run::Finished)
+                .map(|(i, t)| format!("thread {i}: {:?} at `{}`", t.run, t.last_op))
+                .collect();
+            self.fail(st, format!("deadlock — {}", report.join("; ")));
+            return;
+        }
+        let choice = self.choose(st, cands.len());
+        st.active = cands[choice];
+        self.cv.notify_all();
+    }
+
+    /// Move the current thread into `blocked`, schedule someone else, and
+    /// return once this thread is woken and re-activated.
+    fn block<'a>(&'a self, mut st: Guard<'a>, tid: usize, blocked: Run) -> Guard<'a> {
+        if self.bail_on_failure(&st) {
+            return st;
+        }
+        st.threads[tid].run = blocked;
+        self.pick_next(&mut st, tid);
+        self.park(st, tid)
+    }
+
+    // ---- object registration ---------------------------------------------
+
+    fn register_lock(&self) -> usize {
+        let mut st = self.lock_state();
+        st.locks.push(LockState {
+            held_by: None,
+            released: Vec::new(),
+        });
+        st.locks.len() - 1
+    }
+
+    fn register_condvar(&self) -> usize {
+        let mut st = self.lock_state();
+        st.condvars += 1;
+        st.condvars - 1
+    }
+
+    fn register_atomic(&self, initial: u64) -> usize {
+        let mut st = self.lock_state();
+        st.atomics.push(AtomicState {
+            stores: vec![Store {
+                value: initial,
+                // The initial value is visible to every thread.
+                released: Some(Vec::new()),
+            }],
+        });
+        st.atomics.len() - 1
+    }
+
+    // ---- mutex / condvar ---------------------------------------------------
+
+    fn lock_acquire(&self, tid: usize, id: usize) {
+        let mut st = self.lock_state();
+        st = self.schedule(st, tid, "Mutex::lock");
+        if st.failure.is_some() {
+            return; // degraded: the std data mutex still serializes
+        }
+        while st.locks[id].held_by.is_some() {
+            st = self.block(st, tid, Run::BlockedLock(id));
+            if st.failure.is_some() {
+                return;
+            }
+        }
+        st.locks[id].held_by = Some(tid);
+        let rel = st.locks[id].released.clone();
+        Self::join_view(&mut st, tid, &rel);
+    }
+
+    fn release_inner(&self, st: &mut State, tid: usize, id: usize) {
+        debug_assert_eq!(st.locks[id].held_by, Some(tid), "unlock of unheld lock");
+        let view = st.threads[tid].view.clone();
+        join_into(&mut st.locks[id].released, &view);
+        st.locks[id].held_by = None;
+        for t in st.threads.iter_mut() {
+            if t.run == Run::BlockedLock(id) {
+                t.run = Run::Runnable;
+            }
+        }
+    }
+
+    /// Unlock is not a scheduling point of its own (the unlocking thread's
+    /// next operation is), and it must never block or panic: guards drop
+    /// during unwinding.
+    fn lock_release(&self, tid: usize, id: usize) {
+        let mut st = self.lock_state();
+        if st.failure.is_some() {
+            st.locks[id].held_by = None;
+            self.cv.notify_all();
+            return;
+        }
+        self.release_inner(&mut st, tid, id);
+        self.cv.notify_all();
+    }
+
+    fn cv_wait(&self, tid: usize, cv: usize, lock: usize, timed: bool) -> bool {
+        let mut st = self.lock_state();
+        st = self.schedule(st, tid, "Condvar::wait");
+        if st.failure.is_some() {
+            return true; // degraded: report a timeout, never block
+        }
+        self.release_inner(&mut st, tid, lock);
+        st.threads[tid].timed_out = false;
+        st = self.block(st, tid, Run::Waiting(cv, timed));
+        if st.failure.is_some() {
+            return true;
+        }
+        let timed_out = st.threads[tid].timed_out;
+        // Re-acquire the mutex before returning, as real condvars do.
+        while st.locks[lock].held_by.is_some() {
+            st = self.block(st, tid, Run::BlockedLock(lock));
+            if st.failure.is_some() {
+                return timed_out;
+            }
+        }
+        st.locks[lock].held_by = Some(tid);
+        let rel = st.locks[lock].released.clone();
+        Self::join_view(&mut st, tid, &rel);
+        timed_out
+    }
+
+    fn cv_notify(&self, tid: usize, cv: usize, all: bool) {
+        let mut st = self.lock_state();
+        st = self.schedule(st, tid, "Condvar::notify");
+        if st.failure.is_some() {
+            return;
+        }
+        let waiters: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.run, Run::Waiting(c, _) if c == cv))
+            .map(|(i, _)| i)
+            .collect();
+        // notify_one wakes the longest-waiting (lowest-id) thread; real
+        // condvars may wake any, but this workspace only uses notify_all
+        // on contended paths, so the simplification is not load-bearing.
+        for &w in waiters.iter().take(if all { waiters.len() } else { 1 }) {
+            st.threads[w].run = Run::Runnable;
+        }
+        if !waiters.is_empty() {
+            self.cv.notify_all();
+        }
+    }
+
+    // ---- threads ------------------------------------------------------------
+
+    fn register_thread(&self, parent: usize) -> usize {
+        let mut st = self.lock_state();
+        st = self.schedule(st, parent, "thread::spawn");
+        // A spawned thread inherits its parent's happens-before view.
+        let view = st.threads[parent].view.clone();
+        st.threads.push(ThreadInfo {
+            run: Run::Runnable,
+            view,
+            last_op: "spawned",
+            timed_out: false,
+        });
+        st.threads.len() - 1
+    }
+
+    fn thread_started(&self, tid: usize) {
+        let st = self.lock_state();
+        drop(self.park(st, tid));
+    }
+
+    fn thread_finished(&self, tid: usize) {
+        let mut st = self.lock_state();
+        st.threads[tid].run = Run::Finished;
+        for t in st.threads.iter_mut() {
+            if t.run == Run::BlockedJoin(tid) {
+                t.run = Run::Runnable;
+            }
+        }
+        if st.failure.is_some() || st.threads.iter().all(|t| t.run == Run::Finished) {
+            self.cv.notify_all();
+            return;
+        }
+        self.pick_next(&mut st, tid);
+    }
+
+    fn join_wait(&self, tid: usize, target: usize) {
+        let mut st = self.lock_state();
+        st = self.schedule(st, tid, "JoinHandle::join");
+        while st.threads[target].run != Run::Finished {
+            if st.failure.is_some() {
+                return; // degraded: the caller joins the OS handle directly
+            }
+            st = self.block(st, tid, Run::BlockedJoin(target));
+        }
+        // Joining a thread happens-after everything it did.
+        let view = st.threads[target].view.clone();
+        Self::join_view(&mut st, tid, &view);
+    }
+
+    fn yield_now(&self, tid: usize) {
+        let mut st = self.lock_state();
+        if self.bail_on_failure(&st) {
+            return;
+        }
+        st.threads[tid].last_op = "yield_now";
+        self.count_branch(&mut st);
+        if self.bail_on_failure(&st) {
+            return;
+        }
+        // Deprioritize: runnable again only once no Runnable thread exists
+        // (pick_next's second chance), so spin loops cannot starve the
+        // threads they are waiting on.
+        st.threads[tid].run = Run::Yielded;
+        self.pick_next(&mut st, tid);
+        drop(self.park(st, tid));
+    }
+
+    // ---- atomics --------------------------------------------------------------
+
+    fn ensure_view(st: &mut State, tid: usize, id: usize) {
+        if st.threads[tid].view.len() <= id {
+            st.threads[tid].view.resize(id + 1, 0);
+        }
+    }
+
+    fn join_view(st: &mut State, tid: usize, released: &[usize]) {
+        join_into(&mut st.threads[tid].view, released);
+    }
+
+    fn acquire_latest(st: &mut State, tid: usize, id: usize) -> u64 {
+        let latest = st.atomics[id].stores.len() - 1;
+        let value = st.atomics[id].stores[latest].value;
+        if let Some(rel) = st.atomics[id].stores[latest].released.clone() {
+            Self::join_view(st, tid, &rel);
+        }
+        st.threads[tid].view[id] = latest;
+        value
+    }
+
+    fn atomic_load(&self, tid: usize, id: usize, ord: Ordering) -> u64 {
+        let mut st = self.lock_state();
+        st = self.schedule(st, tid, "atomic load");
+        Self::ensure_view(&mut st, tid, id);
+        let latest = st.atomics[id].stores.len() - 1;
+        match ord {
+            Ordering::Relaxed => {
+                // A relaxed load may read any store at or above this
+                // thread's coherence floor; every choice is explored, and
+                // no released view is joined, so reading a flag Relaxed
+                // when Acquire was needed yields an execution where data
+                // "behind" the flag is observably stale.
+                let floor = st.threads[tid].view[id].max(latest.saturating_sub(RELAXED_HISTORY));
+                let alts = latest - floor + 1;
+                let back = self.choose(&mut st, alts);
+                let idx = latest - back;
+                st.threads[tid].view[id] = idx;
+                st.atomics[id].stores[idx].value
+            }
+            Ordering::Acquire | Ordering::SeqCst => Self::acquire_latest(&mut st, tid, id),
+            _ => panic!("invalid ordering for atomic load: {ord:?}"),
+        }
+    }
+
+    fn atomic_store(&self, tid: usize, id: usize, value: u64, ord: Ordering) {
+        let mut st = self.lock_state();
+        st = self.schedule(st, tid, "atomic store");
+        Self::ensure_view(&mut st, tid, id);
+        let releases = matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst);
+        let idx = st.atomics[id].stores.len();
+        st.threads[tid].view[id] = idx;
+        let released = releases.then(|| st.threads[tid].view.clone());
+        st.atomics[id].stores.push(Store { value, released });
+    }
+
+    /// Read-modify-write: reads the latest store (C11 guarantees RMWs read
+    /// the last value in modification order), applies `f`, and appends the
+    /// result if `f` returns one. Returns `(previous, stored)`;
+    /// compare-and-swap failures read without writing.
+    fn atomic_rmw(
+        &self,
+        tid: usize,
+        id: usize,
+        ord: Ordering,
+        f: &mut dyn FnMut(u64) -> Option<u64>,
+    ) -> (u64, bool) {
+        let mut st = self.lock_state();
+        st = self.schedule(st, tid, "atomic rmw");
+        Self::ensure_view(&mut st, tid, id);
+        let latest = st.atomics[id].stores.len() - 1;
+        let previous = st.atomics[id].stores[latest].value;
+        if matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst) {
+            if let Some(rel) = st.atomics[id].stores[latest].released.clone() {
+                Self::join_view(&mut st, tid, &rel);
+            }
+        }
+        let Some(next) = f(previous) else {
+            st.threads[tid].view[id] = latest;
+            return (previous, false);
+        };
+        let idx = st.atomics[id].stores.len();
+        st.threads[tid].view[id] = idx;
+        let released = matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+            .then(|| st.threads[tid].view.clone());
+        st.atomics[id].stores.push(Store {
+            value: next,
+            released,
+        });
+        (previous, true)
+    }
+}
+
+// ---- public-in-crate entry points (TLS-dispatched) ---------------------------
+
+pub(crate) fn register_lock() -> usize {
+    let (s, _) = current();
+    s.register_lock()
+}
+
+pub(crate) fn register_condvar() -> usize {
+    let (s, _) = current();
+    s.register_condvar()
+}
+
+pub(crate) fn register_atomic(initial: u64) -> usize {
+    let (s, _) = current();
+    s.register_atomic(initial)
+}
+
+pub(crate) fn lock_acquire(id: usize) {
+    let (s, tid) = current();
+    s.lock_acquire(tid, id);
+}
+
+pub(crate) fn lock_release(id: usize) {
+    let (s, tid) = current();
+    s.lock_release(tid, id);
+}
+
+pub(crate) fn cv_wait(cv: usize, lock: usize, timed: bool) -> bool {
+    let (s, tid) = current();
+    s.cv_wait(tid, cv, lock, timed)
+}
+
+pub(crate) fn cv_notify(cv: usize, all: bool) {
+    let (s, tid) = current();
+    s.cv_notify(tid, cv, all);
+}
+
+pub(crate) fn yield_now() {
+    let (s, tid) = current();
+    s.yield_now(tid);
+}
+
+pub(crate) fn join_wait(target: usize) {
+    let (s, tid) = current();
+    s.join_wait(tid, target);
+}
+
+pub(crate) fn atomic_load(id: usize, ord: Ordering) -> u64 {
+    let (s, tid) = current();
+    s.atomic_load(tid, id, ord)
+}
+
+pub(crate) fn atomic_store(id: usize, value: u64, ord: Ordering) {
+    let (s, tid) = current();
+    s.atomic_store(tid, id, value, ord);
+}
+
+pub(crate) fn atomic_rmw(
+    id: usize,
+    ord: Ordering,
+    f: &mut dyn FnMut(u64) -> Option<u64>,
+) -> (u64, bool) {
+    let (s, tid) = current();
+    s.atomic_rmw(tid, id, ord, f)
+}
+
+/// Spawn a model thread running `body`; used by `loom::thread::spawn`.
+/// `body` is responsible for storing its own result and containing user
+/// panics; the wrapper here additionally contains model-failure unwinds so
+/// `thread_finished` always runs.
+pub(crate) fn spawn_thread(
+    body: Box<dyn FnOnce() + Send + 'static>,
+) -> (usize, std::thread::JoinHandle<()>) {
+    let (sched, _parent) = current();
+    let tid = sched.register_thread(_parent);
+    let sched2 = Arc::clone(&sched);
+    let os = std::thread::Builder::new()
+        .name(format!("loom-{tid}"))
+        .spawn(move || {
+            set_current(Arc::clone(&sched2), tid);
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                sched2.thread_started(tid);
+                body();
+            }));
+            sched2.thread_finished(tid);
+            clear_current();
+        })
+        .expect("failed to spawn loom model thread");
+    (tid, os)
+}
+
+// ---- the explorer -------------------------------------------------------------
+
+struct RunOutcome {
+    trace: Vec<(u32, u32)>,
+    failure: Option<String>,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+fn run_once(
+    config: &Config,
+    prefix: Vec<(u32, u32)>,
+    f: Arc<dyn Fn() + Send + Sync>,
+) -> RunOutcome {
+    let sched = Arc::new(Scheduler::new(config, prefix));
+    let sched0 = Arc::clone(&sched);
+    let root = std::thread::Builder::new()
+        .name("loom-0".into())
+        .spawn(move || {
+            set_current(Arc::clone(&sched0), 0);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                sched0.thread_started(0);
+                f();
+            }));
+            sched0.thread_finished(0);
+            clear_current();
+            result.err()
+        })
+        .expect("failed to spawn loom root thread");
+
+    // Wait for every model thread to finish. On failure, parked threads
+    // are woken to unwind and still reach `thread_finished`, so this
+    // terminates for failing executions too.
+    {
+        let mut st = sched.lock_state();
+        while !st.threads.iter().all(|t| t.run == Run::Finished) {
+            st = sched.wait_on(st);
+        }
+    }
+    let panic = root.join().expect("loom root thread was not joinable");
+    let st = sched.lock_state();
+    RunOutcome {
+        trace: st.trace.clone(),
+        failure: st.failure.clone(),
+        panic,
+    }
+}
+
+/// Flip the deepest decision with an unexplored alternative; false = done.
+fn advance(path: &mut Vec<(u32, u32)>) -> bool {
+    while let Some((chosen, alts)) = path.pop() {
+        if chosen + 1 < alts {
+            path.push((chosen + 1, alts));
+            return true;
+        }
+    }
+    false
+}
+
+pub(crate) fn explore(config: &Config, f: Arc<dyn Fn() + Send + Sync>) {
+    let mut prefix: Vec<(u32, u32)> = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        let outcome = run_once(config, prefix.clone(), Arc::clone(&f));
+        if let Some(msg) = outcome.failure {
+            panic!("loom: execution {iterations} failed: {msg} (replay path: {prefix:?})");
+        }
+        if let Some(payload) = outcome.panic {
+            eprintln!(
+                "loom: model panicked on execution {iterations} (replay path: {:?})",
+                outcome.trace
+            );
+            std::panic::resume_unwind(payload);
+        }
+        prefix = outcome.trace;
+        if !advance(&mut prefix) {
+            break;
+        }
+        if let Some(max) = config.max_iterations {
+            if iterations >= max {
+                eprintln!(
+                    "loom: iteration budget ({max}) reached; exploration incomplete — \
+                     raise LOOM_MAX_ITERATIONS or Builder::max_iterations to finish"
+                );
+                break;
+            }
+        }
+    }
+    if config.log {
+        eprintln!("loom: explored {iterations} execution(s)");
+    }
+}

@@ -1,0 +1,175 @@
+//! Model-checked replacements for `std::sync` (the subset this workspace
+//! uses: `Mutex`, `Condvar`, `Arc`, and `atomic`).
+
+use crate::rt;
+use std::sync::{LockResult, Mutex as StdMutex, MutexGuard as StdGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+pub use std::sync::Arc;
+
+pub mod atomic;
+
+/// A mutex whose lock/unlock points are scheduling decisions in the model.
+///
+/// The protected data still lives behind a real `std::sync::Mutex` so the
+/// compiler sees honest exclusive access; the model-level lock table is
+/// what blocks threads, detects deadlocks, and branches the exploration.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    id: OnceLock<usize>,
+    data: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// New unlocked mutex (registered with the model on first use).
+    pub fn new(data: T) -> Mutex<T> {
+        Mutex {
+            id: OnceLock::new(),
+            data: StdMutex::new(data),
+        }
+    }
+
+    /// Consume the mutex and return its data.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn id(&self) -> usize {
+        *self.id.get_or_init(rt::register_lock)
+    }
+
+    /// Acquire the lock, blocking in model time. Never returns `Err`:
+    /// poisoning is swallowed (matching this workspace's `parking_lot`
+    /// facade), but the `LockResult` shape mirrors `std` and real `loom`.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let id = self.id();
+        rt::lock_acquire(id);
+        let inner = self.data.lock().unwrap_or_else(PoisonError::into_inner);
+        Ok(MutexGuard {
+            lock: self,
+            id,
+            inner: Some(inner),
+        })
+    }
+
+    /// Mutable access without locking (requires `&mut`, so it is free).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.data.get_mut()
+    }
+}
+
+/// RAII guard; releases the model lock (not a scheduling point) on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    id: usize,
+    inner: Option<StdGuard<'a, T>>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            rt::lock_release(self.id);
+        }
+    }
+}
+
+/// Result of a timed wait; mirrors `std::sync::WaitTimeoutResult` (which
+/// cannot be constructed outside std).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable whose waits and notifies are scheduling decisions.
+///
+/// Timed waits have no clock in the model: the timeout fires exactly when
+/// no other thread can run (the only schedule in which real time could
+/// elapse unboundedly), which both avoids false deadlocks and keeps the
+/// branching factor finite.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    id: OnceLock<usize>,
+}
+
+impl Condvar {
+    /// New condition variable (registered with the model on first use).
+    pub fn new() -> Condvar {
+        Condvar {
+            id: OnceLock::new(),
+        }
+    }
+
+    fn id(&self) -> usize {
+        *self.id.get_or_init(rt::register_condvar)
+    }
+
+    /// Atomically release the guard's mutex and wait for a notification.
+    pub fn wait<'a, T: ?Sized>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let (lock, lock_id) = Self::release_for_wait(guard);
+        rt::cv_wait(self.id(), lock_id, false);
+        Ok(Self::reacquired(lock, lock_id))
+    }
+
+    /// Timed wait; the `Duration` is ignored (see type-level docs).
+    pub fn wait_timeout<'a, T: ?Sized>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        _dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let (lock, lock_id) = Self::release_for_wait(guard);
+        let timed_out = rt::cv_wait(self.id(), lock_id, true);
+        Ok((
+            Self::reacquired(lock, lock_id),
+            WaitTimeoutResult(timed_out),
+        ))
+    }
+
+    /// Wake one waiter (the longest-waiting, deterministically).
+    pub fn notify_one(&self) {
+        rt::cv_notify(self.id(), false);
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        rt::cv_notify(self.id(), true);
+    }
+
+    /// Drop the std guard but keep the model lock held; `rt::cv_wait`
+    /// releases and reacquires the model lock atomically with the wait.
+    fn release_for_wait<'a, T: ?Sized>(mut guard: MutexGuard<'a, T>) -> (&'a Mutex<T>, usize) {
+        let lock = guard.lock;
+        let id = guard.id;
+        guard.inner = None; // release the std-level guard only
+        std::mem::forget(guard); // model lock handed to rt::cv_wait
+        (lock, id)
+    }
+
+    fn reacquired<T: ?Sized>(lock: &Mutex<T>, id: usize) -> MutexGuard<'_, T> {
+        let inner = lock.data.lock().unwrap_or_else(PoisonError::into_inner);
+        MutexGuard {
+            lock,
+            id,
+            inner: Some(inner),
+        }
+    }
+}

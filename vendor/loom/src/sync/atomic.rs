@@ -1,0 +1,188 @@
+//! Model-checked atomics with explored memory orderings.
+//!
+//! Each atomic keeps a full store history inside the model. `Acquire` /
+//! `SeqCst` loads read the latest store and join the storing thread's
+//! released happens-before view (a conservative approximation: real C11
+//! also permits stale acquire reads). `Relaxed` loads may read any store
+//! at or above the loading thread's per-location coherence floor — every
+//! admissible choice becomes an explored branch — and synchronize nothing,
+//! which is what catches "Relaxed counter read for a control decision"
+//! bugs the workspace's audit hunts for.
+
+use crate::rt;
+use std::sync::OnceLock;
+
+pub use std::sync::atomic::Ordering;
+
+macro_rules! atomic_type {
+    ($name:ident, $ty:ty, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(Debug, Default)]
+        pub struct $name {
+            id: OnceLock<usize>,
+            initial: $ty,
+        }
+
+        impl $name {
+            /// New atomic (registered with the model on first use).
+            pub fn new(value: $ty) -> $name {
+                $name {
+                    id: OnceLock::new(),
+                    initial: value,
+                }
+            }
+
+            fn id(&self) -> usize {
+                *self
+                    .id
+                    .get_or_init(|| rt::register_atomic(self.initial as u64))
+            }
+
+            /// Load with the given ordering (Relaxed loads branch over
+            /// every visible store).
+            pub fn load(&self, ord: Ordering) -> $ty {
+                rt::atomic_load(self.id(), ord) as $ty
+            }
+
+            /// Store with the given ordering.
+            pub fn store(&self, value: $ty, ord: Ordering) {
+                rt::atomic_store(self.id(), value as u64, ord);
+            }
+
+            /// Add and return the previous value.
+            pub fn fetch_add(&self, value: $ty, ord: Ordering) -> $ty {
+                rt::atomic_rmw(self.id(), ord, &mut |old| {
+                    Some((old as $ty).wrapping_add(value) as u64)
+                })
+                .0 as $ty
+            }
+
+            /// Subtract and return the previous value.
+            pub fn fetch_sub(&self, value: $ty, ord: Ordering) -> $ty {
+                rt::atomic_rmw(self.id(), ord, &mut |old| {
+                    Some((old as $ty).wrapping_sub(value) as u64)
+                })
+                .0 as $ty
+            }
+
+            /// Store the maximum of the current and given value; returns
+            /// the previous value.
+            pub fn fetch_max(&self, value: $ty, ord: Ordering) -> $ty {
+                rt::atomic_rmw(self.id(), ord, &mut |old| {
+                    Some((old as $ty).max(value) as u64)
+                })
+                .0 as $ty
+            }
+
+            /// Swap in a new value, returning the previous one.
+            pub fn swap(&self, value: $ty, ord: Ordering) -> $ty {
+                rt::atomic_rmw(self.id(), ord, &mut |_| Some(value as u64)).0 as $ty
+            }
+
+            /// Compare-and-swap; `Ok(previous)` if the exchange happened.
+            /// The failure ordering is folded into the model's read (which
+            /// is at least as strong as any failure ordering allows).
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                let (prev, stored) = rt::atomic_rmw(self.id(), success, &mut |old| {
+                    (old as $ty == current).then_some(new as u64)
+                });
+                if stored {
+                    Ok(prev as $ty)
+                } else {
+                    Err(prev as $ty)
+                }
+            }
+
+            /// Same as [`Self::compare_exchange`]; the model never
+            /// spuriously fails.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            /// Consume and return the current value.
+            pub fn into_inner(self) -> $ty {
+                self.load(Ordering::Relaxed)
+            }
+        }
+    };
+}
+
+atomic_type!(
+    AtomicU64,
+    u64,
+    "Model-checked `u64` atomic (store-history backed)."
+);
+atomic_type!(
+    AtomicUsize,
+    usize,
+    "Model-checked `usize` atomic (store-history backed)."
+);
+atomic_type!(
+    AtomicU32,
+    u32,
+    "Model-checked `u32` atomic (store-history backed)."
+);
+
+/// Model-checked boolean atomic (backed by the same store history).
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    inner: AtomicU64,
+}
+
+impl AtomicBool {
+    /// New atomic bool.
+    pub fn new(value: bool) -> AtomicBool {
+        AtomicBool {
+            inner: AtomicU64::new(value as u64),
+        }
+    }
+
+    /// Load with the given ordering.
+    pub fn load(&self, ord: Ordering) -> bool {
+        self.inner.load(ord) != 0
+    }
+
+    /// Store with the given ordering.
+    pub fn store(&self, value: bool, ord: Ordering) {
+        self.inner.store(value as u64, ord);
+    }
+
+    /// Swap in a new value, returning the previous one.
+    pub fn swap(&self, value: bool, ord: Ordering) -> bool {
+        self.inner.swap(value as u64, ord) != 0
+    }
+
+    /// Logical-or and return the previous value.
+    pub fn fetch_or(&self, value: bool, ord: Ordering) -> bool {
+        rt::atomic_rmw(self.inner.id(), ord, &mut |old| {
+            Some(((old != 0) | value) as u64)
+        })
+        .0 != 0
+    }
+
+    /// Compare-and-swap; `Ok(previous)` if the exchange happened.
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.inner
+            .compare_exchange(current as u64, new as u64, success, failure)
+            .map(|v| v != 0)
+            .map_err(|v| v != 0)
+    }
+}

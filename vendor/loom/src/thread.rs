@@ -1,0 +1,120 @@
+//! Model-checked replacements for `std::thread` (the subset this
+//! workspace uses: `spawn`, `Builder::name().spawn()`, `JoinHandle`,
+//! `yield_now`, `panicking`).
+
+use crate::rt;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Result of joining a model thread, mirroring `std::thread::Result`.
+pub type Result<T> = std::thread::Result<T>;
+
+/// Owned handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    tid: usize,
+    os: Option<std::thread::JoinHandle<()>>,
+    slot: Arc<Mutex<Option<Result<T>>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait (in model time) for the thread to finish and take its result.
+    pub fn join(mut self) -> Result<T> {
+        rt::join_wait(self.tid);
+        if let Some(os) = self.os.take() {
+            // The model thread has already run `thread_finished`; this only
+            // waits out OS-level teardown (or unwinding after a model
+            // failure), so it cannot deadlock the schedule.
+            let _ = os.join();
+        }
+        self.slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("loom thread finished without storing a result")
+    }
+
+    /// Whether the thread has stored its result (i.e. finished running).
+    pub fn is_finished(&self) -> bool {
+        self.slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some()
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("tid", &self.tid)
+            .finish()
+    }
+}
+
+/// Spawn a model thread. Panics inside `f` are captured and re-surfaced
+/// from [`JoinHandle::join`], exactly like `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let slot = Arc::new(Mutex::new(None));
+    let slot2 = Arc::clone(&slot);
+    let (tid, os) = rt::spawn_thread(Box::new(move || {
+        let result = catch_unwind(AssertUnwindSafe(f));
+        *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+    }));
+    JoinHandle {
+        tid,
+        os: Some(os),
+        slot,
+    }
+}
+
+/// Mirror of `std::thread::Builder` (name is recorded for diagnostics only;
+/// stack size is ignored — model threads never recurse deeply).
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// New builder with no name set.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Set the thread name (diagnostic only under the model).
+    pub fn name(mut self, name: String) -> Builder {
+        self.name = Some(name);
+        self
+    }
+
+    /// Set the stack size (ignored under the model).
+    pub fn stack_size(self, _size: usize) -> Builder {
+        self
+    }
+
+    /// Spawn the thread; infallible under the model but keeps std's
+    /// fallible signature.
+    pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        Ok(spawn(f))
+    }
+}
+
+/// Cooperatively deprioritize the current thread: it runs again only once
+/// no other thread is runnable, so model spin loops always make progress
+/// visible to the threads they wait on.
+pub fn yield_now() {
+    rt::yield_now();
+}
+
+/// Whether the current thread is unwinding; passes through to std (model
+/// threads unwind on real OS threads).
+pub fn panicking() -> bool {
+    std::thread::panicking()
+}
