@@ -11,6 +11,12 @@
 #            nightly `miri` component; skips with a message otherwise)
 #   --tsan   run tests/pool_stress.rs under ThreadSanitizer (needs nightly
 #            + rust-src for -Zbuild-std; skips with a message otherwise)
+#   --bench-gate
+#            re-measure the pipeline benchmarks into a temp file and gate:
+#            fails if speedup.tuner_serial < 1.0 (the closed regression
+#            reopening) or if speedup.interp falls below 85% of the number
+#            in the committed BENCH_pipeline.json (the margin absorbs
+#            shared-container noise; a real regression blows through it)
 #
 # The --loom/--miri/--tsan stages are separate entry points because each
 # rebuilds the world under a different configuration; run them when
@@ -65,8 +71,37 @@ if [[ "$stage" == "--tsan" ]]; then
     exit 0
 fi
 
+if [[ "$stage" == "--bench-gate" ]]; then
+    echo "== bench gate (fresh pipeline run vs committed BENCH_pipeline.json)"
+    cargo build --offline --release -q -p bench
+    fresh_json=$(mktemp /tmp/bench_pipeline.XXXXXX.json)
+    ./target/release/bench_pipeline "$fresh_json" > /dev/null
+    python3 - "$fresh_json" BENCH_pipeline.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    fresh = json.load(f)
+with open(sys.argv[2]) as f:
+    committed = json.load(f)
+tuner = fresh["speedup"]["tuner_serial"]
+interp = fresh["speedup"]["interp"]
+floor = 0.85 * committed["speedup"]["interp"]
+print(f"tuner_serial {tuner:.2f}x (gate: >= 1.0)")
+print(f"interp {interp:.2f}x (gate: >= {floor:.2f}, 85% of committed "
+      f"{committed['speedup']['interp']:.2f})")
+if tuner < 1.0:
+    sys.exit(f"bench gate: speedup.tuner_serial {tuner:.2f} < 1.0 — "
+             "the tuner regression this gate guards against has reopened")
+if interp < floor:
+    sys.exit(f"bench gate: speedup.interp {interp:.2f} regressed below "
+             f"{floor:.2f} (85% of the committed file)")
+print("bench gate OK")
+EOF
+    rm -f "$fresh_json"
+    exit 0
+fi
+
 if [[ -n "$stage" ]]; then
-    echo "error: unknown stage '$stage' (expected --loom, --miri, or --tsan)" >&2
+    echo "error: unknown stage '$stage' (expected --loom, --miri, --tsan, or --bench-gate)" >&2
     exit 2
 fi
 

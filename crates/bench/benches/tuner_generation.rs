@@ -1,0 +1,36 @@
+//! Criterion microbench: one autotuner generation (propose → profile →
+//! tell) on the swaptions workload — the unit of work behind the
+//! `tuner_trials_per_sec` pipeline metric, measurable in isolation so
+//! tuner-loop regressions are attributable without re-running the whole
+//! evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stats_autotune::Objective;
+use stats_profiler::tune;
+use stats_workloads::WorkloadSpec;
+
+fn run(c: &mut Criterion) {
+    let w = stats_workloads::swaptions::Swaptions;
+    let spec = WorkloadSpec {
+        inputs: 12,
+        ..WorkloadSpec::default()
+    };
+    // One generation of the batched search (8 trials).
+    let generation = 8;
+    let mut seed = 0u64;
+    c.bench_function("tuner_generation", |b| {
+        b.iter(|| {
+            seed += 1;
+            let r = tune(&w, &spec, 8, Objective::Time, generation, seed);
+            assert_eq!(r.outcome.history.len(), generation);
+            r.outcome.best_measurement
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = run
+}
+criterion_main!(benches);

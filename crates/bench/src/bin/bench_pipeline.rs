@@ -23,6 +23,7 @@ use std::time::Instant;
 
 use bench::experiments::{figures_parallel, Settings};
 use stats_autotune::Objective;
+use stats_compiler::bytecode::BytecodeInterp;
 use stats_compiler::frontend;
 use stats_compiler::interp::{Interp, Value};
 use stats_core::prelude::*;
@@ -62,20 +63,42 @@ fn pool_scope_churn_per_sec() -> f64 {
     best
 }
 
+/// The headline interpreter workload, shared by the slot and bytecode
+/// measurements so their ns/call numbers are directly comparable.
+const INTERP_SRC: &str = "fn get_value(i) {
+    let acc = 0.0;
+    for k in 0..8 {
+        acc = acc + sqrt(i * k + 1) * 0.5;
+    }
+    if (acc > 100.0) { return acc / 2.0; }
+    return acc;
+}";
+
 fn interp_ns_per_call() -> f64 {
-    let compiled = frontend::compile(
-        "fn get_value(i) {
-            let acc = 0.0;
-            for k in 0..8 {
-                acc = acc + sqrt(i * k + 1) * 0.5;
-            }
-            if (acc > 100.0) { return acc / 2.0; }
-            return acc;
-        }",
-    )
-    .expect("bench source compiles");
+    let compiled = frontend::compile(INTERP_SRC).expect("bench source compiles");
     let module = compiled.module;
     let mut interp = Interp::new(&module).with_fuel(u64::MAX);
+    let iters = 20_000u64;
+    let start = Instant::now();
+    let mut acc = 0.0;
+    for i in 0..iters {
+        let v = interp
+            .call("get_value", &[Value::Int((i % 64) as i64)])
+            .expect("call succeeds")
+            .expect("returns a value");
+        acc += v.as_float();
+    }
+    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    assert!(acc != 0.0);
+    ns
+}
+
+/// Same workload through the flat superinstruction bytecode interpreter
+/// (docs/performance.md); `speedup.bytecode_vs_slot` divides the two.
+fn bytecode_ns_per_call() -> f64 {
+    let compiled = frontend::compile(INTERP_SRC).expect("bench source compiles");
+    let module = compiled.module;
+    let mut interp = BytecodeInterp::new(&module).with_fuel(u64::MAX);
     let iters = 20_000u64;
     let start = Instant::now();
     let mut acc = 0.0;
@@ -202,6 +225,7 @@ fn fault_recovery() -> (f64, f64, f64) {
 
 fn main() {
     let interp_ns = interp_ns_per_call();
+    let bytecode_ns = bytecode_ns_per_call();
     let trials_serial = tuner_trials_per_sec(1);
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -216,11 +240,13 @@ fn main() {
          \"tuner_trials_per_sec_serial\": {BASELINE_TRIALS_PER_SEC:.2},\n    \
          \"figures_tiny_wallclock_s\": {BASELINE_FIGURES_S:.2}\n  }},\n  \
          \"current\": {{\n    \"interp_ns_per_call\": {interp_ns:.1},\n    \
+         \"bytecode_ns_per_call\": {bytecode_ns:.1},\n    \
          \"tuner_trials_per_sec_serial\": {trials_serial:.2},\n    \
          \"tuner_trials_per_sec_parallel\": {trials_parallel:.2},\n    \
          \"workers\": {workers},\n    \
          \"figures_tiny_wallclock_s\": {figures_s:.2}\n  }},\n  \
          \"speedup\": {{\n    \"interp\": {:.2},\n    \
+         \"bytecode_vs_slot\": {:.2},\n    \
          \"tuner_serial\": {:.2},\n    \
          \"figures\": {:.2}\n  }},\n  \
          \"faults\": {{\n    \"forced_abort_rate\": {FORCED_ABORT_RATE:.2},\n    \
@@ -232,10 +258,13 @@ fn main() {
          \"pool_scope_churn_per_sec\": {pool_churn:.0},\n    \
          \"notes\": \"2026-08 memory-ordering audit (docs/concurrency.md): \
 scope `panicked` downgraded SeqCst->Relaxed (ordered by the `done` mutex \
-handshake); worker_loop shutdown busy-spin replaced with a timed wait. The \
-open tuner_serial 0.79x regression predates the audit and stays tracked as \
-a ROADMAP open item.\"\n  }}\n}}",
+handshake); worker_loop shutdown busy-spin replaced with a timed wait. \
+2026-08 hot-path PR: the tuner_serial regression is CLOSED (root cause was \
+the swaptions reference oracle re-deriving its pricing baseline per trial; \
+now memoized) and the IR additionally compiles to a flat superinstruction \
+bytecode (bytecode_ns_per_call; docs/performance.md).\"\n  }}\n}}",
         BASELINE_INTERP_NS / interp_ns,
+        interp_ns / bytecode_ns,
         trials_serial / BASELINE_TRIALS_PER_SEC,
         BASELINE_FIGURES_S / figures_s,
     );

@@ -1,0 +1,93 @@
+//! Profiling harness: per-call cost of the slot-resolved interpreter vs
+//! the flat bytecode interpreter on the pipeline's `get_value` program
+//! (tight 20k-call loops, best of 5 passes). Companion to `profile_tuner`;
+//! see docs/performance.md for the profiling recipe.
+
+use std::time::Instant;
+
+use stats_compiler::bytecode::BytecodeInterp;
+use stats_compiler::frontend;
+use stats_compiler::interp::{Interp, Value};
+
+const SRC: &str = "fn get_value(i) {
+    let acc = 0.0;
+    for k in 0..8 {
+        acc = acc + sqrt(i * k + 1) * 0.5;
+    }
+    if (acc > 100.0) { return acc / 2.0; }
+    return acc;
+}";
+
+fn best_of<F: FnMut() -> f64>(mut f: F) -> f64 {
+    (0..5).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+fn measure(name: &str, src: &str, f: &str) {
+    let compiled = frontend::compile(src).expect("bench source compiles");
+    let module = compiled.module;
+    let iters = 20_000u64;
+
+    let mut slot = Interp::new(&module).with_fuel(u64::MAX);
+    let slot_ns = best_of(|| {
+        let start = Instant::now();
+        let mut acc = 0.0;
+        for i in 0..iters {
+            acc += slot
+                .call(f, &[Value::Int((i % 64) as i64)])
+                .expect("call succeeds")
+                .expect("returns a value")
+                .as_float();
+        }
+        assert!(acc != -1.0);
+        start.elapsed().as_nanos() as f64 / iters as f64
+    });
+
+    let mut bytecode = BytecodeInterp::new(&module).with_fuel(u64::MAX);
+    let byte_ns = best_of(|| {
+        let start = Instant::now();
+        let mut acc = 0.0;
+        for i in 0..iters {
+            acc += bytecode
+                .call(f, &[Value::Int((i % 64) as i64)])
+                .expect("call succeeds")
+                .expect("returns a value")
+                .as_float();
+        }
+        assert!(acc != -1.0);
+        start.elapsed().as_nanos() as f64 / iters as f64
+    });
+
+    println!(
+        "{name:<12} slot {slot_ns:7.1} ns/call   bytecode {byte_ns:7.1} ns/call   ratio {:.2}x",
+        slot_ns / byte_ns
+    );
+}
+
+fn main() {
+    measure("entry", "fn f(i) { return i + 1; }", "f");
+    measure(
+        "arith64",
+        "fn get_value(i) {
+            let acc = 0.0;
+            for k in 0..64 {
+                acc = acc + (i * k + 1) * 0.5;
+            }
+            if (acc > 100.0) { return acc / 2.0; }
+            return acc;
+        }",
+        "get_value",
+    );
+    measure(
+        "arith",
+        "fn get_value(i) {
+            let acc = 0.0;
+            for k in 0..8 {
+                acc = acc + (i * k + 1) * 0.5;
+            }
+            if (acc > 100.0) { return acc / 2.0; }
+            return acc;
+        }",
+        "get_value",
+    );
+    measure("sqrt", SRC, "get_value");
+}

@@ -1,0 +1,77 @@
+//! Temporary profiling harness: break one tuner trial into its phases.
+
+use std::time::Instant;
+
+use stats_core::run_protocol_with_options;
+use stats_core::RunOptions;
+use stats_profiler::{expand_trace, Mode, RunSettings};
+use stats_sim::simulate;
+use stats_workloads::{Workload, WorkloadSpec};
+
+fn main() {
+    let w = stats_workloads::swaptions::Swaptions;
+    let spec = WorkloadSpec {
+        inputs: 12,
+        ..WorkloadSpec::default()
+    };
+    let settings = RunSettings::for_mode(&w, Mode::ParStats, 8);
+    let instance = w.instance(&spec);
+    let tlp = w.original_tlp();
+
+    let iters = 200;
+
+    let t = Instant::now();
+    for _ in 0..iters {
+        let options = RunOptions::default()
+            .config(settings.spec_config.clone())
+            .seed(settings.run_seed);
+        let r = run_protocol_with_options(
+            &instance.transition,
+            &instance.inputs,
+            &instance.initial,
+            &options,
+        );
+        std::hint::black_box(&r.outputs);
+    }
+    println!("run_protocol: {:?}/iter", t.elapsed() / iters);
+
+    let options = RunOptions::default()
+        .config(settings.spec_config.clone())
+        .seed(settings.run_seed);
+    let result = run_protocol_with_options(
+        &instance.transition,
+        &instance.inputs,
+        &instance.initial,
+        &options,
+    );
+
+    let t = Instant::now();
+    for _ in 0..iters {
+        let graph = expand_trace(&result.trace, &tlp, settings.t_orig);
+        std::hint::black_box(&graph);
+    }
+    println!("expand_trace: {:?}/iter", t.elapsed() / iters);
+
+    let graph = expand_trace(&result.trace, &tlp, settings.t_orig);
+    let t = Instant::now();
+    for _ in 0..iters {
+        let schedule = simulate(&graph, &settings.platform, settings.threads);
+        std::hint::black_box(&schedule);
+    }
+    println!("simulate: {:?}/iter", t.elapsed() / iters);
+
+    let schedule = simulate(&graph, &settings.platform, settings.threads);
+    let t = Instant::now();
+    for _ in 0..iters {
+        let e = settings.energy.energy(&schedule, &settings.platform);
+        std::hint::black_box(&e);
+    }
+    println!("energy: {:?}/iter", t.elapsed() / iters);
+
+    let t = Instant::now();
+    for _ in 0..iters {
+        let err = w.output_error(&spec, &result.outputs);
+        std::hint::black_box(&err);
+    }
+    println!("output_error: {:?}/iter", t.elapsed() / iters);
+}

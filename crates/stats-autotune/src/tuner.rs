@@ -216,13 +216,17 @@ impl Tuner {
             }
 
             // Evaluate: only configurations the database cannot answer,
-            // each at most once per generation.
+            // each at most once per generation (hash-set dedup; the old
+            // `todo.contains` scan was quadratic in the generation size).
+            let mut seen: std::collections::HashSet<&Configuration> =
+                std::collections::HashSet::with_capacity(cfgs.len());
             let mut todo: Vec<Configuration> = Vec::new();
             for cfg in &cfgs {
-                if self.database.get(cfg).is_none() && !todo.contains(cfg) {
+                if self.database.get(cfg).is_none() && seen.insert(cfg) {
                     todo.push(cfg.clone());
                 }
             }
+            drop(seen);
             let measurements = evaluate(&todo);
             assert_eq!(
                 measurements.len(),

@@ -13,8 +13,9 @@ use std::collections::HashMap;
 
 use stats_core::{ScalarType, TradeoffBindings, TradeoffValue};
 
+use crate::bytecode::BytecodeInterp;
 use crate::frontend::CompileError;
-use crate::interp::{ExecError, Interp, Value};
+use crate::interp::{ExecError, Value};
 use crate::ir::{Module, Ty};
 use crate::midend::{substitute, tradeoff_value_at, ResolvedValue};
 
@@ -56,10 +57,12 @@ pub fn instantiate(module: &Module, config: &DepConfig) -> Result<Module, Compil
     Ok(out)
 }
 
-/// Execute a function of an instantiated module (the interpreter plays the
-/// role of running the generated binary).
+/// Execute a function of an instantiated module. The bytecode engine plays
+/// the role of running the generated binary — the IR is lowered to a flat
+/// executable form first, as the paper's dynamic compiler would emit
+/// machine code (`interp::Interp` remains as the reference semantics).
 pub fn call(module: &Module, function: &str, args: &[Value]) -> Result<Option<Value>, ExecError> {
-    Interp::new(module).call(function, args)
+    BytecodeInterp::new(module).call(function, args)
 }
 
 /// Build [`stats_core::TradeoffBindings`] for one dependence's auxiliary

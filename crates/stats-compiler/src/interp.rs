@@ -45,7 +45,8 @@ impl Value {
         }
     }
 
-    fn truthy(self) -> bool {
+    #[inline(always)]
+    pub(crate) fn truthy(self) -> bool {
         match self {
             Value::Int(v) => v != 0,
             Value::Float(v) => v != 0.0,
@@ -232,6 +233,54 @@ pub struct Interp<'m> {
     prepared: Vec<Option<Rc<PreparedFn>>>,
 }
 
+/// The signature every host intrinsic implements.
+pub(crate) type IntrinsicFn = fn(&[Value]) -> Value;
+
+/// The host intrinsics both interpreters register out of the box (e.g.
+/// `sqrt` variants used by function tradeoffs in tests and workload
+/// descriptors). Shared with [`crate::bytecode::BytecodeInterp`] so the two
+/// engines resolve callee names identically.
+pub(crate) const DEFAULT_INTRINSICS: &[(&str, IntrinsicFn)] = &[
+    ("sqrt", |args| {
+        Value::Float(args.first().map(|v| v.as_float()).unwrap_or(0.0).sqrt())
+    }),
+    ("abs", |args| match args.first() {
+        Some(Value::Int(v)) => Value::Int(v.wrapping_abs()),
+        Some(Value::Float(v)) => Value::Float(v.abs()),
+        None => Value::Int(0),
+    }),
+    ("min", |args| {
+        let a = args.first().map(|v| v.as_float()).unwrap_or(0.0);
+        let b = args.get(1).map(|v| v.as_float()).unwrap_or(0.0);
+        Value::Float(a.min(b))
+    }),
+    ("max", |args| {
+        let a = args.first().map(|v| v.as_float()).unwrap_or(0.0);
+        let b = args.get(1).map(|v| v.as_float()).unwrap_or(0.0);
+        Value::Float(a.max(b))
+    }),
+    ("exp", |args| {
+        Value::Float(args.first().map(|v| v.as_float()).unwrap_or(0.0).exp())
+    }),
+    ("ln", |args| {
+        Value::Float(
+            args.first()
+                .map(|v| v.as_float())
+                .unwrap_or(0.0)
+                .max(f64::MIN_POSITIVE)
+                .ln(),
+        )
+    }),
+    ("pow", |args| {
+        let a = args.first().map(|v| v.as_float()).unwrap_or(0.0);
+        let b = args.get(1).map(|v| v.as_float()).unwrap_or(0.0);
+        Value::Float(a.powf(b))
+    }),
+    ("floor", |args| {
+        Value::Int(args.first().map(|v| v.as_float()).unwrap_or(0.0).floor() as i64)
+    }),
+];
+
 impl<'m> Interp<'m> {
     /// Create an interpreter with the default fuel budget (1M steps).
     pub fn new(module: &'m Module) -> Self {
@@ -244,44 +293,9 @@ impl<'m> Interp<'m> {
             intrinsic_index: HashMap::new(),
             prepared: vec![None; module.functions().len()],
         };
-        interp.register_intrinsic("sqrt", |args| {
-            Value::Float(args.first().map(|v| v.as_float()).unwrap_or(0.0).sqrt())
-        });
-        interp.register_intrinsic("abs", |args| match args.first() {
-            Some(Value::Int(v)) => Value::Int(v.wrapping_abs()),
-            Some(Value::Float(v)) => Value::Float(v.abs()),
-            None => Value::Int(0),
-        });
-        interp.register_intrinsic("min", |args| {
-            let a = args.first().map(|v| v.as_float()).unwrap_or(0.0);
-            let b = args.get(1).map(|v| v.as_float()).unwrap_or(0.0);
-            Value::Float(a.min(b))
-        });
-        interp.register_intrinsic("max", |args| {
-            let a = args.first().map(|v| v.as_float()).unwrap_or(0.0);
-            let b = args.get(1).map(|v| v.as_float()).unwrap_or(0.0);
-            Value::Float(a.max(b))
-        });
-        interp.register_intrinsic("exp", |args| {
-            Value::Float(args.first().map(|v| v.as_float()).unwrap_or(0.0).exp())
-        });
-        interp.register_intrinsic("ln", |args| {
-            Value::Float(
-                args.first()
-                    .map(|v| v.as_float())
-                    .unwrap_or(0.0)
-                    .max(f64::MIN_POSITIVE)
-                    .ln(),
-            )
-        });
-        interp.register_intrinsic("pow", |args| {
-            let a = args.first().map(|v| v.as_float()).unwrap_or(0.0);
-            let b = args.get(1).map(|v| v.as_float()).unwrap_or(0.0);
-            Value::Float(a.powf(b))
-        });
-        interp.register_intrinsic("floor", |args| {
-            Value::Int(args.first().map(|v| v.as_float()).unwrap_or(0.0).floor() as i64)
-        });
+        for &(name, f) in DEFAULT_INTRINSICS {
+            interp.register_intrinsic(name, f);
+        }
         for v in &module.metadata.state_vars {
             let init = match v.init {
                 crate::metadata::StateInit::Int(i) => Value::Int(i),
@@ -564,7 +578,7 @@ fn read(frame: &[Value], s: Slot) -> Value {
 
 /// Frame size for `f`: covers `next_reg` plus any register a hand-built
 /// function references beyond it.
-fn frame_size(f: &Function) -> usize {
+pub(crate) fn frame_size(f: &Function) -> usize {
     fn see(n: &mut usize, op: &Operand) {
         if let Operand::Reg(r) = op {
             *n = (*n).max(r.0 as usize + 1);
@@ -661,7 +675,7 @@ fn successors(insts: &[Inst]) -> Vec<usize> {
 /// Forward definite-assignment dataflow: a register may be read only if it
 /// is assigned on *every* path from entry. Rejects the function otherwise,
 /// so execution can use a flat frame with no per-read presence checks.
-fn check_definite_assignment(f: &Function, nregs: usize) -> Result<(), ExecError> {
+pub(crate) fn check_definite_assignment(f: &Function, nregs: usize) -> Result<(), ExecError> {
     let words = nregs.div_ceil(64).max(1);
     let set = |bits: &mut [u64], r: u32| bits[r as usize / 64] |= 1 << (r % 64);
     let has = |bits: &[u64], r: u32| bits[r as usize / 64] & (1 << (r % 64)) != 0;
@@ -735,7 +749,8 @@ fn check_definite_assignment(f: &Function, nregs: usize) -> Result<(), ExecError
     Ok(())
 }
 
-fn cast(v: Value, ty: Ty) -> Value {
+#[inline(always)]
+pub(crate) fn cast(v: Value, ty: Ty) -> Value {
     match ty {
         Ty::I64 => Value::Int(match v {
             Value::Int(i) => i,
@@ -746,7 +761,8 @@ fn cast(v: Value, ty: Ty) -> Value {
     }
 }
 
-fn binop(op: BinOp, a: Value, b: Value) -> Result<Value, ExecError> {
+#[inline(always)]
+pub(crate) fn binop(op: BinOp, a: Value, b: Value) -> Result<Value, ExecError> {
     use BinOp::*;
     // Integer op if both sides are integers; float otherwise.
     if let (Value::Int(x), Value::Int(y)) = (a, b) {

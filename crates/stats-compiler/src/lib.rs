@@ -57,6 +57,7 @@
 pub mod analysis;
 pub mod ast;
 pub mod backend;
+pub mod bytecode;
 pub mod frontend;
 pub mod interp;
 pub mod ir;

@@ -13,8 +13,9 @@
 
 use std::collections::HashSet;
 
+use crate::bytecode::BytecodeInterp;
 use crate::frontend::{CompileError, Compiled};
-use crate::interp::{Interp, Value};
+use crate::interp::Value;
 use crate::ir::{Function, Inst, Module, Operand, Ty, TyRef};
 use crate::metadata::{TradeoffMeta, TradeoffValues};
 
@@ -241,7 +242,7 @@ pub(crate) fn tradeoff_value_at(
     let index = index.clamp(0, row.max_index - 1);
     Ok(match &row.values {
         TradeoffValues::Computed { get_value_fn } => {
-            let out = Interp::new(module)
+            let out = BytecodeInterp::new(module)
                 .call(get_value_fn, &[Value::Int(index)])
                 .map_err(|e| CompileError::Semantic(format!("evaluating `{get_value_fn}`: {e}")))?
                 .ok_or_else(|| {

@@ -1,10 +1,15 @@
-//! Differential testing: a reference AST evaluator against the
-//! lower-to-IR-then-interpret pipeline, over randomly generated programs.
-//! Any divergence is a bug in the lowerer, the interpreter, or (when the
-//! optimizer runs) an optimization pass.
+//! Differential testing across three engines: a reference AST evaluator
+//! (the "tree interpreter"), the slot-resolved interpreter, and the flat
+//! bytecode interpreter, over randomly generated programs. The slot and
+//! bytecode engines must agree *exactly* — same values AND same errors
+//! (including static `ExecError::UnassignedRegister`) — while the AST
+//! reference pins the integer semantics both must implement. Any
+//! divergence is a bug in the lowerer, an interpreter, the bytecode
+//! compiler, or (when the optimizer runs) an optimization pass.
 
 use proptest::prelude::*;
 use stats_compiler::ast::{BinOp, Expr, FnDef, Stmt};
+use stats_compiler::bytecode::BytecodeInterp;
 use stats_compiler::interp::{Interp, Value};
 use stats_compiler::ir::Module;
 use stats_compiler::lower::{lower_fn, validate};
@@ -215,6 +220,16 @@ fn run_ir(
         .call("f", &[Value::Int(a), Value::Int(b)])
 }
 
+fn run_bytecode(
+    module: &Module,
+    a: i64,
+    b: i64,
+) -> Result<Option<Value>, stats_compiler::interp::ExecError> {
+    BytecodeInterp::new(module)
+        .with_fuel(100_000)
+        .call("f", &[Value::Int(a), Value::Int(b)])
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -236,6 +251,11 @@ proptest! {
         env.insert("b".to_string(), b);
         let reference = eval_expr(&e, &env);
         let got = run_ir(&module, a, b);
+        prop_assert_eq!(
+            &got,
+            &run_bytecode(&module, a, b),
+            "slot and bytecode engines diverged"
+        );
         match (reference, got) {
             (Some(v), Ok(Some(out))) => prop_assert_eq!(out, Value::Int(v)),
             (None, Err(_)) => {} // both report division/remainder by zero
@@ -275,6 +295,16 @@ proptest! {
 
         let raw = run_ir(&module, a, b);
         let opt_out = run_ir(&optimized, a, b);
+        prop_assert_eq!(
+            &raw,
+            &run_bytecode(&module, a, b),
+            "slot and bytecode engines diverged on the raw module"
+        );
+        prop_assert_eq!(
+            &opt_out,
+            &run_bytecode(&optimized, a, b),
+            "slot and bytecode engines diverged on the optimized module"
+        );
         match (&raw, &opt_out) {
             (Ok(x), Ok(y)) => prop_assert_eq!(x, y, "optimizer changed behavior"),
             (Err(_), Err(_)) => {}
@@ -291,4 +321,79 @@ proptest! {
         // `None` means the reference hit a trap or unsupported construct —
         // the IR must then trap too or be a legitimate superset (traps).
     }
+
+    /// Fuel accounting is part of the contract: with any budget, both
+    /// engines exhaust fuel at exactly the same step (or both finish).
+    #[test]
+    fn fuel_exhaustion_agrees(body in arb_body(), a in -40i64..40, fuel in 0u64..400) {
+        let def = FnDef {
+            name: "f".into(),
+            params: vec!["a".into(), "b".into()],
+            body,
+        };
+        let lowered = lower_fn(&def).unwrap();
+        validate(&lowered).unwrap();
+        let mut module = Module::new();
+        module.add_function(lowered);
+        let slot = Interp::new(&module)
+            .with_fuel(fuel)
+            .call("f", &[Value::Int(a), Value::Int(0)]);
+        let byte = BytecodeInterp::new(&module)
+            .with_fuel(fuel)
+            .call("f", &[Value::Int(a), Value::Int(0)]);
+        prop_assert_eq!(slot, byte, "fuel divergence at budget {}", fuel);
+    }
+}
+
+/// Both engines reject a partially-assigned register with the identical
+/// static error — the definite-assignment check runs in both pipelines.
+#[test]
+fn unassigned_register_error_is_identical() {
+    use stats_compiler::interp::ExecError;
+    use stats_compiler::ir::{BlockId, Inst, Operand};
+    let mut f = stats_compiler::ir::Function::new("half", 1);
+    let cond = f.params[0];
+    let r = f.fresh_reg();
+    let then_b = f.new_block();
+    let else_b = f.new_block();
+    let join = f.new_block();
+    f.push(
+        BlockId(0),
+        Inst::Br {
+            cond: cond.into(),
+            then_b,
+            else_b,
+        },
+    );
+    f.push(
+        then_b,
+        Inst::Const {
+            dst: r,
+            value: Operand::ImmInt(1),
+        },
+    );
+    f.push(then_b, Inst::Jmp { target: join });
+    f.push(else_b, Inst::Jmp { target: join });
+    f.push(
+        join,
+        Inst::Ret {
+            value: Some(r.into()),
+        },
+    );
+    let mut m = Module::new();
+    m.add_function(f);
+    let expected = ExecError::UnassignedRegister {
+        function: "half".into(),
+        reg: r.0,
+    };
+    assert_eq!(
+        Interp::new(&m).call("half", &[Value::Int(1)]).unwrap_err(),
+        expected
+    );
+    assert_eq!(
+        BytecodeInterp::new(&m)
+            .call("half", &[Value::Int(1)])
+            .unwrap_err(),
+        expected
+    );
 }

@@ -14,24 +14,32 @@ use std::time::Duration;
 
 use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use crate::sync::deque::{Injector, Steal, Stealer, Worker};
-use crate::sync::{thread, Arc, Condvar, Mutex};
+use crate::sync::{thread, Arc, CachePadded, Condvar, Mutex};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// Monotonic pool counters, updated by workers as they run.
+///
+/// Every field is cache-line padded: these counters are written from all
+/// workers on every job, and unpadded they share lines with each other (and
+/// with whatever neighbours the allocator picks), so each bump invalidates
+/// the line under every other core — false sharing that grows with the
+/// worker count. `busy_ns` is padded per *entry* because each worker owns
+/// exactly one slot; adjacent slots in one `Vec` are the textbook case.
 struct PoolCounters {
     /// Jobs completed (across all workers).
-    jobs: AtomicU64,
+    jobs: CachePadded<AtomicU64>,
     /// Successful steals from a sibling worker's deque.
-    steals: AtomicU64,
+    steals: CachePadded<AtomicU64>,
     /// Deepest injector backlog observed at submission time.
-    max_injector_depth: AtomicU64,
+    max_injector_depth: CachePadded<AtomicU64>,
     /// Per-worker nanoseconds spent executing jobs (not idling).
-    busy_ns: Vec<AtomicU64>,
+    busy_ns: Vec<CachePadded<AtomicU64>>,
 }
 
 struct PoolShared {
-    injector: Injector<Job>,
+    /// Padded so injector traffic doesn't drag the stealers/lock lines along.
+    injector: CachePadded<Injector<Job>>,
     stealers: Vec<Stealer<Job>>,
     /// Jobs submitted but not yet finished; also the shutdown flag home.
     live: Mutex<PoolState>,
@@ -58,7 +66,7 @@ impl ThreadPool {
         let locals: Vec<Worker<Job>> = (0..threads).map(|_| Worker::new_fifo()).collect();
         let stealers = locals.iter().map(Worker::stealer).collect();
         let shared = Arc::new(PoolShared {
-            injector: Injector::new(),
+            injector: CachePadded::new(Injector::new()),
             stealers,
             live: Mutex::new(PoolState {
                 pending: 0,
@@ -66,10 +74,12 @@ impl ThreadPool {
             }),
             wake: Condvar::new(),
             counters: PoolCounters {
-                jobs: AtomicU64::new(0),
-                steals: AtomicU64::new(0),
-                max_injector_depth: AtomicU64::new(0),
-                busy_ns: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+                jobs: CachePadded::new(AtomicU64::new(0)),
+                steals: CachePadded::new(AtomicU64::new(0)),
+                max_injector_depth: CachePadded::new(AtomicU64::new(0)),
+                busy_ns: (0..threads)
+                    .map(|_| CachePadded::new(AtomicU64::new(0)))
+                    .collect(),
             },
         });
 

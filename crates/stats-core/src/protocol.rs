@@ -385,12 +385,15 @@ pub(crate) fn execute_group<T: StateTransition>(
         (aux_state.clone(), Some(aux_work), Some(aux_state))
     };
 
-    let mut checkpoint = state.clone();
+    // `rollback` is clamped to `1..=len`, so exactly one iteration below
+    // hits `i == end - rollback`: the checkpoint is captured there, never
+    // cloned eagerly up front only to be overwritten.
+    let mut checkpoint = None;
     let mut outputs = Vec::with_capacity(len);
     let mut works = Vec::with_capacity(len);
     for i in start..end {
         if i == end - rollback {
-            checkpoint = state.clone();
+            checkpoint = Some(state.clone());
         }
         let (out, m) = run_invocation(
             transition,
@@ -414,7 +417,7 @@ pub(crate) fn execute_group<T: StateTransition>(
         spec,
         aux_work,
         spec_start,
-        checkpoint,
+        checkpoint: checkpoint.expect("rollback clamp guarantees a checkpoint capture"),
         final_state: state,
         outputs,
         works,

@@ -247,9 +247,14 @@ impl<'a, T: StateTransition> Resolver<'a, T> {
         let prev_end = self.chains[k - 1].end;
         let rollback = config.rollback.clamp(1, prev_end - prev_start);
 
-        let mut originals = vec![self.states[k - 1].final_state.clone()];
+        // Attempt 0 — the common, all-matched path — compares against the
+        // previous final state in place; `originals` (previous final state
+        // first, then re-executed candidates, the slice shape `matches_any`
+        // documents) is only materialized if a re-execution is needed.
+        let mut originals: Vec<T::State> = Vec::new();
         self.validations += 1;
-        let mut matched = spec.matches_any(&originals) && !self.forced_mismatch(k, 0);
+        let mut matched = spec.matches_any(std::slice::from_ref(&self.states[k - 1].final_state))
+            && !self.forced_mismatch(k, 0);
         let mut attempts = 0usize;
         if self.sink.enabled() {
             self.sink.emit(EventKind::Validation {
@@ -264,6 +269,9 @@ impl<'a, T: StateTransition> Resolver<'a, T> {
             matched: false,
         };
         while !matched && attempts < config.max_reexec {
+            if originals.is_empty() {
+                originals.push(self.states[k - 1].final_state.clone());
+            }
             attempts += 1;
             self.reexecutions += 1;
             if self.sink.enabled() {
@@ -541,8 +549,10 @@ impl<'a, T: StateTransition> Resolver<'a, T> {
         let final_state = if self.aborted {
             self.tail_state.take().expect("tail state present")
         } else {
-            match self.states.last() {
-                Some(s) => s.final_state.clone(),
+            // `self` is consumed: the last final state moves out instead of
+            // cloning (states can be arbitrarily large workload states).
+            match self.states.pop() {
+                Some(s) => s.final_state,
                 None => initial.clone(),
             }
         };

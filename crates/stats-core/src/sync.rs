@@ -33,6 +33,7 @@ pub use self::loom_impl::*;
 /// Production implementation: thin re-exports of the real primitives.
 #[cfg(not(loom))]
 mod std_impl {
+    pub use crossbeam::utils::CachePadded;
     pub use parking_lot::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
     pub use std::sync::Arc;
 
@@ -68,6 +69,10 @@ mod loom_impl {
     use std::time::Duration;
 
     pub use loom::sync::Arc;
+
+    // Padding is a layout concern invisible to the model: reusing the
+    // vendored type keeps the padded runtime structs identical under loom.
+    pub use crossbeam::utils::CachePadded;
 
     /// Atomic integer types and memory orderings (model-checked: `Relaxed`
     /// loads explore stale values, `Acquire`/`Release` pairs establish

@@ -183,9 +183,14 @@ impl TradeoffOptions for EnumeratedTradeoff {
 /// (always the defaults, set by the middle-end compiler) and one for each
 /// state dependence's auxiliary code (set by the back-end from an autotuner
 /// configuration).
+///
+/// Bindings are written once per configuration but cloned once per protocol
+/// *invocation* (each `InvocationCtx` owns a copy), so the map lives behind
+/// an [`Arc`]: cloning is a reference-count bump, and the rare post-clone
+/// [`set`](Self::set) copies on write via [`Arc::make_mut`].
 #[derive(Clone, Default)]
 pub struct TradeoffBindings {
-    values: HashMap<String, TradeoffValue>,
+    values: Arc<HashMap<String, TradeoffValue>>,
 }
 
 impl TradeoffBindings {
@@ -220,9 +225,10 @@ impl TradeoffBindings {
         b
     }
 
-    /// Set (or overwrite) one binding.
+    /// Set (or overwrite) one binding. Copies the underlying map only when
+    /// it is shared with a clone (copy-on-write).
     pub fn set(&mut self, name: impl Into<String>, value: TradeoffValue) {
-        self.values.insert(name.into(), value);
+        Arc::make_mut(&mut self.values).insert(name.into(), value);
     }
 
     /// Look up a binding.
