@@ -16,7 +16,14 @@
 #            fails if speedup.tuner_serial < 1.0 (the closed regression
 #            reopening) or if speedup.interp falls below 85% of the number
 #            in the committed BENCH_pipeline.json (the margin absorbs
-#            shared-container noise; a real regression blows through it)
+#            shared-container noise; a real regression blows through it);
+#            also validates the serve section: >= 500 tenants, spill
+#            engaged, zero solo mismatches
+#   --serve-smoke
+#            multi-tenant session-service smoke (docs/serving.md): a small
+#            open-loop traffic run that must show spill engaged, every
+#            spilled input replayed, and every tenant bit-identical to its
+#            solo session
 #
 # The --loom/--miri/--tsan stages are separate entry points because each
 # rebuilds the world under a different configuration; run them when
@@ -94,14 +101,44 @@ if tuner < 1.0:
 if interp < floor:
     sys.exit(f"bench gate: speedup.interp {interp:.2f} regressed below "
              f"{floor:.2f} (85% of the committed file)")
+serve = fresh.get("serve")
+if serve is None:
+    sys.exit("bench gate: fresh run is missing the serve section")
+for key in ("tenants", "inputs_per_sec", "tenant_p50_ms", "tenant_p95_ms",
+            "tenant_p99_ms", "spilled_inputs", "spilled_segments",
+            "solo_mismatches"):
+    if key not in serve:
+        sys.exit(f"bench gate: serve section is missing '{key}'")
+    if key not in committed.get("serve", {}):
+        sys.exit(f"bench gate: committed serve section is missing '{key}'")
+print(f"serve {serve['tenants']} tenants, {serve['inputs_per_sec']:.0f} "
+      f"inputs/s, p99 {serve['tenant_p99_ms']:.2f}ms, "
+      f"{serve['spilled_inputs']} spilled")
+if serve["tenants"] < 500:
+    sys.exit(f"bench gate: serve ran only {serve['tenants']} tenants "
+             "(heavy traffic means >= 500)")
+if serve["spilled_inputs"] <= 0:
+    sys.exit("bench gate: serve traffic never hit the spill path")
+if serve["solo_mismatches"] != 0:
+    sys.exit(f"bench gate: {serve['solo_mismatches']} tenants diverged "
+             "from their solo sessions — determinism under multiplexing "
+             "is broken")
 print("bench gate OK")
 EOF
     rm -f "$fresh_json"
     exit 0
 fi
 
+if [[ "$stage" == "--serve-smoke" ]]; then
+    echo "== serve smoke (multi-tenant fairness + spill/replay equality)"
+    cargo build --offline --release -q -p bench
+    ./target/release/serve_smoke
+    exit 0
+fi
+
 if [[ -n "$stage" ]]; then
-    echo "error: unknown stage '$stage' (expected --loom, --miri, --tsan, or --bench-gate)" >&2
+    echo "error: unknown stage '$stage' (expected --loom, --miri, --tsan," \
+         "--bench-gate, or --serve-smoke)" >&2
     exit 2
 fi
 
@@ -137,6 +174,9 @@ cargo build --offline --release -q -p bench
 
 echo "== chaos smoke (seeded fault plans, identical traces across two runs)"
 ./target/release/chaos_smoke
+
+echo "== serve smoke (multi-tenant fairness + spill/replay equality)"
+./target/release/serve_smoke
 
 echo "== rustdoc (deny warnings, workspace crates only)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace -q \

@@ -1,0 +1,69 @@
+//! Criterion data point for the chunked `push_batch` refill (the
+//! producer-path PR): pushing a stream one input at a time takes one lock
+//! acquisition and one coordinator notification *per input*, while
+//! `push_batch` refills the bounded queue in capacity-sized chunks — one
+//! acquisition and one notification per chunk. Both arms push the same
+//! inputs through the same session shape; the delta is pure producer-side
+//! lock churn.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stats_core::{ExactState, InvocationCtx, RunOptions, Session, SpecConfig, StateTransition};
+
+const INPUTS: u64 = 4096;
+const CAPACITY: usize = 64;
+
+/// Near-zero-work transition so the producer path, not the engine,
+/// dominates the measurement.
+struct Sink;
+impl StateTransition for Sink {
+    type Input = u64;
+    type State = ExactState<u64>;
+    type Output = u64;
+    fn compute_output(
+        &self,
+        input: &u64,
+        state: &mut ExactState<u64>,
+        ctx: &mut InvocationCtx,
+    ) -> u64 {
+        ctx.charge(1.0);
+        state.0 = state.0.wrapping_add(*input);
+        state.0
+    }
+}
+
+fn options() -> RunOptions {
+    RunOptions::default()
+        .config(SpecConfig {
+            group_size: 0,
+            speculate: false,
+            ..SpecConfig::default()
+        })
+        .queue_capacity(CAPACITY)
+}
+
+fn run(c: &mut Criterion) {
+    c.bench_function("push_batch_per_item_lock", |b| {
+        b.iter(|| {
+            let session = Session::new(ExactState(0u64), Sink, options());
+            for i in 0..INPUTS {
+                session.push(i);
+            }
+            session.finish()
+        })
+    });
+
+    c.bench_function("push_batch_chunked_lock", |b| {
+        b.iter(|| {
+            let session = Session::new(ExactState(0u64), Sink, options());
+            session.push_batch(0..INPUTS);
+            session.finish()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = run
+}
+criterion_main!(benches);

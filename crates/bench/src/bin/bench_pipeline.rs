@@ -22,6 +22,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bench::experiments::{figures_parallel, Settings};
+use bench::serve_driver::{run_traffic, TrafficSettings};
 use stats_autotune::Objective;
 use stats_compiler::bytecode::BytecodeInterp;
 use stats_compiler::frontend;
@@ -223,6 +224,23 @@ fn fault_recovery() -> (f64, f64, f64) {
     unreachable!("loop always returns on its final attempt");
 }
 
+/// Heavy-traffic run of the multi-tenant session service (docs/serving.md):
+/// hundreds of tenant sessions arriving open-loop, each bursting past its
+/// admission window so the spill queues engage, every tenant verified
+/// bit-identical to a solo run. Reported under `serve` in the JSON.
+fn serve_traffic_report() -> bench::serve_driver::TrafficReport {
+    let report = run_traffic(&TrafficSettings::heavy());
+    assert!(
+        report.spilled_inputs > 0,
+        "heavy traffic must engage the spill path"
+    );
+    assert_eq!(
+        report.mismatched_tenants, 0,
+        "multiplexed tenants must be bit-identical to solo runs"
+    );
+    report
+}
+
 fn main() {
     let interp_ns = interp_ns_per_call();
     let bytecode_ns = bytecode_ns_per_call();
@@ -234,6 +252,16 @@ fn main() {
     let figures_s = figures_tiny_wallclock();
     let (fault_free, faulted, recovery) = fault_recovery();
     let pool_churn = pool_scope_churn_per_sec();
+    let serve = serve_traffic_report();
+
+    let serve_tenants = serve.tenants;
+    let serve_inputs_per_sec = serve.inputs_per_sec;
+    let serve_p50 = serve.p50_ms;
+    let serve_p95 = serve.p95_ms;
+    let serve_p99 = serve.p99_ms;
+    let serve_spilled_inputs = serve.spilled_inputs;
+    let serve_spilled_segments = serve.spilled_segments;
+    let serve_mismatches = serve.mismatched_tenants;
 
     let json = format!(
         "{{\n  \"baseline\": {{\n    \"interp_ns_per_call\": {BASELINE_INTERP_NS:.1},\n    \
@@ -262,7 +290,15 @@ handshake); worker_loop shutdown busy-spin replaced with a timed wait. \
 2026-08 hot-path PR: the tuner_serial regression is CLOSED (root cause was \
 the swaptions reference oracle re-deriving its pricing baseline per trial; \
 now memoized) and the IR additionally compiles to a flat superinstruction \
-bytecode (bytecode_ns_per_call; docs/performance.md).\"\n  }}\n}}",
+bytecode (bytecode_ns_per_call; docs/performance.md).\"\n  }},\n  \
+         \"serve\": {{\n    \"tenants\": {serve_tenants},\n    \
+         \"inputs_per_sec\": {serve_inputs_per_sec:.0},\n    \
+         \"tenant_p50_ms\": {serve_p50:.2},\n    \
+         \"tenant_p95_ms\": {serve_p95:.2},\n    \
+         \"tenant_p99_ms\": {serve_p99:.2},\n    \
+         \"spilled_inputs\": {serve_spilled_inputs},\n    \
+         \"spilled_segments\": {serve_spilled_segments},\n    \
+         \"solo_mismatches\": {serve_mismatches}\n  }}\n}}",
         BASELINE_INTERP_NS / interp_ns,
         interp_ns / bytecode_ns,
         trials_serial / BASELINE_TRIALS_PER_SEC,

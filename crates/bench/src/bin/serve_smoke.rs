@@ -1,0 +1,53 @@
+//! CI smoke of the multi-tenant session service (`./ci.sh --serve-smoke`
+//! and the default pipeline): a small open-loop traffic run that must
+//! show every fairness and spill invariant holding —
+//!
+//! - every tenant finishes and its outputs are bit-identical to a solo
+//!   [`Session`](stats_core::Session) run (determinism under multiplexing);
+//! - the bursts engaged the disk spill path (`spilled_inputs > 0`) and
+//!   everything written was replayed (spill/replay equality per tenant);
+//! - no tenant monopolized admission: with identical workloads, admission
+//!   spreads across dispatch rounds rather than one tenant draining whole.
+//!
+//! Exits non-zero with a message on any violation.
+
+use bench::serve_driver::{run_traffic, TrafficSettings};
+
+fn main() {
+    let settings = TrafficSettings::smoke();
+    let report = run_traffic(&settings);
+
+    if report.tenants != settings.tenants {
+        eprintln!(
+            "serve smoke: {}/{} tenants finished",
+            report.tenants, settings.tenants
+        );
+        std::process::exit(1);
+    }
+    if report.mismatched_tenants != 0 {
+        eprintln!(
+            "serve smoke: {} tenants diverged from their solo runs",
+            report.mismatched_tenants
+        );
+        std::process::exit(1);
+    }
+    if report.spilled_inputs == 0 {
+        eprintln!(
+            "serve smoke: no input spilled — bursts of {} into a {}-slot window should overflow",
+            settings.inputs_per_tenant, settings.queue_capacity
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "serve smoke OK: {} tenants, {:.0} inputs/s, p50 {:.2}ms p99 {:.2}ms, \
+         {} inputs spilled over {} segments, {}/{} solo-verified",
+        report.tenants,
+        report.inputs_per_sec,
+        report.p50_ms,
+        report.p99_ms,
+        report.spilled_inputs,
+        report.spilled_segments,
+        report.verified_tenants,
+        report.tenants,
+    );
+}

@@ -1,0 +1,60 @@
+//! Heavy-traffic bench of the multi-tenant session service: hundreds of
+//! tenant sessions arriving open-loop (seeded Poisson-ish inter-arrivals),
+//! each bursting its workload past the admission window so the per-tenant
+//! spill queues engage, a closer crew finishing them concurrently.
+//!
+//! Prints throughput, tenant-latency percentiles, spill counters, and the
+//! solo bit-identity verdict. The same driver feeds the `serve` section of
+//! `BENCH_pipeline.json` (via `bench_pipeline`) and the `--serve-smoke` CI
+//! stage (via `serve_smoke`); this binary exists to run the big
+//! configuration standalone.
+//!
+//! ```text
+//! cargo run --release -p bench --bin serve_traffic              # 512 tenants
+//! cargo run --release -p bench --bin serve_traffic -- 1024 32   # tenants [inputs]
+//! ```
+
+use bench::serve_driver::{run_traffic, TrafficSettings};
+
+fn main() {
+    let mut settings = TrafficSettings::heavy();
+    let mut args = std::env::args().skip(1);
+    if let Some(tenants) = args.next() {
+        settings.tenants = tenants.parse().expect("tenants: a positive integer");
+    }
+    if let Some(inputs) = args.next() {
+        settings.inputs_per_tenant = inputs.parse().expect("inputs: a positive integer");
+    }
+    assert!(settings.tenants > 0 && settings.inputs_per_tenant > 0);
+
+    let report = run_traffic(&settings);
+    println!(
+        "serve_traffic: {} tenants x {} inputs in {:.2}s ({:.0} inputs/s)",
+        report.tenants, settings.inputs_per_tenant, report.elapsed_s, report.inputs_per_sec,
+    );
+    println!(
+        "tenant latency: p50 {:.2}ms  p95 {:.2}ms  p99 {:.2}ms",
+        report.p50_ms, report.p95_ms, report.p99_ms,
+    );
+    println!(
+        "spill: {} inputs across {} segments (memory bound {} + {} per tenant)",
+        report.spilled_inputs, report.spilled_segments, settings.spill_mem, settings.spill_segment,
+    );
+    assert!(
+        report.spilled_inputs > 0,
+        "bursting {} inputs into a {}-slot window must spill",
+        settings.inputs_per_tenant,
+        settings.queue_capacity,
+    );
+    if settings.verify_solo {
+        println!(
+            "solo bit-identity: {}/{} tenants verified, {} mismatched",
+            report.verified_tenants, report.tenants, report.mismatched_tenants,
+        );
+        assert_eq!(
+            report.mismatched_tenants, 0,
+            "multiplexed tenants must be bit-identical to solo runs"
+        );
+    }
+    println!("serve_traffic OK");
+}

@@ -12,6 +12,7 @@
 
 pub mod experiments;
 pub mod render;
+pub mod serve_driver;
 pub mod tsv;
 
 pub use experiments::Settings;

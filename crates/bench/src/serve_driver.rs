@@ -1,0 +1,327 @@
+//! Open-loop heavy-traffic driver for the multi-tenant session service.
+//!
+//! One driver thread opens tenants against a shared [`SessionServer`] at
+//! seeded, Poisson-ish arrival times (exponential inter-arrival from a
+//! splitmix64 stream) and pushes each tenant's whole workload as a burst —
+//! far past the admission window, so the spill queues engage. A small crew
+//! of closer threads finishes tenants as they arrive, recording each
+//! tenant's end-to-end service latency (arrival to drained outcome). The
+//! report carries throughput, latency percentiles, spill counters, and —
+//! when verification is on — a bit-identity check of every tenant's
+//! outputs against a solo [`Session`] run with the same seed and inputs.
+//!
+//! The `serve_traffic` and `serve_smoke` binaries and the `serve` section
+//! of `bench_pipeline` all run through this driver, so the numbers in
+//! `BENCH_pipeline.json` and the CI smoke assert the same code path.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use stats_core::prelude::*;
+use stats_core::serve::{ServerOptions, SessionServer, TenantHandle};
+
+/// Tolerant short-memory speculative state: any value within 0.3 of an
+/// original final state validates, so speculation genuinely commits and
+/// occasionally re-executes under different interleavings — while outputs
+/// stay bit-identical to solo runs by the protocol's determinism contract.
+#[derive(Clone, Debug)]
+pub struct ServeState(pub f64);
+impl SpecState for ServeState {
+    fn matches_any(&self, originals: &[Self]) -> bool {
+        originals.iter().any(|o| (o.0 - self.0).abs() < 0.3)
+    }
+}
+
+/// The per-tenant workload: a noisy last-input transition, cheap enough
+/// that hundreds of tenants fit in a CI smoke but real enough to exercise
+/// group dispatch, validation, and the resolver.
+pub struct ServeLoad;
+impl StateTransition for ServeLoad {
+    type Input = u64;
+    type State = ServeState;
+    type Output = f64;
+    fn compute_output(&self, input: &u64, state: &mut ServeState, ctx: &mut InvocationCtx) -> f64 {
+        ctx.charge(2.0);
+        state.0 = *input as f64 + ctx.uniform(-0.1, 0.1);
+        state.0
+    }
+}
+
+/// Knobs for one traffic run.
+pub struct TrafficSettings {
+    /// Tenant sessions opened over the run.
+    pub tenants: usize,
+    /// Inputs each tenant pushes (as one burst at arrival).
+    pub inputs_per_tenant: usize,
+    /// Mean of the exponential inter-arrival distribution.
+    pub mean_interarrival_us: u64,
+    /// Seed of the arrival process and of tenant `t`'s session (`seed + t`).
+    pub seed: u64,
+    /// Workers in the shared pool.
+    pub pool_workers: usize,
+    /// Threads finishing tenants concurrently.
+    pub closers: usize,
+    /// Each tenant session's admission window.
+    pub queue_capacity: usize,
+    /// Spill queue in-memory bound (inputs).
+    pub spill_mem: usize,
+    /// Inputs per on-disk spill segment.
+    pub spill_segment: usize,
+    /// Re-run every tenant solo and compare outputs bit-exactly.
+    pub verify_solo: bool,
+}
+
+impl TrafficSettings {
+    /// The heavy-traffic configuration behind `BENCH_pipeline.json`:
+    /// 512 tenants, bursts of 16, spill engaged by construction
+    /// (16-input bursts into a 2-slot window and a 4-input memory bound).
+    pub fn heavy() -> Self {
+        TrafficSettings {
+            tenants: 512,
+            inputs_per_tenant: 16,
+            mean_interarrival_us: 120,
+            seed: 0x5EED,
+            pool_workers: 2,
+            closers: 4,
+            queue_capacity: 2,
+            spill_mem: 4,
+            spill_segment: 4,
+            verify_solo: true,
+        }
+    }
+
+    /// The CI smoke configuration: small enough to run in the default
+    /// pipeline on every change, still multi-tenant with spill engaged.
+    pub fn smoke() -> Self {
+        TrafficSettings {
+            tenants: 24,
+            inputs_per_tenant: 12,
+            mean_interarrival_us: 60,
+            seed: 0x5040,
+            pool_workers: 2,
+            closers: 2,
+            queue_capacity: 2,
+            spill_mem: 3,
+            spill_segment: 3,
+            verify_solo: true,
+        }
+    }
+}
+
+/// What one traffic run measured.
+#[derive(Debug, Clone)]
+pub struct TrafficReport {
+    /// Tenants served to completion.
+    pub tenants: usize,
+    /// Total inputs processed across all tenants.
+    pub total_inputs: usize,
+    /// Wall-clock of the whole run (first arrival to last finish).
+    pub elapsed_s: f64,
+    /// `total_inputs / elapsed_s`.
+    pub inputs_per_sec: f64,
+    /// Median tenant service latency (arrival to drained outcome), ms.
+    pub p50_ms: f64,
+    /// 95th-percentile tenant service latency, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile tenant service latency, ms.
+    pub p99_ms: f64,
+    /// Inputs that overflowed to disk across all tenants.
+    pub spilled_inputs: u64,
+    /// Segment files written across all tenants.
+    pub spilled_segments: u64,
+    /// Tenants whose outputs were re-checked against a solo session
+    /// (equals `tenants` when verification is on).
+    pub verified_tenants: usize,
+    /// Verified tenants whose outputs diverged from solo — must be 0.
+    pub mismatched_tenants: usize,
+}
+
+/// Deterministic splitmix64 stream for the arrival process.
+struct SplitMix(u64);
+impl SplitMix {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Exponentially-distributed delay with the given mean (open-loop
+    /// Poisson arrivals).
+    fn next_exponential(&mut self, mean: Duration) -> Duration {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        mean.mul_f64(-(1.0 - u).ln())
+    }
+}
+
+/// Tenant `t`'s input stream — shared by the traffic run and the solo
+/// verification so both push byte-identical sequences.
+fn tenant_inputs(t: usize, n: usize) -> impl Iterator<Item = u64> {
+    let stride = (t as u64 % 7) + 1;
+    (0..n as u64).map(move |i| i.wrapping_mul(stride))
+}
+
+fn tenant_options(settings: &TrafficSettings, t: usize) -> RunOptions {
+    RunOptions::default()
+        .config(SpecConfig {
+            group_size: 4,
+            window: 1,
+            max_reexec: 2,
+            ..SpecConfig::default()
+        })
+        .seed(settings.seed.wrapping_add(t as u64))
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Run the open-loop traffic and return the report. Panics on any tenant
+/// failure — the service's whole point is that tenants never fail each
+/// other — and records (rather than panics on) solo mismatches so the
+/// caller decides how to surface them.
+pub fn run_traffic(settings: &TrafficSettings) -> TrafficReport {
+    let pool = Arc::new(ThreadPool::new(settings.pool_workers.max(1)));
+    let server: Arc<SessionServer<ServeLoad>> = Arc::new(SessionServer::new(
+        Arc::clone(&pool),
+        ServerOptions::default()
+            .session_queue_capacity(settings.queue_capacity)
+            .spill_mem_capacity(settings.spill_mem)
+            .spill_segment(settings.spill_segment),
+    ));
+
+    let (tx, rx) = mpsc::channel::<(TenantHandle<ServeLoad>, Instant)>();
+    let rx = Arc::new(std::sync::Mutex::new(rx));
+    let closers: Vec<_> = (0..settings.closers.max(1))
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            std::thread::spawn(move || {
+                let mut served: Vec<(usize, f64, Vec<f64>)> = Vec::new();
+                loop {
+                    let next = rx.lock().expect("closer queue").recv();
+                    let Ok((handle, arrived)) = next else {
+                        return served;
+                    };
+                    let id = handle.id();
+                    let outcome = handle
+                        .finish()
+                        .unwrap_or_else(|e| panic!("tenant {id} failed: {e}"));
+                    let latency_ms = arrived.elapsed().as_secs_f64() * 1e3;
+                    served.push((id, latency_ms, outcome.outputs));
+                }
+            })
+        })
+        .collect();
+
+    let mut arrivals = SplitMix(settings.seed);
+    let mean = Duration::from_micros(settings.mean_interarrival_us);
+    let run_start = Instant::now();
+    for t in 0..settings.tenants {
+        std::thread::sleep(arrivals.next_exponential(mean));
+        let handle =
+            server.open_tenant(ServeState(t as f64), ServeLoad, tenant_options(settings, t));
+        let arrived = Instant::now();
+        // The burst: the whole workload at once, far past the admission
+        // window — this is what the spill queue exists to absorb.
+        handle
+            .try_push_batch(tenant_inputs(t, settings.inputs_per_tenant))
+            .unwrap_or_else(|(n, e)| panic!("tenant {t} refused input {n}: {e}"));
+        tx.send((handle, arrived)).expect("closers alive");
+    }
+    drop(tx);
+    let mut served: Vec<(usize, f64, Vec<f64>)> = Vec::new();
+    for closer in closers {
+        served.extend(closer.join().expect("closer thread"));
+    }
+    let elapsed_s = run_start.elapsed().as_secs_f64();
+
+    assert_eq!(served.len(), settings.tenants, "every tenant must finish");
+    let metrics = server.metrics();
+    let spilled_inputs = metrics.spilled_inputs();
+    let spilled_segments = metrics.spilled_segments();
+    for (t, m) in metrics.open.iter().chain(&metrics.retired) {
+        assert_eq!(
+            m.spill.spilled_inputs, m.spill.replayed_inputs,
+            "tenant {t}: every spilled input must be replayed exactly once"
+        );
+        assert_eq!(
+            m.fast_path + m.admitted,
+            m.pushed,
+            "tenant {t}: every accepted input reaches its session"
+        );
+    }
+
+    let mut latencies: Vec<f64> = served.iter().map(|(_, l, _)| *l).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+
+    let mut verified = 0usize;
+    let mut mismatched = 0usize;
+    if settings.verify_solo {
+        for (t, _, outputs) in &served {
+            let solo = Session::new(
+                ServeState(*t as f64),
+                ServeLoad,
+                tenant_options(settings, *t),
+            );
+            solo.push_batch(tenant_inputs(*t, settings.inputs_per_tenant));
+            let solo = solo.finish();
+            verified += 1;
+            let identical = outputs.len() == solo.outputs.len()
+                && outputs
+                    .iter()
+                    .zip(&solo.outputs)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            if !identical {
+                mismatched += 1;
+            }
+        }
+    }
+
+    let total_inputs = settings.tenants * settings.inputs_per_tenant;
+    TrafficReport {
+        tenants: settings.tenants,
+        total_inputs,
+        elapsed_s,
+        inputs_per_sec: total_inputs as f64 / elapsed_s.max(1e-9),
+        p50_ms: percentile(&latencies, 50.0),
+        p95_ms: percentile(&latencies, 95.0),
+        p99_ms: percentile(&latencies, 99.0),
+        spilled_inputs,
+        spilled_segments,
+        verified_tenants: verified,
+        mismatched_tenants: mismatched,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_settings_drive_spill_and_verify_clean() {
+        let mut settings = TrafficSettings::smoke();
+        settings.tenants = 8;
+        settings.inputs_per_tenant = 10;
+        let report = run_traffic(&settings);
+        assert_eq!(report.tenants, 8);
+        assert_eq!(report.total_inputs, 80);
+        assert!(report.spilled_inputs > 0, "bursts must spill: {report:?}");
+        assert_eq!(report.verified_tenants, 8);
+        assert_eq!(report.mismatched_tenants, 0, "{report:?}");
+        assert!(report.p50_ms <= report.p95_ms && report.p95_ms <= report.p99_ms);
+    }
+
+    #[test]
+    fn percentiles_interpolate_sanely() {
+        let ms = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&ms, 50.0), 3.0);
+        assert_eq!(percentile(&ms, 99.0), 5.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+}

@@ -80,6 +80,7 @@ mod protocol;
 mod resolver;
 mod runtime;
 mod sdi;
+pub mod serve;
 mod session;
 pub mod sync;
 mod tradeoff;
@@ -89,7 +90,7 @@ pub use ctx::{InvocationCtx, WorkMeter};
 pub use faults::{FaultKind, FaultPlan, FaultRule};
 pub use obs::{Event, EventKind, EventSink, NoopSink, RecordingSink};
 pub use options::RunOptions;
-pub use pool::{PoolMetrics, ThreadPool};
+pub use pool::{PoolMetrics, Priority, ThreadPool};
 pub use protocol::{
     run_protocol, run_protocol_with_options, GroupRecord, GroupResolution, ProtocolResult,
     SpecConfig, SpecReport, SpecTrace, TraceNode, TraceNodeKind,
@@ -98,7 +99,11 @@ pub use protocol::{
 pub use protocol::{run_protocol_observed, run_protocol_segmented};
 pub use runtime::{SpecOutcome, StateDependence};
 pub use sdi::{ExactState, SpecState, StateTransition};
-pub use session::{Session, SessionError};
+pub use serve::{
+    FairnessPolicy, ServeError, ServerMetrics, ServerOptions, SessionServer, SpillCodec,
+    TenantHandle, TenantMetrics,
+};
+pub use session::{PushError, Session, SessionError};
 pub use tradeoff::{
     EnumeratedTradeoff, ScalarType, TradeoffBindings, TradeoffOptions, TradeoffValue,
 };
@@ -113,8 +118,10 @@ pub mod prelude {
     pub use crate::obs::{Event, EventKind, EventSink, NoopSink, RecordingSink};
     pub use crate::{
         run_protocol, run_protocol_with_options, AdaptPolicy, AdaptState, AdaptiveController,
-        ExactState, FaultKind, FaultPlan, FaultRule, InvocationCtx, ProtocolResult, RetryPolicy,
-        RunOptions, Session, SessionError, SpecConfig, SpecOutcome, SpecReport, SpecState,
-        SpecTrace, StateDependence, StateTransition, ThreadPool, TradeoffBindings, WorkMeter,
+        ExactState, FairnessPolicy, FaultKind, FaultPlan, FaultRule, InvocationCtx, Priority,
+        ProtocolResult, PushError, RetryPolicy, RunOptions, ServeError, ServerMetrics,
+        ServerOptions, Session, SessionError, SessionServer, SpecConfig, SpecOutcome, SpecReport,
+        SpecState, SpecTrace, SpillCodec, StateDependence, StateTransition, TenantHandle,
+        TenantMetrics, ThreadPool, TradeoffBindings, WorkMeter,
     };
 }

@@ -125,6 +125,36 @@ pub enum EventKind {
         /// The speculative group size in effect after the transition.
         group_size: usize,
     },
+    /// The [`SessionServer`](crate::serve::SessionServer) dispatcher
+    /// admitted inputs from a tenant's spill queue into its session under
+    /// the fairness policy (one event per tenant per dispatch round that
+    /// moved at least one input; see `docs/serving.md`).
+    TenantAdmission {
+        /// Dense per-server tenant index.
+        tenant: usize,
+        /// Inputs moved into the tenant's session this round.
+        admitted: usize,
+    },
+    /// A tenant's spill queue overflowed its in-memory bound and wrote a
+    /// FIFO segment to disk.
+    SpillWrite {
+        /// Dense per-server tenant index.
+        tenant: usize,
+        /// Monotonic per-tenant segment number.
+        segment: u64,
+        /// Inputs serialized into the segment.
+        inputs: usize,
+    },
+    /// A spilled segment was read back (in FIFO order) to refill a
+    /// tenant's in-memory queue.
+    SpillReplay {
+        /// Dense per-server tenant index.
+        tenant: usize,
+        /// The segment number being replayed.
+        segment: u64,
+        /// Inputs deserialized from the segment.
+        inputs: usize,
+    },
 }
 
 impl EventKind {
@@ -161,6 +191,19 @@ impl EventKind {
             EventKind::AdaptTransition { state, group_size } => {
                 format!("adapt {} g{group_size}", state.label())
             }
+            EventKind::TenantAdmission { tenant, admitted } => {
+                format!("admit t{tenant} +{admitted}")
+            }
+            EventKind::SpillWrite {
+                tenant,
+                segment,
+                inputs,
+            } => format!("spill t{tenant} seg{segment} ({inputs} inputs)"),
+            EventKind::SpillReplay {
+                tenant,
+                segment,
+                inputs,
+            } => format!("replay t{tenant} seg{segment} ({inputs} inputs)"),
         }
     }
 

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use crate::adapt::{AdaptPolicy, RetryPolicy};
 use crate::faults::FaultPlan;
 use crate::obs::{EventSink, NoopSink};
-use crate::pool::ThreadPool;
+use crate::pool::{Priority, ThreadPool};
 use crate::protocol::SpecConfig;
 
 /// Options shared by every way of executing the STATS protocol.
@@ -65,6 +65,11 @@ pub struct RunOptions {
     /// Retry-with-backoff budget for groups lost to worker death in a
     /// [`Session`](crate::Session).
     pub retry: RetryPolicy,
+    /// Dispatch lane for speculative groups handed to the shared pool.
+    /// [`Priority::High`] lets one run's groups overtake queued
+    /// [`Priority::Normal`] work from other sessions sharing the pool —
+    /// the per-tenant knob behind the [`serve`](crate::serve) front door.
+    pub priority: Priority,
 }
 
 impl Default for RunOptions {
@@ -80,6 +85,7 @@ impl Default for RunOptions {
             faults: None,
             adapt: None,
             retry: RetryPolicy::default(),
+            priority: Priority::Normal,
         }
     }
 }
@@ -144,6 +150,12 @@ impl RunOptions {
     /// Set the retry budget for groups lost to worker death.
     pub fn retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Choose the pool dispatch lane for this run's speculative groups.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
         self
     }
 }

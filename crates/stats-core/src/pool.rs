@@ -18,6 +18,23 @@ use crate::sync::{thread, Arc, CachePadded, Condvar, Mutex};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Dispatch lane for a submitted job.
+///
+/// The pool keeps two global injectors. Workers drain the high lane
+/// before touching their local deque or the normal injector, so
+/// latency-critical jobs (e.g. speculative groups of a high-priority
+/// tenant behind the [`serve`](crate::serve) front door) overtake bulk
+/// work that was submitted earlier without preempting anything already
+/// running. Within a lane, order stays FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Priority {
+    /// The default lane; all pre-existing entry points submit here.
+    #[default]
+    Normal,
+    /// Drained before `Normal` work by every worker.
+    High,
+}
+
 /// Monotonic pool counters, updated by workers as they run.
 ///
 /// Every field is cache-line padded: these counters are written from all
@@ -40,6 +57,8 @@ struct PoolCounters {
 struct PoolShared {
     /// Padded so injector traffic doesn't drag the stealers/lock lines along.
     injector: CachePadded<Injector<Job>>,
+    /// High-priority lane, drained by workers before any other source.
+    priority_injector: CachePadded<Injector<Job>>,
     stealers: Vec<Stealer<Job>>,
     /// Jobs submitted but not yet finished; also the shutdown flag home.
     live: Mutex<PoolState>,
@@ -67,6 +86,7 @@ impl ThreadPool {
         let stealers = locals.iter().map(Worker::stealer).collect();
         let shared = Arc::new(PoolShared {
             injector: CachePadded::new(Injector::new()),
+            priority_injector: CachePadded::new(Injector::new()),
             stealers,
             live: Mutex::new(PoolState {
                 pending: 0,
@@ -100,17 +120,25 @@ impl ThreadPool {
         self.workers.len()
     }
 
-    /// Submit a fire-and-forget job.
+    /// Submit a fire-and-forget job on the [`Priority::Normal`] lane.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.execute_with_priority(Priority::Normal, job);
+    }
+
+    /// Submit a fire-and-forget job on an explicit dispatch lane.
+    pub fn execute_with_priority(&self, priority: Priority, job: impl FnOnce() + Send + 'static) {
         {
             let mut state = self.shared.live.lock();
             assert!(!state.shutdown, "pool is shut down");
             state.pending += 1;
         }
-        self.shared.injector.push(Box::new(job));
+        match priority {
+            Priority::Normal => self.shared.injector.push(Box::new(job)),
+            Priority::High => self.shared.priority_injector.push(Box::new(job)),
+        }
         // Racy sample (jobs drain concurrently): a lower bound on the true
         // peak backlog, good enough to spot submission bursts.
-        let depth = self.shared.injector.len() as u64;
+        let depth = (self.shared.injector.len() + self.shared.priority_injector.len()) as u64;
         self.shared
             .counters
             .max_injector_depth
@@ -262,8 +290,17 @@ impl PoolMetrics {
 }
 
 fn find_job(idx: usize, local: &Worker<Job>, shared: &PoolShared) -> Option<Job> {
-    // Own queue first, then the injector (refilling the local queue), then
-    // steal from siblings.
+    // The high-priority lane preempts every other source (one job at a
+    // time — batch-stealing would bury priority jobs in the local FIFO
+    // behind normal work), then own queue, then the normal injector
+    // (refilling the local queue), then steal from siblings.
+    loop {
+        match shared.priority_injector.steal() {
+            Steal::Success(job) => return Some(job),
+            Steal::Empty => break,
+            Steal::Retry => continue,
+        }
+    }
     if let Some(job) = local.pop() {
         return Some(job);
     }
@@ -333,7 +370,9 @@ fn worker_loop(idx: usize, local: Worker<Job>, shared: Arc<PoolShared>) {
 
 /// Cheap emptiness hint (racy by design; the wait above has a timeout).
 fn find_nothing_hint(shared: &PoolShared) -> bool {
-    shared.injector.is_empty() && shared.stealers.iter().all(Stealer::is_empty)
+    shared.injector.is_empty()
+        && shared.priority_injector.is_empty()
+        && shared.stealers.iter().all(Stealer::is_empty)
 }
 
 impl Drop for ThreadPool {
@@ -528,6 +567,42 @@ mod tests {
         let m = pool.metrics();
         assert_eq!(m.jobs_executed, 64);
         assert!(m.steals <= 64);
+    }
+
+    #[test]
+    fn priority_jobs_overtake_queued_normal_work() {
+        // One worker, wedged on a gate job. While it is busy, enqueue a
+        // burst of normal jobs and then one high-priority job: the
+        // priority job must run before any of the queued normal jobs.
+        let pool = ThreadPool::new(1);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        {
+            let gate = Arc::clone(&gate);
+            pool.execute(move || {
+                let (lock, cvar) = &*gate;
+                let mut open = lock.lock();
+                while !*open {
+                    cvar.wait(&mut open);
+                }
+            });
+        }
+        for i in 0..8 {
+            let order = Arc::clone(&order);
+            pool.execute(move || order.lock().push(format!("normal-{i}")));
+        }
+        {
+            let order = Arc::clone(&order);
+            pool.execute_with_priority(Priority::High, move || {
+                order.lock().push("high".to_string())
+            });
+        }
+        *gate.0.lock() = true;
+        gate.1.notify_all();
+        drop(pool); // drains everything
+        let order = order.lock().clone();
+        assert_eq!(order.len(), 9);
+        assert_eq!(order[0], "high", "priority job did not overtake: {order:?}");
     }
 
     #[test]

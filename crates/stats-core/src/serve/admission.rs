@@ -1,0 +1,117 @@
+//! Admission fairness for the multi-tenant front door.
+//!
+//! The dispatcher moves inputs from per-tenant spill queues into the
+//! tenants' session queues in *rounds*. How much each tenant may move per
+//! round is the fairness policy's decision — the classic deficit
+//! round-robin discipline: every round a tenant with backlog earns
+//! `quantum × weight` credits, spends one credit per admitted input, and
+//! carries unspent credits forward only while its session (not its own
+//! backlog) is the bottleneck. A tenant whose backlog empties forfeits its
+//! credits, so idle tenants cannot hoard admission capacity and a bursty
+//! tenant can never starve the others.
+
+/// How the dispatcher divides admission capacity between tenants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FairnessPolicy {
+    /// One input per tenant per round, strictly rotating — the simplest
+    /// starvation-free discipline (deficit round-robin with quantum 1 and
+    /// all weights ignored).
+    RoundRobin,
+    /// Deficit-weighted round-robin: each round a tenant earns
+    /// `quantum × weight` credits toward admitted inputs. Larger quanta
+    /// amortize locking; weights skew capacity toward paying tenants.
+    DeficitWeighted {
+        /// Base credits per round for a weight-1 tenant (clamped >= 1).
+        quantum: usize,
+    },
+}
+
+impl Default for FairnessPolicy {
+    fn default() -> Self {
+        FairnessPolicy::DeficitWeighted { quantum: 8 }
+    }
+}
+
+impl FairnessPolicy {
+    /// Credits a tenant earns this round.
+    pub(crate) fn earn(&self, weight: u32) -> usize {
+        match self {
+            FairnessPolicy::RoundRobin => 1,
+            FairnessPolicy::DeficitWeighted { quantum } => {
+                quantum.max(&1) * (weight.max(1) as usize)
+            }
+        }
+    }
+
+    /// Cap on accumulated credit, so a long-blocked tenant cannot bank an
+    /// unbounded burst (eight rounds' worth, like classic DRR caps).
+    pub(crate) fn deficit_cap(&self, weight: u32) -> usize {
+        self.earn(weight).saturating_mul(8)
+    }
+}
+
+/// Per-tenant deficit-round-robin accounting.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct DeficitState {
+    pub(crate) deficit: usize,
+}
+
+impl DeficitState {
+    /// Start a round: earn this round's credits, capped.
+    pub(crate) fn earn(&mut self, policy: &FairnessPolicy, weight: u32) -> usize {
+        self.deficit = (self.deficit + policy.earn(weight)).min(policy.deficit_cap(weight));
+        self.deficit
+    }
+
+    /// Spend one credit (an input was admitted).
+    pub(crate) fn spend(&mut self) {
+        self.deficit = self.deficit.saturating_sub(1);
+    }
+
+    /// The tenant's backlog ran dry: forfeit unspent credit.
+    pub(crate) fn forfeit(&mut self) {
+        self.deficit = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_earns_one() {
+        assert_eq!(FairnessPolicy::RoundRobin.earn(1), 1);
+        assert_eq!(FairnessPolicy::RoundRobin.earn(100), 1);
+    }
+
+    #[test]
+    fn weighted_quantum_scales_and_clamps() {
+        let p = FairnessPolicy::DeficitWeighted { quantum: 4 };
+        assert_eq!(p.earn(1), 4);
+        assert_eq!(p.earn(3), 12);
+        assert_eq!(p.earn(0), 4, "weight clamps to 1");
+        let degenerate = FairnessPolicy::DeficitWeighted { quantum: 0 };
+        assert_eq!(degenerate.earn(1), 1, "quantum clamps to 1");
+    }
+
+    #[test]
+    fn deficit_carries_only_while_blocked() {
+        let p = FairnessPolicy::DeficitWeighted { quantum: 2 };
+        let mut d = DeficitState::default();
+        assert_eq!(d.earn(&p, 1), 2);
+        d.spend(); // one admitted, one left
+        assert_eq!(d.earn(&p, 1), 3, "blocked tenant banks credit");
+        d.forfeit(); // backlog drained
+        assert_eq!(d.earn(&p, 1), 2, "drained tenant restarts from quantum");
+    }
+
+    #[test]
+    fn deficit_is_capped() {
+        let p = FairnessPolicy::DeficitWeighted { quantum: 2 };
+        let mut d = DeficitState::default();
+        for _ in 0..100 {
+            d.earn(&p, 1);
+        }
+        assert_eq!(d.deficit, p.deficit_cap(1));
+    }
+}

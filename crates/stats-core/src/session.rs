@@ -31,7 +31,7 @@ use crate::adapt::{AdaptiveController, RetryPolicy};
 use crate::faults::{FaultKind, FaultPlan, InjectedFault};
 use crate::obs::{EventKind, EventSink};
 use crate::options::RunOptions;
-use crate::pool::ThreadPool;
+use crate::pool::{Priority, ThreadPool};
 use crate::protocol::{
     execute_group, run_invocation, GroupData, GroupSpec, ProtocolResult, SegmentAccumulator,
     SpecConfig, SpecReport, SpecTrace,
@@ -64,6 +64,10 @@ struct StreamInner<T: StateTransition> {
     /// Set when the coordinator thread exits (normally or by panic), so
     /// blocked producers fail fast instead of waiting forever.
     coordinator_gone: bool,
+    /// Human-readable message of the panic that killed the coordinator,
+    /// recorded before `coordinator_gone` is raised so a failing
+    /// [`Session::try_push`] can report *why* the front door is closed.
+    gone_message: Option<String>,
 }
 
 /// Immutable engine context shared with pool jobs.
@@ -73,6 +77,7 @@ struct EngineCtx<T: StateTransition> {
     sink: Arc<dyn EventSink>,
     faults: Option<FaultPlan>,
     retry: RetryPolicy,
+    priority: Priority,
 }
 
 /// A long-lived streaming run of the STATS execution model.
@@ -131,6 +136,7 @@ impl<T: StateTransition> Session<T> {
                 panic: None,
                 lost: Vec::new(),
                 coordinator_gone: false,
+                gone_message: None,
             }),
             producer: Condvar::new(),
             coordinator: Condvar::new(),
@@ -142,6 +148,7 @@ impl<T: StateTransition> Session<T> {
             sink: Arc::clone(&options.sink),
             faults: options.faults,
             retry: options.retry,
+            priority: options.priority,
         });
         let thread_shared = Arc::clone(&shared);
         let handle = thread::Builder::new()
@@ -150,7 +157,22 @@ impl<T: StateTransition> Session<T> {
                 let _guard = CoordinatorGuard {
                     shared: Arc::clone(&thread_shared),
                 };
-                stream_main(&thread_shared, &ctx, &pool, &options, initial, max_inflight)
+                match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    stream_main(&thread_shared, &ctx, &pool, &options, initial, max_inflight)
+                })) {
+                    Ok(result) => result,
+                    Err(payload) => {
+                        // Record the pending panic message *before* the
+                        // guard raises `coordinator_gone`, so a producer
+                        // failing its `try_push` can report the cause.
+                        let mut inner = thread_shared.inner.lock();
+                        if inner.gone_message.is_none() {
+                            inner.gone_message = Some(panic_message(&*payload));
+                        }
+                        drop(inner);
+                        std::panic::resume_unwind(payload);
+                    }
+                }
             })
             .expect("failed to spawn stream coordinator");
         Session {
@@ -162,18 +184,37 @@ impl<T: StateTransition> Session<T> {
     /// Enqueue one input. Blocks while the bounded queue is full
     /// (backpressure) until the engine drains it.
     ///
+    /// This is a thin panicking wrapper over [`Session::try_push`] for
+    /// callers that treat a dead stream as a programming error; a
+    /// tenant-facing front door should call `try_push` instead.
+    ///
     /// # Panics
     ///
     /// Panics if the coordinator thread has terminated (which only happens
     /// when a transition panicked; the payload is re-raised at `finish()`
     /// or drop).
     pub fn push(&self, input: T::Input) {
+        if let Err(e) = self.try_push(input) {
+            panic!("{e}; cannot accept inputs");
+        }
+    }
+
+    /// Enqueue one input, blocking while the bounded queue is full
+    /// (backpressure), and failing — never panicking — once the
+    /// coordinator thread has terminated. A producer already blocked on a
+    /// full queue when the coordinator dies is woken by the coordinator's
+    /// exit guard and receives the error instead of hanging.
+    ///
+    /// The returned [`PushError`] carries the message of the pending panic
+    /// that killed the coordinator (the payload itself stays with the
+    /// session and is re-raised or reported at
+    /// [`finish`](Session::finish)/[`try_finish`](Session::try_finish)).
+    pub fn try_push(&self, input: T::Input) -> Result<(), PushError> {
         let mut inner = self.shared.inner.lock();
         loop {
-            assert!(
-                !inner.coordinator_gone,
-                "Session coordinator has terminated; cannot accept inputs"
-            );
+            if inner.coordinator_gone {
+                return Err(PushError::coordinator_gone(&inner));
+            }
             if inner.queue.len() < self.shared.capacity {
                 break;
             }
@@ -182,12 +223,82 @@ impl<T: StateTransition> Session<T> {
         inner.queue.push_back(input);
         drop(inner);
         self.shared.coordinator.notify_all();
+        Ok(())
     }
 
-    /// Enqueue a batch of inputs, blocking as needed per input.
+    /// Nonblocking push: `Ok(None)` means the input was enqueued,
+    /// `Ok(Some(input))` returns it because the queue is full right now
+    /// (try again after the engine drains), and `Err` means the
+    /// coordinator has terminated and can never accept it. This is the
+    /// primitive the [`serve`](crate::serve) dispatcher multiplexes
+    /// tenants with: it must never park on one tenant's full queue while
+    /// other tenants have admission budget.
+    pub fn offer(&self, input: T::Input) -> Result<Option<T::Input>, PushError> {
+        let mut inner = self.shared.inner.lock();
+        if inner.coordinator_gone {
+            return Err(PushError::coordinator_gone(&inner));
+        }
+        if inner.queue.len() >= self.shared.capacity {
+            return Ok(Some(input));
+        }
+        inner.queue.push_back(input);
+        drop(inner);
+        self.shared.coordinator.notify_all();
+        Ok(None)
+    }
+
+    /// How many inputs are currently waiting in the bounded queue.
+    pub fn queued(&self) -> usize {
+        self.shared.inner.lock().queue.len()
+    }
+
+    /// Enqueue a batch of inputs, blocking as needed (panicking wrapper
+    /// over [`Session::try_push_batch`], like [`push`](Session::push)).
     pub fn push_batch(&self, inputs: impl IntoIterator<Item = T::Input>) {
-        for input in inputs {
-            self.push(input);
+        if let Err(e) = self.try_push_batch(inputs) {
+            panic!("{e}; cannot accept inputs");
+        }
+    }
+
+    /// Enqueue a batch through the bounded queue in capacity-sized chunks:
+    /// one lock acquisition and one coordinator notification per *chunk*
+    /// instead of per input (the `push_batch` Criterion bench measures the
+    /// lock-churn win). Blocks whenever the queue is full mid-batch;
+    /// returns how many inputs were enqueued, which is all of them unless
+    /// the coordinator terminated partway (the error reports the pending
+    /// panic like [`try_push`](Session::try_push)).
+    pub fn try_push_batch(
+        &self,
+        inputs: impl IntoIterator<Item = T::Input>,
+    ) -> Result<usize, PushError> {
+        let mut iter = inputs.into_iter();
+        let mut next = match iter.next() {
+            Some(input) => Some(input),
+            None => return Ok(0),
+        };
+        let mut pushed = 0usize;
+        loop {
+            let mut inner = self.shared.inner.lock();
+            loop {
+                if inner.coordinator_gone {
+                    return Err(PushError::coordinator_gone(&inner));
+                }
+                if inner.queue.len() < self.shared.capacity {
+                    break;
+                }
+                self.shared.producer.wait(&mut inner);
+            }
+            while inner.queue.len() < self.shared.capacity {
+                let Some(input) = next.take() else { break };
+                inner.queue.push_back(input);
+                pushed += 1;
+                next = iter.next();
+            }
+            drop(inner);
+            self.shared.coordinator.notify_all();
+            if next.is_none() {
+                return Ok(pushed);
+            }
         }
     }
 
@@ -238,6 +349,52 @@ impl<T: StateTransition> Session<T> {
     }
 }
 
+/// Why a [`Session::try_push`]/[`Session::try_push_batch`] (or a
+/// nonblocking [`Session::offer`]) could not accept an input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PushError {
+    /// The `stats-stream` coordinator thread has terminated, so no input
+    /// pushed from now on can ever be processed.
+    CoordinatorGone {
+        /// Message of the pending panic that killed the coordinator, when
+        /// one was recorded (a transition panic); `None` when the
+        /// coordinator exited without panicking.
+        pending_panic: Option<String>,
+    },
+}
+
+impl PushError {
+    fn coordinator_gone<T: StateTransition>(inner: &StreamInner<T>) -> Self {
+        PushError::CoordinatorGone {
+            pending_panic: inner.gone_message.clone(),
+        }
+    }
+
+    /// The pending panic message carried by the error, if any.
+    pub fn pending_panic(&self) -> Option<&str> {
+        match self {
+            PushError::CoordinatorGone { pending_panic } => pending_panic.as_deref(),
+        }
+    }
+}
+
+impl fmt::Display for PushError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PushError::CoordinatorGone { pending_panic } => {
+                write!(f, "Session coordinator has terminated")?;
+                if let Some(message) = pending_panic {
+                    write!(f, " (pending panic: {message})")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PushError {}
+
 /// Why a [`Session`] failed to finish.
 pub enum SessionError {
     /// The coordinator thread panicked (a transition panicked on the
@@ -280,14 +437,54 @@ impl fmt::Display for SessionError {
 impl std::error::Error for SessionError {}
 
 /// Best-effort human-readable text from a panic payload.
+///
+/// `panic!("...")` payloads are `&str`/`String` and pass through verbatim.
+/// `panic_any(value)` payloads are typed: `dyn Any` erases the concrete
+/// type *name*, so this downcasts the payload shapes tenant transitions
+/// actually throw (error trait objects and `Display`-able scalars), naming
+/// each via `type_name` and rendering its value. Anything else falls back
+/// to the payload's `TypeId` — opaque, but a stable correlator across a
+/// server log, unlike the old blanket "non-string panic payload".
 fn panic_message(payload: &(dyn Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
+        return (*s).to_string();
     }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    macro_rules! typed {
+        ($($ty:ty),+ $(,)?) => {
+            $(if let Some(v) = payload.downcast_ref::<$ty>() {
+                return format!(
+                    "typed panic payload {}: {v}",
+                    std::any::type_name::<$ty>()
+                );
+            })+
+        };
+    }
+    typed!(
+        Box<dyn std::error::Error + Send + Sync>,
+        Box<dyn std::error::Error + Send>,
+        std::io::Error,
+        std::borrow::Cow<'static, str>,
+        i8,
+        i16,
+        i32,
+        i64,
+        i128,
+        isize,
+        u8,
+        u16,
+        u32,
+        u64,
+        u128,
+        usize,
+        f32,
+        f64,
+        bool,
+        char,
+    );
+    format!("non-string panic payload ({:?})", payload.type_id())
 }
 
 /// Dropping a session mid-stream must drain and join cleanly — no leaked
@@ -485,7 +682,7 @@ fn stream_segment<T: StateTransition>(
             let job_config = Arc::clone(config_arc);
             let job_shared = Arc::clone(shared);
             let job_initial = initial.clone();
-            pool.execute(move || {
+            pool.execute_with_priority(ctx.priority, move || {
                 // Injected worker panic: the job dies without producing its
                 // group. The loss is routed to the coordinator through the
                 // same completion channel, which retries under the

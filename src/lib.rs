@@ -24,6 +24,9 @@ mod doctest_streaming {}
 #[cfg(doctest)]
 #[doc = include_str!("../docs/robustness.md")]
 mod doctest_robustness {}
+#[cfg(doctest)]
+#[doc = include_str!("../docs/serving.md")]
+mod doctest_serving {}
 
 pub use stats_autotune as autotune;
 pub use stats_baselines as baselines;

@@ -131,6 +131,55 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// MULTIPLEXING: N sessions sharing one pool, their inputs interleaved
+    /// push-by-push, each produce outcomes bit-identical to running that
+    /// session solo with a private pool. Determinism is per-stream: seeds
+    /// and input order fix the outcome regardless of neighbors.
+    #[test]
+    fn concurrent_sessions_match_solo_runs(
+        sessions in 2usize..5,
+        n in 1usize..32,
+        config in arb_config(),
+        base_seed in any::<u64>(),
+    ) {
+        let pool = Arc::new(ThreadPool::new(2));
+        let shared: Vec<Session<NoisyLast>> = (0..sessions)
+            .map(|s| {
+                Session::new(
+                    Fuzzy(s as f64),
+                    NoisyLast,
+                    RunOptions::default()
+                        .config(config.clone())
+                        .seed(base_seed.wrapping_add(s as u64))
+                        .pool(Arc::clone(&pool)),
+                )
+            })
+            .collect();
+        for i in 0..n as u64 {
+            for (s, session) in shared.iter().enumerate() {
+                session.push(i.wrapping_mul(s as u64 + 1));
+            }
+        }
+        for (s, session) in shared.into_iter().enumerate() {
+            let multiplexed = session.finish();
+            let solo = Session::new(
+                Fuzzy(s as f64),
+                NoisyLast,
+                RunOptions::default()
+                    .config(config.clone())
+                    .seed(base_seed.wrapping_add(s as u64)),
+            );
+            solo.push_batch((0..n as u64).map(|i| i.wrapping_mul(s as u64 + 1)));
+            let solo = solo.finish();
+            prop_assert_eq!(&multiplexed.outputs, &solo.outputs);
+            prop_assert_eq!(&multiplexed.report, &solo.report);
+        }
+    }
+}
+
 /// A transition that parks on a gate, letting the test hold the stream
 /// mid-invocation while probing the producer-side queue bound.
 struct Gated {
@@ -210,4 +259,95 @@ fn full_bounded_queue_blocks_producers() {
     let outcome = session.finish();
     assert_eq!(outcome.outputs.len(), 12);
     assert_eq!(*outcome.outputs.last().unwrap(), (1..=12u64).sum::<u64>());
+}
+
+/// A transition that parks on a gate inside its first invocation and
+/// panics the moment the gate opens — the coordinator dies while
+/// producers are wedged against the full bounded queue.
+struct GatedBomb {
+    entered: Arc<AtomicUsize>,
+    gate: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+}
+impl StateTransition for GatedBomb {
+    type Input = u64;
+    type State = ExactState<u64>;
+    type Output = u64;
+    fn compute_output(
+        &self,
+        _input: &u64,
+        _state: &mut ExactState<u64>,
+        ctx: &mut InvocationCtx,
+    ) -> u64 {
+        self.entered.fetch_add(1, Ordering::SeqCst);
+        let (lock, cvar) = &*self.gate;
+        let mut open = lock.lock().unwrap();
+        while !*open {
+            open = cvar.wait(open).unwrap();
+        }
+        ctx.charge(1.0);
+        panic!("gated bomb detonated");
+    }
+}
+
+/// REGRESSION: a producer blocked on a full queue when the coordinator
+/// dies must wake up and receive `Err` from `try_push` — not hang forever
+/// and not panic. The error carries the transition's pending panic.
+#[test]
+fn blocked_producer_fails_cleanly_when_coordinator_dies() {
+    let entered = Arc::new(AtomicUsize::new(0));
+    let gate = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+    let session = Arc::new(Session::new(
+        ExactState(0u64),
+        GatedBomb {
+            entered: Arc::clone(&entered),
+            gate: Arc::clone(&gate),
+        },
+        RunOptions::default()
+            .config(SpecConfig {
+                group_size: 4,
+                window: 1,
+                ..SpecConfig::default()
+            })
+            .queue_capacity(2),
+    ));
+    session.try_push(1).expect("first push enters the engine");
+    while entered.load(Ordering::SeqCst) == 0 {
+        std::thread::yield_now();
+    }
+    let (done_tx, done_rx) = std::sync::mpsc::channel::<PushError>();
+    let producer = {
+        let session = Arc::clone(&session);
+        std::thread::spawn(move || {
+            for i in 2..=64u64 {
+                if let Err(e) = session.try_push(i) {
+                    done_tx.send(e).expect("report error");
+                    return;
+                }
+            }
+            panic!("producer drained 63 inputs through a 2-slot queue with a wedged engine");
+        })
+    };
+    // Let the producer wedge against the full queue, then detonate.
+    std::thread::sleep(Duration::from_millis(100));
+    *gate.0.lock().unwrap() = true;
+    gate.1.notify_all();
+    let err = done_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("blocked producer must wake with Err after coordinator death, not hang");
+    producer.join().expect("producer exits cleanly");
+    assert!(
+        err.pending_panic()
+            .is_some_and(|m| m.contains("gated bomb detonated")),
+        "error should carry the pending panic message: {err}"
+    );
+    // Subsequent pushes keep failing without panicking.
+    let mut session = Arc::try_unwrap(session).unwrap_or_else(|_| panic!("session still shared"));
+    assert!(session.try_push(99).is_err());
+    match session.try_finish() {
+        Err(SessionError::Panicked { message, .. }) => {
+            assert!(message.contains("gated bomb detonated"), "{message}");
+        }
+        Err(other) => panic!("unexpected session error: {other}"),
+        Ok(_) => panic!("session should report the panic at finish"),
+    }
 }
