@@ -24,6 +24,11 @@
 #            open-loop traffic run that must show spill engaged, every
 #            spilled input replayed, and every tenant bit-identical to its
 #            solo session
+#   --dag-smoke
+#            task-DAG speculation smoke (docs/dag.md): every stats-workloads
+#            DAG family run sequentially and pooled at tiny scale; fails on
+#            any pooled-vs-sequential divergence or any cut-set abort under
+#            the families' tuned configs
 #
 # The --loom/--miri/--tsan stages are separate entry points because each
 # rebuilds the world under a different configuration; run them when
@@ -123,6 +128,28 @@ if serve["solo_mismatches"] != 0:
     sys.exit(f"bench gate: {serve['solo_mismatches']} tenants diverged "
              "from their solo sessions — determinism under multiplexing "
              "is broken")
+dag = fresh.get("dag")
+if dag is None:
+    sys.exit("bench gate: fresh run is missing the dag section")
+for family in ("windowed_join", "gameloop", "ensemble"):
+    fam = dag.get(family)
+    if fam is None:
+        sys.exit(f"bench gate: dag section is missing the '{family}' family")
+    for key in ("nodes", "inputs", "seq_inputs_per_sec",
+                "pooled_inputs_per_sec", "speedup", "aborts", "mismatches"):
+        if key not in fam:
+            sys.exit(f"bench gate: dag.{family} is missing '{key}'")
+    print(f"dag {family}: {fam['nodes']} nodes, seq "
+          f"{fam['seq_inputs_per_sec']:.0f}/s, pooled "
+          f"{fam['pooled_inputs_per_sec']:.0f}/s, "
+          f"{fam['mismatches']} mismatches")
+    if fam["mismatches"] != 0:
+        sys.exit(f"bench gate: dag.{family} pooled run diverged from the "
+                 "sequential topological reference — DAG determinism is "
+                 "broken")
+    if fam["aborts"] != 0:
+        sys.exit(f"bench gate: dag.{family} aborted a cut-set under its "
+                 "tuned config")
 print("bench gate OK")
 EOF
     rm -f "$fresh_json"
@@ -136,9 +163,16 @@ if [[ "$stage" == "--serve-smoke" ]]; then
     exit 0
 fi
 
+if [[ "$stage" == "--dag-smoke" ]]; then
+    echo "== dag smoke (plan families: pooled bit-identical to sequential)"
+    cargo build --offline --release -q -p bench
+    ./target/release/dag_smoke
+    exit 0
+fi
+
 if [[ -n "$stage" ]]; then
     echo "error: unknown stage '$stage' (expected --loom, --miri, --tsan," \
-         "--bench-gate, or --serve-smoke)" >&2
+         "--bench-gate, --serve-smoke, or --dag-smoke)" >&2
     exit 2
 fi
 
@@ -178,6 +212,9 @@ echo "== chaos smoke (seeded fault plans, identical traces across two runs)"
 echo "== serve smoke (multi-tenant fairness + spill/replay equality)"
 ./target/release/serve_smoke
 
+echo "== dag smoke (plan families: pooled bit-identical to sequential)"
+./target/release/dag_smoke
+
 echo "== rustdoc (deny warnings, workspace crates only)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace -q \
     --exclude rand --exclude proptest --exclude criterion \
@@ -186,12 +223,16 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace -q \
 echo "== streaming smoke (stream_run bench in test mode)"
 cargo test --offline -q -p bench --bench stream_run
 
-echo "== deprecated protocol shims (no callers outside their definitions)"
-if grep -rn --include='*.rs' -E 'run_protocol_observed|run_protocol_segmented' \
-    --exclude-dir=target --exclude-dir=vendor . \
-    | grep -v '^\./crates/stats-core/src/protocol\.rs:' \
-    | grep -v '^\./crates/stats-core/src/lib\.rs:'; then
-    echo "error: deprecated protocol shims used outside stats-core (use run_protocol_with_options)" >&2
+echo "== removed protocol shims (deleted in the RunOptions-only API; no references anywhere)"
+# run_protocol_observed/run_protocol_segmented and the StateDependence
+# with_pool/with_config/with_sink/with_seed builders were deleted when the
+# RunOptions surface became the only public API (docs/observability.md has
+# the migration table). No exclusions: the names must not reappear at all.
+if grep -rn --include='*.rs' \
+    -E 'run_protocol_observed|run_protocol_segmented|\.with_pool\(|\.with_config\(|\.with_sink\(|\.with_seed\(' \
+    --exclude-dir=target --exclude-dir=vendor .; then
+    echo "error: reference to a removed pre-RunOptions shim (use" \
+         "run_protocol_with_options / RunOptions builders instead)" >&2
     exit 1
 fi
 

@@ -21,6 +21,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use bench::dag_driver::{run_dag_bench, DagSettings};
 use bench::experiments::{figures_parallel, Settings};
 use bench::serve_driver::{run_traffic, TrafficSettings};
 use stats_autotune::Objective;
@@ -80,18 +81,25 @@ fn interp_ns_per_call() -> f64 {
     let module = compiled.module;
     let mut interp = Interp::new(&module).with_fuel(u64::MAX);
     let iters = 20_000u64;
-    let start = Instant::now();
-    let mut acc = 0.0;
-    for i in 0..iters {
-        let v = interp
-            .call("get_value", &[Value::Int((i % 64) as i64)])
-            .expect("call succeeds")
-            .expect("returns a value");
-        acc += v.as_float();
+    // Three passes, best-of: on a shared 1-CPU container the slot loop is
+    // at the mercy of CPU steal; the fastest pass is the least-interfered
+    // measurement (same reasoning as pool_scope_churn_per_sec).
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let mut acc = 0.0;
+        for i in 0..iters {
+            let v = interp
+                .call("get_value", &[Value::Int((i % 64) as i64)])
+                .expect("call succeeds")
+                .expect("returns a value");
+            acc += v.as_float();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        assert!(acc != 0.0);
+        best = best.min(ns);
     }
-    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
-    assert!(acc != 0.0);
-    ns
+    best
 }
 
 /// Same workload through the flat superinstruction bytecode interpreter
@@ -101,18 +109,23 @@ fn bytecode_ns_per_call() -> f64 {
     let module = compiled.module;
     let mut interp = BytecodeInterp::new(&module).with_fuel(u64::MAX);
     let iters = 20_000u64;
-    let start = Instant::now();
-    let mut acc = 0.0;
-    for i in 0..iters {
-        let v = interp
-            .call("get_value", &[Value::Int((i % 64) as i64)])
-            .expect("call succeeds")
-            .expect("returns a value");
-        acc += v.as_float();
+    // Best-of-3, for the same shared-container reason as the slot loop.
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let mut acc = 0.0;
+        for i in 0..iters {
+            let v = interp
+                .call("get_value", &[Value::Int((i % 64) as i64)])
+                .expect("call succeeds")
+                .expect("returns a value");
+            acc += v.as_float();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        assert!(acc != 0.0);
+        best = best.min(ns);
     }
-    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
-    assert!(acc != 0.0);
-    ns
+    best
 }
 
 fn tuner_trials_per_sec(workers: usize) -> f64 {
@@ -241,6 +254,35 @@ fn serve_traffic_report() -> bench::serve_driver::TrafficReport {
     report
 }
 
+/// Per-family DAG-engine measurements (docs/dag.md): sequential reference
+/// vs pooled run, each pooled pass bit-identity-checked. Reported under
+/// `dag` in the JSON; the bench gate requires all three families present
+/// with zero mismatches.
+fn dag_report_json() -> String {
+    let reports = run_dag_bench(&DagSettings::pipeline());
+    let families: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            format!(
+                "    \"{}\": {{\n      \"nodes\": {},\n      \"inputs\": {},\n      \
+                 \"seq_inputs_per_sec\": {:.0},\n      \
+                 \"pooled_inputs_per_sec\": {:.0},\n      \
+                 \"speedup\": {:.2},\n      \"aborts\": {},\n      \
+                 \"mismatches\": {}\n    }}",
+                r.name,
+                r.nodes,
+                r.inputs,
+                r.seq_inputs_per_sec,
+                r.pooled_inputs_per_sec,
+                r.speedup,
+                r.aborts,
+                r.mismatches
+            )
+        })
+        .collect();
+    format!("{{\n{}\n  }}", families.join(",\n"))
+}
+
 fn main() {
     let interp_ns = interp_ns_per_call();
     let bytecode_ns = bytecode_ns_per_call();
@@ -253,6 +295,7 @@ fn main() {
     let (fault_free, faulted, recovery) = fault_recovery();
     let pool_churn = pool_scope_churn_per_sec();
     let serve = serve_traffic_report();
+    let dag_json = dag_report_json();
 
     let serve_tenants = serve.tenants;
     let serve_inputs_per_sec = serve.inputs_per_sec;
@@ -298,7 +341,8 @@ bytecode (bytecode_ns_per_call; docs/performance.md).\"\n  }},\n  \
          \"tenant_p99_ms\": {serve_p99:.2},\n    \
          \"spilled_inputs\": {serve_spilled_inputs},\n    \
          \"spilled_segments\": {serve_spilled_segments},\n    \
-         \"solo_mismatches\": {serve_mismatches}\n  }}\n}}",
+         \"solo_mismatches\": {serve_mismatches}\n  }},\n  \
+         \"dag\": {dag_json}\n}}",
         BASELINE_INTERP_NS / interp_ns,
         interp_ns / bytecode_ns,
         trials_serial / BASELINE_TRIALS_PER_SEC,

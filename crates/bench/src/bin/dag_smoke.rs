@@ -1,0 +1,40 @@
+//! CI smoke gate for the task-DAG speculation engine (`ci.sh --dag-smoke`):
+//! runs every stats-workloads DAG family at tiny scale, sequential and
+//! pooled, and fails if any pooled run diverges from its sequential
+//! topological reference or any tuned family aborts a cut-set.
+
+use bench::dag_driver::{run_dag_bench, DagSettings};
+
+fn main() {
+    let reports = run_dag_bench(&DagSettings::tiny());
+    let mut failed = false;
+    for r in &reports {
+        println!(
+            "dag {:>14}: {} nodes, {} inputs, seq {:>9.0}/s, pooled {:>9.0}/s \
+             (x{:.2}), aborts {}, mismatches {}",
+            r.name,
+            r.nodes,
+            r.inputs,
+            r.seq_inputs_per_sec,
+            r.pooled_inputs_per_sec,
+            r.speedup,
+            r.aborts,
+            r.mismatches
+        );
+        if r.mismatches > 0 {
+            eprintln!(
+                "FAIL {}: pooled run diverged from the sequential reference",
+                r.name
+            );
+            failed = true;
+        }
+        if r.aborts > 0 {
+            eprintln!("FAIL {}: tuned family config aborted a cut-set", r.name);
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("dag smoke OK ({} families)", reports.len());
+}

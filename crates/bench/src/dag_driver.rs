@@ -1,0 +1,184 @@
+//! Bench driver for the task-DAG speculation engine (`docs/dag.md`): runs
+//! each shipped stats-workloads DAG family sequentially (the topological
+//! reference) and on the two-lane pool, times both arms, verifies the
+//! pooled run bit-identical to the reference, and counts plan-node aborts
+//! through the obs stream. `bench_pipeline` reports the results under the
+//! `dag` key; the `dag_smoke` binary runs the small scale as a CI gate.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use stats_core::prelude::*;
+use stats_workloads::dag::{ensemble, gameloop, windowed_join};
+
+/// Timed passes per arm; best-of, like the other drivers, because
+/// wall-clock on a shared container is noisy.
+const PASSES: usize = 3;
+
+/// One family's measurements, already bit-identity-checked.
+#[derive(Debug, Clone)]
+pub struct DagFamilyReport {
+    /// Family name as reported in the JSON (`windowed_join`, ...).
+    pub name: &'static str,
+    /// Plan size in nodes.
+    pub nodes: usize,
+    /// Total inputs across all plan nodes.
+    pub inputs: usize,
+    /// Inputs/sec of the sequential topological reference.
+    pub seq_inputs_per_sec: f64,
+    /// Inputs/sec of the pooled run (critical path on the high lane).
+    pub pooled_inputs_per_sec: f64,
+    /// `pooled_inputs_per_sec / seq_inputs_per_sec`.
+    pub speedup: f64,
+    /// Plan-node aborts observed (obs `NodeAbort` events) — the tuned
+    /// family configs are expected to commit every cut-set (0 aborts).
+    pub aborts: usize,
+    /// Pooled-vs-sequential identity failures (outputs, report, or trace).
+    /// Anything but 0 is an engine bug; `dag_smoke` and the bench gate
+    /// both fail on it.
+    pub mismatches: usize,
+}
+
+/// How hard to drive the families.
+#[derive(Debug, Clone, Copy)]
+pub struct DagSettings {
+    /// Worker threads for the pooled arm.
+    pub workers: usize,
+    /// Multiplies every family's node input counts.
+    pub scale: usize,
+}
+
+impl DagSettings {
+    /// CI-smoke scale: sub-second on one core.
+    pub fn tiny() -> Self {
+        DagSettings {
+            workers: 2,
+            scale: 1,
+        }
+    }
+
+    /// The scale `bench_pipeline` reports.
+    pub fn pipeline() -> Self {
+        DagSettings {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+            scale: 8,
+        }
+    }
+}
+
+/// Runs one family at the given scale: times both arms, checks identity,
+/// counts aborts. Panics only on plan/input construction bugs — identity
+/// failures are *reported* (so the pipeline still emits JSON) and gated by
+/// the caller.
+fn drive<T, F>(
+    name: &'static str,
+    make: F,
+    plan: SpecPlan,
+    inputs: Vec<T::Input>,
+    initial: T::State,
+    config: SpecConfig,
+    settings: &DagSettings,
+) -> DagFamilyReport
+where
+    T: StateTransition,
+    T::Input: Clone,
+    T::Output: PartialEq,
+    F: Fn() -> T,
+{
+    assert_eq!(inputs.len(), plan.total_inputs());
+    let options = RunOptions::default()
+        .config(config)
+        .seed(0xDA6)
+        .plan(plan.clone());
+
+    // Reference arm: sequential topological order, with the obs stream
+    // recorded once (untimed) to count plan-node aborts.
+    let sink = Arc::new(RecordingSink::new());
+    let reference = run_protocol_with_options(
+        &make(),
+        &inputs,
+        &initial,
+        &options
+            .clone()
+            .sink(Arc::clone(&sink) as Arc<dyn EventSink>),
+    );
+    let aborts = sink
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::NodeAbort { .. }))
+        .count();
+
+    let mut seq_rate = 0.0f64;
+    for _ in 0..PASSES {
+        let start = Instant::now();
+        let r = run_protocol_with_options(&make(), &inputs, &initial, &options);
+        let rate = inputs.len() as f64 / start.elapsed().as_secs_f64().max(1e-9);
+        assert_eq!(r.outputs.len(), inputs.len());
+        seq_rate = seq_rate.max(rate);
+    }
+
+    let pool = Arc::new(ThreadPool::new(settings.workers));
+    let mut pooled_rate = 0.0f64;
+    let mut mismatches = 0usize;
+    for _ in 0..PASSES {
+        let dep = StateDependence::new(inputs.clone(), initial.clone(), make())
+            .with_options(options.clone().pool(Arc::clone(&pool)));
+        let start = Instant::now();
+        let outcome = dep.run();
+        let rate = inputs.len() as f64 / start.elapsed().as_secs_f64().max(1e-9);
+        pooled_rate = pooled_rate.max(rate);
+        if outcome.outputs != reference.outputs
+            || outcome.report != reference.report
+            || outcome.trace != reference.trace
+        {
+            mismatches += 1;
+        }
+    }
+
+    DagFamilyReport {
+        name,
+        nodes: plan.len(),
+        inputs: inputs.len(),
+        seq_inputs_per_sec: seq_rate,
+        pooled_inputs_per_sec: pooled_rate,
+        speedup: pooled_rate / seq_rate.max(1e-9),
+        aborts,
+        mismatches,
+    }
+}
+
+/// Runs all three DAG families at the given settings.
+pub fn run_dag_bench(settings: &DagSettings) -> Vec<DagFamilyReport> {
+    let s = settings.scale;
+    vec![
+        drive(
+            "windowed_join",
+            || windowed_join::WindowedJoin,
+            windowed_join::plan(3, 48 * s, 24 * s),
+            windowed_join::inputs(11, 3, 48 * s, 24 * s),
+            windowed_join::initial(),
+            windowed_join::config(),
+            settings,
+        ),
+        drive(
+            "gameloop",
+            || gameloop::GameLoop,
+            gameloop::plan(3, 24 * s),
+            gameloop::inputs(5, 3, 24 * s),
+            gameloop::initial(),
+            gameloop::config(),
+            settings,
+        ),
+        drive(
+            "ensemble",
+            || ensemble::Ensemble,
+            ensemble::plan(8, 4, 32 * s, 16 * s),
+            ensemble::inputs(3, 8, 4, 32 * s, 16 * s),
+            ensemble::initial(),
+            ensemble::config(8),
+            settings,
+        ),
+    ]
+}

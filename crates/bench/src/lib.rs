@@ -10,6 +10,7 @@
 
 #![deny(missing_docs)]
 
+pub mod dag_driver;
 pub mod experiments;
 pub mod render;
 pub mod serve_driver;

@@ -1,0 +1,792 @@
+//! Executing a [`SpecPlan`]: speculation over a dependency DAG of segments.
+//!
+//! Each plan node runs the ordinary linear protocol over its own input
+//! range; the DAG layer decides what state each node *starts* from and when
+//! its results *commit*:
+//!
+//! - **Roots** start from the plan's initial state, non-speculatively.
+//! - With cross-node speculation enabled, a non-root node starts eagerly
+//!   from a *plan-auxiliary* state: from the initial state, the auxiliary
+//!   bindings consume the last [`SpecConfig::window`] inputs of each parent
+//!   (ascending parent order) — the DAG generalization of the paper's
+//!   auxiliary code, computable before any parent finishes.
+//! - A node's **cut-set validation** fires once every parent has settled:
+//!   the parents' committed final states are merged
+//!   ([`StateTransition::merge_states`]) and the node's speculative start
+//!   state is compared against the merge with [`SpecState::matches_any`].
+//!   Match ⇒ the eager run commits as-is. Mismatch ⇒ the node **aborts**:
+//!   its eager run is squashed, it re-executes from the real merged state,
+//!   and — the cut-set rollback rule — every node in its *downstream cone*
+//!   is squashed by rule (no validation; each re-executes from its own real
+//!   merged state once its parents settle). Nodes outside the cone are
+//!   untouched: sibling branches keep their committed results.
+//! - With speculation disabled (plan- or config-level), non-root nodes
+//!   simply wait for their parents — pure dataflow scheduling — which is
+//!   how a linear chain reduces byte-identically to the legacy
+//!   [`RunOptions::segment`](crate::RunOptions::segment) path.
+//!
+//! Determinism: node-internal seeds derive exactly as segmented seeds do
+//! (`run_seed ^ node_id << 32`), plan-auxiliary and recovery runs use their
+//! own salts, and [`PlanResolver`] always resolves nodes in the plan's
+//! canonical topological order — so any scheduling of the eager runs (the
+//! sequential reference, or the pool with any worker count) produces
+//! bit-identical outputs, reports, and traces. `tests/dag_properties.rs`
+//! property-tests this across random plans, seeds, and worker counts.
+
+use crate::ctx::WorkMeter;
+use crate::faults::{FaultKind, FaultPlan};
+use crate::obs::{EventKind, EventSink};
+use crate::plan::{PlanNodeId, SpecPlan};
+use crate::protocol::{
+    run_invocation, run_observed_inner, ProtocolResult, SpecConfig, SpecReport, SpecTrace,
+    TraceNodeKind,
+};
+use crate::sdi::{SpecState, StateTransition};
+
+/// Salt applied to the run seed for plan-level auxiliary chains, so the
+/// cross-node auxiliary producer never replays the original code's
+/// randomness or any node-internal auxiliary stream.
+const PLAN_AUX_SALT: u64 = 0x0DA6_A0C1_7E57_A0ED;
+
+/// Salt applied to a node's seed when it re-executes after a cut-set abort,
+/// so the recovery run's PRVG streams differ from the squashed speculative
+/// run's (the DAG analog of the linear tail's attempt bump).
+const DAG_RERUN_SALT: u64 = 0x0DA6_2E2C_5EED_F00D;
+
+/// The seed of `node`'s internal protocol run. Matches the segmented path's
+/// `run_seed ^ seg_idx << 32` derivation — the reason a linear
+/// non-speculative plan is byte-identical to `RunOptions::segment`.
+pub(crate) fn node_seed(run_seed: u64, node: PlanNodeId) -> u64 {
+    run_seed ^ (node as u64) << 32
+}
+
+fn rerun_seed(run_seed: u64, node: PlanNodeId) -> u64 {
+    node_seed(run_seed, node) ^ DAG_RERUN_SALT
+}
+
+/// Whether cross-node speculation applies to `node` under this plan and
+/// configuration (plan flag AND [`SpecConfig::speculate`]; roots never
+/// speculate — they start from the real initial state).
+fn node_speculates(plan: &SpecPlan, config: &SpecConfig, node: PlanNodeId) -> bool {
+    !plan.node(node).parents.is_empty() && plan.speculates() && config.speculate
+}
+
+/// Whether `node`'s first execution can be dispatched before its parents
+/// settle: roots run from the plan's initial state, speculative nodes from
+/// their plan-auxiliary state.
+pub(crate) fn node_is_eager(plan: &SpecPlan, config: &SpecConfig, node: PlanNodeId) -> bool {
+    plan.node(node).parents.is_empty() || node_speculates(plan, config, node)
+}
+
+/// Panic (with coordinates) unless the input count matches the plan.
+pub(crate) fn assert_plan_matches(plan: &SpecPlan, inputs: usize) {
+    assert_eq!(
+        plan.total_inputs(),
+        inputs,
+        "RunOptions::plan expects exactly {} inputs (the plan's total across \
+         all nodes), got {}",
+        plan.total_inputs(),
+        inputs
+    );
+}
+
+/// One eagerly executable node run: the plan-auxiliary state it started
+/// from (`None` for roots) and the inner protocol result. Pure data — this
+/// is what pool jobs hand back to the [`PlanResolver`].
+pub(crate) struct NodeRun<T: StateTransition> {
+    aux_work: Option<WorkMeter>,
+    spec_start: Option<T::State>,
+    run: ProtocolResult<T>,
+}
+
+/// Execute `node`'s eager run. For roots: the inner protocol from the
+/// plan's initial state. For speculative nodes: the plan-auxiliary chain
+/// over each parent's input tail (ascending parent order, auxiliary
+/// bindings, plan-aux seed space), then the inner protocol from the
+/// resulting speculative state. Thread-safe and deterministic.
+#[allow(clippy::too_many_arguments)] // one parameter per execution-model knob
+pub(crate) fn run_node_eager<T: StateTransition>(
+    plan: &SpecPlan,
+    node: PlanNodeId,
+    transition: &T,
+    inputs: &[T::Input],
+    initial: &T::State,
+    config: &SpecConfig,
+    run_seed: u64,
+    sink: &dyn EventSink,
+) -> NodeRun<T> {
+    let base = plan.input_base(node);
+    let slice = &inputs[base..base + plan.node(node).inputs];
+    if plan.node(node).parents.is_empty() {
+        let run = run_observed_inner(
+            transition,
+            slice,
+            initial,
+            config,
+            node_seed(run_seed, node),
+            sink,
+            None,
+        );
+        return NodeRun {
+            aux_work: None,
+            spec_start: None,
+            run,
+        };
+    }
+    let mut state = initial.clone();
+    let mut aux_work = WorkMeter::default();
+    for &p in &plan.node(node).parents {
+        let p_base = plan.input_base(p);
+        let p_len = plan.node(p).inputs;
+        let w = config.window.min(p_len);
+        let lo = p_base + p_len - w;
+        for (i, input) in (lo..p_base + p_len).zip(&inputs[lo..p_base + p_len]) {
+            let (_out, m) = run_invocation(
+                transition,
+                input,
+                &mut state,
+                run_seed ^ PLAN_AUX_SALT,
+                node as u64,
+                i as u64,
+                0,
+                &config.aux_bindings,
+                true,
+            );
+            aux_work.total += m.total;
+            aux_work.memory += m.memory;
+        }
+    }
+    let run = run_observed_inner(
+        transition,
+        slice,
+        &state,
+        config,
+        node_seed(run_seed, node),
+        sink,
+        None,
+    );
+    NodeRun {
+        aux_work: Some(aux_work),
+        spec_start: Some(state),
+        run,
+    }
+}
+
+/// How one node resolved, with everything the canonical trace layout needs.
+struct NodeOutcome<T: StateTransition> {
+    /// Work of the plan-auxiliary chain (`Some` ⇔ the node was speculative).
+    aux_work: Option<WorkMeter>,
+    /// Whether a cut-set validation node exists for this node (false for
+    /// roots, dataflow nodes, and cone-squashed nodes, which skip
+    /// validation by rule).
+    validated: bool,
+    /// The first execution: the committed run, unless `rerun` is present —
+    /// then this run was squashed.
+    run: ProtocolResult<T>,
+    /// The recovery execution from the real merged parent state, present
+    /// exactly when the node aborted or was cone-squashed.
+    rerun: Option<ProtocolResult<T>>,
+}
+
+/// The incremental DAG resolver: ingest eager node runs in *any* order (as
+/// the pool finishes them); nodes are resolved — validated, committed, or
+/// aborted with their downstream cone squashed — strictly in the plan's
+/// canonical topological order, as soon as their cut-set allows. That fixed
+/// resolution order is what makes every schedule bit-identical.
+pub(crate) struct PlanResolver<'a, T: StateTransition> {
+    plan: &'a SpecPlan,
+    transition: &'a T,
+    inputs: &'a [T::Input],
+    config: &'a SpecConfig,
+    run_seed: u64,
+    sink: &'a dyn EventSink,
+    /// Plan-level fault injection: forced mismatches target plan nodes
+    /// (site = node id). Node-internal runs are fault-free in plan mode.
+    faults: Option<&'a FaultPlan>,
+    pending: Vec<Option<NodeRun<T>>>,
+    outcomes: Vec<Option<NodeOutcome<T>>>,
+    settled: Vec<bool>,
+    /// For cone members: the aborted ancestor that doomed them.
+    squash_root: Vec<Option<PlanNodeId>>,
+    /// Position in the canonical topological order of the next unresolved
+    /// node.
+    next_topo: usize,
+    aborted: bool,
+    dag_validations: usize,
+}
+
+impl<'a, T: StateTransition> PlanResolver<'a, T> {
+    #[allow(clippy::too_many_arguments)] // one parameter per execution-model knob
+    pub(crate) fn new(
+        plan: &'a SpecPlan,
+        transition: &'a T,
+        inputs: &'a [T::Input],
+        config: &'a SpecConfig,
+        run_seed: u64,
+        sink: &'a dyn EventSink,
+        faults: Option<&'a FaultPlan>,
+    ) -> Self {
+        assert_plan_matches(plan, inputs.len());
+        let n = plan.len();
+        PlanResolver {
+            plan,
+            transition,
+            inputs,
+            config,
+            run_seed,
+            sink,
+            faults,
+            pending: (0..n).map(|_| None).collect(),
+            outcomes: (0..n).map(|_| None).collect(),
+            settled: vec![false; n],
+            squash_root: vec![None; n],
+            next_topo: 0,
+            aborted: false,
+            dag_validations: 0,
+        }
+    }
+
+    /// Hand one eager node run to the resolver and resolve every node the
+    /// canonical order now allows. Non-eager (dataflow) nodes are executed
+    /// inline here, on the resolving thread, as their parents settle.
+    pub(crate) fn ingest(&mut self, node: PlanNodeId, run: NodeRun<T>) {
+        assert!(
+            self.pending[node].is_none() && !self.settled[node],
+            "plan node {node} ingested twice"
+        );
+        self.pending[node] = Some(run);
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        while self.next_topo < self.plan.len() {
+            let node = self.plan.topo_order()[self.next_topo];
+            if node_is_eager(self.plan, self.config, node) && self.pending[node].is_none() {
+                break; // the eager run has not arrived yet
+            }
+            self.resolve(node);
+            self.next_topo += 1;
+        }
+    }
+
+    /// The committed final state of a settled node (the recovery run's if
+    /// the node was squashed).
+    fn node_final(&self, node: PlanNodeId) -> &T::State {
+        let oc = self.outcomes[node]
+            .as_ref()
+            .expect("parent settled before child resolution");
+        match &oc.rerun {
+            Some(r) => &r.final_state,
+            None => &oc.run.final_state,
+        }
+    }
+
+    /// Merge the committed finals of `node`'s parents (ascending id order).
+    fn merged_parent_state(&self, node: PlanNodeId) -> T::State {
+        let states: Vec<T::State> = self
+            .plan
+            .node(node)
+            .parents
+            .iter()
+            .map(|&p| self.node_final(p).clone())
+            .collect();
+        self.transition.merge_states(&states)
+    }
+
+    /// One inner protocol run over `node`'s inputs from `start` — used for
+    /// dataflow nodes and post-abort recovery runs, inline on the resolving
+    /// thread.
+    fn run_inline(&self, node: PlanNodeId, start: &T::State, seed: u64) -> ProtocolResult<T> {
+        let base = self.plan.input_base(node);
+        let slice = &self.inputs[base..base + self.plan.node(node).inputs];
+        run_observed_inner(
+            self.transition,
+            slice,
+            start,
+            self.config,
+            seed,
+            self.sink,
+            None,
+        )
+    }
+
+    /// Whether the fault plan forces this node's cut-set validation to
+    /// mismatch; emits the marker event when it fires.
+    fn forced_mismatch(&self, node: PlanNodeId) -> bool {
+        let Some(plan) = self.faults else {
+            return false;
+        };
+        let fired = plan.fires(FaultKind::ValidationMismatch, self.run_seed, node as u64, 0);
+        if fired && self.sink.enabled() {
+            self.sink.emit(EventKind::FaultInjected {
+                kind: FaultKind::ValidationMismatch,
+                site: node,
+                attempt: 0,
+            });
+        }
+        fired
+    }
+
+    fn resolve(&mut self, node: PlanNodeId) {
+        if self.plan.node(node).parents.is_empty() {
+            let NodeRun { run, .. } = self.pending[node].take().expect("root run ingested");
+            self.outcomes[node] = Some(NodeOutcome {
+                aux_work: None,
+                validated: false,
+                run,
+                rerun: None,
+            });
+            self.settled[node] = true;
+            return;
+        }
+        let merged = self.merged_parent_state(node);
+        if !node_speculates(self.plan, self.config, node) {
+            // Pure dataflow: the node waited for its parents and now runs
+            // from the real merged state — the segmented semantics.
+            let run = self.run_inline(node, &merged, node_seed(self.run_seed, node));
+            self.outcomes[node] = Some(NodeOutcome {
+                aux_work: None,
+                validated: false,
+                run,
+                rerun: None,
+            });
+            self.settled[node] = true;
+            return;
+        }
+        let NodeRun {
+            aux_work,
+            spec_start,
+            run,
+        } = self.pending[node].take().expect("speculative run ingested");
+        let spec_start = spec_start.expect("speculative run carries its start state");
+        if let Some(root) = self.squash_root[node] {
+            // Cut-set rollback rule: downstream of an abort, the eager run
+            // is squashed without validation and the node re-executes from
+            // its real merged state (speculation re-enabled inside — the
+            // recovery run starts from a *real* state, like a fresh
+            // segment after a segmented abort).
+            if self.sink.enabled() {
+                self.sink.emit(EventKind::ConeSquash { node, root });
+            }
+            let rerun = self.run_inline(node, &merged, rerun_seed(self.run_seed, node));
+            self.outcomes[node] = Some(NodeOutcome {
+                aux_work,
+                validated: false,
+                run,
+                rerun: Some(rerun),
+            });
+            self.settled[node] = true;
+            return;
+        }
+        self.dag_validations += 1;
+        let matched =
+            spec_start.matches_any(std::slice::from_ref(&merged)) && !self.forced_mismatch(node);
+        if self.sink.enabled() {
+            self.sink.emit(EventKind::NodeValidation { node, matched });
+        }
+        if matched {
+            if self.sink.enabled() {
+                self.sink.emit(EventKind::NodeCommit { node });
+            }
+            self.outcomes[node] = Some(NodeOutcome {
+                aux_work,
+                validated: true,
+                run,
+                rerun: None,
+            });
+        } else {
+            self.aborted = true;
+            if self.sink.enabled() {
+                self.sink.emit(EventKind::NodeAbort { node });
+            }
+            for c in self.plan.downstream_cone(node) {
+                if self.squash_root[c].is_none() {
+                    self.squash_root[c] = Some(node);
+                }
+            }
+            let rerun = self.run_inline(node, &merged, rerun_seed(self.run_seed, node));
+            self.outcomes[node] = Some(NodeOutcome {
+                aux_work,
+                validated: true,
+                run,
+                rerun: Some(rerun),
+            });
+        }
+        self.settled[node] = true;
+    }
+
+    /// Lay out the canonical trace (topological node order, fixed per-node
+    /// shape: plan-aux, eager run, validation, recovery run), assemble the
+    /// outputs, and merge the reports.
+    pub(crate) fn finish(mut self) -> ProtocolResult<T> {
+        assert_eq!(
+            self.next_topo,
+            self.plan.len(),
+            "unresolved plan nodes at finish"
+        );
+        let val_work = WorkMeter {
+            total: self.config.validation_cost,
+            memory: 0.0,
+        };
+        let mut trace = SpecTrace::default();
+        let mut report = SpecReport {
+            validations: self.dag_validations,
+            aborted: self.aborted,
+            ..SpecReport::default()
+        };
+        let mut outputs: Vec<Option<T::Output>> = Vec::new();
+        outputs.resize_with(self.plan.total_inputs(), || None);
+        let mut last_committed: Vec<Option<usize>> = vec![None; self.plan.len()];
+        let mut finals: Vec<Option<T::State>> = (0..self.plan.len()).map(|_| None).collect();
+
+        for &node in self.plan.topo_order() {
+            let NodeOutcome {
+                aux_work,
+                validated,
+                run,
+                rerun,
+            } = self.outcomes[node].take().expect("settled node outcome");
+            let base = self.plan.input_base(node);
+            let gates: Vec<usize> = self
+                .plan
+                .node(node)
+                .parents
+                .iter()
+                .filter_map(|&p| last_committed[p])
+                .collect();
+            let region_start = trace.nodes.len();
+            let squashed = rerun.is_some();
+
+            let mut aux_idx = None;
+            if let Some(w) = aux_work {
+                let idx = trace.push(TraceNodeKind::Auxiliary { group: node }, w, Vec::new());
+                trace.nodes[idx].committed = !squashed;
+                aux_idx = Some(idx);
+            }
+            // The eager/dataflow run: its entry nodes start from the
+            // plan-auxiliary state (speculative) or the merged parent
+            // states (real).
+            let entry = match aux_idx {
+                Some(a) => vec![a],
+                None => gates.clone(),
+            };
+            let ProtocolResult {
+                outputs: run_outputs,
+                final_state: run_final,
+                report: run_report,
+                trace: run_trace,
+            } = run;
+            absorb_subtrace(&mut trace, run_trace, &entry, squashed);
+            report.reexecutions += run_report.reexecutions;
+            report.validations += run_report.validations;
+            report.aborted |= run_report.aborted;
+
+            let mut val_idx = None;
+            if validated {
+                let mut deps = vec![aux_idx.expect("validated nodes are speculative")];
+                deps.extend_from_slice(&gates);
+                val_idx = Some(trace.push(
+                    TraceNodeKind::Validation {
+                        group: node,
+                        attempt: 0,
+                    },
+                    val_work,
+                    deps,
+                ));
+            }
+
+            let (node_outputs, node_groups, node_final) = match rerun {
+                Some(r) => {
+                    let ProtocolResult {
+                        outputs: re_outputs,
+                        final_state: re_final,
+                        report: re_report,
+                        trace: re_trace,
+                    } = r;
+                    let mut entry: Vec<usize> = Vec::new();
+                    if let Some(v) = val_idx {
+                        entry.push(v);
+                    }
+                    entry.extend_from_slice(&gates);
+                    absorb_subtrace(&mut trace, re_trace, &entry, false);
+                    report.reexecutions += re_report.reexecutions;
+                    report.validations += re_report.validations;
+                    report.aborted |= re_report.aborted;
+                    (re_outputs, re_report.groups, re_final)
+                }
+                None => (run_outputs, run_report.groups, run_final),
+            };
+
+            for (off, out) in node_outputs.into_iter().enumerate() {
+                outputs[base + off] = Some(out);
+            }
+            for mut g in node_groups {
+                g.start += base;
+                g.end += base;
+                report.groups.push(g);
+            }
+            finals[node] = Some(node_final);
+            last_committed[node] = trace.nodes[region_start..]
+                .iter()
+                .rposition(|n| n.committed)
+                .map(|off| region_start + off);
+
+            // Per-node work sub-sums, added node by node: the same float
+            // operation order the segmented accumulator uses, so a linear
+            // dataflow plan reproduces its report bit-for-bit.
+            let (mut orig, mut aux, mut squash) = (0.0_f64, 0.0_f64, 0.0_f64);
+            for tn in &trace.nodes[region_start..] {
+                let w = tn.work.total;
+                if tn.committed {
+                    match tn.kind {
+                        TraceNodeKind::Auxiliary { .. } => aux += w,
+                        _ => orig += w,
+                    }
+                } else {
+                    squash += w;
+                }
+            }
+            report.committed_original_work += orig;
+            report.committed_aux_work += aux;
+            report.squashed_work += squash;
+        }
+
+        // The plan's final state: the sink nodes' committed finals, merged
+        // in ascending node-id order.
+        let sink_finals: Vec<T::State> = (0..self.plan.len())
+            .filter(|&i| self.plan.children(i).is_empty())
+            .map(|i| finals[i].take().expect("sink node settled"))
+            .collect();
+        let final_state = self.transition.merge_states(&sink_finals);
+        let outputs: Vec<T::Output> = outputs
+            .into_iter()
+            .map(|o| o.expect("every plan input has a committed output"))
+            .collect();
+        ProtocolResult {
+            outputs,
+            final_state,
+            report,
+            trace,
+        }
+    }
+}
+
+/// Append a node-internal sub-trace: shift dependence indices past the
+/// nodes already laid out, attach the node's entry nodes (those with no
+/// intra-run dependences) to `entry_deps`, and — when the run was squashed
+/// — force every node's committed flag off.
+fn absorb_subtrace(trace: &mut SpecTrace, sub: SpecTrace, entry_deps: &[usize], squash: bool) {
+    let base = trace.nodes.len();
+    for mut node in sub.nodes {
+        node.deps.iter_mut().for_each(|d| *d += base);
+        if node.deps.is_empty() {
+            node.deps.extend_from_slice(entry_deps);
+        }
+        if squash {
+            node.committed = false;
+        }
+        trace.nodes.push(node);
+    }
+}
+
+/// The sequential reference execution of a plan: eager runs executed inline
+/// in canonical topological order, resolution interleaved by the
+/// [`PlanResolver`]. Every parallel schedule must reproduce this result
+/// bit-for-bit.
+#[allow(clippy::too_many_arguments)] // one parameter per execution-model knob
+pub(crate) fn run_plan_sequential<T: StateTransition>(
+    transition: &T,
+    inputs: &[T::Input],
+    initial: &T::State,
+    plan: &SpecPlan,
+    config: &SpecConfig,
+    run_seed: u64,
+    sink: &dyn EventSink,
+    faults: Option<&FaultPlan>,
+) -> ProtocolResult<T> {
+    let mut resolver = PlanResolver::new(plan, transition, inputs, config, run_seed, sink, faults);
+    for &node in plan.topo_order() {
+        if node_is_eager(plan, config, node) {
+            let run = run_node_eager(
+                plan, node, transition, inputs, initial, config, run_seed, sink,
+            );
+            resolver.ingest(node, run);
+        }
+    }
+    resolver.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::InvocationCtx;
+    use crate::faults::FaultRule;
+    use crate::obs::{RecordingSink, NOOP};
+    use crate::sdi::ExactState;
+    use std::sync::Arc;
+
+    /// Short-memory transition: state is the last input seen, and the fan-in
+    /// merge keeps the *last* parent's state — so a plan-auxiliary chain
+    /// with window >= 1 reproduces the merged state exactly and every
+    /// cut-set validation matches.
+    struct LastMerge;
+    impl StateTransition for LastMerge {
+        type Input = u64;
+        type State = ExactState<u64>;
+        type Output = u64;
+        fn compute_output(
+            &self,
+            input: &u64,
+            state: &mut ExactState<u64>,
+            ctx: &mut InvocationCtx,
+        ) -> u64 {
+            ctx.charge(10.0);
+            state.0 = *input;
+            state.0
+        }
+        fn merge_states(&self, parents: &[Self::State]) -> Self::State {
+            *parents.last().expect("at least one parent")
+        }
+    }
+
+    fn diamond() -> SpecPlan {
+        let mut b = SpecPlan::builder();
+        let src = b.node(6);
+        let l = b.node(6);
+        let r = b.node(6);
+        let j = b.node(6);
+        b.edge(src, l).edge(src, r).edge(l, j).edge(r, j);
+        b.build().unwrap()
+    }
+
+    fn run_diamond(
+        faults: Option<&FaultPlan>,
+        sink: &dyn EventSink,
+        seed: u64,
+    ) -> ProtocolResult<LastMerge> {
+        let plan = diamond();
+        let inputs: Vec<u64> = (1..=plan.total_inputs() as u64).collect();
+        let config = SpecConfig {
+            group_size: 3,
+            window: 1,
+            ..SpecConfig::default()
+        };
+        run_plan_sequential(
+            &LastMerge,
+            &inputs,
+            &ExactState(0),
+            &plan,
+            &config,
+            seed,
+            sink,
+            faults,
+        )
+    }
+
+    #[test]
+    fn short_memory_diamond_commits_every_node() {
+        let sink = Arc::new(RecordingSink::new());
+        let r = run_diamond(None, &*sink, 7);
+        assert!(!r.report.aborted);
+        let inputs: Vec<u64> = (1..=24).collect();
+        assert_eq!(r.outputs, inputs, "Last echoes its input");
+        assert_eq!(r.final_state.0, 24);
+        let kinds: Vec<EventKind> = sink.events().iter().map(|e| e.kind).collect();
+        for node in 1..=3 {
+            assert!(kinds.contains(&EventKind::NodeValidation {
+                node,
+                matched: true
+            }));
+            assert!(kinds.contains(&EventKind::NodeCommit { node }));
+        }
+        assert!(!kinds
+            .iter()
+            .any(|k| matches!(k, EventKind::NodeAbort { .. })));
+    }
+
+    #[test]
+    fn forced_abort_squashes_only_the_downstream_cone() {
+        // Find a fault seed that targets node 1 (left branch) but not node
+        // 2 (right branch); node 3 is in node 1's cone and skips
+        // validation by rule.
+        let fseed = (0..200)
+            .map(|s| FaultPlan::new(s).validation_mismatch(FaultRule::permanent(0.5)))
+            .find(|p| {
+                p.fires(FaultKind::ValidationMismatch, 7, 1, 0)
+                    && !p.fires(FaultKind::ValidationMismatch, 7, 2, 0)
+            })
+            .expect("a selective fault seed exists");
+        let clean_sink = Arc::new(RecordingSink::new());
+        let clean = run_diamond(None, &*clean_sink, 7);
+        let sink = Arc::new(RecordingSink::new());
+        let faulted = run_diamond(Some(&fseed), &*sink, 7);
+
+        assert!(faulted.report.aborted);
+        let kinds: Vec<EventKind> = sink.events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::NodeAbort { node: 1 }));
+        assert!(kinds.contains(&EventKind::NodeCommit { node: 2 }));
+        assert!(kinds.contains(&EventKind::ConeSquash { node: 3, root: 1 }));
+        // The sibling branch's committed outputs are untouched by the abort.
+        assert_eq!(faulted.outputs[12..18], clean.outputs[12..18]);
+        // Every output is still the correct value (Last echoes inputs even
+        // through recovery runs).
+        assert_eq!(faulted.outputs, clean.outputs);
+        // Squashed work appeared: the left branch and the join's eager runs.
+        assert!(faulted.report.squashed_work > clean.report.squashed_work);
+    }
+
+    #[test]
+    fn trace_edges_point_backward_and_work_partitions() {
+        for faults in [
+            None,
+            Some(FaultPlan::new(3).validation_mismatch(FaultRule::permanent(1.0))),
+        ] {
+            let r = run_diamond(faults.as_ref(), &NOOP, 11);
+            for (i, node) in r.trace.nodes.iter().enumerate() {
+                for &d in &node.deps {
+                    assert!(d < i, "node {i} depends on non-earlier {d}");
+                }
+            }
+            let parts = r.report.committed_original_work
+                + r.report.committed_aux_work
+                + r.report.squashed_work;
+            assert!((r.trace.total_work() - parts).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sequential_run_is_deterministic() {
+        let a = run_diamond(None, &NOOP, 42);
+        let b = run_diamond(None, &NOOP, 42);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn node_seed_matches_segmented_derivation() {
+        // The segmented path derives `run_seed ^ seg_idx << 32`; node seeds
+        // must be identical for the linear-plan reduction to hold.
+        for seed in [0u64, 1, 0xDEAD_BEEF] {
+            for node in 0..5usize {
+                assert_eq!(node_seed(seed, node), seed ^ (node as u64) << 32);
+            }
+        }
+    }
+
+    #[test]
+    fn eagerness_follows_speculation_flags() {
+        let plan = diamond();
+        let on = SpecConfig::default();
+        let off = SpecConfig::sequential();
+        assert!(node_is_eager(&plan, &on, 0), "roots are always eager");
+        assert!(node_is_eager(&plan, &on, 3));
+        assert!(node_is_eager(&plan, &off, 0));
+        assert!(!node_is_eager(&plan, &off, 3), "dataflow nodes wait");
+        let linear = SpecPlan::linear(&[4, 4]);
+        assert!(
+            !node_is_eager(&linear, &on, 1),
+            "linear() disables DAG speculation"
+        );
+    }
+}

@@ -66,15 +66,20 @@
 //! ```
 //!
 //! For continuous input streams, [`Session`] runs the same execution model
-//! incrementally — see `docs/streaming.md` in the repository root.
+//! incrementally — see `docs/streaming.md` in the repository root. When the
+//! state dependences form a fan-out/fan-in graph rather than a line,
+//! describe them with a [`SpecPlan`] and pass it via [`RunOptions::plan`] —
+//! validation and rollback then scope to DAG cut-sets (`docs/dag.md`).
 
 #![deny(missing_docs)]
 
 mod adapt;
 mod ctx;
+mod dag;
 mod faults;
 pub mod obs;
 mod options;
+mod plan;
 mod pool;
 mod protocol;
 mod resolver;
@@ -90,13 +95,12 @@ pub use ctx::{InvocationCtx, WorkMeter};
 pub use faults::{FaultKind, FaultPlan, FaultRule};
 pub use obs::{Event, EventKind, EventSink, NoopSink, RecordingSink};
 pub use options::RunOptions;
+pub use plan::{PlanError, PlanNode, PlanNodeId, SpecPlan, SpecPlanBuilder};
 pub use pool::{PoolMetrics, Priority, ThreadPool};
 pub use protocol::{
     run_protocol, run_protocol_with_options, GroupRecord, GroupResolution, ProtocolResult,
     SpecConfig, SpecReport, SpecTrace, TraceNode, TraceNodeKind,
 };
-#[allow(deprecated)]
-pub use protocol::{run_protocol_observed, run_protocol_segmented};
 pub use runtime::{SpecOutcome, StateDependence};
 pub use sdi::{ExactState, SpecState, StateTransition};
 pub use serve::{
@@ -118,10 +122,11 @@ pub mod prelude {
     pub use crate::obs::{Event, EventKind, EventSink, NoopSink, RecordingSink};
     pub use crate::{
         run_protocol, run_protocol_with_options, AdaptPolicy, AdaptState, AdaptiveController,
-        ExactState, FairnessPolicy, FaultKind, FaultPlan, FaultRule, InvocationCtx, Priority,
-        ProtocolResult, PushError, RetryPolicy, RunOptions, ServeError, ServerMetrics,
-        ServerOptions, Session, SessionError, SessionServer, SpecConfig, SpecOutcome, SpecReport,
-        SpecState, SpecTrace, SpillCodec, StateDependence, StateTransition, TenantHandle,
-        TenantMetrics, ThreadPool, TradeoffBindings, WorkMeter,
+        ExactState, FairnessPolicy, FaultKind, FaultPlan, FaultRule, InvocationCtx, PlanError,
+        PlanNode, PlanNodeId, Priority, ProtocolResult, PushError, RetryPolicy, RunOptions,
+        ServeError, ServerMetrics, ServerOptions, Session, SessionError, SessionServer, SpecConfig,
+        SpecOutcome, SpecPlan, SpecPlanBuilder, SpecReport, SpecState, SpecTrace, SpillCodec,
+        StateDependence, StateTransition, TenantHandle, TenantMetrics, ThreadPool,
+        TradeoffBindings, WorkMeter,
     };
 }

@@ -155,6 +155,36 @@ pub enum EventKind {
         /// Inputs deserialized from the segment.
         inputs: usize,
     },
+    /// A plan node's cut-set validation ran: its speculative start state
+    /// was compared against the merged committed finals of its parents
+    /// (see `docs/dag.md`).
+    NodeValidation {
+        /// The plan node validated.
+        node: usize,
+        /// Whether the speculative start state matched the merge.
+        matched: bool,
+    },
+    /// A plan node's cut-set validation matched: its eager speculative run
+    /// committed as-is.
+    NodeCommit {
+        /// The committed plan node.
+        node: usize,
+    },
+    /// A plan node's cut-set validation mismatched: its eager run is
+    /// squashed, it re-executes from the real merged state, and its
+    /// downstream cone is squashed by rule.
+    NodeAbort {
+        /// The aborted plan node.
+        node: usize,
+    },
+    /// A plan node inside an aborted ancestor's downstream cone was
+    /// squashed without validation (the cut-set rollback rule).
+    ConeSquash {
+        /// The squashed plan node.
+        node: usize,
+        /// The aborted ancestor whose cone swallowed it.
+        root: usize,
+    },
 }
 
 impl EventKind {
@@ -204,6 +234,15 @@ impl EventKind {
                 segment,
                 inputs,
             } => format!("replay t{tenant} seg{segment} ({inputs} inputs)"),
+            EventKind::NodeValidation { node, matched } => format!(
+                "plan-validate n{node}: {}",
+                if *matched { "match" } else { "mismatch" }
+            ),
+            EventKind::NodeCommit { node } => format!("plan-commit n{node}"),
+            EventKind::NodeAbort { node } => format!("plan-abort n{node}"),
+            EventKind::ConeSquash { node, root } => {
+                format!("cone-squash n{node} (root n{root})")
+            }
         }
     }
 

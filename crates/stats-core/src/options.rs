@@ -14,6 +14,7 @@ use std::sync::Arc;
 use crate::adapt::{AdaptPolicy, RetryPolicy};
 use crate::faults::FaultPlan;
 use crate::obs::{EventSink, NoopSink};
+use crate::plan::SpecPlan;
 use crate::pool::{Priority, ThreadPool};
 use crate::protocol::SpecConfig;
 
@@ -30,7 +31,13 @@ use crate::protocol::SpecConfig;
 ///     .segment(128);
 /// assert_eq!(options.seed, 42);
 /// ```
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`RunOptions::default()`] plus setters (new execution-model knobs are
+/// added as new fields without breaking downstream builds — the stability
+/// contract in `docs/streaming.md`).
 #[derive(Clone)]
+#[non_exhaustive]
 pub struct RunOptions {
     /// Thread pool shared with other state dependences. `None` means the
     /// consumer creates a private pool sized to the machine's available
@@ -47,6 +54,14 @@ pub struct RunOptions {
     /// carrying committed state across segments — an abort disables
     /// speculation only for the rest of its own segment.
     pub segment: Option<usize>,
+    /// When set, execute the inputs as a dependency DAG of segments (see
+    /// [`SpecPlan`] and `docs/dag.md`). Takes precedence over [`segment`]
+    /// (the plan's node boundaries *are* the segmentation). Batch-only:
+    /// [`Session`](crate::Session) streams a linear input sequence and
+    /// panics if a plan is set.
+    ///
+    /// [`segment`]: RunOptions::segment
+    pub plan: Option<SpecPlan>,
     /// Bound of the [`Session`](crate::Session) input queue: a producer
     /// pushing into a full queue blocks until the engine drains it.
     pub queue_capacity: usize,
@@ -80,6 +95,7 @@ impl Default for RunOptions {
             seed: 0,
             config: SpecConfig::default(),
             segment: None,
+            plan: None,
             queue_capacity: 1024,
             max_inflight_groups: 0,
             faults: None,
@@ -118,6 +134,16 @@ impl RunOptions {
     /// Process inputs in segments of `segment` inputs (clamped to >= 1).
     pub fn segment(mut self, segment: usize) -> Self {
         self.segment = Some(segment.max(1));
+        self
+    }
+
+    /// Execute the inputs as a dependency DAG of segments described by
+    /// `plan` (`docs/dag.md`). The run's input count must equal
+    /// [`SpecPlan::total_inputs`]; in plan mode the [`FaultPlan`] targets
+    /// plan-node cut-set validations (site = node id) and node-internal
+    /// runs are fault-free.
+    pub fn plan(mut self, plan: SpecPlan) -> Self {
+        self.plan = Some(plan);
         self
     }
 
@@ -170,6 +196,7 @@ mod tests {
         assert!(o.pool.is_none());
         assert_eq!(o.seed, 0);
         assert!(o.segment.is_none());
+        assert!(o.plan.is_none());
         assert!(!o.sink.enabled());
         assert_eq!(o.config.group_size, SpecConfig::default().group_size);
         assert!(o.faults.is_none());

@@ -473,6 +473,20 @@ pub fn run_protocol_with_options<T: StateTransition>(
     initial: &T::State,
     options: &RunOptions,
 ) -> ProtocolResult<T> {
+    if let Some(plan) = &options.plan {
+        // A DAG plan takes precedence over `segment`: the plan's own node
+        // boundaries are the segmentation.
+        return crate::dag::run_plan_sequential(
+            transition,
+            inputs,
+            initial,
+            plan,
+            &options.config,
+            options.seed,
+            &*options.sink,
+            options.faults.as_ref(),
+        );
+    }
     match options.segment {
         None => run_observed_inner(
             transition,
@@ -496,25 +510,8 @@ pub fn run_protocol_with_options<T: StateTransition>(
     }
 }
 
-/// [`run_protocol`] with observability: every protocol milestone (group
-/// start/end, validation, re-execution, commit, abort, sequential-tail
-/// entry) is emitted to `sink`. With the default
-/// [`NoopSink`](crate::obs::NoopSink) this is exactly [`run_protocol`]; the
-/// `protocol_run` Criterion bench pins the disabled overhead below 2%.
-#[deprecated(note = "use `run_protocol_with_options` with `RunOptions::default().sink(...)`")]
-pub fn run_protocol_observed<T: StateTransition>(
-    transition: &T,
-    inputs: &[T::Input],
-    initial: &T::State,
-    config: &SpecConfig,
-    run_seed: u64,
-    sink: &dyn EventSink,
-) -> ProtocolResult<T> {
-    run_observed_inner(transition, inputs, initial, config, run_seed, sink, None)
-}
-
 #[allow(clippy::too_many_arguments)] // one parameter per execution-model knob
-fn run_observed_inner<T: StateTransition>(
+pub(crate) fn run_observed_inner<T: StateTransition>(
     transition: &T,
     inputs: &[T::Input],
     initial: &T::State,
@@ -645,22 +642,8 @@ impl fmt::Display for SpecReport {
 /// *current* inputs are processed": in a long-running program the state
 /// dependence is re-entered per batch (a video chunk, a stream window), so
 /// an abort disables speculation only for the rest of its own segment —
-/// the next segment speculates afresh. This helper models that usage;
-/// reports are merged (group indices keep segment-local numbering).
-#[deprecated(note = "use `run_protocol_with_options` with `RunOptions::default().segment(...)`")]
-pub fn run_protocol_segmented<T: StateTransition>(
-    transition: &T,
-    inputs: &[T::Input],
-    initial: &T::State,
-    config: &SpecConfig,
-    run_seed: u64,
-    segment: usize,
-) -> ProtocolResult<T> {
-    run_segmented_inner(
-        transition, inputs, initial, config, run_seed, segment, &NOOP, None,
-    )
-}
-
+/// the next segment speculates afresh. Reports are merged (group indices
+/// keep segment-local numbering).
 #[allow(clippy::too_many_arguments)] // one parameter per execution-model knob
 fn run_segmented_inner<T: StateTransition>(
     transition: &T,

@@ -12,14 +12,14 @@
 //! and byte-identical to the sequential reference
 //! [`run_protocol`](crate::run_protocol) — a property the test suite checks.
 
-use crate::sync::{thread, Arc, Mutex};
+use crate::sync::{thread, Arc, Condvar, Mutex};
 
-use crate::obs::EventSink;
+use crate::dag::{assert_plan_matches, node_is_eager, run_node_eager, NodeRun, PlanResolver};
 use crate::options::RunOptions;
-use crate::pool::ThreadPool;
+use crate::pool::{Priority, ThreadPool};
 use crate::protocol::{
-    execute_group, run_protocol_with, GroupData, ProtocolResult, SegmentAccumulator, SpecConfig,
-    SpecReport, SpecTrace,
+    execute_group, run_protocol_with, GroupData, ProtocolResult, SegmentAccumulator, SpecReport,
+    SpecTrace,
 };
 use crate::sdi::StateTransition;
 
@@ -117,41 +117,9 @@ impl<T: StateTransition> StateDependence<T> {
     }
 
     /// Replace every runtime knob at once (builder style): pool, sink,
-    /// seed, config, and segmenting all come from `options`.
+    /// seed, config, segmenting, and DAG plan all come from `options`.
     pub fn with_options(self, options: RunOptions) -> Self {
         self.map_options(|o| *o = options)
-    }
-
-    /// Like [`StateDependence::new`], but sharing an existing thread pool —
-    /// the paper's runtime shares one pool among all state dependences.
-    #[deprecated(note = "use `new(...)` + `with_options(RunOptions::default().pool(...))`")]
-    pub fn with_pool(
-        inputs: Vec<T::Input>,
-        initial: T::State,
-        transition: T,
-        pool: Arc<ThreadPool>,
-    ) -> Self {
-        Self::new(inputs, initial, transition).map_options(|o| o.pool = Some(pool))
-    }
-
-    /// Replace the execution-model configuration (builder style).
-    #[deprecated(note = "use `with_options(RunOptions::default().config(...))`")]
-    pub fn with_config(self, config: SpecConfig) -> Self {
-        self.map_options(|o| o.config = config)
-    }
-
-    /// Install an observability sink (builder style). Group events are
-    /// emitted from pool worker threads; validation/commit/abort events
-    /// from the coordinator thread.
-    #[deprecated(note = "use `with_options(RunOptions::default().sink(...))`")]
-    pub fn with_sink(self, sink: Arc<dyn EventSink>) -> Self {
-        self.map_options(|o| o.sink = sink)
-    }
-
-    /// Set the run seed controlling every PRVG stream (builder style).
-    #[deprecated(note = "use `with_options(RunOptions::default().seed(...))`")]
-    pub fn with_seed(self, seed: u64) -> Self {
-        self.map_options(|o| o.seed = seed)
     }
 
     /// Run to completion and return the outcome. Equivalent to `start()`
@@ -216,12 +184,16 @@ impl<T: StateTransition> Drop for StateDependence<T> {
 }
 
 /// Execute the protocol with group execution fanned out to the pool,
-/// segment by segment when [`RunOptions::segment`] is set.
+/// segment by segment when [`RunOptions::segment`] is set, or over the
+/// dependency DAG when [`RunOptions::plan`] is set.
 fn run_pooled<T: StateTransition>(
     shared: &Arc<Shared<T>>,
     pool: &Arc<ThreadPool>,
 ) -> ProtocolResult<T> {
     let options = &shared.options;
+    if options.plan.is_some() {
+        return run_plan_pooled(shared, pool);
+    }
     match options.segment {
         None => run_pooled_chunk(
             shared,
@@ -305,11 +277,114 @@ fn run_pooled_chunk<T: StateTransition>(
     )
 }
 
+/// One filled slot per eager plan node, shared between pool jobs and the
+/// coordinator (a job's panic is carried as the `Err` payload).
+type NodeSlots<T> = Arc<(Mutex<Vec<Option<std::thread::Result<NodeRun<T>>>>>, Condvar)>;
+
+/// Execute a [`SpecPlan`](crate::SpecPlan) with every eager node run (roots
+/// and speculative non-roots) fanned out to the pool at once — critical-path
+/// nodes on the [`Priority::High`] lane so the longest dependence chain is
+/// never stuck behind sibling branches. The coordinator ingests finished
+/// runs into the [`PlanResolver`], which resolves nodes strictly in the
+/// plan's canonical topological order; dataflow nodes and post-abort
+/// recovery runs execute inline on the coordinator as their parents settle.
+/// Bit-identical to the sequential reference at any worker count.
+fn run_plan_pooled<T: StateTransition>(
+    shared: &Arc<Shared<T>>,
+    pool: &Arc<ThreadPool>,
+) -> ProtocolResult<T> {
+    let options = &shared.options;
+    let plan = Arc::new(options.plan.clone().expect("plan mode"));
+    assert_plan_matches(&plan, shared.inputs.len());
+    let eager: Vec<usize> = plan
+        .topo_order()
+        .iter()
+        .copied()
+        .filter(|&n| node_is_eager(&plan, &options.config, n))
+        .collect();
+    let critical = plan.critical_path();
+    let slots: NodeSlots<T> = Arc::new((
+        Mutex::new((0..plan.len()).map(|_| None).collect()),
+        Condvar::new(),
+    ));
+    for &node in &eager {
+        let s = Arc::clone(shared);
+        let slots = Arc::clone(&slots);
+        let plan_job = Arc::clone(&plan);
+        let priority = if critical.contains(&node) {
+            Priority::High
+        } else {
+            options.priority
+        };
+        pool.execute_with_priority(priority, move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_node_eager(
+                    &plan_job,
+                    node,
+                    &s.transition,
+                    &s.inputs,
+                    &s.initial,
+                    &s.options.config,
+                    s.options.seed,
+                    &*s.options.sink,
+                )
+            }));
+            // Release the Shared/plan clones BEFORE publishing the result:
+            // once the slot is filled the coordinator may return and the
+            // caller drop its pool handle, and `s.options` holds an
+            // `Arc<ThreadPool>` — if this worker's clone were the last one,
+            // the pool would be dropped on a worker thread and join itself
+            // (EDEADLK). After this point the job owns only `slots`.
+            drop(s);
+            drop(plan_job);
+            let (lock, cv) = &*slots;
+            lock.lock()[node] = Some(result);
+            cv.notify_all();
+        });
+    }
+    let mut resolver = PlanResolver::new(
+        &plan,
+        &shared.transition,
+        &shared.inputs,
+        &options.config,
+        options.seed,
+        &*options.sink,
+        options.faults.as_ref(),
+    );
+    let mut remaining = eager.len();
+    let (lock, cv) = &*slots;
+    while remaining > 0 {
+        let mut taken = Vec::new();
+        {
+            let mut guard = lock.lock();
+            loop {
+                for (node, slot) in guard.iter_mut().enumerate() {
+                    if slot.is_some() {
+                        taken.push((node, slot.take().expect("checked is_some")));
+                    }
+                }
+                if !taken.is_empty() {
+                    break;
+                }
+                cv.wait(&mut guard);
+            }
+        }
+        for (node, result) in taken {
+            remaining -= 1;
+            match result {
+                Ok(run) => resolver.ingest(node, run),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    }
+    resolver.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ctx::InvocationCtx;
-    use crate::protocol::run_protocol;
+    use crate::protocol::{run_protocol, run_protocol_with_options, SpecConfig};
     use crate::sdi::SpecState;
 
     /// Nondeterministic short-memory workload: state is the last input plus
@@ -391,18 +466,33 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_builders_still_compose() {
-        // The legacy chain must keep working (and keep the pool installed
-        // by with_pool) until the shims are removed.
-        let inputs: Vec<f64> = (0..16).map(f64::from).collect();
-        let reference = run_protocol(&NoisyLast, &inputs, &Noisy(0.0), &config(), 9);
-        let dep =
-            StateDependence::with_pool(inputs, Noisy(0.0), NoisyLast, Arc::new(ThreadPool::new(2)))
-                .with_config(config())
-                .with_seed(9);
-        let outcome = dep.run();
-        assert_eq!(outcome.outputs, reference.outputs);
+    fn plan_pooled_matches_sequential_reference_at_any_worker_count() {
+        // A diamond plan over the noisy workload: the pooled DAG driver
+        // must reproduce the sequential plan run bit-for-bit regardless of
+        // how many workers race the eager node runs.
+        let mut b = crate::SpecPlan::builder();
+        let src = b.node(8);
+        let l = b.node(8);
+        let r = b.node(8);
+        let j = b.node(8);
+        b.edge(src, l).edge(src, r).edge(l, j).edge(r, j);
+        let plan = b.build().unwrap();
+        let inputs: Vec<f64> = (0..plan.total_inputs()).map(|i| i as f64).collect();
+        for seed in [0_u64, 7, 42] {
+            let options = RunOptions::default()
+                .config(config())
+                .seed(seed)
+                .plan(plan.clone());
+            let reference = run_protocol_with_options(&NoisyLast, &inputs, &Noisy(0.0), &options);
+            for threads in [1usize, 2, 4] {
+                let dep = StateDependence::new(inputs.clone(), Noisy(0.0), NoisyLast)
+                    .with_options(options.clone().pool(Arc::new(ThreadPool::new(threads))));
+                let outcome = dep.run();
+                assert_eq!(outcome.outputs, reference.outputs, "seed {seed} x{threads}");
+                assert_eq!(outcome.report, reference.report, "seed {seed} x{threads}");
+                assert_eq!(outcome.trace, reference.trace, "seed {seed} x{threads}");
+            }
+        }
     }
 
     #[test]

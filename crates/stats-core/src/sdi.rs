@@ -66,6 +66,29 @@ pub trait StateTransition: Send + Sync + 'static {
         state: &mut Self::State,
         ctx: &mut InvocationCtx,
     ) -> Self::Output;
+
+    /// Merge the committed final states of a fan-in point's parents into
+    /// the state the joining node starts from (DAG plans only — see
+    /// [`SpecPlan`](crate::SpecPlan) and `docs/dag.md`).
+    ///
+    /// `parents` holds the parents' committed finals in ascending plan
+    /// node-id order and is never empty. The same merge combines the sink
+    /// nodes' finals into the run's
+    /// [`final_state`](crate::ProtocolResult::final_state). The default
+    /// keeps the first parent's state — correct whenever one distinguished
+    /// branch carries the feed-forward state; override it for real joins
+    /// (e.g. union of per-branch aggregates).
+    ///
+    /// Determinism: the merge must be a pure function of `parents` —
+    /// nondeterminism belongs in [`compute_output`]'s PRVG streams.
+    ///
+    /// [`compute_output`]: StateTransition::compute_output
+    fn merge_states(&self, parents: &[Self::State]) -> Self::State {
+        parents
+            .first()
+            .expect("merge_states requires at least one parent state")
+            .clone()
+    }
 }
 
 #[cfg(test)]

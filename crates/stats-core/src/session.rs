@@ -121,6 +121,12 @@ impl<T: StateTransition> Session<T> {
     /// other sessions and dependences; without one, a private pool sized to
     /// the machine is created and kept for the session's whole lifetime.
     pub fn new(initial: T::State, transition: T, options: RunOptions) -> Self {
+        assert!(
+            options.plan.is_none(),
+            "RunOptions::plan is batch-only: a Session streams a linear input \
+             sequence (run DAG plans through StateDependence or \
+             run_protocol_with_options; see docs/dag.md)"
+        );
         let pool = resolve_pool(&options);
         let max_inflight = if options.max_inflight_groups == 0 {
             pool.threads() + 2

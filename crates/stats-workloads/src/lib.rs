@@ -27,6 +27,7 @@
 
 pub mod bodytrack;
 pub mod canneal;
+pub mod dag;
 pub mod facedet;
 pub mod fluidanimate;
 mod match_rule;

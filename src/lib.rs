@@ -27,6 +27,9 @@ mod doctest_robustness {}
 #[cfg(doctest)]
 #[doc = include_str!("../docs/serving.md")]
 mod doctest_serving {}
+#[cfg(doctest)]
+#[doc = include_str!("../docs/dag.md")]
+mod doctest_dag {}
 
 pub use stats_autotune as autotune;
 pub use stats_baselines as baselines;

@@ -1,0 +1,310 @@
+//! Property-based tests of the task-DAG speculation engine (`docs/dag.md`):
+//! pooled DAG runs are bit-identical to the sequential topological-order
+//! reference across random plans, seeds, configs, and worker counts; a
+//! linear non-speculative plan reproduces the legacy segmented path
+//! byte-for-byte; and an abort on one branch leaves sibling branches'
+//! committed results untouched (observed through obs events).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use stats::core::prelude::*;
+use stats_workloads::dag::{ensemble, gameloop, windowed_join};
+
+/// Nondeterministic short-memory transition with a tolerant comparison and
+/// a real fan-in merge (averaging), exercising commits and aborts at DAG
+/// cut-sets depending on plan shape, config, and seed.
+#[derive(Clone, Debug)]
+struct Fuzzy(f64);
+impl SpecState for Fuzzy {
+    fn matches_any(&self, originals: &[Self]) -> bool {
+        originals.iter().any(|o| (o.0 - self.0).abs() < 0.3)
+    }
+}
+struct NoisyLast;
+impl StateTransition for NoisyLast {
+    type Input = u64;
+    type State = Fuzzy;
+    type Output = f64;
+    fn compute_output(&self, input: &u64, state: &mut Fuzzy, ctx: &mut InvocationCtx) -> f64 {
+        ctx.charge(2.0);
+        state.0 = *input as f64 + ctx.uniform(-0.1, 0.1);
+        state.0
+    }
+    fn merge_states(&self, parents: &[Self::State]) -> Self::State {
+        Fuzzy(parents.iter().map(|p| p.0).sum::<f64>() / parents.len() as f64)
+    }
+}
+
+fn arb_config() -> impl Strategy<Value = SpecConfig> {
+    (
+        0usize..12,    // group_size
+        0usize..5,     // window
+        0usize..3,     // max_reexec
+        1usize..4,     // rollback
+        any::<bool>(), // speculate
+    )
+        .prop_map(
+            |(group_size, window, max_reexec, rollback, speculate)| SpecConfig {
+                group_size,
+                window,
+                max_reexec,
+                rollback,
+                speculate,
+                ..SpecConfig::default()
+            },
+        )
+}
+
+/// A random DAG: node sizes plus an upper-triangular edge mask (edge
+/// `i -> j` for `i < j` iff the corresponding bit is set), cycle-free by
+/// construction; `speculate_nodes` toggles cross-node speculation.
+fn arb_plan() -> impl Strategy<Value = SpecPlan> {
+    (
+        proptest::collection::vec(1usize..10, 1..6),
+        any::<u32>(),
+        any::<bool>(),
+    )
+        .prop_map(|(sizes, mask, speculate)| {
+            let mut b = SpecPlan::builder();
+            let ids: Vec<PlanNodeId> = sizes.iter().map(|&s| b.node(s)).collect();
+            let mut bit = 0u32;
+            for j in 1..ids.len() {
+                for i in 0..j {
+                    if mask >> (bit % 32) & 1 == 1 {
+                        b.edge(ids[i], ids[j]);
+                    }
+                    bit += 1;
+                }
+            }
+            b.speculate_nodes(speculate);
+            b.build().expect("upper-triangular edges cannot cycle")
+        })
+}
+
+fn assert_identical(
+    a: &SpecOutcome<NoisyLast>,
+    b: &ProtocolResult<NoisyLast>,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&a.outputs, &b.outputs);
+    prop_assert!((a.final_state.0 - b.final_state.0).abs() == 0.0);
+    prop_assert_eq!(&a.report, &b.report);
+    prop_assert_eq!(a.trace.nodes.len(), b.trace.nodes.len());
+    for (x, y) in a.trace.nodes.iter().zip(&b.trace.nodes) {
+        prop_assert_eq!(x, y);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// BIT-IDENTITY: a pooled DAG run equals the sequential
+    /// topological-order reference — outputs, final state, report, and
+    /// trace — for random plans, configs, seeds, and worker counts.
+    #[test]
+    fn pooled_plan_equals_sequential_reference(
+        plan in arb_plan(),
+        config in arb_config(),
+        seed in any::<u64>(),
+        threads in 1usize..5,
+    ) {
+        let inputs: Vec<u64> = (0..plan.total_inputs() as u64).collect();
+        let options = RunOptions::default()
+            .config(config)
+            .seed(seed)
+            .plan(plan);
+        let reference =
+            run_protocol_with_options(&NoisyLast, &inputs, &Fuzzy(0.0), &options);
+        let dep = StateDependence::new(inputs, Fuzzy(0.0), NoisyLast)
+            .with_options(options.pool(Arc::new(ThreadPool::new(threads))));
+        let outcome = dep.run();
+        assert_identical(&outcome, &reference)?;
+    }
+
+    /// REDUCTION: a linear non-speculative plan byte-identically reproduces
+    /// the legacy `RunOptions::segment` path — same seeds, same trace, same
+    /// report — so the DAG engine is a strict generalization of segmenting.
+    #[test]
+    fn linear_plan_reduces_to_legacy_segmented_path(
+        n in 1usize..48,
+        config in arb_config(),
+        seed in any::<u64>(),
+        segment in 1usize..12,
+    ) {
+        let inputs: Vec<u64> = (0..n as u64).collect();
+        let legacy = RunOptions::default().config(config.clone()).seed(seed).segment(segment);
+        let expected =
+            run_protocol_with_options(&NoisyLast, &inputs, &Fuzzy(0.0), &legacy);
+        let sizes: Vec<usize> = inputs.chunks(segment).map(<[u64]>::len).collect();
+        let planned = RunOptions::default()
+            .config(config)
+            .seed(seed)
+            .plan(SpecPlan::linear(&sizes));
+        let got = run_protocol_with_options(&NoisyLast, &inputs, &Fuzzy(0.0), &planned);
+        prop_assert_eq!(&got.outputs, &expected.outputs);
+        prop_assert!((got.final_state.0 - expected.final_state.0).abs() == 0.0);
+        prop_assert_eq!(&got.report, &expected.report);
+        prop_assert_eq!(&got.trace, &expected.trace);
+    }
+}
+
+/// Deterministic sanity net under the property suite: the same plan run
+/// twice gives the same bytes (no hidden global state).
+#[test]
+fn repeated_plan_runs_are_identical() {
+    let mut b = SpecPlan::builder();
+    let s = b.node(6);
+    let l = b.node(6);
+    let r = b.node(6);
+    let j = b.node(6);
+    b.edge(s, l).edge(s, r).edge(l, j).edge(r, j);
+    let plan = b.build().unwrap();
+    let inputs: Vec<u64> = (0..24).collect();
+    let options = RunOptions::default()
+        .config(SpecConfig {
+            group_size: 3,
+            window: 2,
+            ..SpecConfig::default()
+        })
+        .seed(9)
+        .plan(plan);
+    let a = run_protocol_with_options(&NoisyLast, &inputs, &Fuzzy(0.0), &options);
+    let b2 = run_protocol_with_options(&NoisyLast, &inputs, &Fuzzy(0.0), &options);
+    assert_eq!(a.outputs, b2.outputs);
+    assert_eq!(a.report, b2.report);
+    assert_eq!(a.trace, b2.trace);
+}
+
+/// CUT-SET ISOLATION: forcing a validation mismatch on one branch of a
+/// diamond aborts that branch and squashes its downstream cone — while the
+/// sibling branch's committed results (outputs AND obs commit events) are
+/// exactly those of the unfaulted run.
+#[test]
+fn abort_on_one_branch_leaves_sibling_committed() {
+    let mut b = SpecPlan::builder();
+    let s = b.node(8);
+    let left = b.node(8);
+    let right = b.node(8);
+    let join = b.node(8);
+    b.edge(s, left)
+        .edge(s, right)
+        .edge(left, join)
+        .edge(right, join);
+    let plan = b.build().unwrap();
+    let inputs: Vec<u64> = (0..plan.total_inputs() as u64).collect();
+    let config = SpecConfig {
+        group_size: 4,
+        window: 3,
+        ..SpecConfig::default()
+    };
+    // Scan for a fault seed that forces a mismatch on the left branch
+    // (site 1) but not the right (site 2): FaultPlan sites are hashed
+    // probabilistically, so rate 1.0 would hit both.
+    let faults = (0..500u64)
+        .map(|fs| FaultPlan::new(fs).validation_mismatch(FaultRule::permanent(0.5)))
+        .find(|p| {
+            p.fires(FaultKind::ValidationMismatch, 7, 1, 0)
+                && !p.fires(FaultKind::ValidationMismatch, 7, 2, 0)
+        })
+        .expect("a selective fault seed exists in 500 tries");
+
+    let run = |faults: Option<FaultPlan>| {
+        let sink = Arc::new(RecordingSink::new());
+        let mut options = RunOptions::default()
+            .config(config.clone())
+            .seed(7)
+            .plan(plan.clone())
+            .sink(Arc::clone(&sink) as Arc<dyn EventSink>);
+        if let Some(f) = faults {
+            options = options.faults(f);
+        }
+        let r = run_protocol_with_options(&NoisyLast, &inputs, &Fuzzy(0.0), &options);
+        let kinds: Vec<EventKind> = sink.events().iter().map(|e| e.kind).collect();
+        (r, kinds)
+    };
+    let (clean, clean_kinds) = run(None);
+    let (faulted, kinds) = run(Some(faults));
+
+    // The faulted run aborted the left branch...
+    assert!(faulted.report.aborted);
+    assert!(kinds.contains(&EventKind::NodeAbort { node: 1 }));
+    // ...the join was squashed by the cut-set rollback rule (no validation
+    // event for a cone member)...
+    assert!(kinds.contains(&EventKind::ConeSquash { node: 3, root: 1 }));
+    assert!(!kinds
+        .iter()
+        .any(|k| matches!(k, EventKind::NodeValidation { node: 3, .. })));
+    // ...and the sibling right branch committed exactly as without the
+    // fault: same commit event, same committed outputs.
+    assert!(kinds.contains(&EventKind::NodeCommit { node: 2 }));
+    assert!(clean_kinds.contains(&EventKind::NodeCommit { node: 2 }));
+    let base = 16; // right branch owns inputs[16..24]
+    assert_eq!(
+        faulted.outputs[base..base + 8],
+        clean.outputs[base..base + 8]
+    );
+    // Squashed work strictly grew: the branch and its cone re-executed.
+    assert!(faulted.report.squashed_work > clean.report.squashed_work);
+}
+
+/// The shipped DAG workload families run deterministically at any worker
+/// count and commit their speculation (no aborts) under their own tuned
+/// configs — the same invariants the bench driver's `dag` section gates.
+#[test]
+fn workload_families_are_deterministic_and_commit() {
+    // (plan, inputs, config) per family, erased to a closure that runs the
+    // family sequentially and pooled and checks identity.
+    fn check<T>(
+        name: &str,
+        transition: fn() -> T,
+        plan: SpecPlan,
+        inputs: Vec<T::Input>,
+        initial: T::State,
+        config: SpecConfig,
+    ) where
+        T: StateTransition,
+        T::Output: PartialEq + std::fmt::Debug,
+    {
+        let options = RunOptions::default().config(config).seed(17).plan(plan);
+        let reference = run_protocol_with_options(&transition(), &inputs, &initial, &options);
+        assert!(
+            !reference.report.aborted,
+            "{name}: tuned config must commit"
+        );
+        for threads in [2usize, 4] {
+            let dep = StateDependence::new(inputs.clone(), initial.clone(), transition())
+                .with_options(options.clone().pool(Arc::new(ThreadPool::new(threads))));
+            let outcome = dep.run();
+            assert_eq!(outcome.outputs, reference.outputs, "{name} x{threads}");
+            assert_eq!(outcome.report, reference.report, "{name} x{threads}");
+            assert_eq!(outcome.trace, reference.trace, "{name} x{threads}");
+        }
+    }
+
+    check(
+        "windowed_join",
+        || windowed_join::WindowedJoin,
+        windowed_join::plan(3, 48, 24),
+        windowed_join::inputs(17, 3, 48, 24),
+        windowed_join::initial(),
+        windowed_join::config(),
+    );
+    check(
+        "gameloop",
+        || gameloop::GameLoop,
+        gameloop::plan(3, 24),
+        gameloop::inputs(17, 3, 24),
+        gameloop::initial(),
+        gameloop::config(),
+    );
+    check(
+        "ensemble",
+        || ensemble::Ensemble,
+        ensemble::plan(8, 4, 32, 16),
+        ensemble::inputs(17, 8, 4, 32, 16),
+        ensemble::initial(),
+        ensemble::config(8),
+    );
+}

@@ -189,10 +189,11 @@ fn bursty_tenant_spills_without_starving_steady_tenant() {
         bursty.try_push_batch(0..256u64).expect("burst accepted"),
         256
     );
-    assert!(
-        bursty.backlog() > 0,
-        "a 256-input burst into a 2-slot window must leave a backlog"
-    );
+    // Note: no `backlog() > 0` assertion here — the dispatcher races this
+    // thread and can legitimately drain the whole burst before we look.
+    // That the burst exceeded the admission window is asserted
+    // deterministically below via the spill counters (the spill happens
+    // synchronously inside try_push_batch).
     // The steady tenant trickles while the burst drains.
     for i in 0..32u64 {
         steady.try_push(i).expect("steady push");
