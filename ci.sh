@@ -29,6 +29,11 @@
 #            DAG family run sequentially and pooled at tiny scale; fails on
 #            any pooled-vs-sequential divergence or any cut-set abort under
 #            the families' tuned configs
+#   --replay-smoke
+#            session record/replay smoke (docs/replay.md): plain, faulted,
+#            adaptive, and online-retuned sessions each recorded once and
+#            replayed at two worker counts; fails on any canonical-event or
+#            digest divergence
 #
 # The --loom/--miri/--tsan stages are separate entry points because each
 # rebuilds the world under a different configuration; run them when
@@ -150,6 +155,26 @@ for family in ("windowed_join", "gameloop", "ensemble"):
     if fam["aborts"] != 0:
         sys.exit(f"bench gate: dag.{family} aborted a cut-set under its "
                  "tuned config")
+replay = fresh.get("replay")
+if replay is None:
+    sys.exit("bench gate: fresh run is missing the replay section")
+for key in ("inputs_per_sec_plain", "inputs_per_sec_recorded",
+            "record_overhead_pct", "replay_divergences", "events_compared",
+            "log_bytes"):
+    if key not in replay:
+        sys.exit(f"bench gate: replay section is missing '{key}'")
+    if key not in committed.get("replay", {}):
+        sys.exit(f"bench gate: committed replay section is missing '{key}'")
+print(f"replay overhead {replay['record_overhead_pct']:.2f}% "
+      f"(gate: <= 5.0), {replay['replay_divergences']} divergences "
+      f"over {replay['events_compared']} events (gate: 0)")
+if replay["record_overhead_pct"] > 5.0:
+    sys.exit(f"bench gate: record-mode overhead "
+             f"{replay['record_overhead_pct']:.2f}% exceeds the 5% ceiling "
+             "over the noop-sink arm")
+if replay["replay_divergences"] != 0:
+    sys.exit(f"bench gate: {replay['replay_divergences']} replay "
+             "divergences — record/replay determinism is broken")
 print("bench gate OK")
 EOF
     rm -f "$fresh_json"
@@ -170,9 +195,16 @@ if [[ "$stage" == "--dag-smoke" ]]; then
     exit 0
 fi
 
+if [[ "$stage" == "--replay-smoke" ]]; then
+    echo "== replay smoke (recorded sessions replay faithfully at any worker count)"
+    cargo build --offline --release -q -p bench
+    ./target/release/replay_smoke
+    exit 0
+fi
+
 if [[ -n "$stage" ]]; then
     echo "error: unknown stage '$stage' (expected --loom, --miri, --tsan," \
-         "--bench-gate, --serve-smoke, or --dag-smoke)" >&2
+         "--bench-gate, --serve-smoke, --dag-smoke, or --replay-smoke)" >&2
     exit 2
 fi
 
@@ -208,6 +240,9 @@ cargo build --offline --release -q -p bench
 
 echo "== chaos smoke (seeded fault plans, identical traces across two runs)"
 ./target/release/chaos_smoke
+
+echo "== replay smoke (recorded sessions replay faithfully at any worker count)"
+./target/release/replay_smoke
 
 echo "== serve smoke (multi-tenant fairness + spill/replay equality)"
 ./target/release/serve_smoke
@@ -258,6 +293,50 @@ assert begins == ends, f"unbalanced span events: {begins} B vs {ends} E"
 print(f"trace OK: {len(events)} events, {len(sched)} scheduled nodes")
 EOF
 rm -f "$TRACE_JSON"
+
+echo "== replay CLI smoke (stats-report replay record/verify round trip)"
+REPLAY_LOG=$(mktemp /tmp/stats-replay.XXXXXX.statslog)
+./target/debug/stats-report replay --record "$REPLAY_LOG" \
+    --inputs 128 --fault-rate 0.2 --tune > /dev/null
+./target/debug/stats-report replay --verify "$REPLAY_LOG" > /dev/null
+rm -f "$REPLAY_LOG"
+
+echo "== docs link check (relative links and [[rust-path]] refs resolve)"
+python3 - <<'EOF'
+import os, re, sys
+
+link = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+rustref = re.compile(r"\[\[([^\]\s|]+)\]\]")
+pages = sorted(
+    os.path.join("docs", p) for p in os.listdir("docs") if p.endswith(".md")
+)
+problems = []
+checked = 0
+for page in pages:
+    with open(page) as f:
+        text = f.read()
+    # Fenced code blocks hold example syntax, not navigable links.
+    prose = re.sub(r"```.*?```", "", text, flags=re.S)
+    for m in link.finditer(prose):
+        target = m.group(1)
+        if target.startswith(("http://", "https://", "#", "mailto:")):
+            continue
+        path = os.path.normpath(
+            os.path.join(os.path.dirname(page), target.split("#")[0])
+        )
+        checked += 1
+        if not os.path.exists(path):
+            problems.append(f"{page}: broken link '{target}'")
+    for m in rustref.finditer(prose):
+        checked += 1
+        if not os.path.exists(m.group(1)):
+            problems.append(f"{page}: [[{m.group(1)}]] does not resolve")
+for p in problems:
+    print(f"error: {p}", file=sys.stderr)
+if problems:
+    sys.exit(1)
+print(f"docs links OK: {checked} references across {len(pages)} pages")
+EOF
 
 echo "== stats-lint corpus smoke"
 cargo build --offline -q --bin stats-lint

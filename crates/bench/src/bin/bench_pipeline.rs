@@ -237,6 +237,95 @@ fn fault_recovery() -> (f64, f64, f64) {
     unreachable!("loop always returns on its final attempt");
 }
 
+/// One arm of the record-overhead measurement: the same streamed workload
+/// either plain (noop sink) or through a [`SessionRecorder`]. Returns the
+/// best inputs/sec over `passes` and, for the recorded arm, the last log.
+fn replay_arm_inputs_per_sec(
+    inputs: &[u64],
+    pool: &Arc<ThreadPool>,
+    record: bool,
+    passes: usize,
+) -> (f64, Option<stats_core::SessionLog>) {
+    let config = SpecConfig {
+        group_size: 32,
+        window: 1,
+        max_reexec: 1,
+        ..SpecConfig::default()
+    };
+    let mut best = 0.0f64;
+    let mut last_log = None;
+    for _ in 0..passes {
+        let options = RunOptions::default()
+            .pool(Arc::clone(pool))
+            .config(config.clone())
+            .seed(23)
+            .segment(64);
+        let start = Instant::now();
+        let produced = if record {
+            let recorder = SessionRecorder::new(ExactState(0u64), SpinLast, options);
+            recorder.push_batch(inputs.iter().copied());
+            let (outcome, log) = recorder.finish();
+            last_log = Some(log);
+            outcome.outputs.len()
+        } else {
+            let session = Session::new(ExactState(0u64), SpinLast, options);
+            session.push_batch(inputs.iter().copied());
+            session.finish().outputs.len()
+        };
+        let rate = inputs.len() as f64 / start.elapsed().as_secs_f64().max(1e-9);
+        assert_eq!(produced, inputs.len());
+        best = best.max(rate);
+    }
+    (best, last_log)
+}
+
+/// Record-mode overhead and replay fidelity (docs/replay.md): the same
+/// streamed workload once plain and once through a [`SessionRecorder`]
+/// (overhead must stay within 5% of the noop-sink arm), then the recorded
+/// log is pushed through the byte format and replayed — divergences
+/// (canonical events + digest mismatches) must be zero. Re-measures once
+/// if overhead lands over the floor before reporting, like
+/// [`fault_recovery`].
+fn replay_report() -> (f64, f64, f64, usize, usize, usize) {
+    let inputs: Vec<u64> = (0..4096).collect();
+    let pool = Arc::new(ThreadPool::new(2));
+    let mut plain = 0.0;
+    let mut recorded = 0.0;
+    let mut log = None;
+    for attempt in 0..2 {
+        let (p, _) = replay_arm_inputs_per_sec(&inputs, &pool, false, 5);
+        let (r, l) = replay_arm_inputs_per_sec(&inputs, &pool, true, 5);
+        plain = p;
+        recorded = r;
+        log = l;
+        if r >= 0.95 * p || attempt == 1 {
+            break;
+        }
+    }
+    let overhead_pct = 100.0 * (1.0 - recorded / plain.max(1e-9));
+    let log = log.expect("recorded arm ran");
+    let bytes = log.to_bytes();
+    let log = stats_core::SessionLog::from_bytes(&bytes).expect("log round-trips");
+    let result = stats_core::replay(
+        &log,
+        ExactState(0u64),
+        SpinLast,
+        RunOptions::default().pool(pool),
+    )
+    .expect("recorded inputs decode");
+    let divergences = result.divergences
+        + usize::from(!result.trace_matched)
+        + usize::from(!result.report_matched);
+    (
+        plain,
+        recorded,
+        overhead_pct,
+        divergences,
+        result.events,
+        bytes.len(),
+    )
+}
+
 /// Heavy-traffic run of the multi-tenant session service (docs/serving.md):
 /// hundreds of tenant sessions arriving open-loop, each bursting past its
 /// admission window so the spill queues engage, every tenant verified
@@ -293,6 +382,14 @@ fn main() {
     let trials_parallel = tuner_trials_per_sec(workers);
     let figures_s = figures_tiny_wallclock();
     let (fault_free, faulted, recovery) = fault_recovery();
+    let (
+        replay_plain,
+        replay_recorded,
+        record_overhead_pct,
+        replay_divergences,
+        replay_events,
+        replay_log_bytes,
+    ) = replay_report();
     let pool_churn = pool_scope_churn_per_sec();
     let serve = serve_traffic_report();
     let dag_json = dag_report_json();
@@ -324,6 +421,12 @@ fn main() {
          \"fault_free_inputs_per_sec\": {fault_free:.0},\n    \
          \"faulted_inputs_per_sec\": {faulted:.0},\n    \
          \"recovery_ratio\": {recovery:.3}\n  }},\n  \
+         \"replay\": {{\n    \"inputs_per_sec_plain\": {replay_plain:.0},\n    \
+         \"inputs_per_sec_recorded\": {replay_recorded:.0},\n    \
+         \"record_overhead_pct\": {record_overhead_pct:.2},\n    \
+         \"replay_divergences\": {replay_divergences},\n    \
+         \"events_compared\": {replay_events},\n    \
+         \"log_bytes\": {replay_log_bytes}\n  }},\n  \
          \"audit\": {{\n    \
          \"pool_scope_churn_per_sec_pre_audit\": {PRE_AUDIT_POOL_CHURN_PER_SEC:.0},\n    \
          \"pool_scope_churn_per_sec\": {pool_churn:.0},\n    \
@@ -352,6 +455,13 @@ bytecode (bytecode_ns_per_call; docs/performance.md).\"\n  }},\n  \
     if recovery < 0.8 {
         eprintln!("warning: adaptive recovery ratio {recovery:.3} under the 0.8 floor");
     }
+    if record_overhead_pct > 5.0 {
+        eprintln!("warning: record-mode overhead {record_overhead_pct:.2}% over the 5% ceiling");
+    }
+    assert_eq!(
+        replay_divergences, 0,
+        "replay of the recorded run must be faithful"
+    );
     if let Some(path) = std::env::args().nth(1) {
         std::fs::write(&path, format!("{json}\n")).expect("write benchmark JSON");
         eprintln!("wrote {path}");

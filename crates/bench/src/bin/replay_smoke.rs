@@ -1,0 +1,130 @@
+//! `replay_smoke` — CI gate for deterministic session record/replay.
+//!
+//! Records one streaming [`Session`] per scenario — plain, fault-injected,
+//! adaptive, and online-retuned — and replays each log at two different
+//! worker counts, demanding a *faithful* replay every time: zero canonical
+//! event divergences and bit-identical trace/report digests
+//! (`docs/replay.md`). The retuned scenario is the interesting one: its
+//! replay must reproduce the tuned run without the tuner or its results
+//! database, purely from the recorded re-tuning decisions.
+//!
+//! ```text
+//! cargo run --release -p bench --bin replay_smoke
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use stats_autotune::OnlineTuner;
+use stats_core::prelude::*;
+use stats_core::replay::{replay, SessionLog, SessionRecorder};
+
+/// Deterministic transition whose state depends only on the last input —
+/// speculation always validates, so injected faults and policy changes are
+/// the only sources of retries and aborts.
+struct SpinLast;
+impl StateTransition for SpinLast {
+    type Input = u64;
+    type State = ExactState<u64>;
+    type Output = u64;
+    fn compute_output(
+        &self,
+        input: &u64,
+        state: &mut ExactState<u64>,
+        ctx: &mut InvocationCtx,
+    ) -> u64 {
+        let mut acc = *input;
+        for _ in 0..64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(*input);
+        }
+        ctx.charge(2.0);
+        state.0 = acc;
+        acc
+    }
+}
+
+fn scenario_options(name: &str) -> RunOptions {
+    let base = RunOptions::default()
+        .config(SpecConfig {
+            group_size: 8,
+            window: 1,
+            max_reexec: 2,
+            ..SpecConfig::default()
+        })
+        .seed(17);
+    match name {
+        "plain" => base,
+        "faulted" => base.faults(
+            FaultPlan::new(0x5E55_104B)
+                .validation_mismatch(FaultRule::transient(0.4))
+                .worker_panic(FaultRule::transient(0.2)),
+        ),
+        "adaptive" => base
+            .adapt(AdaptPolicy::default())
+            .faults(FaultPlan::new(0xADA7).validation_mismatch(FaultRule::permanent(0.3))),
+        "tuned" => base.retune(OnlineTuner::new(17).every(2)),
+        other => unreachable!("unknown scenario {other}"),
+    }
+}
+
+fn record(name: &str, workers: usize) -> SessionLog {
+    let options = scenario_options(name).pool(Arc::new(ThreadPool::new(workers)));
+    let recorder = SessionRecorder::new(ExactState(0u64), SpinLast, options).label(name);
+    for chunk in (0..192u64).collect::<Vec<_>>().chunks(24) {
+        recorder.push_batch(chunk.iter().copied());
+    }
+    recorder.finish().1
+}
+
+fn main() -> ExitCode {
+    let mut failed = false;
+    for name in ["plain", "faulted", "adaptive", "tuned"] {
+        let log = record(name, 2);
+        // The binary format must survive the byte boundary.
+        let log = match SessionLog::from_bytes(&log.to_bytes()) {
+            Ok(log) => log,
+            Err(e) => {
+                eprintln!("replay-smoke {name:<9} FAIL: log round-trip: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let mut divergences = 0usize;
+        let mut events = 0usize;
+        for workers in [1usize, 4] {
+            let env = RunOptions::default().pool(Arc::new(ThreadPool::new(workers)));
+            match replay(&log, ExactState(0u64), SpinLast, env) {
+                Ok(r) => {
+                    events = events.max(r.events);
+                    divergences += r.divergences
+                        + usize::from(!r.trace_matched)
+                        + usize::from(!r.report_matched);
+                }
+                Err(e) => {
+                    eprintln!("replay-smoke {name:<9} FAIL: replay: {e}");
+                    failed = true;
+                }
+            }
+        }
+        if divergences == 0 {
+            println!(
+                "replay-smoke {name:<9} OK  ({} events, {} retunes, faithful at 1 and 4 workers)",
+                events,
+                log.events
+                    .iter()
+                    .filter(|e| matches!(e, EventKind::Retune { .. }))
+                    .count()
+            );
+        } else {
+            eprintln!("replay-smoke {name:<9} FAIL: {divergences} divergences");
+            failed = true;
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("replay-smoke OK: every scenario replays faithfully");
+        ExitCode::SUCCESS
+    }
+}

@@ -2,6 +2,8 @@
 
 use std::collections::HashMap;
 
+use stats_core::SpillCodec;
+
 use crate::param::Configuration;
 
 /// One measured trial: a configuration and its profile.
@@ -127,6 +129,48 @@ impl ResultsDatabase {
             .iter()
             .min_by(|a, b| objective(a.1).total_cmp(&objective(b.1)))
     }
+
+    /// All stored entries, sorted by configuration. The sort makes the
+    /// iteration (and everything derived from it — warm starts,
+    /// [`save`](Self::save)d bytes) deterministic despite the hash-map
+    /// backing store.
+    pub fn entries(&self) -> Vec<(&Configuration, &Measurement)> {
+        let mut entries: Vec<_> = self.by_config.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        entries
+    }
+
+    /// Serialize to bytes via the same little-endian exact codec the spill
+    /// queues use (floats as IEEE bit patterns). Entries are emitted in
+    /// sorted-configuration order, so equal databases produce equal bytes.
+    pub fn save(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        (self.by_config.len() as u64).encode(&mut out);
+        for (cfg, m) in self.entries() {
+            cfg.encode(&mut out);
+            m.time_s.encode(&mut out);
+            m.energy_j.encode(&mut out);
+        }
+        out
+    }
+
+    /// Reconstruct a database [`save`](Self::save)d earlier. `None` means
+    /// the buffer is corrupt or truncated.
+    pub fn load(mut bytes: &[u8]) -> Option<Self> {
+        let bytes = &mut bytes;
+        let len = u64::decode(bytes)?;
+        let mut db = ResultsDatabase::new();
+        for _ in 0..len {
+            let cfg = Vec::<i64>::decode(bytes)?;
+            let time_s = f64::decode(bytes)?;
+            let energy_j = f64::decode(bytes)?;
+            db.insert(cfg, Measurement { time_s, energy_j });
+        }
+        if !bytes.is_empty() {
+            return None;
+        }
+        Some(db)
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +212,27 @@ mod tests {
         let (frugal, _) = db.best_under(|m| m.energy_j).unwrap();
         assert_eq!(fast, &vec![1]);
         assert_eq!(frugal, &vec![0]);
+    }
+
+    #[test]
+    fn database_round_trips_and_saves_deterministically() {
+        let mut db = ResultsDatabase::new();
+        db.insert(vec![3, 1], m(5.0, 10.0));
+        db.insert(vec![0, 2], m(f64::NAN, -0.0));
+        let bytes = db.save();
+        let back = ResultsDatabase::load(&bytes).unwrap();
+        assert_eq!(back.len(), 2);
+        // NaN payload and signed-zero bits survive exactly.
+        let reloaded = back.get(&vec![0, 2]).unwrap();
+        assert_eq!(reloaded.time_s.to_bits(), f64::NAN.to_bits());
+        assert_eq!(reloaded.energy_j.to_bits(), (-0.0f64).to_bits());
+        // Equal databases serialize to equal bytes despite hash-map order.
+        assert_eq!(back.save(), bytes);
+        // Truncation and trailing garbage are detected, not panicked on.
+        assert!(ResultsDatabase::load(&bytes[..bytes.len() - 1]).is_none());
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(ResultsDatabase::load(&padded).is_none());
     }
 
     #[test]

@@ -26,6 +26,7 @@
 mod bandit;
 mod history;
 pub mod importance;
+mod online;
 mod param;
 mod technique;
 mod tuner;
@@ -33,6 +34,7 @@ mod tuner;
 pub use bandit::AucBandit;
 pub use history::{History, Measurement, ResultsDatabase};
 pub use importance::{parameter_importance, DimensionImportance};
+pub use online::OnlineTuner;
 pub use param::{Configuration, IntegerParameter, SearchSpace};
 pub use technique::{
     DifferentialEvolution, GeneticAlgorithm, GreedyMutation, PatternSearch, RandomSearch, Technique,

@@ -1,0 +1,370 @@
+//! Online re-tuning: the bandit portfolio driving a live stream.
+//!
+//! The paper's autotuner explores offline, against the profiler; this
+//! module closes the loop *online*. [`OnlineTuner`] implements
+//! `stats-core`'s [`Retuner`] hook: between stream segments it folds the
+//! engine's live commit/abort telemetry into an objective, reports it to
+//! the same [`AucBandit`] portfolio the offline tuner uses, and re-picks
+//! the speculation operating point — group cardinality, auxiliary window,
+//! re-execution budget — for the rest of the stream.
+//!
+//! The exploration is warm-started from, and folded back into, the
+//! [`ResultsDatabase`] (the paper's stored-exploration reuse, §3.2): the
+//! first decision replays the best configuration the database already
+//! knows for this objective; every later decision comes from the bandit
+//! and its measurement is inserted back, so successive runs keep getting
+//! smarter. Re-tuning decisions applied by the engine are recorded in the
+//! session's event stream, so a tuned run replays deterministically
+//! *without* the database (`docs/replay.md`).
+//!
+//! The database stores [`Measurement`]s; online trials map onto them as
+//! `time_s` = the wasted-work objective and `energy_j` = the abort
+//! fraction, documented in `docs/tuning.md` — re-ranking under either
+//! works the same way as for offline profiles.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use stats_core::{Retuner, SegmentStats, TuneDecision};
+
+use crate::bandit::AucBandit;
+use crate::history::{History, Measurement, ResultsDatabase};
+use crate::param::{Configuration, IntegerParameter, SearchSpace};
+use crate::technique::{GreedyMutation, RandomSearch, Technique};
+
+/// How much one aborted segment adds to the objective, on top of the
+/// wasted-work fraction it already causes. Aborts also squash committed
+/// throughput, so they are penalized beyond their accounting cost.
+const ABORT_PENALTY: f64 = 2.0;
+
+/// A [`Retuner`] that re-picks the speculation operating point online with
+/// the OpenTuner-style [`AucBandit`] portfolio.
+///
+/// ```
+/// use stats_autotune::OnlineTuner;
+/// use stats_core::{Retuner, SegmentStats, TuneDecision};
+///
+/// let mut tuner = OnlineTuner::new(42).every(2);
+/// let stats = SegmentStats {
+///     segment: 0,
+///     inputs: 64,
+///     aborted: false,
+///     reexecutions: 1,
+///     validations: 8,
+///     committed_original_work: 60.0,
+///     committed_aux_work: 6.0,
+///     squashed_work: 0.0,
+///     group_size: 8,
+///     window: 2,
+///     max_reexec: 3,
+/// };
+/// tuner.observe(&stats);
+/// assert!(tuner.decide(1).is_none()); // period not yet elapsed
+/// tuner.observe(&SegmentStats { segment: 1, ..stats });
+/// let decision: TuneDecision = tuner.decide(2).unwrap();
+/// assert!(decision.group_size >= 1);
+/// ```
+pub struct OnlineTuner {
+    space: SearchSpace,
+    group_sizes: Vec<usize>,
+    windows: Vec<usize>,
+    budgets: Vec<usize>,
+    bandit: AucBandit,
+    rng: SmallRng,
+    every: u64,
+    // Accumulated telemetry since the last decision.
+    segments: u64,
+    aborted: u64,
+    committed_original: f64,
+    committed_aux: f64,
+    squashed: f64,
+    // The configuration currently being measured; None before the first
+    // decision (the stream runs the caller's configured operating point).
+    current: Option<Configuration>,
+    warm_started: bool,
+    db: ResultsDatabase,
+    history: History,
+}
+
+impl OnlineTuner {
+    /// A tuner over the default candidate grids (group size 2–32, window
+    /// 0–8, re-execution budget 1–4), deciding every 4 segments. The seed
+    /// fixes the bandit's proposal stream, so a given telemetry sequence
+    /// always produces the same decisions.
+    pub fn new(seed: u64) -> Self {
+        Self::with_candidates(
+            vec![2, 4, 8, 16, 32],
+            vec![0, 1, 2, 4, 8],
+            vec![1, 2, 3, 4],
+            seed,
+        )
+    }
+
+    /// A tuner over explicit candidate grids. Each dimension becomes an
+    /// enumerable [`IntegerParameter`] indexing into its grid — the same
+    /// shape the offline tuner gives OpenTuner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any grid is empty.
+    pub fn with_candidates(
+        group_sizes: Vec<usize>,
+        windows: Vec<usize>,
+        budgets: Vec<usize>,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            !group_sizes.is_empty() && !windows.is_empty() && !budgets.is_empty(),
+            "candidate grids must be non-empty"
+        );
+        let space = SearchSpace::new()
+            .with(IntegerParameter::new(
+                "group_size",
+                0,
+                group_sizes.len() as i64 - 1,
+            ))
+            .with(IntegerParameter::new("window", 0, windows.len() as i64 - 1))
+            .with(IntegerParameter::new(
+                "max_reexec",
+                0,
+                budgets.len() as i64 - 1,
+            ));
+        OnlineTuner {
+            space,
+            group_sizes,
+            windows,
+            budgets,
+            bandit: AucBandit::new(vec![
+                Box::new(RandomSearch),
+                Box::new(GreedyMutation::default()),
+            ]),
+            rng: SmallRng::seed_from_u64(seed),
+            every: 4,
+            segments: 0,
+            aborted: 0,
+            committed_original: 0.0,
+            committed_aux: 0.0,
+            squashed: 0.0,
+            current: None,
+            warm_started: false,
+            db: ResultsDatabase::new(),
+            history: History::new(),
+        }
+    }
+
+    /// Re-decide every `segments` segments (clamped to >= 1).
+    pub fn every(mut self, segments: u64) -> Self {
+        self.every = segments.max(1);
+        self
+    }
+
+    /// Warm-start from a previously saved exploration: the first decision
+    /// replays the database's best configuration under the online
+    /// objective (iterated in deterministic sorted order) instead of
+    /// sampling blind; its measurements keep accumulating into the same
+    /// database.
+    pub fn warm_start(mut self, db: ResultsDatabase) -> Self {
+        self.db = db;
+        self
+    }
+
+    /// The exploration accumulated so far (warm-start entries included) —
+    /// persist it with [`ResultsDatabase::save`] to seed the next run.
+    pub fn database(&self) -> &ResultsDatabase {
+        &self.db
+    }
+
+    /// Online trials in decision order (objective and abort fraction per
+    /// measured operating point).
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// The wasted-work objective (lower is better): speculative overhead —
+    /// auxiliary and squashed work — as a fraction of committed original
+    /// work, plus [`ABORT_PENALTY`] per aborted-segment fraction.
+    fn objective(&self) -> f64 {
+        let wasted = (self.committed_aux + self.squashed) / self.committed_original.max(1e-9);
+        let abort_fraction = self.aborted as f64 / self.segments.max(1) as f64;
+        wasted + ABORT_PENALTY * abort_fraction
+    }
+
+    fn decision_for(&self, cfg: &Configuration) -> TuneDecision {
+        TuneDecision {
+            group_size: self.group_sizes[cfg[0] as usize],
+            window: self.windows[cfg[1] as usize],
+            max_reexec: self.budgets[cfg[2] as usize],
+        }
+    }
+
+    /// The database's best known configuration under the online objective,
+    /// scanned in deterministic (sorted-configuration) order and ignoring
+    /// entries outside this tuner's space.
+    fn warm_start_pick(&self) -> Option<Configuration> {
+        let mut best: Option<(&Configuration, f64)> = None;
+        for (cfg, m) in self.db.entries() {
+            if !self.space.contains(cfg) {
+                continue;
+            }
+            let objective = m.time_s + ABORT_PENALTY * m.energy_j;
+            if best.is_none_or(|(_, b)| objective < b) {
+                best = Some((cfg, objective));
+            }
+        }
+        best.map(|(cfg, _)| cfg.clone())
+    }
+}
+
+impl Retuner for OnlineTuner {
+    fn observe(&mut self, stats: &SegmentStats) {
+        self.segments += 1;
+        self.aborted += u64::from(stats.aborted);
+        self.committed_original += stats.committed_original_work;
+        self.committed_aux += stats.committed_aux_work;
+        self.squashed += stats.squashed_work;
+    }
+
+    fn decide(&mut self, _next_segment: u64) -> Option<TuneDecision> {
+        if self.segments < self.every {
+            return None;
+        }
+        // Close out the configuration the elapsed period measured.
+        let objective = self.objective();
+        let abort_fraction = self.aborted as f64 / self.segments.max(1) as f64;
+        if let Some(cfg) = self.current.take() {
+            let m = Measurement {
+                time_s: objective,
+                energy_j: abort_fraction,
+            };
+            self.db.insert(cfg.clone(), m.clone());
+            self.history.record(cfg.clone(), m, objective);
+            // Safe for warm-start picks too: the bandit has nothing
+            // pending then, so only its member techniques learn.
+            self.bandit.report(&cfg, objective);
+        }
+        self.segments = 0;
+        self.aborted = 0;
+        self.committed_original = 0.0;
+        self.committed_aux = 0.0;
+        self.squashed = 0.0;
+
+        // Pick the next operating point: replay stored knowledge first,
+        // then let the portfolio explore.
+        let cfg = if !self.warm_started {
+            self.warm_started = true;
+            match self.warm_start_pick() {
+                Some(cfg) => cfg,
+                None => self.bandit.propose(&self.space, &mut self.rng),
+            }
+        } else {
+            self.bandit.propose(&self.space, &mut self.rng)
+        };
+        let decision = self.decision_for(&cfg);
+        self.current = Some(cfg);
+        Some(decision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(segment: u64, aborted: bool) -> SegmentStats {
+        SegmentStats {
+            segment,
+            inputs: 64,
+            aborted,
+            reexecutions: 0,
+            validations: 8,
+            committed_original_work: 60.0,
+            committed_aux_work: if aborted { 0.0 } else { 6.0 },
+            squashed_work: if aborted { 30.0 } else { 0.0 },
+            group_size: 8,
+            window: 2,
+            max_reexec: 3,
+        }
+    }
+
+    fn drive(tuner: &mut OnlineTuner, rounds: u64) -> Vec<TuneDecision> {
+        let mut decisions = Vec::new();
+        for seg in 0..rounds {
+            tuner.observe(&stats(seg, seg % 3 == 2));
+            if let Some(d) = tuner.decide(seg + 1) {
+                decisions.push(d);
+            }
+        }
+        decisions
+    }
+
+    #[test]
+    fn fires_every_period_and_is_deterministic() {
+        let mut a = OnlineTuner::new(7).every(2);
+        let mut b = OnlineTuner::new(7).every(2);
+        let da = drive(&mut a, 12);
+        let db = drive(&mut b, 12);
+        assert_eq!(da.len(), 6);
+        assert_eq!(da, db);
+        assert_eq!(a.history().len(), 5); // first decision has no predecessor
+        assert_eq!(a.database().save(), b.database().save());
+    }
+
+    #[test]
+    fn decisions_come_from_the_candidate_grids() {
+        let mut tuner = OnlineTuner::with_candidates(vec![4, 8], vec![1, 2], vec![2], 3).every(1);
+        for d in drive(&mut tuner, 20) {
+            assert!([4, 8].contains(&d.group_size));
+            assert!([1, 2].contains(&d.window));
+            assert_eq!(d.max_reexec, 2);
+        }
+    }
+
+    #[test]
+    fn warm_start_replays_the_stored_best_first() {
+        let mut db = ResultsDatabase::new();
+        // Index configuration [2, 3, 3] => group 8, window 4, budget 4.
+        db.insert(
+            vec![2, 3, 3],
+            Measurement {
+                time_s: 0.01,
+                energy_j: 0.0,
+            },
+        );
+        db.insert(
+            vec![4, 4, 0],
+            Measurement {
+                time_s: 9.0,
+                energy_j: 1.0,
+            },
+        );
+        // An entry outside the space must be ignored, not crash indexing.
+        db.insert(
+            vec![99, 0, 0],
+            Measurement {
+                time_s: 0.0,
+                energy_j: 0.0,
+            },
+        );
+        let mut tuner = OnlineTuner::new(1).every(1).warm_start(db);
+        tuner.observe(&stats(0, false));
+        let first = tuner.decide(1).unwrap();
+        assert_eq!(
+            first,
+            TuneDecision {
+                group_size: 8,
+                window: 4,
+                max_reexec: 4
+            }
+        );
+        // The measurement of the warm-start period folds back in.
+        tuner.observe(&stats(1, false));
+        tuner.decide(2).unwrap();
+        assert!(tuner.database().get(&vec![2, 3, 3]).is_some());
+        assert_eq!(tuner.history().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_grid_rejected() {
+        OnlineTuner::with_candidates(vec![], vec![1], vec![1], 0);
+    }
+}

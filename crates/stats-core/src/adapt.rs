@@ -19,6 +19,14 @@
 //! deterministic functions of `(inputs, seed, fault plan)`, so the whole
 //! degradation trajectory replays bit-identically. `docs/robustness.md`
 //! draws the state machine.
+//!
+//! A third piece, the [`Retuner`] trait, is the hook for *online
+//! re-tuning*: between segments an installed retuner observes the same
+//! per-segment telemetry and may re-pick the execution-model operating
+//! point (group cardinality, auxiliary window, re-execution budget) for
+//! the rest of the stream. `stats-autotune`'s `OnlineTuner` implements it
+//! with the bandit portfolio, warm-started from the cross-run
+//! `ResultsDatabase`; `docs/tuning.md` contrasts the two ladders.
 
 use std::time::Duration;
 
@@ -256,6 +264,77 @@ impl AdaptiveController {
         let after = (self.state, self.group_size);
         (after != before).then_some(after)
     }
+}
+
+/// Telemetry for one finished streaming segment, handed to an installed
+/// [`Retuner`] by the [`Session`](crate::Session) coordinator.
+///
+/// Every field is a deterministic function of `(inputs, seed, fault plan,
+/// configuration)` — no clocks — so a retuner driven only by these values
+/// re-tunes identically on a replay of the same run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SegmentStats {
+    /// Zero-based index of the finished segment.
+    pub segment: u64,
+    /// Inputs the segment processed.
+    pub inputs: usize,
+    /// Whether the segment aborted speculation and ran its tail
+    /// sequentially.
+    pub aborted: bool,
+    /// Re-executions of original producers the segment needed.
+    pub reexecutions: usize,
+    /// State comparisons the segment performed.
+    pub validations: usize,
+    /// Work units of committed original-code invocations.
+    pub committed_original_work: f64,
+    /// Work units of committed auxiliary code.
+    pub committed_aux_work: f64,
+    /// Work units squashed (aborted groups, failed re-executions).
+    pub squashed_work: f64,
+    /// Speculation group cardinality the segment ran with.
+    pub group_size: usize,
+    /// Auxiliary window the segment ran with.
+    pub window: usize,
+    /// Re-execution budget the segment ran with.
+    pub max_reexec: usize,
+}
+
+/// A re-picked execution-model operating point, applied from the named
+/// segment onward (see [`Retuner::decide`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TuneDecision {
+    /// New speculation group cardinality (clamped to `>= 1` on apply).
+    pub group_size: usize,
+    /// New auxiliary window.
+    pub window: usize,
+    /// New re-execution budget.
+    pub max_reexec: usize,
+}
+
+/// Online re-tuning hook, installed via
+/// [`RunOptions::retune`](crate::RunOptions::retune).
+///
+/// The [`Session`](crate::Session) coordinator calls
+/// [`observe`](Retuner::observe) once per finished segment and then
+/// [`decide`](Retuner::decide) for the next segment; a `Some` decision
+/// rewrites the base configuration's group cardinality, auxiliary window,
+/// and re-execution budget for the rest of the stream (the degradation
+/// ladder, when also enabled, restarts from the new base — see
+/// `docs/tuning.md`). Each applied decision is emitted as
+/// [`EventKind::Retune`](crate::EventKind::Retune), which is what makes
+/// tuned runs replayable without the tuner (`docs/replay.md`).
+///
+/// Implementations must be deterministic in their observations: decisions
+/// may depend on prior [`SegmentStats`], internal seeds, and state captured
+/// at construction (e.g. a warm-start database snapshot), but not on clocks
+/// or ambient randomness.
+pub trait Retuner: Send {
+    /// Digest the telemetry of one finished segment.
+    fn observe(&mut self, stats: &SegmentStats);
+
+    /// Re-pick the operating point for `next_segment` (the zero-based index
+    /// of the segment about to run), or `None` to keep the current one.
+    fn decide(&mut self, next_segment: u64) -> Option<TuneDecision>;
 }
 
 #[cfg(test)]

@@ -82,6 +82,7 @@ mod options;
 mod plan;
 mod pool;
 mod protocol;
+pub mod replay;
 mod resolver;
 mod runtime;
 mod sdi;
@@ -90,7 +91,9 @@ mod session;
 pub mod sync;
 mod tradeoff;
 
-pub use adapt::{AdaptPolicy, AdaptState, AdaptiveController, RetryPolicy};
+pub use adapt::{
+    AdaptPolicy, AdaptState, AdaptiveController, RetryPolicy, Retuner, SegmentStats, TuneDecision,
+};
 pub use ctx::{InvocationCtx, WorkMeter};
 pub use faults::{FaultKind, FaultPlan, FaultRule};
 pub use obs::{Event, EventKind, EventSink, NoopSink, RecordingSink};
@@ -101,6 +104,7 @@ pub use protocol::{
     run_protocol, run_protocol_with_options, GroupRecord, GroupResolution, ProtocolResult,
     SpecConfig, SpecReport, SpecTrace, TraceNode, TraceNodeKind,
 };
+pub use replay::{replay, ReplayError, ReplayOutcome, SessionLog, SessionRecorder};
 pub use runtime::{SpecOutcome, StateDependence};
 pub use sdi::{ExactState, SpecState, StateTransition};
 pub use serve::{
@@ -121,12 +125,13 @@ pub use tradeoff::{
 pub mod prelude {
     pub use crate::obs::{Event, EventKind, EventSink, NoopSink, RecordingSink};
     pub use crate::{
-        run_protocol, run_protocol_with_options, AdaptPolicy, AdaptState, AdaptiveController,
-        ExactState, FairnessPolicy, FaultKind, FaultPlan, FaultRule, InvocationCtx, PlanError,
-        PlanNode, PlanNodeId, Priority, ProtocolResult, PushError, RetryPolicy, RunOptions,
-        ServeError, ServerMetrics, ServerOptions, Session, SessionError, SessionServer, SpecConfig,
-        SpecOutcome, SpecPlan, SpecPlanBuilder, SpecReport, SpecState, SpecTrace, SpillCodec,
-        StateDependence, StateTransition, TenantHandle, TenantMetrics, ThreadPool,
-        TradeoffBindings, WorkMeter,
+        replay, run_protocol, run_protocol_with_options, AdaptPolicy, AdaptState,
+        AdaptiveController, ExactState, FairnessPolicy, FaultKind, FaultPlan, FaultRule,
+        InvocationCtx, PlanError, PlanNode, PlanNodeId, Priority, ProtocolResult, PushError,
+        ReplayError, ReplayOutcome, RetryPolicy, Retuner, RunOptions, SegmentStats, ServeError,
+        ServerMetrics, ServerOptions, Session, SessionError, SessionLog, SessionRecorder,
+        SessionServer, SpecConfig, SpecOutcome, SpecPlan, SpecPlanBuilder, SpecReport, SpecState,
+        SpecTrace, SpillCodec, StateDependence, StateTransition, TenantHandle, TenantMetrics,
+        ThreadPool, TradeoffBindings, TuneDecision, WorkMeter,
     };
 }

@@ -125,6 +125,20 @@ pub enum EventKind {
         /// The speculative group size in effect after the transition.
         group_size: usize,
     },
+    /// An online [`Retuner`](crate::Retuner) re-picked the execution-model
+    /// operating point between two [`Session`](crate::Session) segments
+    /// (see `docs/tuning.md`). Recorded in session logs so tuned runs
+    /// replay deterministically without the tuner (`docs/replay.md`).
+    Retune {
+        /// First segment the new operating point applies to.
+        segment: u64,
+        /// Re-picked speculation group cardinality.
+        group_size: usize,
+        /// Re-picked auxiliary window.
+        window: usize,
+        /// Re-picked re-execution budget.
+        max_reexec: usize,
+    },
     /// The [`SessionServer`](crate::serve::SessionServer) dispatcher
     /// admitted inputs from a tenant's spill queue into its session under
     /// the fairness policy (one event per tenant per dispatch round that
@@ -221,6 +235,12 @@ impl EventKind {
             EventKind::AdaptTransition { state, group_size } => {
                 format!("adapt {} g{group_size}", state.label())
             }
+            EventKind::Retune {
+                segment,
+                group_size,
+                window,
+                max_reexec,
+            } => format!("retune s{segment} g{group_size} w{window} r{max_reexec}"),
             EventKind::TenantAdmission { tenant, admitted } => {
                 format!("admit t{tenant} +{admitted}")
             }

@@ -9,9 +9,9 @@
 //! [`run_protocol_with_options`](crate::run_protocol_with_options), and the
 //! streaming [`Session`](crate::Session).
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use crate::adapt::{AdaptPolicy, RetryPolicy};
+use crate::adapt::{AdaptPolicy, RetryPolicy, Retuner};
 use crate::faults::FaultPlan;
 use crate::obs::{EventSink, NoopSink};
 use crate::plan::SpecPlan;
@@ -77,6 +77,15 @@ pub struct RunOptions {
     /// execution, re-probe once aborts subside. `None` (the default) keeps
     /// the configured [`SpecConfig`] fixed for the whole run.
     pub adapt: Option<AdaptPolicy>,
+    /// Online re-tuning hook for [`Session`](crate::Session): between
+    /// segments the retuner observes per-segment telemetry and may re-pick
+    /// group cardinality, auxiliary window, and re-execution budget for
+    /// the rest of the stream (`docs/tuning.md`). `None` (the default)
+    /// keeps the configured operating point. Shared behind a mutex so the
+    /// caller can keep a handle (e.g. to persist a results database after
+    /// the run); only the coordinator thread locks it, once per segment.
+    /// Batch entry points ignore it.
+    pub retune: Option<Arc<Mutex<dyn Retuner>>>,
     /// Retry-with-backoff budget for groups lost to worker death in a
     /// [`Session`](crate::Session).
     pub retry: RetryPolicy,
@@ -100,6 +109,7 @@ impl Default for RunOptions {
             max_inflight_groups: 0,
             faults: None,
             adapt: None,
+            retune: None,
             retry: RetryPolicy::default(),
             priority: Priority::Normal,
         }
@@ -173,6 +183,19 @@ impl RunOptions {
         self
     }
 
+    /// Install an online [`Retuner`] re-picking the execution-model
+    /// operating point between [`Session`](crate::Session) segments.
+    pub fn retune(self, retuner: impl Retuner + 'static) -> Self {
+        self.retune_shared(Arc::new(Mutex::new(retuner)))
+    }
+
+    /// Install a shared online [`Retuner`], keeping a handle on the
+    /// caller's side (e.g. to persist its results database after the run).
+    pub fn retune_shared(mut self, retuner: Arc<Mutex<dyn Retuner>>) -> Self {
+        self.retune = Some(retuner);
+        self
+    }
+
     /// Set the retry budget for groups lost to worker death.
     pub fn retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
@@ -201,6 +224,7 @@ mod tests {
         assert_eq!(o.config.group_size, SpecConfig::default().group_size);
         assert!(o.faults.is_none());
         assert!(o.adapt.is_none());
+        assert!(o.retune.is_none());
         assert_eq!(o.retry, RetryPolicy::default());
     }
 

@@ -27,7 +27,7 @@ use std::time::Duration;
 
 use crate::sync::{thread, Arc, Condvar, Mutex};
 
-use crate::adapt::{AdaptiveController, RetryPolicy};
+use crate::adapt::{AdaptiveController, RetryPolicy, SegmentStats};
 use crate::faults::{FaultKind, FaultPlan, InjectedFault};
 use crate::obs::{EventKind, EventSink};
 use crate::options::RunOptions;
@@ -535,6 +535,16 @@ impl<T: StateTransition> Drop for CoordinatorGuard<T> {
 /// (`docs/robustness.md`). Adaptation is segment-granular because the
 /// resolver assumes one group cardinality per run; without an explicit
 /// `segment`, an adaptive session defaults to four groups per segment.
+///
+/// When [`RunOptions::retune`] is set, the installed [`Retuner`] observes
+/// each finished segment's telemetry and may re-pick the base operating
+/// point (group cardinality, auxiliary window, re-execution budget) for
+/// the rest of the stream; every applied decision is emitted as
+/// [`EventKind::Retune`] and restarts the degradation ladder from the new
+/// base (`docs/tuning.md`). The segment *length* stays fixed at its
+/// stream-start value so segment boundaries — and therefore per-segment
+/// seeds and fault sites — never depend on tuning decisions, which is what
+/// keeps tuned runs replayable (`docs/replay.md`).
 fn stream_main<T: StateTransition>(
     shared: &Arc<StreamShared<T>>,
     ctx: &Arc<EngineCtx<T>>,
@@ -543,14 +553,19 @@ fn stream_main<T: StateTransition>(
     initial: T::State,
     max_inflight: usize,
 ) -> ProtocolResult<T> {
-    let base = Arc::clone(&ctx.config);
+    let mut base = Arc::clone(&ctx.config);
     let mut controller = options
         .adapt
         .map(|policy| AdaptiveController::new(policy, &base));
-    let segment = match (options.segment, &controller) {
-        (Some(s), _) => Some(s.max(1)),
-        (None, Some(_)) => Some(base.group_size.max(1) * 4),
-        (None, None) => None,
+    let retuner = options.retune.as_ref();
+    let segment = if let Some(s) = options.segment {
+        Some(s.max(1))
+    } else if controller.is_some() || retuner.is_some() {
+        // Segment-granular control without an explicit segment length:
+        // default to four groups per segment.
+        Some(base.group_size.max(1) * 4)
+    } else {
+        None
     };
     match segment {
         None => stream_segment(
@@ -583,6 +598,19 @@ fn stream_main<T: StateTransition>(
                     &seg_config,
                 );
                 let aborted = r.report.aborted;
+                let stats = SegmentStats {
+                    segment: seg_idx,
+                    inputs: r.outputs.len(),
+                    aborted,
+                    reexecutions: r.report.reexecutions,
+                    validations: r.report.validations,
+                    committed_original_work: r.report.committed_original_work,
+                    committed_aux_work: r.report.committed_aux_work,
+                    squashed_work: r.report.squashed_work,
+                    group_size: seg_config.group_size,
+                    window: seg_config.window,
+                    max_reexec: seg_config.max_reexec,
+                };
                 acc.absorb(r);
                 seg_idx += 1;
                 if let Some(c) = controller.as_mut() {
@@ -590,6 +618,35 @@ fn stream_main<T: StateTransition>(
                         if ctx.sink.enabled() {
                             ctx.sink
                                 .emit(EventKind::AdaptTransition { state, group_size });
+                        }
+                    }
+                }
+                if let Some(rt) = retuner {
+                    let decision = {
+                        let mut rt = rt.lock().unwrap_or_else(|e| e.into_inner());
+                        rt.observe(&stats);
+                        rt.decide(seg_idx)
+                    };
+                    if let Some(d) = decision {
+                        base = Arc::new(SpecConfig {
+                            group_size: d.group_size.max(1),
+                            window: d.window,
+                            max_reexec: d.max_reexec,
+                            ..(*base).clone()
+                        });
+                        // The degradation ladder restarts from the re-tuned
+                        // base: its shrink/grow targets are relative to the
+                        // base group size, which just moved.
+                        if let Some(policy) = options.adapt {
+                            controller = Some(AdaptiveController::new(policy, &base));
+                        }
+                        if ctx.sink.enabled() {
+                            ctx.sink.emit(EventKind::Retune {
+                                segment: seg_idx,
+                                group_size: base.group_size,
+                                window: base.window,
+                                max_reexec: base.max_reexec,
+                            });
                         }
                     }
                 }

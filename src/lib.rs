@@ -30,6 +30,12 @@ mod doctest_serving {}
 #[cfg(doctest)]
 #[doc = include_str!("../docs/dag.md")]
 mod doctest_dag {}
+#[cfg(doctest)]
+#[doc = include_str!("../docs/replay.md")]
+mod doctest_replay {}
+#[cfg(doctest)]
+#[doc = include_str!("../docs/tuning.md")]
+mod doctest_tuning {}
 
 pub use stats_autotune as autotune;
 pub use stats_baselines as baselines;
